@@ -1,0 +1,132 @@
+(* Benchmark + experiment-table harness.
+
+   `dune exec bench/main.exe` prints every experiment table (E1..E10,
+   quick sizes) and then runs one Bechamel timing benchmark per
+   experiment (the core computation each table exercises).
+
+   Flags:  --full          full-size tables (slow)
+           --tables-only   skip the Bechamel pass
+           --bench-only    skip the tables
+           --seed N        change the experiment seed (default 1)
+           --only Ei       run a single table *)
+
+module Graph = Graphlib.Graph
+module Gen = Graphlib.Gen
+
+let seed = ref 1
+let quick = ref true
+let tables = ref true
+let benches = ref true
+let only = ref None
+
+let parse_args () =
+  let rec go = function
+    | [] -> ()
+    | "--full" :: rest ->
+        quick := false;
+        go rest
+    | "--tables-only" :: rest ->
+        benches := false;
+        go rest
+    | "--bench-only" :: rest ->
+        tables := false;
+        go rest
+    | "--seed" :: v :: rest ->
+        seed := int_of_string v;
+        go rest
+    | "--only" :: id :: rest ->
+        only := Some id;
+        go rest
+    | arg :: _ ->
+        Printf.eprintf "unknown argument %s\n" arg;
+        exit 2
+  in
+  go (List.tl (Array.to_list Sys.argv))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel: one Test.make per experiment table. *)
+
+let bench_tests () =
+  let open Bechamel in
+  let rng = Util.Prng.create ~seed:!seed in
+  let g_mid = Gen.connected_gnp rng ~n:600 ~p:0.02 in
+  let g_small = Gen.connected_gnp rng ~n:250 ~p:0.05 in
+  let torus = Gen.king_torus ~width:20 ~height:20 in
+  let gadget = Graphlib.Gadget.create ~tau:2 ~sigma:5 ~kappa:6 in
+  let t name f = Test.make ~name (Staged.stage f) in
+  [
+    t "e1.skeleton_dist" (fun () ->
+        ignore (Spanner.Skeleton_dist.build ~seed:!seed g_small));
+    t "e2.skeleton_seq" (fun () -> ignore (Spanner.Skeleton.build ~seed:!seed g_mid));
+    t "e3.plan+sampling" (fun () ->
+        let plan = Spanner.Plan.make ~n:(Graph.n g_mid) () in
+        ignore
+          (Spanner.Sampling.draw (Util.Prng.create ~seed:!seed) ~n:(Graph.n g_mid) plan));
+    t "e4.fibonacci_seq" (fun () ->
+        ignore (Spanner.Fibonacci.build ~o:3 ~ell:2 ~seed:!seed torus));
+    t "e5.fibonacci_seq_gnp" (fun () ->
+        ignore (Spanner.Fibonacci.build ~o:4 ~ell:2 ~seed:!seed g_mid));
+    t "e6.adversary" (fun () ->
+        ignore
+          (Lowerbound.Adversary.run_once (Util.Prng.create ~seed:!seed) gadget ~keep:0.5));
+    t "e7.gadget_build" (fun () -> ignore (Graphlib.Gadget.create ~tau:3 ~sigma:4 ~kappa:5));
+    t "e8.fibonacci_dist" (fun () ->
+        ignore (Spanner.Fibonacci_dist.build ~o:2 ~ell:2 ~t:2 ~seed:!seed g_small));
+    t "e9.contribution_dp" (fun () -> ignore (Spanner.Contribution.xtp ~p:0.1 ~t:200));
+    t "e10.flood" (fun () ->
+        ignore (Distnet.Protocols.flood g_mid ~root:0 ~payload_words:4));
+    t "e11.combined" (fun () ->
+        ignore (Spanner.Combined.build ~ell:2 ~seed:!seed g_small));
+    t "e12.skeleton_traced" (fun () ->
+        ignore (Spanner.Skeleton.build ~trace:true ~seed:!seed g_small));
+    t "e13.oracle_build" (fun () ->
+        ignore (Oracle.Distance_oracle.build ~k:3 ~seed:!seed g_small));
+    t "e14.fib_on_torus" (fun () ->
+        ignore (Spanner.Fibonacci.build ~o:4 ~ell:2 ~seed:!seed torus));
+    t "baseline.baswana_sen" (fun () ->
+        ignore (Baseline.Baswana_sen.build ~k:3 ~seed:!seed g_mid));
+    t "baseline.baswana_sen_weighted" (fun () ->
+        let wg = Graphlib.Weighted.random (Util.Prng.create ~seed:!seed) g_mid ~lo:1. ~hi:8. in
+        ignore (Baseline.Baswana_sen_weighted.build ~k:3 ~seed:!seed wg));
+    t "baseline.greedy" (fun () -> ignore (Baseline.Greedy.build ~k:3 g_small));
+  ]
+
+let run_benches () =
+  let open Bechamel in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
+  Format.printf "@.== Bechamel timings (monotonic clock, one bench per experiment)@.";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"" [ test ]) in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          instance results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Format.printf "%-28s %12.0f ns/run@." name est
+          | _ -> Format.printf "%-28s (no estimate)@." name)
+        ols)
+    (bench_tests ())
+
+let () =
+  parse_args ();
+  if !tables then begin
+    match !only with
+    | Some id -> (
+        match Experiments.Run.by_id id with
+        | Some f ->
+            Experiments.Table.print Format.std_formatter (f ~quick:!quick ~seed:!seed ())
+        | None ->
+            Printf.eprintf "unknown experiment %s (have: %s)\n" id
+              (String.concat ", " Experiments.Run.ids);
+            exit 2)
+    | None ->
+        List.iter
+          (Experiments.Table.print Format.std_formatter)
+          (Experiments.Run.all ~quick:!quick ~seed:!seed ())
+  end;
+  if !benches then run_benches ()

@@ -1,0 +1,326 @@
+(* Command-line driver: generate graphs, build spanners with any
+   algorithm in the library, evaluate distortion, run the experiment
+   suite. *)
+
+open Cmdliner
+module Graph = Graphlib.Graph
+module Gen = Graphlib.Gen
+module Edge_set = Graphlib.Edge_set
+module Metrics = Graphlib.Metrics
+
+(* ------------------------------------------------------------------ *)
+(* Shared graph source: either --input FILE or a generator spec. *)
+
+let load_graph ~kind ~n ~p ~seed ~input =
+  match input with
+  | Some path -> Graphlib.Io.read path
+  | None -> (
+      let rng = Util.Prng.create ~seed in
+      match kind with
+      | "gnp" -> Gen.connected_gnp rng ~n ~p
+      | "gnp-raw" -> Gen.gnp rng ~n ~p
+      | "torus" ->
+          let side = int_of_float (Float.round (sqrt (float_of_int n))) in
+          Gen.torus ~width:side ~height:side
+      | "king" ->
+          let side = int_of_float (Float.round (sqrt (float_of_int n))) in
+          Gen.king_torus ~width:side ~height:side
+      | "hypercube" ->
+          let dims = int_of_float (Float.round (Util.Tower.log2 (float_of_int n))) in
+          Gen.hypercube ~dims
+      | "pa" -> Gen.ensure_connected rng (Gen.preferential_attachment rng ~n ~k:3)
+      | "path" -> Gen.path n
+      | "cycle" -> Gen.cycle n
+      | other -> failwith (Printf.sprintf "unknown graph kind %s" other))
+
+let kind_arg =
+  Arg.(
+    value
+    & opt string "gnp"
+    & info [ "kind" ] ~docv:"KIND"
+        ~doc:"Graph family: gnp, gnp-raw, torus, king, hypercube, pa, path, cycle.")
+
+let n_arg = Arg.(value & opt int 2000 & info [ "n" ] ~docv:"N" ~doc:"Vertex count.")
+
+let p_arg =
+  Arg.(value & opt float 0.005 & info [ "p" ] ~docv:"P" ~doc:"G(n,p) edge probability.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let input_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "input"; "i" ] ~docv:"FILE" ~doc:"Read the graph from an edge-list file.")
+
+(* ------------------------------------------------------------------ *)
+(* gen *)
+
+let gen_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output edge-list file.")
+  in
+  let run kind n p seed out =
+    let g = load_graph ~kind ~n ~p ~seed ~input:None in
+    Graphlib.Io.write g out;
+    Format.printf "wrote %s: %a@." out Graph.pp_summary g
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a graph and write it as an edge list.")
+    Term.(const run $ kind_arg $ n_arg $ p_arg $ seed_arg $ out)
+
+(* ------------------------------------------------------------------ *)
+(* build *)
+
+let algo_arg =
+  Arg.(
+    value
+    & opt string "skeleton"
+    & info [ "algo"; "a" ] ~docv:"ALGO"
+        ~doc:
+          "Spanner algorithm: skeleton, skeleton-dist, fibonacci, fibonacci-dist, \
+           baswana-sen, baswana-sen-dist, greedy, greedy-skeleton, neighborhood, \
+           bfs-tree, combined, streaming.")
+
+let k_arg =
+  Arg.(value & opt int 3 & info [ "k"; "levels" ] ~docv:"K" ~doc:"Stretch parameter (2k-1).")
+
+let d_arg = Arg.(value & opt int 4 & info [ "D" ] ~docv:"D" ~doc:"Skeleton density D.")
+
+let eps_arg =
+  Arg.(value & opt float 0.5 & info [ "eps" ] ~docv:"EPS" ~doc:"Message-length exponent.")
+
+let order_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "order" ] ~docv:"O" ~doc:"Fibonacci spanner order (default log_phi log n).")
+
+let ell_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "ell" ] ~docv:"L" ~doc:"Fibonacci ball base (default 3o/eps + 2).")
+
+let t_arg =
+  Arg.(value & opt int 2 & info [ "t" ] ~docv:"T" ~doc:"Message budget exponent: n^(1/t).")
+
+let build_spanner ~algo ~k ~d ~eps ~order ~ell ~t ~seed g =
+  let stats = ref None in
+  let spanner =
+    match algo with
+    | "skeleton" -> (Spanner.Skeleton.build ~d ~eps ~seed g).Spanner.Skeleton.spanner
+    | "skeleton-dist" ->
+        let r = Spanner.Skeleton_dist.build ~d ~eps ~seed g in
+        stats := Some r.Spanner.Skeleton_dist.stats;
+        r.Spanner.Skeleton_dist.spanner
+    | "fibonacci" -> (Spanner.Fibonacci.build ?o:order ?ell ~seed g).Spanner.Fibonacci.spanner
+    | "fibonacci-dist" ->
+        let r = Spanner.Fibonacci_dist.build ?o:order ?ell ~t ~seed g in
+        stats := Some r.Spanner.Fibonacci_dist.stats;
+        Format.printf "budget=%d words, blocked=%d, LV failures=%d@."
+          r.Spanner.Fibonacci_dist.budget_words r.Spanner.Fibonacci_dist.blocked
+          r.Spanner.Fibonacci_dist.failures;
+        r.Spanner.Fibonacci_dist.spanner
+    | "baswana-sen" -> (Baseline.Baswana_sen.build ~k ~seed g).Baseline.Baswana_sen.spanner
+    | "baswana-sen-dist" ->
+        let r = Baseline.Baswana_sen_dist.build ~k ~seed g in
+        stats := Some r.Baseline.Baswana_sen_dist.stats;
+        r.Baseline.Baswana_sen_dist.spanner
+    | "greedy" -> (Baseline.Greedy.build ~k g).Baseline.Greedy.spanner
+    | "greedy-skeleton" -> (Baseline.Greedy.skeleton g).Baseline.Greedy.spanner
+    | "neighborhood" ->
+        let r = Baseline.Neighborhood_dist.build ~k g in
+        stats := Some r.Baseline.Neighborhood_dist.stats;
+        r.Baseline.Neighborhood_dist.spanner
+    | "bfs-tree" -> (Baseline.Bfs_tree.build g).Baseline.Bfs_tree.spanner
+    | "combined" -> (Spanner.Combined.build ?o:order ?ell ~d ~seed g).Spanner.Combined.spanner
+    | "streaming" ->
+        (* Feed the graph's edges in a seeded random arrival order. *)
+        let edges = ref [] in
+        Graph.iter_edges g (fun _ u v -> edges := (u, v) :: !edges);
+        let arr = Array.of_list !edges in
+        Util.Prng.shuffle (Util.Prng.create ~seed) arr;
+        let t = Baseline.Streaming.of_stream ~n:(Graph.n g) ~k (Array.to_list arr) in
+        let s = Edge_set.create g in
+        List.iter
+          (fun (u, v) ->
+            match Graph.find_edge g u v with
+            | Some e -> Edge_set.add s e
+            | None -> ())
+          (Baseline.Streaming.edges t);
+        s
+    | other -> failwith (Printf.sprintf "unknown algorithm %s" other)
+  in
+  (spanner, !stats)
+
+let build_cmd =
+  let sources =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "sources" ] ~docv:"S" ~doc:"BFS sources for sampled distortion.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the spanner as an edge list.")
+  in
+  let run kind n p seed input algo k d eps order ell t sources out =
+    let g = load_graph ~kind ~n ~p ~seed ~input in
+    Format.printf "graph: %a@." Graph.pp_summary g;
+    let spanner, stats = build_spanner ~algo ~k ~d ~eps ~order ~ell ~t ~seed g in
+    let h = Edge_set.to_graph spanner in
+    Format.printf "%s: %d edges (%.3f per vertex)@." algo (Edge_set.cardinal spanner)
+      (float_of_int (Edge_set.cardinal spanner) /. float_of_int (Graph.n g));
+    let rng = Util.Prng.create ~seed:(seed + 7919) in
+    let rep = Metrics.sampled rng ~g ~h ~sources in
+    Format.printf "distortion: %a@." Metrics.pp_report rep;
+    (match stats with
+    | Some st -> Format.printf "network: %a@." Distnet.Sim.pp_stats st
+    | None -> ());
+    match out with
+    | Some path ->
+        Graphlib.Io.write h path;
+        Format.printf "spanner written to %s@." path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "build" ~doc:"Build a spanner and report size / distortion / network cost.")
+    Term.(
+      const run $ kind_arg $ n_arg $ p_arg $ seed_arg $ input_arg $ algo_arg $ k_arg
+      $ d_arg $ eps_arg $ order_arg $ ell_arg $ t_arg $ sources $ out)
+
+(* ------------------------------------------------------------------ *)
+(* eval: compare a spanner file against a graph file *)
+
+let eval_cmd =
+  let graph_file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"GRAPH" ~doc:"Original graph edge list.")
+  in
+  let spanner_file =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"SPANNER" ~doc:"Spanner edge list (same vertex count).")
+  in
+  let exact =
+    Arg.(value & flag & info [ "exact" ] ~doc:"All-pairs distortion (small graphs).")
+  in
+  let run graph_file spanner_file exact seed =
+    let g = Graphlib.Io.read graph_file in
+    let h = Graphlib.Io.read spanner_file in
+    let rep =
+      if exact then Metrics.exact ~g ~h
+      else Metrics.sampled (Util.Prng.create ~seed) ~g ~h ~sources:8
+    in
+    Format.printf "%a@." Metrics.pp_report rep
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Measure the distortion of a spanner file.")
+    Term.(const run $ graph_file $ spanner_file $ exact $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* trace: watch the skeleton algorithm run call by call *)
+
+let trace_cmd =
+  let run kind n p seed input d eps =
+    let g = load_graph ~kind ~n ~p ~seed ~input in
+    Format.printf "graph: %a@." Graph.pp_summary g;
+    let plan = Spanner.Plan.make ~n:(Graph.n g) ~d ~eps () in
+    Format.printf "%a@." Spanner.Plan.pp plan;
+    let r = Spanner.Skeleton.build ~d ~eps ~trace:true ~seed g in
+    Format.printf "@.%6s %6s %6s  %9s %9s %8s@." "call" "round" "p" "clusters"
+      "alive" "spanner";
+    List.iter
+      (fun (s : Spanner.Skeleton.snapshot) ->
+        Format.printf "%6d %6d %6.3f  %9d %9d %8d@."
+          s.Spanner.Skeleton.call.Spanner.Plan.index
+          s.Spanner.Skeleton.call.Spanner.Plan.round
+          s.Spanner.Skeleton.call.Spanner.Plan.p
+          s.Spanner.Skeleton.clusters_before s.Spanner.Skeleton.alive_after
+          s.Spanner.Skeleton.spanner_size)
+      r.Spanner.Skeleton.snapshots;
+    Format.printf "@.final: %d edges, %d aborts@."
+      (Edge_set.cardinal r.Spanner.Skeleton.spanner)
+      r.Spanner.Skeleton.aborts
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Run the skeleton algorithm with a per-call trace.")
+    Term.(const run $ kind_arg $ n_arg $ p_arg $ seed_arg $ input_arg $ d_arg $ eps_arg)
+
+(* ------------------------------------------------------------------ *)
+(* oracle *)
+
+let oracle_cmd =
+  let queries =
+    Arg.(value & opt int 10 & info [ "queries" ] ~docv:"Q" ~doc:"Sample queries to print.")
+  in
+  let run kind n p seed input k queries =
+    let g = load_graph ~kind ~n ~p ~seed ~input in
+    Format.printf "graph: %a@." Graph.pp_summary g;
+    let o = Oracle.Distance_oracle.build ~k ~seed g in
+    Format.printf "oracle: k=%d, %d stored entries (%.1f per vertex), stretch <= %d@."
+      k
+      (Oracle.Distance_oracle.size o)
+      (float_of_int (Oracle.Distance_oracle.size o) /. float_of_int (Graph.n g))
+      ((2 * k) - 1);
+    let rng = Util.Prng.create ~seed:(seed + 1) in
+    for _ = 1 to queries do
+      let u = Util.Prng.int rng (Graph.n g) and v = Util.Prng.int rng (Graph.n g) in
+      let exact = (Graphlib.Bfs.distances g ~src:u).(v) in
+      match Oracle.Distance_oracle.query o u v with
+      | Some est -> Format.printf "  d(%d,%d) = %d, oracle %d@." u v exact est
+      | None -> Format.printf "  d(%d,%d): disconnected@." u v
+    done
+  in
+  Cmd.v
+    (Cmd.info "oracle" ~doc:"Build a Thorup-Zwick distance oracle and sample queries.")
+    Term.(const run $ kind_arg $ n_arg $ p_arg $ seed_arg $ input_arg $ k_arg $ queries)
+
+(* ------------------------------------------------------------------ *)
+(* experiment *)
+
+let experiment_cmd =
+  let ids =
+    Arg.(
+      value
+      & pos_all string []
+      & info [] ~docv:"ID" ~doc:"Experiment ids (E1..E10); all when omitted.")
+  in
+  let full = Arg.(value & flag & info [ "full" ] ~doc:"Full-size workloads.") in
+  let run ids full seed =
+    let quick = not full in
+    let selected =
+      match ids with
+      | [] -> Experiments.Run.ids
+      | ids -> ids
+    in
+    List.iter
+      (fun id ->
+        match Experiments.Run.by_id id with
+        | Some f -> Experiments.Table.print Format.std_formatter (f ~quick ~seed ())
+        | None ->
+            Printf.eprintf "unknown experiment %s (have: %s)\n" id
+              (String.concat ", " Experiments.Run.ids);
+            exit 2)
+      selected
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Run the paper-reproduction experiment tables.")
+    Term.(const run $ ids $ full $ seed_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "spanner_cli" ~version:"1.0.0"
+       ~doc:"Ultrasparse spanners and linear-size skeletons (Pettie, PODC 2008).")
+    [ gen_cmd; build_cmd; eval_cmd; trace_cmd; oracle_cmd; experiment_cmd ]
+
+let () = exit (Cmd.eval main)

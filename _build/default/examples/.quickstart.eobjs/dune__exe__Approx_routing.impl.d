@@ -1,0 +1,1 @@
+examples/approx_routing.ml: Array Baseline Format Graphlib List Spanner Util

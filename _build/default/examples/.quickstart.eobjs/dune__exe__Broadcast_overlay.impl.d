@@ -1,0 +1,1 @@
+examples/broadcast_overlay.ml: Array Baseline Distnet Format Graphlib List Printf Spanner Util

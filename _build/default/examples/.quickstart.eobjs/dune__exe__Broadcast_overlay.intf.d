@@ -1,0 +1,1 @@
+examples/broadcast_overlay.mli:

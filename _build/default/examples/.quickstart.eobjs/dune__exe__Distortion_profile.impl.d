@@ -1,0 +1,1 @@
+examples/distortion_profile.ml: Array Float Format Graphlib List Spanner Stdlib String Util

@@ -1,0 +1,1 @@
+examples/distortion_profile.mli:

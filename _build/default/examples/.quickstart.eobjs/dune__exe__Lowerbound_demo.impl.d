@@ -1,0 +1,1 @@
+examples/lowerbound_demo.ml: Array Format Graphlib List Lowerbound Util

@@ -1,0 +1,1 @@
+examples/oracle_demo.ml: Array Format Graphlib List Oracle Util

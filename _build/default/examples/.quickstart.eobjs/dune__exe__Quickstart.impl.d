@@ -1,0 +1,1 @@
+examples/quickstart.ml: Distnet Format Graphlib List Spanner Util

@@ -1,0 +1,1 @@
+examples/weighted_spanner.mli:

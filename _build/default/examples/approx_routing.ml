@@ -1,0 +1,72 @@
+(* Approximate routing over a spanner - the application class the
+   paper's conclusion singles out (compact routing tables with small
+   stretch).
+
+   Routing state per node is its distance-vector over *spanner* edges
+   only.  We compare the routes a greedy distance-vector protocol
+   produces on the spanner against true shortest paths, and against
+   the memory a full routing table would need.
+
+     dune exec examples/approx_routing.exe *)
+
+module Graph = Graphlib.Graph
+module Gen = Graphlib.Gen
+module Bfs = Graphlib.Bfs
+module Edge_set = Graphlib.Edge_set
+
+(* Route from [src] to [dst] by next-hop descent on [dist_to_dst]
+   restricted to spanner edges: each hop moves to any neighbor closer
+   to the destination (in the spanner metric). *)
+let route_length h ~dist_dst ~src =
+  let rec walk v hops =
+    if dist_dst.(v) = 0 then Some hops
+    else if hops > 10 * Array.length dist_dst then None
+    else begin
+      let next = ref (-1) in
+      Graph.iter_neighbors h v (fun w _ ->
+          if dist_dst.(w) >= 0 && dist_dst.(w) < dist_dst.(v) then next := w);
+      match !next with -1 -> None | w -> walk w (hops + 1)
+    end
+  in
+  if dist_dst.(src) < 0 then None else walk src 0
+
+let () =
+  let seed = 11 in
+  let rng = Util.Prng.create ~seed in
+  let n = 3000 in
+  let g = Gen.connected_gnp rng ~n ~p:0.004 in
+  Format.printf "network: %a@.@." Graph.pp_summary g;
+  List.iter
+    (fun (name, spanner) ->
+      let h = Edge_set.to_graph spanner in
+      (* Per-destination state a router must keep is proportional to
+         its spanner degree; the table below reports the total. *)
+      let table_entries = 2 * Graph.m h in
+      let stretch = Util.Stats.create () in
+      let trials = 300 in
+      let failures = ref 0 in
+      for _ = 1 to trials do
+        let src = Util.Prng.int rng n and dst = Util.Prng.int rng n in
+        if src <> dst then begin
+          let true_d = (Bfs.distances g ~src:dst).(src) in
+          let dist_dst = Bfs.distances h ~src:dst in
+          match route_length h ~dist_dst ~src with
+          | Some hops when true_d > 0 ->
+              Util.Stats.add stretch (float_of_int hops /. float_of_int true_d)
+          | _ -> incr failures
+        end
+      done;
+      Format.printf "%-18s state=%7d entries  route stretch: %s  failures=%d@." name
+        table_entries (Util.Stats.summary stretch) !failures)
+    [
+      ("full graph", Edge_set.of_list g (List.init (Graph.m g) (fun e -> e)));
+      ("skeleton D=4", (Spanner.Skeleton.build ~d:4 ~seed g).Spanner.Skeleton.spanner);
+      ("skeleton D=16", (Spanner.Skeleton.build ~d:16 ~seed g).Spanner.Skeleton.spanner);
+      ( "fibonacci o=4",
+        (Spanner.Fibonacci.build ~o:4 ~ell:2 ~seed g).Spanner.Fibonacci.spanner );
+      ( "baswana-sen k=3",
+        (Baseline.Baswana_sen.build ~k:3 ~seed g).Baseline.Baswana_sen.spanner );
+    ];
+  Format.printf
+    "@.spanner routing keeps a fraction of the state at a bounded stretch cost -@.\
+     the tradeoff behind compact routing schemes [paper SS5].@."

@@ -1,0 +1,46 @@
+(* The application the paper's conclusion points at: approximate
+   distance oracles (Thorup-Zwick), built from the same sampling
+   hierarchy as the spanners.
+
+   A k-level oracle answers any distance query in O(k) hash lookups
+   with stretch at most 2k-1, storing ~n^{1+1/k} entries instead of
+   the n^2 of a full distance matrix.
+
+     dune exec examples/oracle_demo.exe *)
+
+module Graph = Graphlib.Graph
+module Gen = Graphlib.Gen
+module Bfs = Graphlib.Bfs
+module Oracle = Oracle.Distance_oracle
+
+let () =
+  let seed = 21 in
+  let rng = Util.Prng.create ~seed in
+  let n = 4000 in
+  let g = Gen.connected_gnp rng ~n ~p:0.003 in
+  Format.printf "graph: %a@." Graph.pp_summary g;
+  Format.printf "full distance matrix would hold %d entries@.@." (n * n);
+  Format.printf "%3s  %10s  %9s  %11s  %11s  %5s@." "k" "space" "space/n"
+    "avg stretch" "max stretch" "2k-1";
+  List.iter
+    (fun k ->
+      let o = Oracle.build ~k ~seed g in
+      let stretch = Util.Stats.create () in
+      for _ = 1 to 400 do
+        let u = Util.Prng.int rng n and v = Util.Prng.int rng n in
+        if u <> v then begin
+          let exact = (Bfs.distances g ~src:u).(v) in
+          match Oracle.query o u v with
+          | Some est when exact > 0 ->
+              Util.Stats.add stretch (float_of_int est /. float_of_int exact)
+          | _ -> ()
+        end
+      done;
+      Format.printf "%3d  %10d  %9.1f  %11.3f  %11.2f  %5d@." k (Oracle.size o)
+        (float_of_int (Oracle.size o) /. float_of_int n)
+        (Util.Stats.mean stretch) (Util.Stats.max stretch)
+        ((2 * k) - 1))
+    [ 2; 3; 4; 5 ];
+  Format.printf
+    "@.same dial as the spanners: each extra level cuts space by ~n^{1/k(k+1)}@.\
+     and loosens the worst-case answer by 2.@."

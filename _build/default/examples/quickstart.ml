@@ -1,0 +1,51 @@
+(* Quickstart: build the two spanners of the paper on a random graph
+   and check what they cost and what they preserve.
+
+     dune exec examples/quickstart.exe *)
+
+module Graph = Graphlib.Graph
+module Gen = Graphlib.Gen
+module Edge_set = Graphlib.Edge_set
+module Metrics = Graphlib.Metrics
+
+let () =
+  let seed = 42 in
+  let rng = Util.Prng.create ~seed in
+
+  (* A random 12-regular-ish communication network on 4000 nodes. *)
+  let g = Gen.connected_gnp rng ~n:4000 ~p:0.003 in
+  Format.printf "network: %a@.@." Graph.pp_summary g;
+
+  (* 1. The linear-size skeleton of Section 2 (Theorem 2).  D controls
+     density: expected size ~ D n / e + O(n log D). *)
+  let skeleton = Spanner.Skeleton.build ~d:4 ~eps:0.5 ~seed g in
+  let s = skeleton.Spanner.Skeleton.spanner in
+  Format.printf "skeleton (D=4):   %5d edges  (%.2f per vertex)@."
+    (Edge_set.cardinal s)
+    (float_of_int (Edge_set.cardinal s) /. 4000.);
+
+  (* 2. A Fibonacci spanner of Section 4 (Theorem 7): order trades
+     size for distortion. *)
+  let fib = Spanner.Fibonacci.build ~o:4 ~ell:2 ~seed g in
+  let f = fib.Spanner.Fibonacci.spanner in
+  Format.printf "fibonacci (o=4):  %5d edges  (%.2f per vertex)@.@."
+    (Edge_set.cardinal f)
+    (float_of_int (Edge_set.cardinal f) /. 4000.);
+
+  (* How well do they preserve distances?  Sample BFS sources and
+     compare shortest paths in the spanner against the original. *)
+  List.iter
+    (fun (name, spanner) ->
+      let h = Edge_set.to_graph spanner in
+      let rep = Metrics.sampled rng ~g ~h ~sources:10 in
+      Format.printf "%-18s %a@." name Metrics.pp_report rep)
+    [ ("skeleton:", s); ("fibonacci:", f) ];
+
+  (* The same skeleton can be built by message passing (the paper's
+     actual setting) - same spanner, now with network costs. *)
+  let plan = Spanner.Plan.make ~n:4000 () in
+  let sampling = Spanner.Sampling.draw (Util.Prng.create ~seed) ~n:4000 plan in
+  let dist = Spanner.Skeleton_dist.build_with ~plan ~sampling g in
+  Format.printf "@.distributed skeleton: %d edges in %a@."
+    (Edge_set.cardinal dist.Spanner.Skeleton_dist.spanner)
+    Distnet.Sim.pp_stats dist.Spanner.Skeleton_dist.stats

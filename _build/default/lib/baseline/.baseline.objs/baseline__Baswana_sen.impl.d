@@ -1,0 +1,1 @@
+lib/baseline/baswana_sen.ml: Array Graphlib Hashtbl List Util

@@ -1,0 +1,1 @@
+lib/baseline/baswana_sen.mli: Graphlib Util

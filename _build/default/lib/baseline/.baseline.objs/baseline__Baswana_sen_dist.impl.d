@@ -1,0 +1,1 @@
+lib/baseline/baswana_sen_dist.ml: Array Baswana_sen Distnet Graphlib Hashtbl List Util

@@ -1,0 +1,1 @@
+lib/baseline/baswana_sen_dist.mli: Baswana_sen Distnet Graphlib

@@ -1,0 +1,1 @@
+lib/baseline/baswana_sen_weighted.ml: Array Baswana_sen Graphlib Hashtbl List Util

@@ -1,0 +1,1 @@
+lib/baseline/baswana_sen_weighted.mli: Baswana_sen Graphlib

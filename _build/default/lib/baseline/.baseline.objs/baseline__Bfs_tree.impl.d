@@ -1,0 +1,1 @@
+lib/baseline/bfs_tree.ml: Array Graphlib List

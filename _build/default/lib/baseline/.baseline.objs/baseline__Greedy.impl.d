@@ -1,0 +1,1 @@
+lib/baseline/greedy.ml: Array Float Graphlib List Queue Stdlib Util

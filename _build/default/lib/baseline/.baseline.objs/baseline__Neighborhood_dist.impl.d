@@ -1,0 +1,1 @@
+lib/baseline/neighborhood_dist.ml: Array Distnet Float Graphlib Hashtbl List Option Queue Stdlib Util

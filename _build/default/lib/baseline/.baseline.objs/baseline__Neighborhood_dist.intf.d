@@ -1,0 +1,1 @@
+lib/baseline/neighborhood_dist.mli: Distnet Graphlib

@@ -1,0 +1,1 @@
+lib/baseline/streaming.ml: Array Graphlib List Queue Stdlib

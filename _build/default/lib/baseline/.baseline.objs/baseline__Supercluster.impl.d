@@ -1,0 +1,1 @@
+lib/baseline/supercluster.ml: Array Float Graphlib Hashtbl List Stdlib Util

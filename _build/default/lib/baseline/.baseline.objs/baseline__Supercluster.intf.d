@@ -1,0 +1,1 @@
+lib/baseline/supercluster.mli: Graphlib

@@ -1,0 +1,77 @@
+module Graph = Graphlib.Graph
+module Edge_set = Graphlib.Edge_set
+
+type tape = int array
+
+let draw_tape rng ~n ~k =
+  if k < 1 then invalid_arg "Baswana_sen.draw_tape: k must be >= 1";
+  let p = float_of_int n ** (-1. /. float_of_int k) in
+  Array.init n (fun _ ->
+      let rec walk i =
+        if i >= k - 1 then k - 1
+        else if Util.Prng.bernoulli rng p then walk (i + 1)
+        else i
+      in
+      walk 0)
+
+type result = {
+  spanner : Edge_set.t;
+  k : int;
+  phases : (int * int) list;
+}
+
+(* Cluster identity is the original center vertex; [tape.(center) > i]
+   means the cluster is sampled at phase i. *)
+let build_with ~k ~tape g =
+  let n = Graph.n g in
+  if Array.length tape <> n then invalid_arg "Baswana_sen.build_with: tape size";
+  let spanner = Edge_set.create g in
+  let cluster = Array.init n (fun v -> v) in
+  let active = Array.make n true in
+  let phases = ref [] in
+  let sampled ~phase c = phase < k - 1 && tape.(c) > phase in
+  for phase = 0 to k - 1 do
+    let clusters_entering =
+      let seen = Hashtbl.create 64 in
+      Array.iteri (fun v c -> if active.(v) then Hashtbl.replace seen c ()) cluster;
+      Hashtbl.length seen
+    in
+    let new_cluster = Array.copy cluster in
+    let retiring = ref [] in
+    for v = 0 to n - 1 do
+      if active.(v) && not (sampled ~phase cluster.(v)) then begin
+        (* Adjacent clusters, deduplicated to the min incident edge. *)
+        let best : (int, int) Hashtbl.t = Hashtbl.create 8 in
+        Graph.iter_neighbors g v (fun w e ->
+            if active.(w) && cluster.(w) <> cluster.(v) then
+              match Hashtbl.find_opt best cluster.(w) with
+              | Some e' when e' <= e -> ()
+              | _ -> Hashtbl.replace best cluster.(w) e);
+        let join =
+          Hashtbl.fold
+            (fun c e acc ->
+              if sampled ~phase c then
+                match acc with
+                | Some (_, e') when e' <= e -> acc
+                | _ -> Some (c, e)
+              else acc)
+            best None
+        in
+        match join with
+        | Some (c, e) ->
+            Edge_set.add spanner e;
+            new_cluster.(v) <- c
+        | None ->
+            Hashtbl.iter (fun _ e -> Edge_set.add spanner e) best;
+            retiring := v :: !retiring
+      end
+    done;
+    List.iter (fun v -> active.(v) <- false) !retiring;
+    Array.blit new_cluster 0 cluster 0 n;
+    phases := (clusters_entering, List.length !retiring) :: !phases
+  done;
+  { spanner; k; phases = List.rev !phases }
+
+let build ~k ~seed g =
+  let tape = draw_tape (Util.Prng.create ~seed) ~n:(Graph.n g) ~k in
+  build_with ~k ~tape g

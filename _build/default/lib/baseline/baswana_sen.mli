@@ -1,0 +1,29 @@
+(** Baswana–Sen randomized [(2k-1)]-spanner for unweighted graphs
+    (J. Random Structs. & Algs. 2007) — the clustering the paper's
+    Section 2 builds on, and the main baseline of its Fig. 1.
+
+    [k-1] clustering phases at sampling probability [n^(-1/k)] followed
+    by a final discharge phase.  In each phase, a vertex whose cluster
+    goes unsampled either joins an adjacent sampled cluster (adding one
+    edge) or adds one edge per adjacent cluster and retires.  Expected
+    size [O(k n^(1+1/k))]; stretch [2k - 1].
+
+    As with the skeleton, all randomness is the per-vertex index of the
+    first phase whose coin fails, so the sequential and distributed
+    implementations can be run on the same tape and compared exactly. *)
+
+type tape = int array
+(** Per-vertex first unsampled phase, in [0 .. k-1] ([k - 1] means the
+    vertex's cluster survives every sampling phase). *)
+
+val draw_tape : Util.Prng.t -> n:int -> k:int -> tape
+
+type result = {
+  spanner : Graphlib.Edge_set.t;
+  k : int;
+  phases : (int * int) list;
+      (** per phase: (clusters entering, vertices retired) *)
+}
+
+val build : k:int -> seed:int -> Graphlib.Graph.t -> result
+val build_with : k:int -> tape:tape -> Graphlib.Graph.t -> result

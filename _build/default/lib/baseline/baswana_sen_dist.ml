@@ -1,0 +1,100 @@
+module Graph = Graphlib.Graph
+module Edge_set = Graphlib.Edge_set
+module Sim = Distnet.Sim
+
+type msg =
+  | Exchange of { cl : int; fu : int }
+  | Retired
+
+type result = {
+  spanner : Edge_set.t;
+  k : int;
+  stats : Sim.stats;
+}
+
+let build_with ~k ~tape g =
+  let n = Graph.n g in
+  if Array.length tape <> n then invalid_arg "Baswana_sen_dist.build_with";
+  let net = Sim.create g in
+  let spanner = Edge_set.create g in
+  let cluster = Array.init n (fun v -> v) in
+  let cluster_fu = Array.init n (fun v -> tape.(v)) in
+  let active = Array.make n true in
+  let nb_dead = Array.init n (fun _ -> Hashtbl.create 4) in
+  let sampled ~phase fu = phase < k - 1 && fu > phase in
+  for phase = 0 to k - 1 do
+    (* Exchange round. *)
+    for v = 0 to n - 1 do
+      if active.(v) then
+        Graph.iter_neighbors g v (fun w _ ->
+            if not (Hashtbl.mem nb_dead.(v) w) then
+              Sim.send net ~src:v ~dst:w ~words:2
+                (Exchange { cl = cluster.(v); fu = cluster_fu.(v) }))
+    done;
+    let nb_info = Array.make n [] in
+    ignore
+      (Sim.step net (fun ~dst ~src m ->
+           match m with
+           | Exchange { cl; fu } ->
+               if active.(dst) then nb_info.(dst) <- (src, (cl, fu)) :: nb_info.(dst)
+           | Retired -> assert false));
+    (* Local decisions. *)
+    let retiring = ref [] in
+    let updates = ref [] in
+    for v = 0 to n - 1 do
+      if active.(v) && not (sampled ~phase cluster_fu.(v)) then begin
+        let best : (int, int * (int * int)) Hashtbl.t = Hashtbl.create 8 in
+        List.iter
+          (fun (w, (cl, fu)) ->
+            if cl <> cluster.(v) then begin
+              let e =
+                match Graph.find_edge g v w with Some e -> e | None -> assert false
+              in
+              match Hashtbl.find_opt best cl with
+              | Some (e', _) when e' <= e -> ()
+              | _ -> Hashtbl.replace best cl (e, (cl, fu))
+            end)
+          nb_info.(v);
+        let join =
+          Hashtbl.fold
+            (fun _cl (e, (cl, fu)) acc ->
+              if sampled ~phase fu then
+                match acc with
+                | Some (e', _, _) when e' <= e -> acc
+                | _ -> Some (e, cl, fu)
+              else acc)
+            best None
+        in
+        match join with
+        | Some (e, cl, fu) ->
+            Edge_set.add spanner e;
+            updates := (v, cl, fu) :: !updates
+        | None ->
+            Hashtbl.iter (fun _ (e, _) -> Edge_set.add spanner e) best;
+            retiring := v :: !retiring
+      end
+    done;
+    List.iter
+      (fun (v, cl, fu) ->
+        cluster.(v) <- cl;
+        cluster_fu.(v) <- fu)
+      !updates;
+    (* Retirement notices. *)
+    List.iter
+      (fun v ->
+        active.(v) <- false;
+        Graph.iter_neighbors g v (fun w _ ->
+            if not (Hashtbl.mem nb_dead.(v) w) then
+              Sim.send net ~src:v ~dst:w ~words:1 Retired))
+      !retiring;
+    ignore
+      (Sim.step net (fun ~dst ~src m ->
+           match m with
+           | Retired -> Hashtbl.replace nb_dead.(dst) src ()
+           | Exchange _ -> assert false))
+  done;
+  { spanner; k; stats = Sim.stats net }
+
+let build ~k ~seed g =
+  let tape = Baswana_sen.draw_tape (Util.Prng.create ~seed) ~n:(Graph.n g) ~k in
+  build_with ~k ~tape g

@@ -1,0 +1,19 @@
+(** Distributed Baswana–Sen on the {!Distnet.Sim} engine.
+
+    Each phase costs two rounds — one exchange of (cluster, coin-tape)
+    pairs over live links and one round of retirement notices — because
+    every vertex decides for itself (no cluster-tree coordination is
+    needed, unlike the skeleton).  Total [2k] rounds with 2-word
+    messages, matching the [O(k)] row of the paper's Fig. 1.
+
+    On the same {!Baswana_sen.tape}, produces the identical spanner to
+    {!Baswana_sen.build_with}. *)
+
+type result = {
+  spanner : Graphlib.Edge_set.t;
+  k : int;
+  stats : Distnet.Sim.stats;
+}
+
+val build : k:int -> seed:int -> Graphlib.Graph.t -> result
+val build_with : k:int -> tape:Baswana_sen.tape -> Graphlib.Graph.t -> result

@@ -1,0 +1,95 @@
+module Graph = Graphlib.Graph
+module Weighted = Graphlib.Weighted
+module Edge_set = Graphlib.Edge_set
+
+type result = {
+  spanner : Edge_set.t;
+  k : int;
+  discarded : int;
+}
+
+(* Lexicographic lightest-edge order: weight first, identifier as the
+   deterministic tie-break. *)
+let lighter w e e' = w e < w e' || (w e = w e' && e < e')
+
+let build_with ~k ~tape wg =
+  let g = Weighted.graph wg in
+  let w = Weighted.weight wg in
+  let n = Graph.n g in
+  if Array.length tape <> n then invalid_arg "Baswana_sen_weighted.build_with";
+  let spanner = Edge_set.create g in
+  let cluster = Array.init n (fun v -> v) in
+  let active = Array.make n true in
+  let edge_alive = Array.make (Graph.m g) true in
+  let discarded = ref 0 in
+  let discard e =
+    if edge_alive.(e) then begin
+      edge_alive.(e) <- false;
+      incr discarded
+    end
+  in
+  let sampled ~phase c = phase < k - 1 && tape.(c) > phase in
+  for phase = 0 to k - 1 do
+    let new_cluster = Array.copy cluster in
+    let removals = ref [] in
+    for v = 0 to n - 1 do
+      if active.(v) && not (sampled ~phase cluster.(v)) then begin
+        (* Lightest remaining edge per adjacent cluster. *)
+        let best : (int, int) Hashtbl.t = Hashtbl.create 8 in
+        Graph.iter_neighbors g v (fun u e ->
+            if edge_alive.(e) && active.(u) && cluster.(u) <> cluster.(v) then
+              match Hashtbl.find_opt best cluster.(u) with
+              | Some e' when not (lighter w e e') -> ()
+              | _ -> Hashtbl.replace best cluster.(u) e);
+        let join =
+          Hashtbl.fold
+            (fun c e acc ->
+              if sampled ~phase c then
+                match acc with
+                | Some (_, e') when not (lighter w e e') -> acc
+                | _ -> Some (c, e)
+              else acc)
+            best None
+        in
+        match join with
+        | None ->
+            (* (a) keep the lightest edge per cluster, retire with all
+               incident edges. *)
+            Hashtbl.iter (fun _ e -> Edge_set.add spanner e) best;
+            active.(v) <- false;
+            Graph.iter_neighbors g v (fun _ e -> removals := e :: !removals)
+        | Some (c_star, e_star) ->
+            (* (b) join over e*, keep the lightest edge to every
+               strictly closer cluster, discard what is now settled. *)
+            Edge_set.add spanner e_star;
+            new_cluster.(v) <- c_star;
+            Hashtbl.iter
+              (fun c e ->
+                if c <> c_star && lighter w e e_star then begin
+                  Edge_set.add spanner e;
+                  (* every v -> c edge is settled *)
+                  Graph.iter_neighbors g v (fun u e' ->
+                      if edge_alive.(e') && active.(u) && cluster.(u) = c then
+                        removals := e' :: !removals)
+                end)
+              best;
+            Graph.iter_neighbors g v (fun u e' ->
+                if edge_alive.(e') && active.(u) && cluster.(u) = c_star then
+                  removals := e' :: !removals)
+      end
+    done;
+    List.iter discard !removals;
+    Array.blit new_cluster 0 cluster 0 n;
+    (* Intra-cluster edges are settled by the cluster spanning trees. *)
+    Graph.iter_edges g (fun e a b ->
+        if
+          edge_alive.(e) && active.(a) && active.(b)
+          && cluster.(a) = cluster.(b)
+        then discard e)
+  done;
+  { spanner; k; discarded = !discarded }
+
+let build ~k ~seed wg =
+  let n = Graph.n (Weighted.graph wg) in
+  let tape = Baswana_sen.draw_tape (Util.Prng.create ~seed) ~n ~k in
+  build_with ~k ~tape wg

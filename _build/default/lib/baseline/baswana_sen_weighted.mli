@@ -1,0 +1,23 @@
+(** Baswana–Sen [(2k-1)]-spanner for {e weighted} graphs — the full
+    algorithm of their 2007 paper, which the paper's §1.2 calls
+    "optimal in all respects, save for a factor of k in the size".
+
+    [k-1] clustering phases at probability [n^(-1/k)], then a final
+    vertex-cluster joining phase.  In each phase a vertex whose
+    cluster went unsampled either (a) has no sampled neighbor cluster:
+    it keeps the lightest edge to every adjacent cluster and retires
+    with all its edges, or (b) joins the sampled cluster with the
+    lightest connecting edge [e*], keeping [e*] plus the lightest edge
+    to every cluster that is {e closer} than [e*] (discarding those
+    clusters' remaining edges).  Intra-cluster edges are discarded at
+    the end of every phase.  Expected size [O(k n^(1+1/k))], weighted
+    stretch [2k - 1]. *)
+
+type result = {
+  spanner : Graphlib.Edge_set.t;
+  k : int;
+  discarded : int;  (** edges pruned from the working graph *)
+}
+
+val build : k:int -> seed:int -> Graphlib.Weighted.t -> result
+val build_with : k:int -> tape:Baswana_sen.tape -> Graphlib.Weighted.t -> result

@@ -1,0 +1,28 @@
+module Graph = Graphlib.Graph
+module Bfs = Graphlib.Bfs
+module Edge_set = Graphlib.Edge_set
+
+type result = {
+  spanner : Edge_set.t;
+  roots : int list;
+}
+
+let build g =
+  let n = Graph.n g in
+  let spanner = Edge_set.create g in
+  let visited = Array.make n false in
+  let roots = ref [] in
+  for s = 0 to n - 1 do
+    if not visited.(s) then begin
+      roots := s :: !roots;
+      let forest = Bfs.multi_source g ~sources:[ s ] in
+      Array.iteri
+        (fun v e ->
+          if forest.Bfs.dist.(v) >= 0 then begin
+            visited.(v) <- true;
+            if e >= 0 then Edge_set.add spanner e
+          end)
+        forest.Bfs.parent_edge
+    end
+  done;
+  { spanner; roots = List.rev !roots }

@@ -1,0 +1,10 @@
+(** BFS spanning forest — the connectivity-only baseline ("at the very
+    least the substitute should preserve connectivity", paper §1).
+    Size exactly [n - #components]; distortion up to the diameter. *)
+
+type result = {
+  spanner : Graphlib.Edge_set.t;
+  roots : int list;  (** one BFS root per component *)
+}
+
+val build : Graphlib.Graph.t -> result

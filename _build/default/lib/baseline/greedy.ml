@@ -1,0 +1,58 @@
+module Graph = Graphlib.Graph
+module Edge_set = Graphlib.Edge_set
+
+type result = {
+  spanner : Edge_set.t;
+  k : int;
+  distance_queries : int;
+}
+
+let build ~k g =
+  if k < 1 then invalid_arg "Greedy.build: k must be >= 1";
+  let n = Graph.n g in
+  let limit = (2 * k) - 1 in
+  let spanner = Edge_set.create g in
+  (* Incremental adjacency of the spanner under construction. *)
+  let adj : int list array = Array.make n [] in
+  (* Reusable truncated-BFS scratch (touched-list reset). *)
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  let queries = ref 0 in
+  let within_limit u v =
+    incr queries;
+    let touched = ref [ u ] in
+    dist.(u) <- 0;
+    Queue.clear queue;
+    Queue.add u queue;
+    let found = ref false in
+    while not (Queue.is_empty queue || !found) do
+      let x = Queue.pop queue in
+      if x = v then found := true
+      else if dist.(x) < limit then
+        List.iter
+          (fun y ->
+            if dist.(y) < 0 then begin
+              dist.(y) <- dist.(x) + 1;
+              touched := y :: !touched;
+              Queue.add y queue
+            end)
+          adj.(x)
+    done;
+    List.iter (fun x -> dist.(x) <- -1) !touched;
+    !found
+  in
+  Graph.iter_edges g (fun e u v ->
+      if not (within_limit u v) then begin
+        Edge_set.add spanner e;
+        adj.(u) <- v :: adj.(u);
+        adj.(v) <- u :: adj.(v)
+      end);
+  { spanner; k; distance_queries = !queries }
+
+let skeleton g =
+  let n = Graph.n g in
+  let k =
+    Stdlib.max 2
+      (int_of_float (Float.ceil (Util.Tower.log2 (float_of_int (Stdlib.max 2 n)))))
+  in
+  build ~k g

@@ -1,0 +1,23 @@
+(** The Althöfer–Das–Dobkin–Joseph–Soares greedy spanner (Discrete
+    Comput. Geom. 1993) — the classical sequential girth-based
+    construction the paper cites as "the standard method for obtaining
+    a linear-size spanner or skeleton".
+
+    Edges are scanned in identifier order; an edge is kept iff the
+    spanner built so far leaves its endpoints more than [2k - 1] apart.
+    The result is a [(2k-1)]-spanner with girth greater than [2k]
+    (hence [O(n^(1+1/k))] edges; with [k = ceil(log2 n)] a linear-size
+    skeleton with [O(log n)] stretch).  Section 3 of the paper shows no
+    fast distributed algorithm can match it. *)
+
+type result = {
+  spanner : Graphlib.Edge_set.t;
+  k : int;
+  distance_queries : int;  (** truncated BFS runs performed *)
+}
+
+val build : k:int -> Graphlib.Graph.t -> result
+
+val skeleton : Graphlib.Graph.t -> result
+(** [build] with [k = max 2 (ceil (log2 n))] — the linear-size
+    girth-[Omega(log n)] skeleton. *)

@@ -1,0 +1,99 @@
+module Graph = Graphlib.Graph
+module Edge_set = Graphlib.Edge_set
+module Sim = Distnet.Sim
+
+type result = {
+  spanner : Edge_set.t;
+  k : int;
+  stats : Sim.stats;
+}
+
+(* Any cycle of length <= 2k through a vertex lies entirely inside its
+   k-ball, so after k rounds of edge-list flooding each endpoint can
+   evaluate the drop rule ("am I the max edge of a short cycle?")
+   locally and both endpoints agree. *)
+let build ~k g =
+  if k < 1 then invalid_arg "Neighborhood_dist.build: k must be >= 1";
+  let n = Graph.n g in
+  let net = Sim.create g in
+  (* known.(v): edge ids v has heard of; fresh: learned last round. *)
+  let known = Array.init n (fun _ -> Hashtbl.create 16) in
+  let fresh = Array.make n [] in
+  for v = 0 to n - 1 do
+    Graph.iter_neighbors g v (fun _ e ->
+        if not (Hashtbl.mem known.(v) e) then begin
+          Hashtbl.replace known.(v) e ();
+          fresh.(v) <- e :: fresh.(v)
+        end)
+  done;
+  for _round = 1 to k do
+    let batches = Array.make n [] in
+    for v = 0 to n - 1 do
+      batches.(v) <- fresh.(v);
+      fresh.(v) <- []
+    done;
+    for v = 0 to n - 1 do
+      if batches.(v) <> [] then
+        Graph.iter_neighbors g v (fun w _ ->
+            (* Two words per announced edge: its endpoint pair. *)
+            Sim.send net ~src:v ~dst:w
+              ~words:(2 * List.length batches.(v))
+              batches.(v))
+    done;
+    ignore
+      (Sim.step net (fun ~dst ~src:_ edges ->
+           List.iter
+             (fun e ->
+               if not (Hashtbl.mem known.(dst) e) then begin
+                 Hashtbl.replace known.(dst) e ();
+                 fresh.(dst) <- e :: fresh.(dst)
+               end)
+             edges))
+  done;
+  (* Local decisions at the smaller endpoint of each edge. *)
+  let spanner = Edge_set.create g in
+  let limit = (2 * k) - 1 in
+  for u = 0 to n - 1 do
+    (* Adjacency of u's ball. *)
+    let adj : (int, (int * int) list) Hashtbl.t = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun e () ->
+        let a, b = Graph.edge_endpoints g e in
+        Hashtbl.replace adj a ((b, e) :: Option.value ~default:[] (Hashtbl.find_opt adj a));
+        Hashtbl.replace adj b ((a, e) :: Option.value ~default:[] (Hashtbl.find_opt adj b)))
+      known.(u);
+    let reachable_without ~edge v =
+      (* BFS from u to v, depth <= limit, using ball edges with smaller
+         identifiers only. *)
+      let dist : (int, int) Hashtbl.t = Hashtbl.create 32 in
+      let q = Queue.create () in
+      Hashtbl.replace dist u 0;
+      Queue.add u q;
+      let found = ref false in
+      while not (Queue.is_empty q || !found) do
+        let x = Queue.pop q in
+        let dx = Hashtbl.find dist x in
+        if x = v then found := true
+        else if dx < limit then
+          List.iter
+            (fun (y, e) ->
+              if e < edge && not (Hashtbl.mem dist y) then begin
+                Hashtbl.replace dist y (dx + 1);
+                Queue.add y q
+              end)
+            (Option.value ~default:[] (Hashtbl.find_opt adj x))
+      done;
+      !found
+    in
+    Graph.iter_neighbors g u (fun v e ->
+        if u < v && not (reachable_without ~edge:e v) then Edge_set.add spanner e)
+  done;
+  { spanner; k; stats = Sim.stats net }
+
+let skeleton g =
+  let n = Graph.n g in
+  let k =
+    Stdlib.max 2
+      (int_of_float (Float.ceil (Util.Tower.log2 (float_of_int (Stdlib.max 2 n)))))
+  in
+  build ~k g

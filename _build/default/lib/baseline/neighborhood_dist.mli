@@ -1,0 +1,29 @@
+(** Distributed girth-based skeleton in the style the paper attributes
+    to Dubhashi et al. [18]: survey a large neighborhood, decide
+    locally — at the price of {e unbounded-length messages} (the
+    drawback the paper's own algorithm removes; see footnote 2 and
+    Fig. 1).
+
+    Protocol: every vertex floods its incident edge list; after [k]
+    rounds each vertex knows its [k]-ball.  An edge [(u, v)] is dropped
+    iff it is the {e maximum-identifier} edge of some cycle of length
+    at most [2k] (checkable inside either endpoint's [k]-ball).  Every
+    short cycle loses its maximum edge, so the result has girth
+    [> 2k] — with [k = ceil(log2 n)] a linear-size skeleton —
+    and connectivity is preserved (the minimum edge across any cut is
+    never dropped).  Unlike the sequential greedy there is no
+    per-edge stretch guarantee; the experiments measure distortion
+    empirically.  The interesting output is [stats.max_message_words]:
+    the neighborhood survey is exactly the message blowup the paper
+    criticizes. *)
+
+type result = {
+  spanner : Graphlib.Edge_set.t;
+  k : int;
+  stats : Distnet.Sim.stats;
+}
+
+val build : k:int -> Graphlib.Graph.t -> result
+
+val skeleton : Graphlib.Graph.t -> result
+(** [build] with [k = max 2 (ceil (log2 n))]. *)

@@ -1,0 +1,77 @@
+type t = {
+  n : int;
+  k : int;
+  limit : int;
+  adj : (int * int) list array;  (** (neighbor, arrival index) *)
+  mutable size : int;
+  mutable offered : int;
+  (* truncated-BFS scratch, reset via the touched list *)
+  dist : int array;
+  queue : int Queue.t;
+}
+
+let create ~n ~k =
+  if n < 0 then invalid_arg "Streaming.create: negative n";
+  if k < 1 then invalid_arg "Streaming.create: k must be >= 1";
+  {
+    n;
+    k;
+    limit = (2 * k) - 1;
+    adj = Array.make (Stdlib.max 1 n) [];
+    size = 0;
+    offered = 0;
+    dist = Array.make (Stdlib.max 1 n) (-1);
+    queue = Queue.create ();
+  }
+
+let within_limit t u v =
+  let touched = ref [ u ] in
+  t.dist.(u) <- 0;
+  Queue.clear t.queue;
+  Queue.add u t.queue;
+  let found = ref false in
+  while not (Queue.is_empty t.queue || !found) do
+    let x = Queue.pop t.queue in
+    if x = v then found := true
+    else if t.dist.(x) < t.limit then
+      List.iter
+        (fun (y, _) ->
+          if t.dist.(y) < 0 then begin
+            t.dist.(y) <- t.dist.(x) + 1;
+            touched := y :: !touched;
+            Queue.add y t.queue
+          end)
+        t.adj.(x)
+  done;
+  List.iter (fun x -> t.dist.(x) <- -1) !touched;
+  !found
+
+let offer t u v =
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then
+    invalid_arg "Streaming.offer: vertex out of range";
+  t.offered <- t.offered + 1;
+  if u = v then false
+  else if within_limit t u v then false
+  else begin
+    t.adj.(u) <- (v, t.offered) :: t.adj.(u);
+    t.adj.(v) <- (u, t.offered) :: t.adj.(v);
+    t.size <- t.size + 1;
+    true
+  end
+
+let edges t =
+  let acc = ref [] in
+  Array.iteri
+    (fun u l -> List.iter (fun (v, _) -> if u < v then acc := (u, v) :: !acc) l)
+    t.adj;
+  !acc
+
+let size t = t.size
+let k t = t.k
+let offered t = t.offered
+let to_graph t = Graphlib.Graph.of_edges ~n:t.n (edges t)
+
+let of_stream ~n ~k stream =
+  let t = create ~n ~k in
+  List.iter (fun (u, v) -> ignore (offer t u v)) stream;
+  t

@@ -1,0 +1,35 @@
+(** Online/streaming [(2k-1)]-spanner (the model of the paper's §1.4:
+    "Elkin and Baswana found algorithms for constructing sparse
+    (2k-1)-spanners in an online streaming model, where edges arrive
+    one at a time and the algorithm can only keep O(n^(1+1/k)) edges
+    in memory").
+
+    The classical single-pass rule: keep an arriving edge iff the
+    spanner held so far leaves its endpoints more than [2k - 1] apart.
+    Memory never exceeds the spanner itself (girth > 2k forces
+    [O(n^(1+1/k))] edges); every discarded edge is immediately
+    [2k-1]-approximated, so the final subgraph is a [(2k-1)]-spanner
+    of the whole stream. *)
+
+type t
+
+val create : n:int -> k:int -> t
+(** An empty spanner over vertices [0 .. n-1]. *)
+
+val offer : t -> int -> int -> bool
+(** [offer t u v] processes one arriving edge; returns whether it was
+    kept.  Self-loops and duplicates of kept edges are rejected. *)
+
+val edges : t -> (int * int) list
+(** Edges currently held (insertion order not guaranteed). *)
+
+val size : t -> int
+val k : t -> int
+val offered : t -> int
+(** Stream length so far. *)
+
+val to_graph : t -> Graphlib.Graph.t
+(** Materialize the held spanner. *)
+
+val of_stream : n:int -> k:int -> (int * int) list -> t
+(** Feed a whole stream. *)

@@ -1,0 +1,92 @@
+module Graph = Graphlib.Graph
+module Bfs = Graphlib.Bfs
+module Edge_set = Graphlib.Edge_set
+
+type result = {
+  spanner : Edge_set.t;
+  levels_used : int;
+  finished_per_level : int list;
+}
+
+let build ?(eps = 0.5) ?levels ~seed g =
+  if eps <= 0. || eps > 1. then invalid_arg "Supercluster.build: eps in (0,1]";
+  let n = Graph.n g in
+  let levels =
+    match levels with
+    | Some l -> Stdlib.max 1 l
+    | None ->
+        let lg = Util.Tower.log2 (Stdlib.max 2. (Util.Tower.log2 (float_of_int (Stdlib.max 4 n)))) in
+        Stdlib.max 2 (int_of_float (Float.ceil lg))
+  in
+  let rng = Util.Prng.create ~seed in
+  let spanner = Edge_set.create g in
+  let ws = Bfs.Workspace.create g in
+  let finished = Array.make n false in
+  let is_center = Array.make n false in
+  let centers = ref (List.init n (fun v -> v)) in
+  List.iter (fun c -> is_center.(c) <- true) !centers;
+  let finished_per_level = ref [] in
+  let delta i =
+    Stdlib.max 1 (int_of_float (Float.ceil ((2. ** float_of_int i) /. eps)))
+  in
+  (* Interconnect a finishing center to every current center within
+     [radius], by shortest paths. *)
+  let interconnect c ~radius =
+    if radius >= 1 then begin
+      let targets = ref [] in
+      Bfs.Workspace.run ws ~src:c ~radius ~on_visit:(fun ~v ~dist ->
+          if dist >= 1 && is_center.(v) then targets := v :: !targets);
+      List.iter
+        (fun u -> List.iter (Edge_set.add spanner) (Bfs.Workspace.path_edges_to_source ws u))
+        !targets
+    end
+  in
+  let level = ref 0 in
+  let continue = ref true in
+  while !continue && !level < levels do
+    let d = delta !level in
+    let cs = List.filter (fun c -> not finished.(c)) !centers in
+    if List.length cs <= 1 || !level = levels - 1 then begin
+      (* Final level: everyone finishes and interconnects mutually. *)
+      List.iter (fun c -> interconnect c ~radius:d) cs;
+      List.iter (fun c -> finished.(c) <- true) cs;
+      finished_per_level := List.length cs :: !finished_per_level;
+      continue := false
+    end
+    else begin
+      let count = List.length cs in
+      let q = 1. /. sqrt (float_of_int count) in
+      let sampled = List.filter (fun _ -> Util.Prng.bernoulli rng q) cs in
+      let sampled = match sampled with [] -> [ List.hd cs ] | l -> l in
+      let sampled_set = Hashtbl.create (List.length sampled) in
+      List.iter (fun c -> Hashtbl.replace sampled_set c ()) sampled;
+      (* Reassign: nearest surviving center claims each vertex; the BFS
+         forest's parent edges keep every cluster spanned. *)
+      let forest = Bfs.multi_source g ~sources:sampled in
+      Array.iteri
+        (fun v e -> if e >= 0 && forest.Bfs.dist.(v) > 0 then Edge_set.add spanner e)
+        forest.Bfs.parent_edge;
+      (* Unsampled centers finish: interconnect within
+         min(delta_i, distance to the surviving hierarchy - 1) — the
+         ball cap that keeps the interconnection degree bounded. *)
+      let finishing = List.filter (fun c -> not (Hashtbl.mem sampled_set c)) cs in
+      List.iter
+        (fun c ->
+          let to_sampled = forest.Bfs.dist.(c) in
+          let radius = if to_sampled < 0 then d else Stdlib.min d (to_sampled - 1) in
+          interconnect c ~radius;
+          finished.(c) <- true)
+        finishing;
+      finished_per_level := List.length finishing :: !finished_per_level;
+      (* Next level's centers are the survivors. *)
+      Array.fill is_center 0 n false;
+      List.iter (fun c -> is_center.(c) <- true) sampled;
+      centers := sampled;
+      incr level
+    end
+  done;
+  {
+    spanner;
+    levels_used = !level + 1;
+    finished_per_level = List.rev !finished_per_level;
+  }

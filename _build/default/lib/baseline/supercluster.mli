@@ -1,0 +1,35 @@
+(** Superclustering-and-interconnection [(1+eps, beta)]-style spanner,
+    after Elkin–Peleg / Elkin–Zhang (the constructions of the paper's
+    §1.2 that Fibonacci spanners improve on).
+
+    This is a {e structural} reproduction: the same
+    sample-grow-or-interconnect skeleton, with simple geometric
+    parameters rather than the originals' finely tuned ones (see
+    DESIGN.md's substitution notes).  Levels [0 .. L]:
+
+    - every surviving cluster is sampled with probability [q_i]
+      (default [n^(-2^-(i+1))]-flavored, so the cluster count drops
+      doubly exponentially);
+    - a sampled cluster survives and its radius grows by [delta_i]
+      (members are claimed by nearest-center multi-source BFS);
+    - an unsampled cluster {e finishes}: its center connects by a
+      shortest path to every other cluster center within
+      [delta_i = ceil(eps^-1 2^i)], and the cluster keeps its BFS
+      spanning tree;
+    - at the last level every remaining center interconnects to all
+      others within [delta_L].
+
+    Empirically the result behaves as a [(1+eps, beta)]-spanner: the
+    additive error saturates with distance while the multiplicative
+    stretch tends to 1 (experiment E19). *)
+
+type result = {
+  spanner : Graphlib.Edge_set.t;
+  levels_used : int;
+  finished_per_level : int list;
+      (** clusters retired at each level (diagnostics) *)
+}
+
+val build :
+  ?eps:float -> ?levels:int -> seed:int -> Graphlib.Graph.t -> result
+(** [eps] defaults to 0.5; [levels] to [max 2 (log2 log2 n)]. *)

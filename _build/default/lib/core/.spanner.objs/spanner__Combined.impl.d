@@ -1,0 +1,1 @@
+lib/core/combined.ml: Fib_params Fibonacci Float Graphlib Skeleton Stdlib Util

@@ -1,0 +1,1 @@
+lib/core/fib_params.ml: Array Float Format Stdlib Util

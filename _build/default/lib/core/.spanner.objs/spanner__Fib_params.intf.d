@@ -1,0 +1,1 @@
+lib/core/fib_params.mli: Format Util

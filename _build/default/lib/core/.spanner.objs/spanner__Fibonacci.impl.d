@@ -1,0 +1,1 @@
+lib/core/fibonacci.ml: Array Fib_params Graphlib List Stdlib Util

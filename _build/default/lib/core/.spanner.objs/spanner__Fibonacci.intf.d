@@ -1,0 +1,1 @@
+lib/core/fibonacci.mli: Fib_params Graphlib

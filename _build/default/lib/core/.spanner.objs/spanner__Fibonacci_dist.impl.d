@@ -1,0 +1,1 @@
+lib/core/fibonacci_dist.ml: Array Distnet Fib_params Float Graphlib Hashtbl List Option Queue Stdlib Util

@@ -1,0 +1,1 @@
+lib/core/fibonacci_dist.mli: Distnet Fib_params Graphlib

@@ -1,0 +1,1 @@
+lib/core/skeleton.ml: Array Graphlib Hashtbl List Plan Sampling Stdlib Util

@@ -1,0 +1,1 @@
+lib/core/skeleton.mli: Graphlib Plan Sampling

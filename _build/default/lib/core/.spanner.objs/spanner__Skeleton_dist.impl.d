@@ -1,0 +1,1 @@
+lib/core/skeleton_dist.ml: Array Distnet Graphlib Hashtbl List Plan Queue Sampling Stdlib Util

@@ -1,0 +1,1 @@
+lib/core/skeleton_dist.mli: Distnet Graphlib Plan Sampling

@@ -1,0 +1,28 @@
+module Graph = Graphlib.Graph
+module Edge_set = Graphlib.Edge_set
+
+type result = {
+  spanner : Edge_set.t;
+  skeleton_size : int;
+  fibonacci_size : int;
+  params : Fib_params.t;
+}
+
+let build ?o ?eps ?ell ?d ~seed g =
+  let n = Graph.n g in
+  let d =
+    match d with
+    | Some d -> d
+    | None ->
+        let loglog = Util.Tower.log2 (Stdlib.max 2. (Util.Tower.log2 (float_of_int (Stdlib.max 4 n)))) in
+        Stdlib.max 4 (int_of_float (Float.round loglog))
+  in
+  let fib = Fibonacci.build ?o ?eps ?ell ~seed g in
+  let sk = Skeleton.build ~d ~seed:(seed + 1) g in
+  let spanner = Edge_set.union fib.Fibonacci.spanner sk.Skeleton.spanner in
+  {
+    spanner;
+    skeleton_size = Edge_set.cardinal sk.Skeleton.spanner;
+    fibonacci_size = Edge_set.cardinal fib.Fibonacci.spanner;
+    params = fib.Fibonacci.params;
+  }

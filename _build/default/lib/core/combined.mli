@@ -1,0 +1,29 @@
+(** Corollary 1's construction: a Fibonacci spanner {e unioned with} a
+    Theorem 2 skeleton.
+
+    The Fibonacci spanner alone has distortion [2^(o+1)] at distance 1,
+    which for the sparsest order [o = log_phi log n] is about
+    [(log n)^1.44]; including an [O(log n / log log log n)]-spanner of
+    size [O(n log log n)] (the skeleton with
+    [D = Theta(log log n)]) caps the short-range distortion while
+    keeping the total size [O(n (eps^-1 log log n)^phi)].  This module
+    implements exactly that union. *)
+
+type result = {
+  spanner : Graphlib.Edge_set.t;
+  skeleton_size : int;
+  fibonacci_size : int;
+  params : Fib_params.t;
+}
+
+val build :
+  ?o:int ->
+  ?eps:float ->
+  ?ell:int ->
+  ?d:int ->
+  seed:int ->
+  Graphlib.Graph.t ->
+  result
+(** [d] defaults to [max 4 (round (log2 (log2 n)))] — the
+    [Theta(log log n)] density the corollary uses; the other knobs are
+    as in {!Fibonacci.build}. *)

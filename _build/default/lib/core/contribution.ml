@@ -1,0 +1,44 @@
+let check_p p = if p <= 0. || p > 1. then invalid_arg "Contribution: p must be in (0,1]"
+
+(* One step of the recurrence for a fixed q. *)
+let step ~p ~xprev q =
+  let qf = float_of_int q in
+  let keep = (1. -. p) ** (qf +. 1.) in
+  ((1. -. keep) *. xprev) +. (qf *. keep) +. ((1. -. p) *. (1. -. ((1. -. p) ** qf)))
+
+let argmax_q ~p ~xprev =
+  (* The continuous optimum is at q = -1/ln(1-p) + 1 + xprev; scan a
+     window around it to find the integer maximum. *)
+  let center =
+    if p >= 1. then 1.
+    else (-1. /. log (1. -. p)) +. 1. +. Stdlib.max 0. xprev
+  in
+  let lo = Stdlib.max 0 (int_of_float center - 4) in
+  let hi = int_of_float center + 5 in
+  let best = ref lo and best_val = ref (step ~p ~xprev lo) in
+  for q = lo to hi do
+    let v = step ~p ~xprev q in
+    if v > !best_val then begin
+      best := q;
+      best_val := v
+    end
+  done;
+  (* q = 0 is always a candidate too (vertex with no other clusters). *)
+  if step ~p ~xprev 0 > !best_val then 0 else !best
+
+let xtp_sequence ~p ~t =
+  check_p p;
+  if t < 0 then invalid_arg "Contribution.xtp_sequence: negative t";
+  let xs = Array.make (t + 1) 0. in
+  for i = 1 to t do
+    let xprev = xs.(i - 1) in
+    let q = argmax_q ~p ~xprev in
+    xs.(i) <- step ~p ~xprev q
+  done;
+  xs
+
+let xtp ~p ~t = (xtp_sequence ~p ~t).(t)
+
+let paper_bound ~p ~t =
+  check_p p;
+  (1. /. p *. (log (float_of_int (t + 1)) -. Util.Tower.zeta)) +. float_of_int t

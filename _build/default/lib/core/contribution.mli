@@ -1,0 +1,30 @@
+(** The exact worst-case expected edge contribution [X^t_p] of
+    Lemma 6 — the quantity with which the paper corrects Baswana and
+    Sen's size analysis.
+
+    A vertex facing [t] consecutive [Expand] calls at sampling
+    probability [p], adversarially made adjacent to [q_i] live clusters
+    at call [i], contributes in expectation
+    [X^t_p = max_q ((1 - (1-p)^(q+1)) X^(t-1)_p + q (1-p)^(q+1)
+             + (1-p)(1 - (1-p)^q))]
+    spanner edges.  The paper proves [X^t_p <= p^-1 (ln(t+1) - zeta) + t]
+    with [zeta = ln 2 - 1/e] (inequality (4)), refuting the claimed
+    [O(1)·p^-1 + t] of Baswana–Sen's Lemma 4.1. *)
+
+val xtp : p:float -> t:int -> float
+(** Exact value by dynamic programming, maximizing over integer [q]
+    (the optimum is near [t + p^-1 (ln t - zeta + 1)]; the search
+    covers a comfortably larger range).  Requires [0 < p <= 1],
+    [t >= 0]. *)
+
+val xtp_sequence : p:float -> t:int -> float array
+(** [|X^0_p; X^1_p; …; X^t_p|] — one DP pass. *)
+
+val paper_bound : p:float -> t:int -> float
+(** [p^-1 (ln (t+1) - zeta) + t], the corrected upper bound. *)
+
+val argmax_q : p:float -> xprev:float -> int
+(** The adversary's best [q] against a vertex whose remaining
+    contribution would be [xprev]: maximizes
+    [(q - 1 - xprev)(1-p)^(q+1)] + const.  Exposed for the E9
+    experiment table. *)

@@ -1,0 +1,87 @@
+type t = {
+  n : int;
+  o : int;
+  ell : int;
+  eps : float;
+  qs : float array;
+}
+
+let fi i = Util.Fib.f (i + 2) - 1
+let hi i = Util.Fib.f (i + 3) - (i + 2)
+
+let make ~n ?o ?(eps = 0.5) ?ell () =
+  if n < 1 then invalid_arg "Fib_params.make: n must be positive";
+  if eps <= 0. || eps > 1. then invalid_arg "Fib_params.make: eps in (0,1]";
+  let omax = Util.Fib.order_upper_bound n in
+  let o = match o with None -> omax | Some o -> o in
+  if o < 1 then invalid_arg "Fib_params.make: order must be >= 1";
+  let ell =
+    match ell with
+    | Some l -> l
+    | None -> int_of_float (Float.ceil (3. *. float_of_int o /. eps)) + 2
+  in
+  if ell < 1 then invalid_arg "Fib_params.make: ell must be >= 1";
+  let nf = float_of_int n in
+  let alpha = 1. /. (float_of_int (Util.Fib.f (o + 3)) -. 1.) in
+  let qs = Array.make (o + 2) 1. in
+  for i = 1 to o do
+    let q =
+      (nf ** (-.float_of_int (fi i) *. alpha))
+      *. (float_of_int ell
+         ** ((-.float_of_int (fi i) *. Util.Fib.phi) +. float_of_int (hi i)))
+    in
+    (* Keep the hierarchy nested and nonvacuous on small inputs. *)
+    qs.(i) <- Stdlib.max (1. /. nf) (Stdlib.min q qs.(i - 1))
+  done;
+  qs.(o + 1) <- 1. /. nf;
+  { n; o; ell; eps; qs }
+
+let radius t i = Util.Tower.pow_sat t.ell i
+
+let budgeted t ~tee =
+  if tee < 1 then invalid_arg "Fib_params.budgeted: tee must be >= 1";
+  let nf = float_of_int t.n in
+  let ratio_cap = nf ** (1. /. float_of_int tee) in
+  (* First index whose ratio to the next level violates the cap; the
+     paper's "maximum i with q_i/q_{i+1} <= n^(1/t)" is [pivot - 1],
+     so levels from [pivot + 1] on are re-anchored at [q_pivot]. *)
+  let rec find i =
+    if i >= t.o then t.o
+    else if t.qs.(i) /. t.qs.(i + 1) <= ratio_cap then find (i + 1)
+    else i
+  in
+  let pivot = find 0 in
+  if pivot >= t.o then t
+  else begin
+    let qs = Array.copy t.qs in
+    for j = pivot + 1 to t.o do
+      qs.(j) <-
+        Stdlib.max (1. /. nf)
+          (qs.(pivot) *. (nf ** (-.float_of_int (j - pivot) /. float_of_int tee)))
+    done;
+    (* keep the hierarchy nested *)
+    for j = 1 to t.o do
+      qs.(j) <- Stdlib.min qs.(j) qs.(j - 1)
+    done;
+    { t with qs }
+  end
+
+let level_probability t i =
+  if i < 1 || i > t.o + 1 then invalid_arg "Fib_params.level_probability";
+  if t.qs.(i - 1) <= 0. then 0. else Stdlib.min 1. (t.qs.(i) /. t.qs.(i - 1))
+
+let draw_levels rng t =
+  Array.init t.n (fun _ ->
+      let rec climb i =
+        if i > t.o then t.o
+        else if Util.Prng.bernoulli rng (level_probability t i) then climb (i + 1)
+        else i - 1
+      in
+      climb 1)
+
+let pp ppf t =
+  Format.fprintf ppf "fibonacci n=%d o=%d ell=%d eps=%.2f qs=[" t.n t.o t.ell t.eps;
+  Array.iteri
+    (fun i q -> Format.fprintf ppf "%s%.2e" (if i > 0 then "; " else "") q)
+    t.qs;
+  Format.fprintf ppf "]"

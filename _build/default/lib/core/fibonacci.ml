@@ -1,0 +1,89 @@
+module Graph = Graphlib.Graph
+module Bfs = Graphlib.Bfs
+module Edge_set = Graphlib.Edge_set
+
+type level_stat = { members : int; ball_paths : int; max_ball : int }
+
+type result = {
+  spanner : Edge_set.t;
+  params : Fib_params.t;
+  levels : int array;
+  per_level : level_stat array;
+}
+
+let members_of_level levels i =
+  let acc = ref [] in
+  Array.iteri (fun v l -> if l >= i then acc := v :: !acc) levels;
+  List.rev !acc
+
+let build_with ~params ~levels g =
+  let n = Graph.n g in
+  if Array.length levels <> n then invalid_arg "Fibonacci.build_with: levels size";
+  let o = params.Fib_params.o in
+  let spanner = Edge_set.create g in
+  let ws = Bfs.Workspace.create g in
+  let per_level = Array.make (o + 1) { members = 0; ball_paths = 0; max_ball = 0 } in
+  for i = 0 to o do
+    let ri = Fib_params.radius params i in
+    (* Distance to V_{i+1}, capped at ri + 1 (we only compare against
+       distances <= ri); infinity when the level is empty (i = o). *)
+    let next_members = members_of_level levels (i + 1) in
+    let dist_next =
+      if next_members = [] then None
+      else Some (Bfs.multi_source ~radius:(ri + 1) g ~sources:next_members)
+    in
+    let delta_next v =
+      match dist_next with
+      | None -> max_int
+      | Some f ->
+          let d = f.Bfs.dist.(v) in
+          if d < 0 then max_int else d
+    in
+    (* Parent forest: P(v, p_i v) for delta(v, V_i) <= ell^(i-1),
+       realized by keeping the BFS-forest parent edge of every vertex
+       within that radius (every vertex of such a path is itself within
+       the radius, so the whole path lands in the spanner). *)
+    if i >= 1 then begin
+      let forest =
+        Bfs.multi_source ~radius:(Fib_params.radius params (i - 1)) g
+          ~sources:(members_of_level levels i)
+      in
+      Array.iteri
+        (fun v e -> if e >= 0 && forest.Bfs.dist.(v) > 0 then Edge_set.add spanner e)
+        forest.Bfs.parent_edge
+    end;
+    (* Ball paths: for v in V_{i-1}, connect to every V_i vertex closer
+       than both ell^i and delta(v, V_{i+1}). *)
+    let sources = if i = 0 then List.init n (fun v -> v) else members_of_level levels (i - 1) in
+    let paths = ref 0 and max_ball = ref 0 in
+    List.iter
+      (fun v ->
+        let rv = Stdlib.min ri (delta_next v - 1) in
+        if rv >= 1 then begin
+          let ball = ref [] in
+          Bfs.Workspace.run ws ~src:v ~radius:rv ~on_visit:(fun ~v:u ~dist ->
+              if dist >= 1 && levels.(u) >= i then ball := u :: !ball);
+          let size = List.length !ball in
+          if size > !max_ball then max_ball := size;
+          List.iter
+            (fun u ->
+              incr paths;
+              List.iter (Edge_set.add spanner) (Bfs.Workspace.path_edges_to_source ws u))
+            !ball
+        end)
+      sources;
+    per_level.(i) <-
+      {
+        members = List.length (members_of_level levels i);
+        ball_paths = !paths;
+        max_ball = !max_ball;
+      }
+  done;
+  { spanner; params; levels; per_level }
+
+let build ?o ?eps ?ell ~seed g =
+  let n = Graph.n g in
+  let params = Fib_params.make ~n ?o ?eps ?ell () in
+  let rng = Util.Prng.create ~seed in
+  let levels = Fib_params.draw_levels rng params in
+  build_with ~params ~levels g

@@ -1,0 +1,38 @@
+(** Fibonacci spanners (Section 4, sequential executable model).
+
+    Levels [V = V_0 ⊇ V_1 ⊇ … ⊇ V_o ⊇ V_{o+1} = ∅] are sampled with
+    the probabilities of {!Fib_params}; the spanner is
+
+    - for every [i] in [1..o] and every vertex [v] with
+      [delta(v, V_i) <= ell^(i-1)], the shortest path [P(v, p_i v)]
+      to its nearest [V_i]-vertex (ties to the minimum identifier) —
+      a forest per level;
+    - for every [i] in [0..o] and every [v] in [V_{i-1}]
+      (with [V_{-1} = V]), the shortest paths [P(v, u)] to every [u]
+      in the ball [B_{i+1,ell}(v) = { u in V_i | delta(v,u) <= ell^i
+      and delta(v,u) < delta(v, V_{i+1}) }]. *)
+
+type level_stat = {
+  members : int;  (** |V_i| *)
+  ball_paths : int;  (** shortest paths contributed by level-i balls *)
+  max_ball : int;  (** largest |B_{i+1,ell}(v)| over sources v *)
+}
+
+type result = {
+  spanner : Graphlib.Edge_set.t;
+  params : Fib_params.t;
+  levels : int array;  (** per vertex: max i with v in V_i *)
+  per_level : level_stat array;  (** index i in [0..o] *)
+}
+
+val build :
+  ?o:int ->
+  ?eps:float ->
+  ?ell:int ->
+  seed:int ->
+  Graphlib.Graph.t ->
+  result
+
+val build_with :
+  params:Fib_params.t -> levels:int array -> Graphlib.Graph.t -> result
+(** Deterministic entry point under an explicit level assignment. *)

@@ -1,0 +1,359 @@
+module Graph = Graphlib.Graph
+module Edge_set = Graphlib.Edge_set
+module Sim = Distnet.Sim
+
+type result = {
+  spanner : Edge_set.t;
+  params : Fib_params.t;
+  levels : int array;
+  stats : Sim.stats;
+  budget_words : int;
+  blocked : int;
+  failures : int;
+}
+
+type msg =
+  | Bfs_label of int  (** multi-source BFS: nearest-source id *)
+  | Origins of int list  (** ball flood: newly learned V_i identities *)
+  | Traces of int list  (** trace-back requests: origin ids *)
+  | Blocked of (int * int * int) list  (** (z, ceased-at k, hops so far) *)
+  | Keep_all of int  (** failure command, hops so far *)
+
+let words = function
+  | Bfs_label _ -> 1
+  | Origins l -> Stdlib.max 1 (List.length l)
+  | Traces l -> Stdlib.max 1 (List.length l)
+  | Blocked l -> Stdlib.max 1 (3 * List.length l)
+  | Keep_all _ -> 1
+
+let build_with ~params ~levels ~t g =
+  let n = Graph.n g in
+  if Array.length levels <> n then invalid_arg "Fibonacci_dist.build_with";
+  let o = params.Fib_params.o in
+  let budget =
+    Stdlib.max 1
+      (int_of_float (Float.ceil (float_of_int n ** (1. /. float_of_int (Stdlib.max 1 t)))))
+  in
+  let net = Sim.create g in
+  let spanner = Edge_set.create g in
+  let blocked_total = ref 0 in
+  let failures = ref 0 in
+  let send ~src ~dst m = Sim.send net ~src ~dst ~words:(words m) m in
+
+  (* --------------------------------------------------------------
+     Synchronized multi-source BFS with minimum-id tie-break out to
+     [radius]; returns (dist, source, parent_edge).  Costs [radius]
+     rounds of unit messages (nodes relay only their final label, so
+     each node sends once). *)
+  let bfs_labels ~sources ~radius =
+    let dist = Array.make n (-1) in
+    let label = Array.make n (-1) in
+    let parent_edge = Array.make n (-1) in
+    List.iter
+      (fun s ->
+        dist.(s) <- 0;
+        label.(s) <- s)
+      sources;
+    let frontier = ref sources in
+    let r = ref 0 in
+    while !frontier <> [] && !r < radius do
+      incr r;
+      List.iter
+        (fun v ->
+          Graph.iter_neighbors g v (fun w _ ->
+              if dist.(w) < 0 then send ~src:v ~dst:w (Bfs_label label.(v))))
+        !frontier;
+      let next = ref [] in
+      ignore
+        (Sim.step net (fun ~dst ~src m ->
+             match m with
+             | Bfs_label l ->
+                 if dist.(dst) < 0 then begin
+                   dist.(dst) <- !r;
+                   label.(dst) <- l;
+                   parent_edge.(dst) <-
+                     (match Graph.find_edge g dst src with
+                     | Some e -> e
+                     | None -> assert false);
+                   next := dst :: !next
+                 end
+                 else if dist.(dst) = !r && l < label.(dst) then begin
+                   label.(dst) <- l;
+                   parent_edge.(dst) <-
+                     (match Graph.find_edge g dst src with
+                     | Some e -> e
+                     | None -> assert false)
+                 end
+             | _ -> assert false));
+      frontier := !next
+    done;
+    (dist, label, parent_edge)
+  in
+
+  let members i =
+    let acc = ref [] in
+    Array.iteri (fun v l -> if l >= i then acc := v :: !acc) levels;
+    !acc
+  in
+
+  for i = 0 to o do
+    let ri = Fib_params.radius params i in
+    (* Stage 1 (parents), only meaningful for i >= 1. *)
+    if i >= 1 then begin
+      let radius = Fib_params.radius params (i - 1) in
+      let dist, _, parent_edge = bfs_labels ~sources:(members i) ~radius in
+      Array.iteri
+        (fun v e -> if e >= 0 && dist.(v) > 0 then Edge_set.add spanner e)
+        parent_edge
+    end;
+    (* Distance to V_{i+1} (for the ball filter), exact: the nearest
+       source always gets through unit-message BFS. *)
+    let next = if i = o then [] else members (i + 1) in
+    let delta_next =
+      if next = [] then Array.make n max_int
+      else begin
+        let dist, _, _ = bfs_labels ~sources:next ~radius:(ri + 1) in
+        Array.map (fun d -> if d < 0 then max_int else d) dist
+      end
+    in
+    (* Stage 2 (balls): flood V_i identities to radius ell^i under the
+       word budget. *)
+    let known : (int, int * int) Hashtbl.t array =
+      Array.init n (fun _ -> Hashtbl.create 8)
+    in
+    (* origin -> (dist, pred); pred = -1 at the origin itself *)
+    let newly = Array.make n [] in
+    let blocked_at = Array.make n (-1) in
+    List.iter
+      (fun y ->
+        Hashtbl.replace known.(y) y (0, -1);
+        newly.(y) <- [ y ])
+      (members i);
+    for r = 1 to ri do
+      Array.iteri
+        (fun z fresh ->
+          if fresh <> [] && blocked_at.(z) < 0 then begin
+            let per_neighbor w =
+              List.filter
+                (fun y ->
+                  match Hashtbl.find_opt known.(z) y with
+                  | Some (_, pred) -> pred <> w
+                  | None -> false)
+                fresh
+            in
+            (* A node forced beyond the budget ceases participation. *)
+            let too_big = ref false in
+            Graph.iter_neighbors g z (fun w _ ->
+                if List.length (per_neighbor w) > budget then too_big := true);
+            if !too_big then begin
+              blocked_at.(z) <- r - 1;
+              incr blocked_total
+            end
+            else
+              Graph.iter_neighbors g z (fun w _ ->
+                  match per_neighbor w with
+                  | [] -> ()
+                  | l -> send ~src:z ~dst:w (Origins l))
+          end)
+        newly;
+      Array.fill newly 0 n [];
+      ignore
+        (Sim.step net (fun ~dst ~src m ->
+             match m with
+             | Origins l ->
+                 if blocked_at.(dst) < 0 then
+                   List.iter
+                     (fun y ->
+                       if not (Hashtbl.mem known.(dst) y) then begin
+                         Hashtbl.replace known.(dst) y (r, src);
+                         newly.(dst) <- y :: newly.(dst)
+                       end)
+                     l
+             | _ -> assert false))
+    done;
+    (* Las Vegas detection: blocked nodes flood (z, ceased-at) to
+       radius ell^i; V_{i-1} vertices test the failure predicate. *)
+    let lv_failed = ref [] in
+    if Array.exists (fun b -> b >= 0) blocked_at then begin
+      let seen : (int, int) Hashtbl.t array = Array.init n (fun _ -> Hashtbl.create 4) in
+      (* seen.(v) : z -> hops (distance at which v learned of z) *)
+      let queue : (int * int * int) Queue.t array = Array.init n (fun _ -> Queue.create ()) in
+      Array.iteri
+        (fun z k ->
+          if k >= 0 then begin
+            Hashtbl.replace seen.(z) z 0;
+            Queue.add (z, k, 0) queue.(z)
+          end)
+        blocked_at;
+      let cap = Stdlib.max 1 (budget / 3) in
+      let active () = Array.exists (fun q -> not (Queue.is_empty q)) queue in
+      let guard = ref 0 in
+      while active () do
+        incr guard;
+        if !guard > (4 * ri) + (4 * n) + 100 then failwith "Fibonacci_dist: LV flood stuck";
+        Array.iteri
+          (fun v q ->
+            if not (Queue.is_empty q) then begin
+              let batch = ref [] in
+              let count = ref 0 in
+              while !count < cap && not (Queue.is_empty q) do
+                batch := Queue.pop q :: !batch;
+                incr count
+              done;
+              Graph.iter_neighbors g v (fun w _ ->
+                  send ~src:v ~dst:w (Blocked !batch))
+            end)
+          queue;
+        ignore
+          (Sim.step net (fun ~dst ~src:_ m ->
+               match m with
+               | Blocked l ->
+                   List.iter
+                     (fun (z, k, h) ->
+                       let h = h + 1 in
+                       if (not (Hashtbl.mem seen.(dst) z)) && h < ri then begin
+                         Hashtbl.replace seen.(dst) z h;
+                         Queue.add (z, k, h) queue.(dst)
+                       end
+                       else if not (Hashtbl.mem seen.(dst) z) then
+                         Hashtbl.replace seen.(dst) z h)
+                     l
+               | _ -> assert false))
+      done;
+      (* Failure predicate at V_{i-1} vertices. *)
+      let is_source x = if i = 0 then true else levels.(x) >= i - 1 in
+      for x = 0 to n - 1 do
+        if is_source x then
+          Hashtbl.iter
+            (fun z hops ->
+              let k = blocked_at.(z) in
+              if k >= 0 && hops + k < delta_next.(x) && hops + k <= ri then
+                lv_failed := x :: !lv_failed)
+            seen.(x)
+      done
+    end;
+    (* Failure recovery: each failed x commands its ell^i-ball to keep
+       all incident edges (flooded with hop counters, unit words). *)
+    (match List.sort_uniq compare !lv_failed with
+    | [] -> ()
+    | failed ->
+        failures := !failures + List.length failed;
+        let reached = Array.make n (-1) in
+        List.iter
+          (fun x ->
+            reached.(x) <- 0;
+            Graph.iter_neighbors g x (fun w e ->
+                Edge_set.add spanner e;
+                send ~src:x ~dst:w (Keep_all 1)))
+          failed;
+        let guard = ref 0 in
+        while not (Sim.quiescent net) do
+          incr guard;
+          if !guard > 2 * ri + 10 then failwith "Fibonacci_dist: keep-all flood stuck";
+          ignore
+            (Sim.step net (fun ~dst ~src:_ m ->
+                 match m with
+                 | Keep_all h ->
+                     if reached.(dst) < 0 then begin
+                       reached.(dst) <- h;
+                       Graph.iter_neighbors g dst (fun w e ->
+                           Edge_set.add spanner e;
+                           if h < ri && reached.(w) < 0 then
+                             send ~src:dst ~dst:w (Keep_all (h + 1)))
+                     end
+                 | _ -> assert false))
+        done);
+    (* Trace-back: sources pull the shortest paths to their balls. *)
+    let pending : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+    (* node -> origins whose trace passes through it, not yet forwarded *)
+    let traced : (int, unit) Hashtbl.t array = Array.init n (fun _ -> Hashtbl.create 4) in
+    let enqueue v y = Hashtbl.replace pending v (y :: Option.value ~default:[] (Hashtbl.find_opt pending v)) in
+    let is_source x = if i = 0 then true else levels.(x) >= i - 1 in
+    for x = 0 to n - 1 do
+      if is_source x then begin
+        let rx = Stdlib.min ri (delta_next.(x) - 1) in
+        Hashtbl.iter
+          (fun y (d, _) ->
+            if d >= 1 && d <= rx then begin
+              Hashtbl.replace traced.(x) y ();
+              enqueue x y
+            end)
+          known.(x)
+      end
+    done;
+    let cap = Stdlib.max 1 budget in
+    let guard = ref 0 in
+    let rec drain () =
+      (* Send one batch per (node, next-hop) per round. *)
+      let sends : (int * int, int list) Hashtbl.t = Hashtbl.create 64 in
+      Hashtbl.iter
+        (fun v ys ->
+          List.iter
+            (fun y ->
+              match Hashtbl.find_opt known.(v) y with
+              | Some (d, pred) when d >= 1 ->
+                  Edge_set.add spanner
+                    (match Graph.find_edge g v pred with
+                    | Some e -> e
+                    | None -> assert false);
+                  let key = (v, pred) in
+                  (* Do not forward the final hop: pred = y itself holds
+                     the origin, no further trace needed. *)
+                  if pred <> y then
+                    Hashtbl.replace sends key
+                      (y :: Option.value ~default:[] (Hashtbl.find_opt sends key))
+              | _ -> ())
+            ys)
+        pending;
+      Hashtbl.reset pending;
+      let leftover = ref [] in
+      Hashtbl.iter
+        (fun (v, w) ys ->
+          let rec split acc k = function
+            | [] -> (List.rev acc, [])
+            | rest when k = 0 -> (List.rev acc, rest)
+            | y :: tl -> split (y :: acc) (k - 1) tl
+          in
+          let batch, rest = split [] cap ys in
+          if batch <> [] then send ~src:v ~dst:w (Traces batch);
+          if rest <> [] then leftover := (v, rest) :: !leftover)
+        sends;
+      List.iter (fun (v, ys) -> List.iter (enqueue v) ys) !leftover;
+      let delivered =
+        Sim.step net (fun ~dst ~src:_ m ->
+            match m with
+            | Traces ys ->
+                List.iter
+                  (fun y ->
+                    if not (Hashtbl.mem traced.(dst) y) then begin
+                      Hashtbl.replace traced.(dst) y ();
+                      enqueue dst y
+                    end)
+                  ys
+            | _ -> assert false)
+      in
+      incr guard;
+      if !guard > (4 * ri) + (2 * n) + 100 then failwith "Fibonacci_dist: trace stuck";
+      if delivered > 0 || Hashtbl.length pending > 0 then drain ()
+    in
+    if Hashtbl.length pending > 0 then drain ()
+  done;
+  {
+    spanner;
+    params;
+    levels;
+    stats = Sim.stats net;
+    budget_words = budget;
+    blocked = !blocked_total;
+    failures = !failures;
+  }
+
+let build ?o ?eps ?ell ?(t = 2) ~seed g =
+  (* Theorem 8: adjust the sampling probabilities so no level ratio
+     exceeds the n^(1/t) budget before drawing the hierarchy. *)
+  let params =
+    Fib_params.budgeted (Fib_params.make ~n:(Graph.n g) ?o ?eps ?ell ()) ~tee:t
+  in
+  let rng = Util.Prng.create ~seed in
+  let levels = Fib_params.draw_levels rng params in
+  build_with ~params ~levels ~t g

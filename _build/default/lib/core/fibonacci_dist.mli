@@ -1,0 +1,52 @@
+(** Distributed construction of Fibonacci spanners (Section 4.4) on
+    the {!Distnet.Sim} engine, message length capped at
+    [O(n^(1/t))] words.
+
+    Two stages per level [i]:
+
+    + {b parents} — synchronized multi-source BFS from [V_i] out to
+      radius [ell^(i-1)] (minimum-identifier tie-break); every reached
+      vertex keeps its parent edge, realizing the [P(v, p_i v)]
+      forest.  Unit-length messages, [ell^(i-1)] rounds.
+    + {b balls} — every [V_i]-vertex floods its identity out to radius
+      [ell^i].  A node asked to relay more than the word budget
+      {e ceases participation} (the paper's Monte Carlo protocol);
+      each cessation is followed by the Las Vegas detection flood: the
+      blocked node broadcasts [(z, k)] to radius [ell^i], and any
+      [V_{i-1}]-vertex [x] with [delta(x,z) + k < delta(x, V_{i+1})]
+      declares failure and commands its [ell^i]-ball to keep all
+      incident edges.  Finally each [V_{i-1}]-vertex traces the
+      predecessor chains of its ball members, adding those shortest
+      paths to the spanner (budget-batched, pipelined).
+
+    Unlike the skeleton pair, the distributed spanner is not bit-for-bit
+    equal to {!Fibonacci.build_with}: BFS parent ties and blocking can
+    pick different (equally short) paths.  Tests compare structure and
+    distortion, not edge identity. *)
+
+type result = {
+  spanner : Graphlib.Edge_set.t;
+  params : Fib_params.t;
+  levels : int array;
+  stats : Distnet.Sim.stats;
+  budget_words : int;  (** the [n^(1/t)] cap, in words *)
+  blocked : int;  (** cessation events summed over levels *)
+  failures : int;  (** Las Vegas detections (ball floods issued) *)
+}
+
+val build :
+  ?o:int ->
+  ?eps:float ->
+  ?ell:int ->
+  ?t:int ->
+  seed:int ->
+  Graphlib.Graph.t ->
+  result
+(** [t] (default 2) sets the message budget to [ceil (n^(1/t))] words. *)
+
+val build_with :
+  params:Fib_params.t ->
+  levels:int array ->
+  t:int ->
+  Graphlib.Graph.t ->
+  result

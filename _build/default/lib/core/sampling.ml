@@ -1,0 +1,18 @@
+type t = { fu : int array }
+
+let draw rng ~n (plan : Plan.t) =
+  let ncalls = Array.length plan.Plan.calls in
+  let fu =
+    Array.init n (fun _ ->
+        let rec walk k =
+          if k >= ncalls then ncalls
+          else if Util.Prng.bernoulli rng plan.Plan.calls.(k).Plan.p then walk (k + 1)
+          else k
+        in
+        walk 0)
+  in
+  { fu }
+
+let first_unsampled t v = t.fu.(v)
+let sampled t ~center ~call = t.fu.(center) > call
+let n t = Array.length t.fu

@@ -1,0 +1,31 @@
+(** The algorithm's entire supply of randomness, drawn up front.
+
+    The paper (proof of Theorem 2): "Before the first round of
+    communication every vertex performs the sampling steps in all
+    calls to Expand … c selects the round and iteration when its
+    cluster is first left unsampled."
+
+    A vertex can only ever be a cluster center over one contiguous
+    range of calls (once its cluster goes unsampled it is absorbed
+    into someone else's cluster or dies, and cluster centers persist
+    through contraction), so the whole random tape collapses to one
+    integer per vertex: the first call whose Bernoulli draw fails.
+    Sharing this tape between the sequential and distributed
+    implementations makes them produce {e identical} spanners, which
+    the test suite checks. *)
+
+type t
+
+val draw : Util.Prng.t -> n:int -> Plan.t -> t
+(** For each vertex, walk the plan's calls and record the index of the
+    first call [k] whose Bernoulli([p_k]) trial fails.  The final call
+    has [p = 0], so the index always exists. *)
+
+val first_unsampled : t -> int -> int
+(** The recorded call index for a vertex. *)
+
+val sampled : t -> center:int -> call:int -> bool
+(** Whether the cluster centered at [center] is sampled at call
+    [call]: [first_unsampled center > call]. *)
+
+val n : t -> int

@@ -1,0 +1,208 @@
+module Graph = Graphlib.Graph
+module Edge_set = Graphlib.Edge_set
+
+type snapshot = {
+  call : Plan.call;
+  clusters_before : int;
+  alive_before : int;
+  alive_after : int;
+  spanner_size : int;
+  assignment : int array;
+}
+
+type result = {
+  spanner : Edge_set.t;
+  plan : Plan.t;
+  aborts : int;
+  snapshots : snapshot list;
+}
+
+type state = {
+  g : Graph.t;
+  sampling : Sampling.t;
+  cv : int array;  (** original vertex -> contracted vertex, -1 once dead *)
+  mutable ncv : int;
+  mutable center : int array;  (** contracted vertex -> original center *)
+  mutable alive : bool array;  (** per contracted vertex *)
+  mutable cluster : int array;
+      (** contracted vertex -> cluster id; a cluster id is the
+          contracted id of the vertex that founded it this round *)
+  spanner : Edge_set.t;
+  mutable aborts : int;
+}
+
+let init g sampling =
+  let n = Graph.n g in
+  {
+    g;
+    sampling;
+    cv = Array.init n (fun v -> v);
+    ncv = n;
+    center = Array.init n (fun v -> v);
+    alive = Array.make n true;
+    cluster = Array.init n (fun v -> v);
+    spanner = Edge_set.create g;
+    aborts = 0;
+  }
+
+let sampled st ~cluster_id ~call =
+  Sampling.sampled st.sampling ~center:st.center.(cluster_id) ~call
+
+(* Cluster adjacency of every live contracted vertex: one (cluster,
+   edge) entry per original edge crossing between different clusters. *)
+let crossing_adjacency st =
+  let adj = Array.make st.ncv [] in
+  Graph.iter_edges st.g (fun e a b ->
+      let u = st.cv.(a) and v = st.cv.(b) in
+      if u >= 0 && v >= 0 && u <> v && st.alive.(u) && st.alive.(v) then begin
+        let cu = st.cluster.(u) and cv' = st.cluster.(v) in
+        if cu <> cv' then begin
+          adj.(u) <- (cv', e) :: adj.(u);
+          adj.(v) <- (cu, e) :: adj.(v)
+        end
+      end);
+  adj
+
+(* Deduplicate a (cluster, edge) incidence list, keeping the minimum
+   edge identifier per cluster — the representative-edge rule shared
+   with the distributed implementation. *)
+let dedupe incidences =
+  let best : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (c, e) ->
+      match Hashtbl.find_opt best c with
+      | Some e' when e' <= e -> ()
+      | _ -> Hashtbl.replace best c e)
+    incidences;
+  best
+
+let expand st (call : Plan.call) =
+  let k = call.Plan.index in
+  let adj = crossing_adjacency st in
+  let new_cluster = Array.copy st.cluster in
+  let deaths = ref [] in
+  for u = 0 to st.ncv - 1 do
+    if st.alive.(u) then begin
+      let c0 = st.cluster.(u) in
+      if not (sampled st ~cluster_id:c0 ~call:k) then begin
+        let best = dedupe adj.(u) in
+        (* Choose the sampled adjacent cluster reachable over the
+           smallest representative edge. *)
+        let join =
+          Hashtbl.fold
+            (fun c e acc ->
+              if sampled st ~cluster_id:c ~call:k then
+                match acc with
+                | Some (_, e') when e' <= e -> acc
+                | _ -> Some (c, e)
+              else acc)
+            best None
+        in
+        match join with
+        | Some (c, e) ->
+            Edge_set.add st.spanner e;
+            new_cluster.(u) <- c
+        | None ->
+            let q = Hashtbl.length best in
+            if q > call.Plan.abort_q then begin
+              st.aborts <- st.aborts + 1;
+              List.iter (fun (_, e) -> Edge_set.add st.spanner e) adj.(u)
+            end
+            else Hashtbl.iter (fun _ e -> Edge_set.add st.spanner e) best;
+            deaths := u :: !deaths
+      end
+    end
+  done;
+  List.iter (fun u -> st.alive.(u) <- false) !deaths;
+  st.cluster <- new_cluster
+
+let contract st =
+  (* Surviving clusters become the vertices of the next round's graph;
+     new ids follow increasing old cluster id for determinism. *)
+  let newid : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let centers = ref [] in
+  let k = ref 0 in
+  for u = 0 to st.ncv - 1 do
+    (* Cluster ids are founders' contracted ids, so scanning u in
+       increasing order visits clusters in increasing id order. *)
+    if st.alive.(u) then begin
+      let c = st.cluster.(u) in
+      if not (Hashtbl.mem newid c) then begin
+        Hashtbl.add newid c !k;
+        centers := st.center.(c) :: !centers;
+        incr k
+      end
+    end
+  done;
+  let ncv = !k in
+  let center = Array.make (Stdlib.max 1 ncv) (-1) in
+  List.iteri (fun i c -> center.(ncv - 1 - i) <- c) !centers;
+  let n = Graph.n st.g in
+  for a = 0 to n - 1 do
+    let u = st.cv.(a) in
+    if u >= 0 then
+      if st.alive.(u) then st.cv.(a) <- Hashtbl.find newid st.cluster.(u)
+      else st.cv.(a) <- -1
+  done;
+  st.ncv <- ncv;
+  st.center <- center;
+  st.alive <- Array.make (Stdlib.max 1 ncv) true;
+  st.cluster <- Array.init (Stdlib.max 1 ncv) (fun i -> i)
+
+let count_clusters st =
+  let seen = Hashtbl.create 64 in
+  for u = 0 to st.ncv - 1 do
+    if st.alive.(u) then Hashtbl.replace seen st.cluster.(u) ()
+  done;
+  Hashtbl.length seen
+
+let count_alive st =
+  let c = ref 0 in
+  for u = 0 to st.ncv - 1 do
+    if st.alive.(u) then incr c
+  done;
+  !c
+
+let assignment st =
+  Array.map
+    (fun u ->
+      if u >= 0 && st.alive.(u) then st.center.(st.cluster.(u)) else -1)
+    st.cv
+
+let build_with ?(trace = false) ~plan ~sampling g =
+  let st = init g sampling in
+  let snapshots = ref [] in
+  let current_round = ref 0 in
+  Array.iter
+    (fun (call : Plan.call) ->
+      if call.Plan.round > !current_round then begin
+        contract st;
+        current_round := call.Plan.round
+      end;
+      let clusters_before = count_clusters st in
+      let alive_before = count_alive st in
+      expand st call;
+      if trace then
+        snapshots :=
+          {
+            call;
+            clusters_before;
+            alive_before;
+            alive_after = count_alive st;
+            spanner_size = Edge_set.cardinal st.spanner;
+            assignment = assignment st;
+          }
+          :: !snapshots)
+    plan.Plan.calls;
+  {
+    spanner = st.spanner;
+    plan;
+    aborts = st.aborts;
+    snapshots = List.rev !snapshots;
+  }
+
+let build ?(d = 4) ?(eps = 0.5) ?(trace = false) ~seed g =
+  let plan = Plan.make ~n:(Graph.n g) ~d ~eps () in
+  let rng = Util.Prng.create ~seed in
+  let sampling = Sampling.draw rng ~n:(Graph.n g) plan in
+  build_with ~trace ~plan ~sampling g

@@ -1,0 +1,53 @@
+(** The paper's Section 2 algorithm (sequential executable model).
+
+    The algorithm runs the {!Plan} schedule: a sequence of [Expand]
+    calls grouped into rounds, contracting the surviving clusters
+    between rounds.  Each call, per cluster-of-the-moment:
+
+    - a vertex (of the current contracted graph) whose own cluster is
+      sampled stays put and contributes no edge;
+    - otherwise, if some adjacent cluster is sampled, it joins one
+      (here: the one reachable over the smallest representative edge
+      identifier — the paper allows any) and contributes that edge;
+    - otherwise it {e dies}, contributing one representative edge to
+      every adjacent cluster — or, when adjacent to more than
+      [4 s_i ln n] clusters, aborting and keeping {e all} incident
+      edges (the whp escape hatch of Theorem 2).
+
+    Randomness comes exclusively from a {!Sampling} tape, so running
+    with the same tape as {!Skeleton_dist} yields the identical
+    spanner. *)
+
+type snapshot = {
+  call : Plan.call;
+  clusters_before : int;  (** clusters entering the call *)
+  alive_before : int;  (** live contracted vertices entering the call *)
+  alive_after : int;
+  spanner_size : int;  (** spanner edges selected so far *)
+  assignment : int array;
+      (** per original vertex: the original-vertex id of its cluster's
+          center after the call, or [-1] if dead *)
+}
+
+type result = {
+  spanner : Graphlib.Edge_set.t;
+  plan : Plan.t;
+  aborts : int;  (** times the [q > 4 s_i ln n] rule fired *)
+  snapshots : snapshot list;  (** oldest first; empty unless [trace] *)
+}
+
+val build :
+  ?d:int -> ?eps:float -> ?trace:bool -> seed:int -> Graphlib.Graph.t -> result
+(** Run the full algorithm.  [d] (default 4) is the density parameter
+    [D]; [eps] (default 0.5) the message-length exponent (which shapes
+    the schedule even sequentially); [trace] (default false) records a
+    {!snapshot} after every call. *)
+
+val build_with :
+  ?trace:bool ->
+  plan:Plan.t ->
+  sampling:Sampling.t ->
+  Graphlib.Graph.t ->
+  result
+(** Run under an explicit schedule and random tape (the derandomized
+    entry point used to cross-check the distributed implementation). *)

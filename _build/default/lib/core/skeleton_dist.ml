@@ -1,0 +1,551 @@
+module Graph = Graphlib.Graph
+module Edge_set = Graphlib.Edge_set
+module Sim = Distnet.Sim
+
+type result = {
+  spanner : Edge_set.t;
+  plan : Plan.t;
+  aborts : int;
+  stats : Sim.stats;
+}
+
+type msg =
+  | Exchange of { cl : int; fu : int }
+  | Report_none
+  | Report of { edge : int; target_cl : int; target_fu : int }
+  | On_path of { edge : int; new_cl : int; new_fu : int }
+  | Off_path of { new_cl : int; new_fu : int }
+  | P2_register
+  | P2_unregister
+  | Die_start
+  | Die_up of { entries : (int * int) list; finished : bool }
+  | Final_down of { edges : int list; finished : bool }
+  | Abort
+  | Dead
+
+let words = function
+  | Exchange _ -> 2
+  | Report_none -> 1
+  | Report _ -> 3
+  | On_path _ -> 3
+  | Off_path _ -> 2
+  | P2_register | P2_unregister -> 1
+  | Die_start -> 1
+  | Die_up { entries; _ } -> (2 * List.length entries) + 1
+  | Final_down { edges; _ } -> List.length edges + 1
+  | Abort -> 1
+  | Dead -> 1
+
+(* Mutable per-node state.  Everything a node reads during the protocol
+   is either local, carried by a received message, or part of the
+   globally-known schedule — the driver below only sequences phases. *)
+type node = {
+  id : int;
+  mutable alive : bool;
+  mutable cl_center : int;
+  mutable cl_fu : int;
+  mutable p1 : int;  (** parent towards the contracted vertex's center *)
+  mutable p1_children : int list;
+  mutable p2 : int;  (** parent towards the cluster's center *)
+  mutable p2_children : int list;
+  nb_dead : (int, unit) Hashtbl.t;
+  nb_edge : (int, int) Hashtbl.t;  (** neighbor -> incident edge id *)
+  (* per-call scratch *)
+  mutable nb_cl : (int, int * int) Hashtbl.t;  (** neighbor -> (cl, fu) *)
+  mutable deciding : bool;
+  mutable pending : int;  (** convergecast reports still awaited *)
+  mutable best : (int * int * int) option;  (** edge, target cl, target fu *)
+  mutable best_peer : int;  (** crossing neighbor of my own candidate *)
+  mutable best_from : int;  (** child that supplied [best]; -1 = self *)
+  mutable is_dying : bool;
+  mutable die_queue : (int * int) Queue.t;
+  mutable die_sent : (int, int) Hashtbl.t;  (** cl -> best edge forwarded *)
+  mutable die_children_pending : int;
+  mutable die_done_sent : bool;
+  mutable fin_queue : int Queue.t;
+  mutable fin_src_done : bool;
+  mutable fin_done_sent : bool;
+  mutable fin_aborting : bool;
+}
+
+let fresh_node id =
+  {
+    id;
+    alive = true;
+    cl_center = id;
+    cl_fu = 0;
+    p1 = -1;
+    p1_children = [];
+    p2 = -1;
+    p2_children = [];
+    nb_dead = Hashtbl.create 4;
+    nb_edge = Hashtbl.create 4;
+    nb_cl = Hashtbl.create 4;
+    deciding = false;
+    pending = 0;
+    best = None;
+    best_peer = -1;
+    best_from = -1;
+    is_dying = false;
+    die_queue = Queue.create ();
+    die_sent = Hashtbl.create 4;
+    die_children_pending = 0;
+    die_done_sent = false;
+    fin_queue = Queue.create ();
+    fin_src_done = false;
+    fin_done_sent = false;
+    fin_aborting = false;
+  }
+
+let build_with ~plan ~sampling g =
+  let n = Graph.n g in
+  let nodes = Array.init n fresh_node in
+  Array.iter
+    (fun nd -> nd.cl_fu <- Sampling.first_unsampled sampling nd.id)
+    nodes;
+  Array.iter
+    (fun nd ->
+      Graph.iter_neighbors g nd.id (fun w e -> Hashtbl.replace nd.nb_edge w e))
+    nodes;
+  let net = Sim.create g in
+  let spanner = Edge_set.create g in
+  let aborts = ref 0 in
+  let budget = plan.Plan.word_budget in
+  let die_cap = Stdlib.max 1 (budget / 2) in
+  let fin_cap = Stdlib.max 1 budget in
+  let send ~src ~dst m = Sim.send net ~src ~dst ~words:(words m) m in
+  (* Deferred p2 (un)registrations, flushed in their own phase to keep
+     the one-message-per-link-per-round rule easy to respect. *)
+  let notifications = ref [] in
+  let set_p2 nd target =
+    if nd.p2 <> target then begin
+      if nd.p2 >= 0 then notifications := (nd.id, nd.p2, P2_unregister) :: !notifications;
+      if target >= 0 then notifications := (nd.id, target, P2_register) :: !notifications;
+      nd.p2 <- target
+    end
+  in
+
+  (* ---------------- per-phase handlers ---------------- *)
+  let handle_exchange ~dst ~src m =
+    match m with
+    | Exchange { cl; fu } ->
+        let nd = nodes.(dst) in
+        if nd.alive then Hashtbl.replace nd.nb_cl src (cl, fu)
+    | _ -> assert false
+  in
+
+  let merge_report nd ~from candidate =
+    (match candidate with
+    | None -> ()
+    | Some (e, cl, fu) -> (
+        match nd.best with
+        | Some (e', _, _) when e' <= e -> ()
+        | _ ->
+            nd.best <- Some (e, cl, fu);
+            nd.best_from <- from));
+    nd.pending <- nd.pending - 1;
+    if nd.pending = 0 && nd.p1 >= 0 then
+      match nd.best with
+      | None -> send ~src:nd.id ~dst:nd.p1 Report_none
+      | Some (edge, target_cl, target_fu) ->
+          send ~src:nd.id ~dst:nd.p1 (Report { edge; target_cl; target_fu })
+  in
+
+  let handle_converge ~dst ~src m =
+    let nd = nodes.(dst) in
+    if nd.alive then
+      match m with
+      | Report_none -> merge_report nd ~from:src None
+      | Report { edge; target_cl; target_fu } ->
+          merge_report nd ~from:src (Some (edge, target_cl, target_fu))
+      | _ -> assert false
+  in
+
+  let adopt_cluster nd ~cl ~fu =
+    nd.cl_center <- cl;
+    nd.cl_fu <- fu
+  in
+
+  let rec start_wave nd =
+    (* [nd]'s merged best is the contracted vertex's winning candidate;
+       push the decision towards the proposer, everyone else off-path. *)
+    match nd.best with
+    | None -> assert false
+    | Some (edge, new_cl, new_fu) ->
+        adopt_cluster nd ~cl:new_cl ~fu:new_fu;
+        if nd.best_from < 0 then begin
+          (* I proposed the winning edge: hook onto the sampled cluster. *)
+          Edge_set.add spanner edge;
+          set_p2 nd nd.best_peer;
+          List.iter
+            (fun c -> send ~src:nd.id ~dst:c (Off_path { new_cl; new_fu }))
+            nd.p1_children
+        end
+        else begin
+          set_p2 nd nd.best_from;
+          List.iter
+            (fun c ->
+              if c = nd.best_from then
+                send ~src:nd.id ~dst:c (On_path { edge; new_cl; new_fu })
+              else send ~src:nd.id ~dst:c (Off_path { new_cl; new_fu }))
+            nd.p1_children
+        end
+
+  and handle_wave ~dst ~src m =
+    let nd = nodes.(dst) in
+    match m with
+    | On_path _ ->
+        (* My subtree supplied the winner, so my merged best is the
+           edge named in the message; [start_wave] adopts it and pushes
+           the decision further down. *)
+        if nd.alive then start_wave nd
+    | Off_path { new_cl; new_fu } ->
+        if nd.alive then begin
+          adopt_cluster nd ~cl:new_cl ~fu:new_fu;
+          set_p2 nd nd.p1;
+          List.iter
+            (fun c -> send ~src:nd.id ~dst:c (Off_path { new_cl; new_fu }))
+            nd.p1_children
+        end
+    | Die_start ->
+        if nd.alive then begin
+          nd.is_dying <- true;
+          List.iter (fun c -> send ~src:nd.id ~dst:c Die_start) nd.p1_children
+        end
+    | P2_register -> nd.p2_children <- src :: nd.p2_children
+    | P2_unregister -> nd.p2_children <- List.filter (fun c -> c <> src) nd.p2_children
+    | _ -> assert false
+  in
+
+  (* Enqueue a (cluster, edge) entry unless a no-worse one was already
+     forwarded; intermediate dedup is best-effort, the center's merge is
+     authoritative. *)
+  let die_offer nd (cl, e) =
+    match Hashtbl.find_opt nd.die_sent cl with
+    | Some e' when e' <= e -> ()
+    | _ ->
+        Hashtbl.replace nd.die_sent cl e;
+        Queue.add (cl, e) nd.die_queue
+  in
+
+  let handle_die_up center_best ~dst ~src:_ m =
+    let nd = nodes.(dst) in
+    if nd.alive then
+      match m with
+      | Die_up { entries; finished } ->
+          if nd.p1 < 0 then begin
+            (* Center: authoritative merge. *)
+            List.iter
+              (fun (cl, e) ->
+                match Hashtbl.find_opt center_best.(nd.id) cl with
+                | Some e' when e' <= e -> ()
+                | _ -> Hashtbl.replace center_best.(nd.id) cl e)
+              entries;
+            if finished then nd.die_children_pending <- nd.die_children_pending - 1
+          end
+          else begin
+            List.iter (die_offer nd) entries;
+            if finished then nd.die_children_pending <- nd.die_children_pending - 1
+          end
+      | _ -> assert false
+  in
+
+  let handle_final ~dst ~src:_ m =
+    let nd = nodes.(dst) in
+    if nd.alive then
+      match m with
+      | Final_down { edges; finished } ->
+          List.iter
+            (fun e ->
+              let u, v = Graph.edge_endpoints g e in
+              if u = nd.id || v = nd.id then Edge_set.add spanner e;
+              Queue.add e nd.fin_queue)
+            edges;
+          if finished then nd.fin_src_done <- true
+      | Abort ->
+          nd.fin_aborting <- true;
+          nd.fin_src_done <- true;
+          (* Keep every incident crossing edge, as the paper's escape
+             hatch prescribes. *)
+          Hashtbl.iter
+            (fun w (cl, _) ->
+              if cl <> nd.cl_center then
+                Edge_set.add spanner (Hashtbl.find nd.nb_edge w))
+            nd.nb_cl
+      | _ -> assert false
+  in
+
+  let handle_dead ~dst ~src m =
+    match m with
+    | Dead ->
+        (* Besides marking the link dead, forget the late neighbor as a
+           tree child: a contracted vertex that attached to us earlier
+           this round may die later in the round, and its stale
+           registration would make us wait forever for its report. *)
+        let nd = nodes.(dst) in
+        Hashtbl.replace nd.nb_dead src ();
+        nd.p2_children <- List.filter (fun c -> c <> src) nd.p2_children;
+        nd.p1_children <- List.filter (fun c -> c <> src) nd.p1_children
+    | _ -> assert false
+  in
+
+  (* ---------------- driver ---------------- *)
+  let run_call (call : Plan.call) =
+    let k = call.Plan.index in
+    (* Phase 1: exchange cluster identities over live links. *)
+    Array.iter
+      (fun nd ->
+        if nd.alive then begin
+          nd.nb_cl <- Hashtbl.create 8;
+          nd.deciding <- false;
+          nd.best <- None;
+          nd.best_peer <- -1;
+          nd.best_from <- -1;
+          nd.is_dying <- false;
+          nd.die_queue <- Queue.create ();
+          nd.die_sent <- Hashtbl.create 4;
+          nd.die_done_sent <- false;
+          nd.fin_queue <- Queue.create ();
+          nd.fin_src_done <- false;
+          nd.fin_done_sent <- false;
+          nd.fin_aborting <- false
+        end)
+      nodes;
+    Array.iter
+      (fun nd ->
+        if nd.alive then
+          Hashtbl.iter
+            (fun w _ ->
+              if not (Hashtbl.mem nd.nb_dead w) then
+                send ~src:nd.id ~dst:w (Exchange { cl = nd.cl_center; fu = nd.cl_fu }))
+            nd.nb_edge)
+      nodes;
+    Sim.run_until_quiescent net handle_exchange;
+    (* Phase 2: local candidates + convergecast inside unsampled
+       contracted vertices. *)
+    Array.iter
+      (fun nd ->
+        if nd.alive && nd.cl_fu <= k then begin
+          nd.deciding <- true;
+          Hashtbl.iter
+            (fun w (cl, fu) ->
+              if cl <> nd.cl_center && fu > k then begin
+                let e = Hashtbl.find nd.nb_edge w in
+                match nd.best with
+                | Some (e', _, _) when e' <= e -> ()
+                | _ ->
+                    nd.best <- Some (e, cl, fu);
+                    nd.best_peer <- w;
+                    nd.best_from <- -1
+              end)
+            nd.nb_cl;
+          nd.pending <- List.length nd.p1_children
+        end)
+      nodes;
+    Array.iter
+      (fun nd ->
+        if nd.alive && nd.deciding && nd.pending = 0 && nd.p1 >= 0 then
+          match nd.best with
+          | None -> send ~src:nd.id ~dst:nd.p1 Report_none
+          | Some (edge, target_cl, target_fu) ->
+              send ~src:nd.id ~dst:nd.p1 (Report { edge; target_cl; target_fu }))
+      nodes;
+    Sim.run_until_quiescent net handle_converge;
+    (* Phase 3: decision waves from every deciding center. *)
+    Array.iter
+      (fun nd ->
+        if nd.alive && nd.deciding && nd.p1 < 0 then begin
+          if nd.pending <> 0 then
+            failwith "Skeleton_dist: convergecast incomplete at decision time";
+          match nd.best with
+          | Some _ -> start_wave nd
+          | None ->
+              nd.is_dying <- true;
+              List.iter (fun c -> send ~src:nd.id ~dst:c Die_start) nd.p1_children
+        end)
+      nodes;
+    Sim.run_until_quiescent net handle_wave;
+    (* Phase 3b: deferred p2 (un)registrations. *)
+    List.iter (fun (src, dst, m) -> send ~src ~dst m) !notifications;
+    notifications := [];
+    Sim.run_until_quiescent net handle_wave;
+    (* Phase 4: dying contracted vertices stream their (cluster, edge)
+       lists to the center, budget words per link per round. *)
+    let center_best = Array.make n (Hashtbl.create 0) in
+    Array.iter
+      (fun nd ->
+        if nd.alive && nd.is_dying then begin
+          nd.die_children_pending <- List.length nd.p1_children;
+          if nd.p1 < 0 then begin
+            center_best.(nd.id) <- Hashtbl.create 16;
+            (* The center's own incidences go straight into the merge. *)
+            Hashtbl.iter
+              (fun w (cl, _) ->
+                if cl <> nd.cl_center then begin
+                  let e = Hashtbl.find nd.nb_edge w in
+                  match Hashtbl.find_opt center_best.(nd.id) cl with
+                  | Some e' when e' <= e -> ()
+                  | _ -> Hashtbl.replace center_best.(nd.id) cl e
+                end)
+              nd.nb_cl
+          end
+          else
+            Hashtbl.iter
+              (fun w (cl, _) ->
+                if cl <> nd.cl_center then die_offer nd (cl, Hashtbl.find nd.nb_edge w))
+              nd.nb_cl
+        end)
+      nodes;
+    let die_active () =
+      Array.exists
+        (fun nd ->
+          nd.alive && nd.is_dying
+          && (nd.die_children_pending > 0
+             || (nd.p1 >= 0 && not nd.die_done_sent)))
+        nodes
+    in
+    let guard = ref 0 in
+    while die_active () do
+      incr guard;
+      if !guard > 4 * n + 1000 then failwith "Skeleton_dist: dying phase stuck";
+      Array.iter
+        (fun nd ->
+          if
+            nd.alive && nd.is_dying && nd.p1 >= 0 && not nd.die_done_sent
+          then begin
+            let batch = ref [] in
+            let count = ref 0 in
+            while !count < die_cap && not (Queue.is_empty nd.die_queue) do
+              batch := Queue.pop nd.die_queue :: !batch;
+              incr count
+            done;
+            let finished =
+              nd.die_children_pending = 0 && Queue.is_empty nd.die_queue
+            in
+            if !batch <> [] || finished then begin
+              send ~src:nd.id ~dst:nd.p1 (Die_up { entries = !batch; finished });
+              if finished then nd.die_done_sent <- true
+            end
+          end)
+        nodes;
+      ignore (Sim.step net (handle_die_up center_best))
+    done;
+    (* Phase 5: centers resolve — abort or broadcast the chosen edges. *)
+    Array.iter
+      (fun nd ->
+        if nd.alive && nd.is_dying && nd.p1 < 0 then begin
+          let best = center_best.(nd.id) in
+          if Hashtbl.length best > call.Plan.abort_q then begin
+            incr aborts;
+            nd.fin_aborting <- true;
+            (* The center keeps its own crossing edges too. *)
+            Hashtbl.iter
+              (fun w (cl, _) ->
+                if cl <> nd.cl_center then
+                  Edge_set.add spanner (Hashtbl.find nd.nb_edge w))
+              nd.nb_cl;
+            List.iter (fun c -> send ~src:nd.id ~dst:c Abort) nd.p1_children;
+            nd.fin_src_done <- true;
+            nd.fin_done_sent <- true
+          end
+          else begin
+            Hashtbl.iter
+              (fun _ e ->
+                let u, v = Graph.edge_endpoints g e in
+                if u = nd.id || v = nd.id then Edge_set.add spanner e;
+                Queue.add e nd.fin_queue)
+              best;
+            nd.fin_src_done <- true
+          end
+        end)
+      nodes;
+    let fin_active () =
+      Array.exists
+        (fun nd ->
+          nd.alive && nd.is_dying
+          && ((not nd.fin_src_done)
+             || (nd.p1_children <> [] && not nd.fin_done_sent)))
+        nodes
+    in
+    let guard = ref 0 in
+    while fin_active () do
+      incr guard;
+      if !guard > 4 * n + 1000 then failwith "Skeleton_dist: final phase stuck";
+      Array.iter
+        (fun nd ->
+          if
+            nd.alive && nd.is_dying && nd.p1_children <> []
+            && not nd.fin_done_sent
+          then
+            if nd.fin_aborting then begin
+              List.iter (fun c -> send ~src:nd.id ~dst:c Abort) nd.p1_children;
+              nd.fin_done_sent <- true
+            end
+            else begin
+              let batch = ref [] in
+              let count = ref 0 in
+              while !count < fin_cap && not (Queue.is_empty nd.fin_queue) do
+                batch := Queue.pop nd.fin_queue :: !batch;
+                incr count
+              done;
+              let finished = nd.fin_src_done && Queue.is_empty nd.fin_queue in
+              if !batch <> [] || finished then begin
+                List.iter
+                  (fun c ->
+                    send ~src:nd.id ~dst:c
+                      (Final_down { edges = !batch; finished }))
+                  nd.p1_children;
+                if finished then nd.fin_done_sent <- true
+              end
+            end)
+        nodes;
+      ignore (Sim.step net handle_final)
+    done;
+    (* Phase 6: deaths take effect; one notice per boundary link. *)
+    let newly_dead = ref [] in
+    Array.iter
+      (fun nd ->
+        if nd.alive && nd.is_dying then begin
+          nd.alive <- false;
+          newly_dead := nd :: !newly_dead
+        end)
+      nodes;
+    List.iter
+      (fun nd ->
+        (* A node cannot know a neighbor died in this very call, so
+           simultaneous deaths cost one wasted notice per link — the
+           real protocol pays the same. *)
+        Hashtbl.iter
+          (fun w _ ->
+            if not (Hashtbl.mem nd.nb_dead w) then send ~src:nd.id ~dst:w Dead)
+          nd.nb_edge)
+      !newly_dead;
+    Sim.run_until_quiescent net handle_dead
+  in
+
+  let contract () =
+    Array.iter
+      (fun nd ->
+        if nd.alive then begin
+          nd.p1 <- nd.p2;
+          nd.p1_children <- nd.p2_children
+        end)
+      nodes
+  in
+
+  let current_round = ref 0 in
+  Array.iter
+    (fun (call : Plan.call) ->
+      if call.Plan.round > !current_round then begin
+        contract ();
+        current_round := call.Plan.round
+      end;
+      run_call call)
+    plan.Plan.calls;
+  { spanner; plan; aborts = !aborts; stats = Sim.stats net }
+
+let build ?(d = 4) ?(eps = 0.5) ~seed g =
+  let plan = Plan.make ~n:(Graph.n g) ~d ~eps () in
+  let rng = Util.Prng.create ~seed in
+  let sampling = Sampling.draw rng ~n:(Graph.n g) plan in
+  build_with ~plan ~sampling g

@@ -1,0 +1,47 @@
+(** Distributed implementation of the Section 2 skeleton algorithm on
+    the {!Distnet.Sim} engine (the construction behind Theorem 2).
+
+    Every original vertex is a network node.  The schedule ({!Plan})
+    depends only on [n, D, eps], so all nodes know it; the random tape
+    ({!Sampling}) is each node's private coin flips, drawn before the
+    first round as the paper prescribes.  Each [Expand] call runs as a
+    sequence of message phases:
+
+    + {b exchange} — every live node tells each live neighbor its
+      cluster center and that center's first-unsampled call index
+      (2 words);
+    + {b convergecast} — inside each contracted vertex whose cluster
+      went unsampled, candidate crossing edges to sampled clusters
+      flow up the [p1] tree, min edge id winning (3 words);
+    + {b decision wave} — the center broadcasts the winning edge down
+      marked on-path/off-path, nodes update their [p2] pointers exactly
+      as in the paper's Fig. 4 and re-register with their new parent;
+    + {b dying} — a contracted vertex with no sampled neighbor streams
+      its deduplicated (cluster, edge) list to the center in batches of
+      at most the word budget, the center either aborts (list longer
+      than [4 s_i ln n]: keep every incident crossing edge) or
+      broadcasts the chosen min edge per cluster back down;
+    + {b death notices} — one final word per boundary edge.
+
+    Between rounds each node locally promotes [p2] to [p1]
+    (contraction costs no communication).
+
+    Given the same {!Sampling} tape, the produced spanner is {e edge
+    for edge identical} to {!Skeleton.build_with} — the test suite
+    relies on this.  Phases are driven to quiescence rather than by the
+    paper's analytic [2 r_i + 1] schedules (see DESIGN.md); dying
+    clusters also hold the global schedule rather than overlapping
+    subsequent calls, so measured rounds upper-bound the paper's. *)
+
+type result = {
+  spanner : Graphlib.Edge_set.t;
+  plan : Plan.t;
+  aborts : int;
+  stats : Distnet.Sim.stats;
+}
+
+val build :
+  ?d:int -> ?eps:float -> seed:int -> Graphlib.Graph.t -> result
+
+val build_with :
+  plan:Plan.t -> sampling:Sampling.t -> Graphlib.Graph.t -> result

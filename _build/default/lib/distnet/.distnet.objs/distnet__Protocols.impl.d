@@ -1,0 +1,1 @@
+lib/distnet/protocols.ml: Array Graphlib Sim

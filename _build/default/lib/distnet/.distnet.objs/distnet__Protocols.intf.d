@@ -1,0 +1,1 @@
+lib/distnet/protocols.mli: Graphlib Sim

@@ -1,0 +1,1 @@
+lib/distnet/sim.ml: Array Format Graphlib Hashtbl List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/distnet/sim.mli: Format Graphlib

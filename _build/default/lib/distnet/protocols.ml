@@ -1,0 +1,33 @@
+module Graph = Graphlib.Graph
+
+let bfs g ~root =
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  let t = Sim.create g in
+  let announce v d =
+    dist.(v) <- d;
+    Graph.iter_neighbors g v (fun w _ ->
+        if dist.(w) < 0 then Sim.send t ~src:v ~dst:w ~words:1 (d + 1))
+  in
+  if n > 0 then announce root 0;
+  Sim.run_until_quiescent t (fun ~dst ~src:_ d ->
+      if dist.(dst) < 0 then announce dst d);
+  (Sim.stats t, dist)
+
+let flood g ~root ~payload_words =
+  let n = Graph.n g in
+  let reached = Array.make n false in
+  let t = Sim.create g in
+  let forward v ~from =
+    reached.(v) <- true;
+    Graph.iter_neighbors g v (fun w _ ->
+        (* [reached w] may flip between send and delivery; that
+           duplicate traffic is the real cost of flooding and is
+           counted faithfully. *)
+        if w <> from && not reached.(w) then
+          Sim.send t ~src:v ~dst:w ~words:payload_words ())
+  in
+  if n > 0 then forward root ~from:(-1);
+  Sim.run_until_quiescent t (fun ~dst ~src () ->
+      if not reached.(dst) then forward dst ~from:src);
+  (Sim.stats t, reached)

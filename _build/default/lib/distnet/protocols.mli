@@ -1,0 +1,13 @@
+(** Reference protocols on the simulator: distributed BFS and flooding.
+    Used by tests (to validate the engine against sequential BFS) and
+    by the overlay-broadcast experiment (E10). *)
+
+val bfs : Graphlib.Graph.t -> root:int -> Sim.stats * int array
+(** Layered BFS from [root] with unit-word messages.  Returns the
+    per-node distances ([-1] when unreachable) and the round/message
+    statistics.  Completes in eccentricity+1 rounds. *)
+
+val flood : Graphlib.Graph.t -> root:int -> payload_words:int -> Sim.stats * bool array
+(** Broadcast a [payload_words]-word message from [root] by flooding:
+    every node forwards the first copy it receives to all neighbors
+    except the sender.  Returns reachability. *)

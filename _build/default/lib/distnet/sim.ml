@@ -1,0 +1,157 @@
+module Graph = Graphlib.Graph
+
+type stats = {
+  rounds : int;
+  messages : int;
+  words : int;
+  max_message_words : int;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf "rounds=%d messages=%d words=%d max_msg=%d words" s.rounds
+    s.messages s.words s.max_message_words
+
+type 'msg envelope = { src : int; dst : int; words : int; payload : 'msg }
+
+type 'msg t = {
+  g : Graph.t;
+  (* Directed-link slots: edge e gives slot 2e for (u -> v) and 2e+1
+     for (v -> u), with u < v.  [link] resolves (src, dst) to a slot in
+     O(1) via a per-source hashtable built once. *)
+  link : (int, int) Hashtbl.t;
+  last_sent : int array;  (** per slot: round counter of the last send *)
+  mutable epoch : int;
+  mutable outbox : 'msg envelope list;
+  mutable rounds : int;
+  mutable messages : int;
+  mutable words : int;
+  mutable max_message_words : int;
+}
+
+let key ~n src dst = (src * n) + dst
+
+let create g =
+  let n = Graph.n g in
+  let link = Hashtbl.create (4 * Graph.m g) in
+  Graph.iter_edges g (fun e u v ->
+      Hashtbl.replace link (key ~n u v) (2 * e);
+      Hashtbl.replace link (key ~n v u) ((2 * e) + 1));
+  {
+    g;
+    link;
+    last_sent = Array.make (Stdlib.max 1 (2 * Graph.m g)) (-1);
+    epoch = 0;
+    outbox = [];
+    rounds = 0;
+    messages = 0;
+    words = 0;
+    max_message_words = 0;
+  }
+
+let graph t = t.g
+
+let send t ~src ~dst ~words payload =
+  if words < 1 then invalid_arg "Sim.send: words must be >= 1";
+  match Hashtbl.find_opt t.link (key ~n:(Graph.n t.g) src dst) with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Sim.send: %d -> %d is not a network link" src dst)
+  | Some slot ->
+      if t.last_sent.(slot) = t.epoch then
+        invalid_arg
+          (Printf.sprintf "Sim.send: %d already sent to %d this round" src dst);
+      t.last_sent.(slot) <- t.epoch;
+      t.outbox <- { src; dst; words; payload } :: t.outbox
+
+let quiescent t = t.outbox = []
+
+let step t deliver =
+  let batch = List.rev t.outbox in
+  t.outbox <- [];
+  t.epoch <- t.epoch + 1;
+  t.rounds <- t.rounds + 1;
+  let count = ref 0 in
+  List.iter
+    (fun { src; dst; words; payload } ->
+      t.messages <- t.messages + 1;
+      t.words <- t.words + words;
+      if words > t.max_message_words then t.max_message_words <- words;
+      incr count;
+      deliver ~dst ~src payload)
+    batch;
+  !count
+
+let run_until_quiescent ?(max_rounds = 10_000_000) t deliver =
+  let budget = ref max_rounds in
+  while not (quiescent t) do
+    if !budget <= 0 then failwith "Sim.run_until_quiescent: round budget exhausted";
+    decr budget;
+    ignore (step t deliver)
+  done
+
+let stats t =
+  {
+    rounds = t.rounds;
+    messages = t.messages;
+    words = t.words;
+    max_message_words = t.max_message_words;
+  }
+
+let add_idle_rounds t k =
+  if k < 0 then invalid_arg "Sim.add_idle_rounds: negative";
+  t.rounds <- t.rounds + k
+
+module type PROTOCOL = sig
+  type state
+  type message
+
+  val message_words : message -> int
+
+  val init : Graphlib.Graph.t -> int -> state * (int * message) list
+
+  val receive :
+    Graphlib.Graph.t ->
+    round:int ->
+    int ->
+    state ->
+    (int * message) list ->
+    state * (int * message) list
+end
+
+module Run (P : PROTOCOL) = struct
+  let run ?(max_rounds = 1_000_000) g =
+    let n = Graph.n g in
+    let t = create g in
+    let states = Array.init n (fun _ -> None) in
+    let post v msgs =
+      List.iter
+        (fun (dst, m) -> send t ~src:v ~dst ~words:(P.message_words m) m)
+        msgs
+    in
+    for v = 0 to n - 1 do
+      let st, msgs = P.init g v in
+      states.(v) <- Some st;
+      post v msgs
+    done;
+    let inboxes = Array.make n [] in
+    let round = ref 0 in
+    while not (quiescent t) do
+      if !round >= max_rounds then failwith "Sim.Run: round budget exhausted";
+      incr round;
+      Array.fill inboxes 0 n [];
+      ignore
+        (step t (fun ~dst ~src m -> inboxes.(dst) <- (src, m) :: inboxes.(dst)));
+      for v = 0 to n - 1 do
+        match states.(v) with
+        | None -> assert false
+        | Some st ->
+            let st, msgs = P.receive g ~round:!round v st (List.rev inboxes.(v)) in
+            states.(v) <- Some st;
+            post v msgs
+      done
+    done;
+    let final =
+      Array.map (function Some st -> st | None -> assert false) states
+    in
+    (stats t, final)
+end

@@ -1,0 +1,88 @@
+(** Synchronous message-passing network simulator.
+
+    This is the paper's computational model (Section 1.1): the
+    communication network {e is} the input graph; computation proceeds
+    in synchronized rounds; in each round a node may send one message
+    to each neighbor; local computation is free.  Message length is
+    measured in units of [O(log n)] bits — a "word" holds a vertex
+    identifier, an edge identifier, or a small counter — which is the
+    unit of the paper's Fig. 1 "message length" column.
+
+    Two layers are provided.  The low-level {e engine} enforces the
+    model (neighbor-only unicast, one message per directed edge per
+    round, word accounting) while an algorithm module drives rounds
+    explicitly — this is how the intricate multi-phase protocols
+    (skeleton, Fibonacci balls) are written.  The {!Run} functor wraps
+    the engine for self-contained node programs. *)
+
+type stats = {
+  rounds : int;  (** synchronous rounds executed *)
+  messages : int;  (** messages delivered in total *)
+  words : int;  (** total words delivered *)
+  max_message_words : int;  (** length of the longest single message *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** {1 Low-level engine} *)
+
+type 'msg t
+
+val create : Graphlib.Graph.t -> 'msg t
+val graph : 'msg t -> Graphlib.Graph.t
+
+val send : 'msg t -> src:int -> dst:int -> words:int -> 'msg -> unit
+(** Enqueue a message for delivery at the next {!step}.
+    @raise Invalid_argument if [dst] is not a neighbor of [src], if
+    [words < 1], or if [src] already sent to [dst] this round. *)
+
+val step : 'msg t -> (dst:int -> src:int -> 'msg -> unit) -> int
+(** Advance one synchronous round: deliver every queued message through
+    the callback (in deterministic order) and return the number
+    delivered.  Counts as one round even when nothing was queued. *)
+
+val quiescent : 'msg t -> bool
+(** No messages queued for the next round. *)
+
+val run_until_quiescent :
+  ?max_rounds:int -> 'msg t -> (dst:int -> src:int -> 'msg -> unit) -> unit
+(** Repeated {!step} until no message is in flight.  The callback may
+    {!send} further messages.  @raise Failure after [max_rounds]
+    (default [10_000_000]) rounds. *)
+
+val stats : 'msg t -> stats
+
+val add_idle_rounds : 'msg t -> int -> unit
+(** Account for rounds that a real execution would spend idle (e.g. a
+    fixed-length phase that ended early at quiescence but whose
+    schedule the nodes cannot cut short).  Used by protocols that
+    charge themselves the analytic schedule. *)
+
+(** {1 Node-program runner} *)
+
+module type PROTOCOL = sig
+  type state
+  type message
+
+  val message_words : message -> int
+
+  val init : Graphlib.Graph.t -> int -> state * (int * message) list
+  (** [init g v] is the initial state of node [v] and the messages it
+      sends in the first round (neighbor, payload). *)
+
+  val receive :
+    Graphlib.Graph.t ->
+    round:int ->
+    int ->
+    state ->
+    (int * message) list ->
+    state * (int * message) list
+  (** [receive g ~round v st inbox] handles one round at node [v]:
+      [inbox] lists (sender, payload) delivered this round.  Called
+      every round for every node (possibly with an empty inbox) until
+      the network is quiescent. *)
+end
+
+module Run (P : PROTOCOL) : sig
+  val run : ?max_rounds:int -> Graphlib.Graph.t -> stats * P.state array
+end

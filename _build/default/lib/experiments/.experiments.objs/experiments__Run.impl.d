@@ -1,0 +1,1 @@
+lib/experiments/run.ml: Array Baseline Distnet Float Graphlib List Lowerbound Oracle Printf Spanner Stdlib String Table Util

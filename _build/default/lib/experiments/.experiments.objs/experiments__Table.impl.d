@@ -1,0 +1,1 @@
+lib/experiments/table.ml: Array Format List Printf Stdlib String

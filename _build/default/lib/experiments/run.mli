@@ -1,0 +1,87 @@
+(** The experiment suite: one function per table of EXPERIMENTS.md,
+    each regenerating a quantitative claim of the paper (Fig. 1 or a
+    theorem).  [quick] shrinks workloads for the default bench run;
+    the full sizes are what EXPERIMENTS.md records.  Everything is
+    deterministic in [seed]. *)
+
+val e1_fig1 : ?quick:bool -> seed:int -> unit -> Table.t
+(** Fig. 1 — the state-of-the-art comparison: size, distortion,
+    rounds, and maximum message length per algorithm, measured. *)
+
+val e2_size_vs_density : ?quick:bool -> seed:int -> unit -> Table.t
+(** Lemma 6 / Theorem 2 — skeleton size ≈ [D n / e + O(n log D)],
+    swept over D. *)
+
+val e3_skeleton_scaling : ?quick:bool -> seed:int -> unit -> Table.t
+(** Theorem 2 — rounds, message length and distortion of the
+    distributed skeleton as n grows. *)
+
+val e4_fib_stages : ?quick:bool -> seed:int -> unit -> Table.t
+(** Theorem 7 / Corollary 1 — the staged distortion of a Fibonacci
+    spanner as a function of distance. *)
+
+val e5_fib_size_vs_order : ?quick:bool -> seed:int -> unit -> Table.t
+(** Lemma 8 — the sparseness-distortion tradeoff swept over the
+    order o. *)
+
+val e6_lb_eps_beta : ?quick:bool -> seed:int -> unit -> Table.t
+(** Theorem 4 — beta forced on (1+eps,beta)-spanners vs round budget
+    tau, on G(tau, sigma, kappa). *)
+
+val e7_lb_additive : ?quick:bool -> seed:int -> unit -> Table.t
+(** Theorem 5 — additive spanners: the distortion a tau-round
+    algorithm suffers at the proof's parameter choices. *)
+
+val e8_fib_budget : ?quick:bool -> seed:int -> unit -> Table.t
+(** Section 4.4 — Monte Carlo blocking and Las Vegas recovery of the
+    distributed Fibonacci construction vs the message budget n^(1/t). *)
+
+val e9_contribution : ?quick:bool -> seed:int -> unit -> Table.t
+(** Lemma 6 — exact X^t_p against the paper's corrected bound and the
+    original Baswana–Sen claim. *)
+
+val e10_overlay : ?quick:bool -> seed:int -> unit -> Table.t
+(** Section 1 motivation — broadcast on the skeleton vs on the full
+    network: message count vs delay. *)
+
+val all : ?quick:bool -> seed:int -> unit -> Table.t list
+val by_id : string -> (?quick:bool -> seed:int -> unit -> Table.t) option
+val ids : string list
+
+val e11_linear_strategies : ?quick:bool -> seed:int -> unit -> Table.t
+(** Ablation: linear-size strategies head to head — Baswana–Sen
+    clustering without contraction vs the skeleton with it, plus the
+    greedy and Corollary 1 references. *)
+
+val e12_abort_ablation : ?quick:bool -> seed:int -> unit -> Table.t
+(** Ablation of the [q > 4 s_i ln n] abort rule. *)
+
+val e13_oracle : ?quick:bool -> seed:int -> unit -> Table.t
+(** §5's application: Thorup–Zwick distance-oracle space/stretch. *)
+
+val e14_combined : ?quick:bool -> seed:int -> unit -> Table.t
+(** Corollary 1: the Fibonacci + skeleton union's distortion profile. *)
+
+val e15_lb_sublinear : ?quick:bool -> seed:int -> unit -> Table.t
+(** Theorem 6 — sublinear-additive spanners need polynomial rounds. *)
+
+val e16_girth_frontier : ?quick:bool -> seed:int -> unit -> Table.t
+(** The girth-conjecture background: greedy (2k−1)-spanners against the
+    [n^(1+1/k)] size frontier. *)
+
+val e17_streaming : ?quick:bool -> seed:int -> unit -> Table.t
+(** §1.4's streaming model: single-pass spanner memory vs the
+    [n^(1+1/k)] frontier on the densest possible stream. *)
+
+val e18_beta_comparison : ?quick:bool -> seed:int -> unit -> Table.t
+(** §1.2's analytic claim: the Fibonacci spanner's β "compares
+    favorably" with Elkin–Zhang's at equal message budgets. *)
+
+val e19_eps_beta_behavior : ?quick:bool -> seed:int -> unit -> Table.t
+(** §1.2/§4: the (1+ε,β) signature — additive error saturating with
+    distance — for the EZ-style superclustering baseline and the
+    Fibonacci spanner side by side. *)
+
+val e20_compact_routing : ?quick:bool -> seed:int -> unit -> Table.t
+(** §5's closing question: compact routing state vs measured route
+    stretch. *)

@@ -1,0 +1,37 @@
+type t = {
+  id : string;
+  title : string;
+  reproduces : string;
+  columns : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let cell_f x = Printf.sprintf "%.3g" x
+let cell_i = string_of_int
+
+let print ppf t =
+  let all = t.columns :: t.rows in
+  let ncols = List.fold_left (fun acc r -> Stdlib.max acc (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if i < ncols && String.length cell > widths.(i) then
+            widths.(i) <- String.length cell)
+        row)
+    all;
+  let render row =
+    String.concat "  "
+      (List.mapi
+         (fun i cell -> Printf.sprintf "%-*s" widths.(i) cell)
+         row)
+  in
+  Format.fprintf ppf "@.== %s: %s@." t.id t.title;
+  Format.fprintf ppf "   reproduces: %s@." t.reproduces;
+  Format.fprintf ppf "%s@." (render t.columns);
+  Format.fprintf ppf "%s@."
+    (String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths)));
+  List.iter (fun r -> Format.fprintf ppf "%s@." (render r)) t.rows;
+  List.iter (fun n -> Format.fprintf ppf "   note: %s@." n) t.notes

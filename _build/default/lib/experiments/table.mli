@@ -1,0 +1,18 @@
+(** Plain-text experiment tables (shared by [bench/] and [bin/]). *)
+
+type t = {
+  id : string;  (** e.g. "E1" *)
+  title : string;
+  reproduces : string;  (** the paper artifact this regenerates *)
+  columns : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val print : Format.formatter -> t -> unit
+(** Aligned ASCII rendering with header, separator and notes. *)
+
+val cell_f : float -> string
+(** Compact float cell: "%.3g". *)
+
+val cell_i : int -> string

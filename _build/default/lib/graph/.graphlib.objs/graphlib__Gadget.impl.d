@@ -1,0 +1,1 @@
+lib/graph/gadget.ml: Array Float Graph Stdlib

@@ -1,0 +1,1 @@
+lib/graph/gadget.mli: Graph

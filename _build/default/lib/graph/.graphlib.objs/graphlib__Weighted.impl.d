@@ -1,0 +1,1 @@
+lib/graph/weighted.ml: Array Edge_set Graph List Stdlib Util

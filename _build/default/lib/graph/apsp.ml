@@ -1,0 +1,8 @@
+let compute g = Array.init (Graph.n g) (fun src -> Bfs.distances g ~src)
+
+let diameter g =
+  let d = compute g in
+  Array.fold_left
+    (fun acc row ->
+      Array.fold_left (fun acc x -> if x > acc then x else acc) acc row)
+    0 d

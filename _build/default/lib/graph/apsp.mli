@@ -1,0 +1,8 @@
+(** All-pairs shortest paths by repeated BFS.  O(n·m) — intended for the
+    exact distortion checks on small graphs in the test suite. *)
+
+val compute : Graph.t -> int array array
+(** [compute g] is the distance matrix; [-1] marks unreachable pairs. *)
+
+val diameter : Graph.t -> int
+(** Largest finite pairwise distance (0 for the empty graph). *)

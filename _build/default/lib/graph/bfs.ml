@@ -1,0 +1,141 @@
+let distances g ~src =
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Graph.iter_neighbors g u (fun v _ ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+  done;
+  dist
+
+type forest = {
+  dist : int array;
+  source : int array;
+  parent : int array;
+  parent_edge : int array;
+}
+
+let multi_source ?radius g ~sources =
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  let source = Array.make n (-1) in
+  let parent = Array.make n (-1) in
+  let parent_edge = Array.make n (-1) in
+  let limit = match radius with None -> max_int | Some r -> r in
+  let frontier = ref [] in
+  (* Sources at distance 0; a vertex listed twice keeps the min id
+     (labels are min-updated below, so initialization order is moot). *)
+  List.iter
+    (fun s ->
+      if source.(s) < 0 || s < source.(s) then begin
+        if dist.(s) < 0 then frontier := s :: !frontier;
+        dist.(s) <- 0;
+        source.(s) <- s;
+        parent.(s) <- -1;
+        parent_edge.(s) <- -1
+      end)
+    sources;
+  let level = ref 0 in
+  while !frontier <> [] && !level < limit do
+    let next = ref [] in
+    let d = !level + 1 in
+    List.iter
+      (fun u ->
+        Graph.iter_neighbors g u (fun v e ->
+            if dist.(v) < 0 then begin
+              dist.(v) <- d;
+              source.(v) <- source.(u);
+              parent.(v) <- u;
+              parent_edge.(v) <- e;
+              next := v :: !next
+            end
+            else if dist.(v) = d && source.(u) < source.(v) then begin
+              (* Same level, better (smaller-id) source: min-update so
+                 the label is the paper's p_i. *)
+              source.(v) <- source.(u);
+              parent.(v) <- u;
+              parent_edge.(v) <- e
+            end))
+      !frontier;
+    frontier := !next;
+    incr level
+  done;
+  { dist; source; parent; parent_edge }
+
+module Workspace = struct
+  type t = {
+    g : Graph.t;
+    dist : int array;
+    parent : int array;
+    parent_edge : int array;
+    mutable touched : int list;
+    queue : int Queue.t;
+  }
+
+  let create g =
+    let n = Graph.n g in
+    {
+      g;
+      dist = Array.make n (-1);
+      parent = Array.make n (-1);
+      parent_edge = Array.make n (-1);
+      touched = [];
+      queue = Queue.create ();
+    }
+
+  let reset t =
+    List.iter
+      (fun v ->
+        t.dist.(v) <- -1;
+        t.parent.(v) <- -1;
+        t.parent_edge.(v) <- -1)
+      t.touched;
+    t.touched <- [];
+    Queue.clear t.queue
+
+  let run t ~src ~radius ~on_visit =
+    reset t;
+    t.dist.(src) <- 0;
+    t.touched <- [ src ];
+    Queue.add src t.queue;
+    on_visit ~v:src ~dist:0;
+    while not (Queue.is_empty t.queue) do
+      let u = Queue.pop t.queue in
+      if t.dist.(u) < radius then
+        Graph.iter_neighbors t.g u (fun v e ->
+            if t.dist.(v) < 0 then begin
+              t.dist.(v) <- t.dist.(u) + 1;
+              t.parent.(v) <- u;
+              t.parent_edge.(v) <- e;
+              t.touched <- v :: t.touched;
+              Queue.add v t.queue;
+              on_visit ~v ~dist:t.dist.(v)
+            end)
+    done
+
+  let dist t v = t.dist.(v)
+  let parent_edge t v = t.parent_edge.(v)
+  let parent t v = t.parent.(v)
+
+  let path_edges_to_source t v =
+    if t.dist.(v) < 0 then invalid_arg "Bfs.Workspace.path_edges_to_source: unreached";
+    let rec loop v acc =
+      match t.parent_edge.(v) with
+      | -1 -> acc
+      | e -> loop t.parent.(v) (e :: acc)
+    in
+    loop v []
+end
+
+let eccentricity g v =
+  let dist = distances g ~src:v in
+  Array.fold_left (fun acc d -> if d > acc then d else acc) 0 dist
+
+let diameter_lower_bound g ~seeds =
+  List.fold_left (fun acc s -> Stdlib.max acc (eccentricity g s)) 0 seeds

@@ -1,0 +1,65 @@
+(** Breadth-first search primitives.
+
+    The multi-source variant implements exactly the paper's [p_i(u)]
+    convention (Section 4.1): the nearest source, ties broken towards
+    the source with the minimum identifier. *)
+
+val distances : Graph.t -> src:int -> int array
+(** Per-vertex distance from [src]; [-1] when unreachable. *)
+
+type forest = {
+  dist : int array;  (** [-1] when unreachable *)
+  source : int array;  (** nearest source (min id among ties); [-1] unreachable *)
+  parent : int array;  (** parent vertex towards the source; [-1] at sources *)
+  parent_edge : int array;  (** edge to [parent]; [-1] at sources *)
+}
+
+val multi_source : ?radius:int -> Graph.t -> sources:int list -> forest
+(** Level-synchronous BFS from all [sources] at distance 0.  Every
+    reached vertex is labelled with its nearest source, ties broken by
+    minimum source identifier; parent pointers are consistent with the
+    labels (following [parent] reaches [source] along a shortest
+    path whose every vertex carries the same label).  [radius] bounds
+    the exploration depth (inclusive). *)
+
+(** {1 Reusable truncated searches}
+
+    The Fibonacci-spanner construction performs one truncated BFS per
+    sampled vertex; [Workspace] amortizes the per-search allocations by
+    resetting only the entries touched by the previous search. *)
+
+module Workspace : sig
+  type t
+
+  val create : Graph.t -> t
+
+  val run :
+    t ->
+    src:int ->
+    radius:int ->
+    on_visit:(v:int -> dist:int -> unit) ->
+    unit
+  (** BFS from [src] up to depth [radius] (inclusive); [on_visit] is
+      called once per reached vertex in nondecreasing distance order,
+      including [src] itself at distance 0. *)
+
+  val dist : t -> int -> int
+  (** Distance assigned by the latest [run]; [-1] if untouched. *)
+
+  val parent_edge : t -> int -> int
+  (** Edge towards the parent in the latest run's BFS tree; [-1] at the
+      source or untouched vertices. *)
+
+  val parent : t -> int -> int
+
+  val path_edges_to_source : t -> int -> int list
+  (** Edges of the tree path from a visited vertex back to the latest
+      source. *)
+end
+
+val eccentricity : Graph.t -> int -> int
+(** Largest finite distance from the vertex. *)
+
+val diameter_lower_bound : Graph.t -> seeds:int list -> int
+(** Max eccentricity over the seed vertices (a lower bound on the
+    diameter; exact on trees when double-sweeped). *)

@@ -1,0 +1,29 @@
+(** Sets of edge identifiers of a host graph — the representation of a
+    spanner [S ⊆ E].  *)
+
+type t
+
+val create : Graph.t -> t
+(** Empty set over the host graph's edges. *)
+
+val host : t -> Graph.t
+val add : t -> int -> unit
+val mem : t -> int -> bool
+val cardinal : t -> int
+
+val add_path : t -> int list -> unit
+(** Add every edge of a path (list of edge ids). *)
+
+val add_all : t -> t -> unit
+(** [add_all t other] unions [other] (over the same host) into [t]. *)
+
+val iter : t -> (int -> unit) -> unit
+val to_graph : t -> Graph.t
+(** The spanning subgraph [(V, S)] as a standalone graph on the same
+    vertex set.  Edge identifiers are renumbered. *)
+
+val union : t -> t -> t
+(** Fresh union of two sets over the same host graph. *)
+
+val of_list : Graph.t -> int list -> t
+val copy : t -> t

@@ -1,0 +1,103 @@
+type t = {
+  graph : Graph.t;
+  tau : int;
+  sigma : int;
+  kappa : int;
+  left : int array array;
+  right : int array array;
+  critical_edges : int array;
+  block_edges : int list;
+  chain_edges : int list;
+}
+
+let create ~tau ~sigma ~kappa =
+  if tau < 1 || sigma < 1 || kappa < 1 then invalid_arg "Gadget.create";
+  let block_vertices = 2 * kappa * sigma in
+  let short_paths = (kappa - 1) * tau in
+  let long_paths = (kappa - 1) * (sigma - 1) * (tau + 4) in
+  let pendant = 2 * sigma * (tau + 1) in
+  let n = block_vertices + short_paths + long_paths + pendant in
+  let next = ref 0 in
+  let fresh () =
+    let v = !next in
+    incr next;
+    v
+  in
+  let left = Array.init kappa (fun _ -> Array.init sigma (fun _ -> fresh ())) in
+  let right = Array.init kappa (fun _ -> Array.init sigma (fun _ -> fresh ())) in
+  let b = Graph.Builder.create ~n in
+  (* Complete bipartite blocks. *)
+  for i = 0 to kappa - 1 do
+    for j = 0 to sigma - 1 do
+      for j' = 0 to sigma - 1 do
+        Graph.Builder.add_edge b left.(i).(j) right.(i).(j')
+      done
+    done
+  done;
+  (* A path of [extra] fresh internal vertices between two endpoints. *)
+  let connect_by_path a c extra =
+    let prev = ref a in
+    for _ = 1 to extra do
+      let w = fresh () in
+      Graph.Builder.add_edge b !prev w;
+      prev := w
+    done;
+    Graph.Builder.add_edge b !prev c
+  in
+  for i = 0 to kappa - 2 do
+    connect_by_path right.(i).(0) left.(i + 1).(0) tau;
+    for j = 1 to sigma - 1 do
+      connect_by_path right.(i).(j) left.(i + 1).(j) (tau + 4)
+    done
+  done;
+  (* Pendant chains of tau+1 fresh vertices off the outer columns, so
+     every block vertex's tau-neighborhood looks the same. *)
+  let pendant_chain v =
+    let prev = ref v in
+    for _ = 1 to tau + 1 do
+      let w = fresh () in
+      Graph.Builder.add_edge b !prev w;
+      prev := w
+    done
+  in
+  for j = 0 to sigma - 1 do
+    pendant_chain left.(0).(j);
+    pendant_chain right.(kappa - 1).(j)
+  done;
+  assert (!next = n);
+  let graph = Graph.Builder.build b in
+  let critical_edges =
+    Array.init kappa (fun i ->
+        match Graph.find_edge graph left.(i).(0) right.(i).(0) with
+        | Some e -> e
+        | None -> assert false)
+  in
+  let block_edges = ref [] and chain_edges = ref [] in
+  let is_block_vertex = Array.make n false in
+  Array.iter (Array.iter (fun v -> is_block_vertex.(v) <- true)) left;
+  Array.iter (Array.iter (fun v -> is_block_vertex.(v) <- true)) right;
+  Graph.iter_edges graph (fun e u v ->
+      if is_block_vertex.(u) && is_block_vertex.(v) then
+        block_edges := e :: !block_edges
+      else chain_edges := e :: !chain_edges);
+  {
+    graph;
+    tau;
+    sigma;
+    kappa;
+    left;
+    right;
+    critical_edges;
+    block_edges = !block_edges;
+    chain_edges = !chain_edges;
+  }
+
+let hop_length t = t.tau + 2
+let observers t = (t.left.(0).(0), t.left.(t.kappa - 1).(0))
+
+let paper_parameters ~n ~delta ~c ~tau =
+  let nf = float_of_int n in
+  let sigma = c *. float_of_int (tau + 6) *. (nf ** delta) in
+  let kappa = (nf ** (1. -. delta)) /. (c *. float_of_int ((tau + 6) * (tau + 6))) in
+  ( Stdlib.max 1 (int_of_float (Float.round sigma)),
+    Stdlib.max 1 (int_of_float (Float.round kappa)) )

@@ -1,0 +1,41 @@
+(** The lower-bound graph [G(tau, sigma, kappa)] of the paper's
+    Section 3 (Fig. 5).
+
+    [kappa] complete [sigma × sigma] bipartite blocks in a row.  For
+    consecutive blocks [i] and [i+1]: column 1 is joined by a path of
+    length [tau + 1] (the fast lane next to the {e critical edge}), and
+    every other column [j >= 2] by a path of length [tau + 5].  Chains
+    of [tau + 1] extra vertices hang off the outer columns so every
+    block vertex has a topologically identical [tau]-neighborhood.
+
+    Blocks and columns are 0-based here (the paper is 1-based). *)
+
+type t = {
+  graph : Graph.t;
+  tau : int;
+  sigma : int;
+  kappa : int;
+  left : int array array;  (** [left.(i).(j)] = v_{L,i,j} *)
+  right : int array array;  (** [right.(i).(j)] = v_{R,i,j} *)
+  critical_edges : int array;
+      (** edge ids of (v_{L,i,0}, v_{R,i,0}), one per block *)
+  block_edges : int list;  (** all bipartite-block edge ids *)
+  chain_edges : int list;  (** all path/chain edge ids *)
+}
+
+val create : tau:int -> sigma:int -> kappa:int -> t
+(** Requires [tau >= 1], [sigma >= 1], [kappa >= 1]. *)
+
+val hop_length : t -> int
+(** Distance from [v_{L,i,0}] to [v_{L,i+1,0}] along the critical lane:
+    [tau + 2]. *)
+
+val observers : t -> int * int
+(** The pair [(v_{L,0,0}, v_{L,kappa-1,0})] whose unique shortest path
+    uses every critical edge — the pair the theorems measure. *)
+
+val paper_parameters :
+  n:int -> delta:float -> c:float -> tau:int -> int * int
+(** [(sigma, kappa)] as chosen in the proof of Theorem 3:
+    [sigma = c (tau+6) n^delta], [kappa = n^(1-delta) / (c (tau+6)^2)],
+    both clamped to at least 1. *)

@@ -1,0 +1,35 @@
+(* BFS from every vertex; every non-tree edge (u, w) with both endpoints
+   reached closes a walk of length dist u + dist w + 1 through the
+   root, and every shortest cycle is witnessed exactly this way from
+   any of its vertices. *)
+let girth g =
+  let n = Graph.n g in
+  let best = ref max_int in
+  let dist = Array.make n (-1) in
+  let parent_edge = Array.make n (-1) in
+  let queue = Queue.create () in
+  for s = 0 to n - 1 do
+    Array.fill dist 0 n (-1);
+    Array.fill parent_edge 0 n (-1);
+    Queue.clear queue;
+    dist.(s) <- 0;
+    Queue.add s queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      if 2 * dist.(u) < !best then
+        Graph.iter_neighbors g u (fun v e ->
+            if dist.(v) < 0 then begin
+              dist.(v) <- dist.(u) + 1;
+              parent_edge.(v) <- e;
+              Queue.add v queue
+            end
+            else if e <> parent_edge.(u) then begin
+              let candidate = dist.(u) + dist.(v) + 1 in
+              if candidate < !best then best := candidate
+            end)
+    done
+  done;
+  if !best = max_int then None else Some !best
+
+let has_girth_gt g k =
+  match girth g with None -> true | Some c -> c > k

@@ -1,0 +1,9 @@
+(** Exact girth (length of the shortest cycle) by BFS from every
+    vertex — O(n·m), for validating the greedy spanner's structural
+    guarantee on test-sized graphs. *)
+
+val girth : Graph.t -> int option
+(** [None] on forests. *)
+
+val has_girth_gt : Graph.t -> int -> bool
+(** [has_girth_gt g k] iff every cycle of [g] is longer than [k]. *)

@@ -1,0 +1,32 @@
+let to_channel g oc =
+  Printf.fprintf oc "%d %d\n" (Graph.n g) (Graph.m g);
+  Graph.iter_edges g (fun _ u v -> Printf.fprintf oc "%d %d\n" u v)
+
+let write g path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel g oc)
+
+let of_channel ic =
+  let read_line () =
+    let rec next () =
+      let line = String.trim (input_line ic) in
+      if line = "" || line.[0] = '#' then next () else line
+    in
+    next ()
+  in
+  let header = read_line () in
+  match String.split_on_char ' ' header with
+  | [ ns; ms ] ->
+      let n = int_of_string ns and m = int_of_string ms in
+      let b = Graph.Builder.create ~n in
+      for _ = 1 to m do
+        match String.split_on_char ' ' (read_line ()) with
+        | [ us; vs ] -> Graph.Builder.add_edge b (int_of_string us) (int_of_string vs)
+        | _ -> failwith "Io.read: malformed edge line"
+      done;
+      Graph.Builder.build b
+  | _ -> failwith "Io.read: malformed header"
+
+let read path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> of_channel ic)

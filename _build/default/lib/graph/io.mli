@@ -1,0 +1,13 @@
+(** Plain-text edge-list serialization.
+
+    Format: first line "[n] [m]", then one "[u] [v]" line per edge.
+    Lines starting with '#' are comments. *)
+
+val write : Graph.t -> string -> unit
+(** [write g path]. *)
+
+val read : string -> Graph.t
+(** @raise Failure on malformed input. *)
+
+val to_channel : Graph.t -> out_channel -> unit
+val of_channel : in_channel -> Graph.t

@@ -1,0 +1,121 @@
+type report = {
+  pairs : int;
+  max_mult : float;
+  avg_mult : float;
+  max_add : int;
+  avg_add : float;
+  disconnected : int;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "pairs=%d stretch(max=%.3f avg=%.3f) additive(max=%d avg=%.2f) lost=%d"
+    r.pairs r.max_mult r.avg_mult r.max_add r.avg_add r.disconnected
+
+type acc = {
+  mutable pairs : int;
+  mutable max_mult : float;
+  mutable sum_mult : float;
+  mutable max_add : int;
+  mutable sum_add : float;
+  mutable disconnected : int;
+}
+
+let fresh_acc () =
+  {
+    pairs = 0;
+    max_mult = 1.;
+    sum_mult = 0.;
+    max_add = 0;
+    sum_add = 0.;
+    disconnected = 0;
+  }
+
+let observe acc ~dg ~dh =
+  if dg > 0 then begin
+    if dh < 0 then acc.disconnected <- acc.disconnected + 1
+    else begin
+      acc.pairs <- acc.pairs + 1;
+      let mult = float_of_int dh /. float_of_int dg in
+      let extra = dh - dg in
+      if mult > acc.max_mult then acc.max_mult <- mult;
+      acc.sum_mult <- acc.sum_mult +. mult;
+      if extra > acc.max_add then acc.max_add <- extra;
+      acc.sum_add <- acc.sum_add +. float_of_int extra
+    end
+  end
+
+let finish acc =
+  let p = Stdlib.max 1 acc.pairs in
+  {
+    pairs = acc.pairs;
+    max_mult = acc.max_mult;
+    avg_mult = (if acc.pairs = 0 then 1. else acc.sum_mult /. float_of_int p);
+    max_add = acc.max_add;
+    avg_add = (if acc.pairs = 0 then 0. else acc.sum_add /. float_of_int p);
+    disconnected = acc.disconnected;
+  }
+
+let check_same_universe g h =
+  if Graph.n g <> Graph.n h then invalid_arg "Metrics: vertex sets differ"
+
+let exact ~g ~h =
+  check_same_universe g h;
+  let acc = fresh_acc () in
+  let n = Graph.n g in
+  for u = 0 to n - 1 do
+    let dg = Bfs.distances g ~src:u and dh = Bfs.distances h ~src:u in
+    for v = u + 1 to n - 1 do
+      if dg.(v) > 0 then observe acc ~dg:dg.(v) ~dh:dh.(v)
+    done
+  done;
+  finish acc
+
+let sample_sources rng g k =
+  let n = Graph.n g in
+  let k = Stdlib.min k n in
+  Array.to_list (Util.Prng.sample_without_replacement rng ~k ~n)
+
+let sampled rng ~g ~h ~sources =
+  check_same_universe g h;
+  let acc = fresh_acc () in
+  List.iter
+    (fun s ->
+      let dg = Bfs.distances g ~src:s and dh = Bfs.distances h ~src:s in
+      for v = 0 to Graph.n g - 1 do
+        if v <> s && dg.(v) > 0 then observe acc ~dg:dg.(v) ~dh:dh.(v)
+      done)
+    (sample_sources rng g sources);
+  finish acc
+
+type profile = (int * Util.Stats.t) list
+
+let distance_profile rng ~g ~h ~sources =
+  check_same_universe g h;
+  let buckets : (int, Util.Stats.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      let dg = Bfs.distances g ~src:s and dh = Bfs.distances h ~src:s in
+      for v = 0 to Graph.n g - 1 do
+        if v <> s && dg.(v) > 0 && dh.(v) >= 0 then begin
+          let st =
+            match Hashtbl.find_opt buckets dg.(v) with
+            | Some st -> st
+            | None ->
+                let st = Util.Stats.create () in
+                Hashtbl.add buckets dg.(v) st;
+                st
+          in
+          Util.Stats.add_int st dh.(v)
+        end
+      done)
+    (sample_sources rng g sources);
+  Hashtbl.fold (fun d st acc -> (d, st) :: acc) buckets []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let stretch_at_distance profile d =
+  match List.assoc_opt d profile with
+  | None -> None
+  | Some st ->
+      if Util.Stats.count st = 0 then None
+      else Some (Util.Stats.mean st /. float_of_int d)

@@ -1,0 +1,36 @@
+(** Distortion measurement: how well a spanner [H ⊆ G] preserves the
+    distance metric of [G].
+
+    Exact variants run APSP on both graphs (small [n] only); sampled
+    variants BFS from a random subset of sources, which is unbiased for
+    the per-pair statistics the experiments report. *)
+
+type report = {
+  pairs : int;  (** pairs measured (connected in G) *)
+  max_mult : float;  (** max over pairs of dist_H / dist_G *)
+  avg_mult : float;
+  max_add : int;  (** max over pairs of dist_H - dist_G *)
+  avg_add : float;
+  disconnected : int;  (** pairs connected in G but not in H *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val exact : g:Graph.t -> h:Graph.t -> report
+(** Over all ordered pairs [u < v] connected in [g].  [h] must have the
+    same vertex set. *)
+
+val sampled :
+  Util.Prng.t -> g:Graph.t -> h:Graph.t -> sources:int -> report
+(** Over all pairs [(s, v)] for [sources] random sources [s]. *)
+
+type profile = (int * Util.Stats.t) list
+(** For each base distance [d] in [g] (ascending), statistics of the
+    spanner distance for measured pairs at that distance.  This is the
+    raw material of the Theorem 7 staged-distortion experiment. *)
+
+val distance_profile :
+  Util.Prng.t -> g:Graph.t -> h:Graph.t -> sources:int -> profile
+
+val stretch_at_distance : profile -> int -> float option
+(** Mean multiplicative stretch at exactly distance [d], if measured. *)

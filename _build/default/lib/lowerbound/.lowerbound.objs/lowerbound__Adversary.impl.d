@@ -1,0 +1,1 @@
+lib/lowerbound/adversary.ml: Array Float Graphlib List Printf Stdlib Util

@@ -1,0 +1,161 @@
+module Graph = Graphlib.Graph
+module Gadget = Graphlib.Gadget
+module Edge_set = Graphlib.Edge_set
+module Bfs = Graphlib.Bfs
+
+type outcome = {
+  kept_block_edges : int;
+  total_edges : int;
+  discarded_critical : int;
+  additive : int;
+  multiplicative : float;
+  disconnected : bool;
+}
+
+let run_once rng (gd : Gadget.t) ~keep =
+  let g = gd.Gadget.graph in
+  let s = Edge_set.create g in
+  List.iter (Edge_set.add s) gd.Gadget.chain_edges;
+  let kept_block = ref 0 in
+  List.iter
+    (fun e ->
+      if Util.Prng.bernoulli rng keep then begin
+        Edge_set.add s e;
+        incr kept_block
+      end)
+    gd.Gadget.block_edges;
+  (* Only the criticals on the observers' unique shortest path count
+     (blocks [i1, i2) in the paper's notation): the last block's
+     critical edge lies beyond the second observer. *)
+  let discarded_critical = ref 0 in
+  for i = 0 to gd.Gadget.kappa - 2 do
+    if not (Edge_set.mem s gd.Gadget.critical_edges.(i)) then incr discarded_critical
+  done;
+  let discarded_critical = !discarded_critical in
+  let u, v = Gadget.observers gd in
+  let base = (Bfs.distances g ~src:u).(v) in
+  let h = Edge_set.to_graph s in
+  let dh = (Bfs.distances h ~src:u).(v) in
+  {
+    kept_block_edges = !kept_block;
+    total_edges = Edge_set.cardinal s;
+    discarded_critical;
+    additive = (if dh < 0 then -1 else dh - base);
+    multiplicative = (if dh < 0 then infinity else float_of_int dh /. float_of_int base);
+    disconnected = dh < 0;
+  }
+
+type summary = {
+  trials : int;
+  keep : float;
+  mean_additive : float;
+  max_additive : int;
+  mean_discarded_critical : float;
+  replacement_exact : int;
+  predicted_additive : float;
+}
+
+let run rng (gd : Gadget.t) ~keep ~trials =
+  if trials < 1 then invalid_arg "Adversary.run: trials must be >= 1";
+  let add = Util.Stats.create () in
+  let disc = Util.Stats.create () in
+  let exact = ref 0 in
+  let max_add = ref 0 in
+  for _ = 1 to trials do
+    let o = run_once rng gd ~keep in
+    if not o.disconnected then begin
+      Util.Stats.add_int add o.additive;
+      Util.Stats.add_int disc o.discarded_critical;
+      if o.additive = 2 * o.discarded_critical then incr exact;
+      if o.additive > !max_add then max_add := o.additive
+    end
+  done;
+  {
+    trials;
+    keep;
+    mean_additive = Util.Stats.mean add;
+    max_additive = !max_add;
+    mean_discarded_critical = Util.Stats.mean disc;
+    replacement_exact = !exact;
+    predicted_additive = 2. *. (1. -. keep) *. float_of_int (gd.Gadget.kappa - 1);
+  }
+
+let average_pair_distortion rng (gd : Gadget.t) ~keep ~pairs =
+  let g = gd.Gadget.graph in
+  let s = Edge_set.create g in
+  List.iter (Edge_set.add s) gd.Gadget.chain_edges;
+  List.iter
+    (fun e -> if Util.Prng.bernoulli rng keep then Edge_set.add s e)
+    gd.Gadget.block_edges;
+  let h = Edge_set.to_graph s in
+  let n = Graph.n g in
+  let acc = Util.Stats.create () in
+  let budget = ref (20 * pairs) in
+  while Util.Stats.count acc < pairs && !budget > 0 do
+    decr budget;
+    let u = Util.Prng.int rng n and v = Util.Prng.int rng n in
+    if u <> v then begin
+      let dg = (Bfs.distances g ~src:u).(v) in
+      let dh = (Bfs.distances h ~src:u).(v) in
+      if dg > 0 && dh >= 0 then Util.Stats.add_int acc (dh - dg)
+    end
+  done;
+  Util.Stats.mean acc
+
+type setup = {
+  gadget : Gadget.t;
+  keep_fraction : float;
+  tau : int;
+  label : string;
+}
+
+let clamp_tau tau = Stdlib.max 1 tau
+
+let theorem4 ~n ~delta ~zeta ~tau =
+  let c = 2. /. zeta in
+  let sigma, kappa = Gadget.paper_parameters ~n ~delta ~c ~tau in
+  let gadget = Gadget.create ~tau ~sigma ~kappa in
+  let keep = (1. /. c) +. (1. /. (c *. float_of_int kappa)) in
+  {
+    gadget;
+    keep_fraction = Stdlib.min 1. keep;
+    tau;
+    label = Printf.sprintf "thm4 n=%d delta=%.2f zeta=%.2f tau=%d" n delta zeta tau;
+  }
+
+let theorem5 ~n ~delta ~beta =
+  let nf = float_of_int n in
+  let tau =
+    clamp_tau
+      (int_of_float (Float.round (sqrt ((nf ** (1. -. delta)) /. (4. *. beta)) -. 6.)))
+  in
+  let sigma = Stdlib.max 2 (int_of_float (Float.round (2. *. float_of_int (tau + 6) *. (nf ** delta)))) in
+  let kappa = Stdlib.max 2 (int_of_float (Float.round (2. *. beta))) in
+  let gadget = Gadget.create ~tau ~sigma ~kappa in
+  let keep = 0.5 +. (1. /. (2. *. float_of_int kappa)) in
+  {
+    gadget;
+    keep_fraction = keep;
+    tau;
+    label = Printf.sprintf "thm5 n=%d delta=%.2f beta=%.1f tau=%d" n delta beta tau;
+  }
+
+let theorem6 ~n ~nu ~xi ~c =
+  let nf = float_of_int n in
+  let tau = clamp_tau (int_of_float (Float.round ((nf ** (nu *. (1. -. xi) /. (1. +. nu))) /. c)) - 6) in
+  let sigma =
+    Stdlib.max 2
+      (int_of_float (Float.round (4. /. c *. (nf ** ((nu +. xi) /. (1. +. nu))))))
+  in
+  let kappa =
+    Stdlib.max 2
+      (int_of_float
+         (Float.round (c *. c /. 4. *. (nf ** ((1. -. xi) *. (1. -. nu) /. (1. +. nu))))))
+  in
+  let gadget = Gadget.create ~tau ~sigma ~kappa in
+  {
+    gadget;
+    keep_fraction = 0.25;
+    tau;
+    label = Printf.sprintf "thm6 n=%d nu=%.2f xi=%.2f tau=%d" n nu xi tau;
+  }

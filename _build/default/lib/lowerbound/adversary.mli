@@ -1,0 +1,69 @@
+(** Empirical form of the Section 3 lower bounds.
+
+    The theorems argue: in [tau] rounds, every block edge of
+    [G(tau, sigma, kappa)] looks the same (identical
+    [tau]-neighborhoods), so an algorithm keeping only a [q] fraction
+    of them discards each — in particular each {e critical} edge —
+    with probability [1 - q]; chain edges cannot be discarded at all
+    (dropping one would disconnect, for all the algorithm can tell).
+    Each missing critical edge costs the observer pair exactly +2
+    (the length-3 replacement inside the block).
+
+    This module simulates the strongest legal [tau]-round algorithm:
+    keep every chain edge and an independent [q]-fraction of block
+    edges, then measure the observers' distortion. *)
+
+type outcome = {
+  kept_block_edges : int;
+  total_edges : int;  (** spanner size: chains + kept block edges *)
+  discarded_critical : int;
+  additive : int;  (** measured delta_H(u,v) - delta(u,v) *)
+  multiplicative : float;
+  disconnected : bool;  (** observers separated (requires losing every
+                            replacement path too — essentially never) *)
+}
+
+val run_once : Util.Prng.t -> Graphlib.Gadget.t -> keep:float -> outcome
+
+type summary = {
+  trials : int;
+  keep : float;
+  mean_additive : float;
+  max_additive : int;
+  mean_discarded_critical : float;
+  replacement_exact : int;
+      (** trials where additive = 2 * discarded critical edges exactly *)
+  predicted_additive : float;  (** 2 (1 - keep) kappa *)
+}
+
+val run : Util.Prng.t -> Graphlib.Gadget.t -> keep:float -> trials:int -> summary
+
+val average_pair_distortion :
+  Util.Prng.t -> Graphlib.Gadget.t -> keep:float -> pairs:int -> float
+(** Theorem 4's second claim (and footnote 7): the distortion is not an
+    artifact of one worst pair — for {e random} vertex pairs the
+    expected additive distortion is still [Omega(zeta^2 tau^-2
+    n^(1-delta))].  Returns the mean additive distortion over [pairs]
+    uniformly random connected pairs on a single sampled spanner. *)
+
+(** {1 Per-theorem parameter choices} *)
+
+type setup = {
+  gadget : Graphlib.Gadget.t;
+  keep_fraction : float;
+  tau : int;
+  label : string;
+}
+
+val theorem4 : n:int -> delta:float -> zeta:float -> tau:int -> setup
+(** The [(1+eps, beta)] bound: [c = 2/zeta], keep [1/c + 1/(c kappa)].
+    [n] is the target vertex budget; the realized gadget is built from
+    {!Graphlib.Gadget.paper_parameters}. *)
+
+val theorem5 : n:int -> delta:float -> beta:float -> setup
+(** Additive-beta bound: [tau = sqrt(n^(1-delta)/(4 beta)) - 6],
+    [kappa = 2 beta], keep one half. *)
+
+val theorem6 : n:int -> nu:float -> xi:float -> c:float -> setup
+(** Sublinear-additive bound ([d + c d^(1-nu)] spanners of size
+    [n^(1+xi)]): the proof's choices of [tau, sigma, kappa]. *)

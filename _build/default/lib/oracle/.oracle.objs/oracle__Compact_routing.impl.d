@@ -1,0 +1,1 @@
+lib/oracle/compact_routing.ml: Array Graphlib Hashtbl List Queue Util

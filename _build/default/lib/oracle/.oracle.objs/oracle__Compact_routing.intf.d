@@ -1,0 +1,1 @@
+lib/oracle/compact_routing.mli: Graphlib

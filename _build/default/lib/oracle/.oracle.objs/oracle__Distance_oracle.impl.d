@@ -1,0 +1,1 @@
+lib/oracle/distance_oracle.ml: Array Graphlib Hashtbl List Queue Util

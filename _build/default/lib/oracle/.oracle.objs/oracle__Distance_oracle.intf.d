@@ -1,0 +1,1 @@
+lib/oracle/distance_oracle.mli: Graphlib

@@ -1,0 +1,37 @@
+(** Thorup–Zwick approximate distance oracles (J. ACM 2005), for
+    unweighted graphs — the application class the paper's conclusion
+    singles out ("the most interesting applications of spanners are in
+    constructing distance labeling schemes, approximate distance
+    oracles, and compact routing tables").
+
+    Construction: a sampled hierarchy [A_0 = V ⊇ A_1 ⊇ … ⊇ A_{k-1}],
+    [A_k = ∅], each level kept with probability [n^(-1/k)].  Every
+    vertex stores its {e bunch}
+    [B(v) = ∪_i { w ∈ A_i \ A_{i+1} | delta(v,w) < delta(v, A_{i+1}) }]
+    together with exact distances, plus its {e pivots} [p_i(v)]
+    (nearest [A_i]-vertex).  Expected space [O(k n^{1+1/k})] entries;
+    queries answer in [O(k)] lookups with stretch at most [2k - 1].
+
+    The hierarchy sampling is the same machinery as the paper's spanner
+    constructions — this module shows it powering a query structure. *)
+
+type t
+
+val build : k:int -> seed:int -> Graphlib.Graph.t -> t
+(** Requires [k >= 1].  O(k m + total bunch size) time. *)
+
+val query : t -> int -> int -> int option
+(** [query t u v] is an estimate [d'] with
+    [delta(u,v) <= d' <= (2k-1) delta(u,v)], or [None] when [u] and
+    [v] are disconnected. *)
+
+val k : t -> int
+val size : t -> int
+(** Total stored entries (bunches + pivot tables) — the oracle's
+    space. *)
+
+val bunch_size : t -> int -> int
+(** Entries stored for one vertex. *)
+
+val levels : t -> int array
+(** Per vertex, the highest [i] with [v ∈ A_i]. *)

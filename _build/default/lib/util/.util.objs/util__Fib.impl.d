@@ -1,0 +1,1 @@
+lib/util/fib.ml: Array Float Stdlib

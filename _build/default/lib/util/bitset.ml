@@ -1,0 +1,46 @@
+type t = { words : int array; n : int; mutable card : int }
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative capacity";
+  { words = Array.make ((n + 62) / 63) 0; n; card = 0 }
+
+let capacity t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: index out of range"
+
+let mem t i =
+  check t i;
+  t.words.(i / 63) land (1 lsl (i mod 63)) <> 0
+
+let set t i =
+  check t i;
+  if not (mem t i) then begin
+    t.words.(i / 63) <- t.words.(i / 63) lor (1 lsl (i mod 63));
+    t.card <- t.card + 1
+  end
+
+let clear t i =
+  check t i;
+  if mem t i then begin
+    t.words.(i / 63) <- t.words.(i / 63) land lnot (1 lsl (i mod 63));
+    t.card <- t.card - 1
+  end
+
+let cardinal t = t.card
+
+let reset t =
+  Array.fill t.words 0 (Array.length t.words) 0;
+  t.card <- 0
+
+let iter t f =
+  for i = 0 to t.n - 1 do
+    if t.words.(i / 63) land (1 lsl (i mod 63)) <> 0 then f i
+  done
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if mem t i then acc := i :: !acc
+  done;
+  !acc

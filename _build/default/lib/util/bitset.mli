@@ -1,0 +1,19 @@
+(** Fixed-capacity bit set over [0 .. n-1]. *)
+
+type t
+
+val create : int -> t
+(** All bits clear. *)
+
+val capacity : t -> int
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val mem : t -> int -> bool
+val cardinal : t -> int
+val reset : t -> unit
+(** Clear every bit. *)
+
+val iter : t -> (int -> unit) -> unit
+(** Visit set bits in increasing order. *)
+
+val to_list : t -> int list

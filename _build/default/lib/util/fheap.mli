@@ -1,0 +1,11 @@
+(** Binary min-heap with float keys (for Dijkstra on weighted
+    graphs). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val push : 'a t -> key:float -> 'a -> unit
+val pop_min : 'a t -> (float * 'a) option
+val peek_min : 'a t -> (float * 'a) option

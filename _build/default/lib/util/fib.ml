@@ -1,0 +1,29 @@
+let phi = (1. +. sqrt 5.) /. 2.
+
+let table =
+  let t = Array.make 91 0 in
+  t.(1) <- 1;
+  for k = 2 to 90 do
+    t.(k) <- t.(k - 1) + t.(k - 2)
+  done;
+  t
+
+let f k =
+  if k < 0 || k > 90 then invalid_arg "Fib.f: index out of [0, 90]";
+  table.(k)
+
+let binet k =
+  let k = float_of_int k in
+  ((phi ** k) -. ((1. -. phi) ** k)) /. sqrt 5.
+
+let log_phi x = log x /. log phi
+
+let order_upper_bound n =
+  if n < 2 then 1
+  else
+    let lg = log (float_of_int n) /. log 2. in
+    Stdlib.max 1 (int_of_float (Float.floor (log_phi lg)))
+
+let index_of_first_geq x =
+  let rec loop k = if table.(k) >= x then k else loop (k + 1) in
+  if x <= 0 then 0 else loop 0

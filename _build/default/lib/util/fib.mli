@@ -1,0 +1,27 @@
+(** Fibonacci numbers and golden-ratio facts used throughout Section 4
+    of the paper ("Fibonacci spanners").
+
+    The paper's conventions: [f 0 = 0], [f 1 = 1],
+    [f k = f (k-1) + f (k-2)]; [phi = (1 + sqrt 5) / 2]; and the one
+    inequality the analysis relies on, [phi *. f k +. 1. > f (k+1)]. *)
+
+val phi : float
+(** The golden ratio [(1 + sqrt 5) / 2]. *)
+
+val f : int -> int
+(** [f k] is the k-th Fibonacci number.  Valid for [0 <= k <= 90]
+    (beyond which the value overflows 63-bit integers).
+    @raise Invalid_argument outside that range. *)
+
+val binet : int -> float
+(** Closed form [ (phi^k - (1-phi)^k) / sqrt 5 ]. *)
+
+val log_phi : float -> float
+(** [log_phi x] is [log x /. log phi]. *)
+
+val order_upper_bound : int -> int
+(** [order_upper_bound n] is [floor (log_phi (log2 n))], the maximum
+    spanner order the paper allows ([o <= log_phi log n]); at least 1. *)
+
+val index_of_first_geq : int -> int
+(** [index_of_first_geq x] is the least [k] with [f k >= x]. *)

@@ -1,0 +1,14 @@
+(** Minimal binary min-heap keyed by integers.  Sufficient for the
+    Dijkstra-style traversals in the graph substrate. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val push : 'a t -> key:int -> 'a -> unit
+
+val pop_min : 'a t -> (int * 'a) option
+(** Remove and return the entry with the smallest key. *)
+
+val peek_min : 'a t -> (int * 'a) option

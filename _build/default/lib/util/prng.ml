@@ -1,0 +1,61 @@
+type t = Random.State.t
+
+let create ~seed = Random.State.make [| seed; 0x5eed; seed lxor 0x9e3779b9 |]
+
+let split t =
+  let a = Random.State.bits t and b = Random.State.bits t in
+  Random.State.make [| a; b; a lxor (b lsl 7) |]
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  Random.State.int t bound
+
+let float t bound = Random.State.float t bound
+let bool t = Random.State.bool t
+
+let bernoulli t p =
+  if p <= 0. then false
+  else if p >= 1. then true
+  else Random.State.float t 1. < p
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_without_replacement t ~k ~n =
+  if n < 0 then invalid_arg "Prng.sample_without_replacement: n < 0";
+  let k = max 0 (min k n) in
+  if k = 0 then [||]
+  else if 3 * k >= n then begin
+    (* Dense case: shuffle a full index array and keep a prefix. *)
+    let all = Array.init n (fun i -> i) in
+    shuffle t all;
+    let chosen = Array.sub all 0 k in
+    Array.sort compare chosen;
+    chosen
+  end
+  else begin
+    (* Sparse case: rejection sampling into a hash set. *)
+    let seen = Hashtbl.create (2 * k) in
+    while Hashtbl.length seen < k do
+      let x = Random.State.int t n in
+      if not (Hashtbl.mem seen x) then Hashtbl.add seen x ()
+    done;
+    let chosen = Array.make k 0 in
+    let i = ref 0 in
+    Hashtbl.iter
+      (fun x () ->
+        chosen.(!i) <- x;
+        incr i)
+      seen;
+    Array.sort compare chosen;
+    chosen
+  end
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
+  a.(Random.State.int t (Array.length a))

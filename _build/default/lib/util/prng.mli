@@ -1,0 +1,37 @@
+(** Seeded pseudo-random number generation.
+
+    Every randomized component of the library threads an explicit
+    [Prng.t] so that experiments are reproducible from a single integer
+    seed.  The implementation wraps [Random.State]; the extra helpers
+    are the primitives that spanner algorithms actually need
+    (Bernoulli trials, reservoir-free subset sampling, shuffles). *)
+
+type t
+
+val create : seed:int -> t
+(** [create ~seed] is a fresh generator determined by [seed]. *)
+
+val split : t -> t
+(** [split t] is a new generator derived from (and advancing) [t].
+    Used to hand independent streams to sub-components. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [max 0 (min 1 p)]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val sample_without_replacement : t -> k:int -> n:int -> int array
+(** [sample_without_replacement t ~k ~n] is a sorted array of [min k n]
+    distinct integers drawn uniformly from [\[0, n)]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array.  @raise Invalid_argument on [||]. *)

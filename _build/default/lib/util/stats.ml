@@ -1,0 +1,84 @@
+type t = {
+  mutable count : int;
+  mutable total : float;
+  mutable m2 : float; (* sum of squared deviations from the running mean *)
+  mutable mean_acc : float;
+  mutable minv : float;
+  mutable maxv : float;
+}
+
+let create () =
+  {
+    count = 0;
+    total = 0.;
+    m2 = 0.;
+    mean_acc = 0.;
+    minv = infinity;
+    maxv = neg_infinity;
+  }
+
+(* Welford's online update keeps the second moment numerically stable. *)
+let add t x =
+  t.count <- t.count + 1;
+  t.total <- t.total +. x;
+  let delta = x -. t.mean_acc in
+  t.mean_acc <- t.mean_acc +. (delta /. float_of_int t.count);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean_acc));
+  if x < t.minv then t.minv <- x;
+  if x > t.maxv then t.maxv <- x
+
+let add_int t x = add t (float_of_int x)
+let count t = t.count
+let total t = t.total
+let mean t = if t.count = 0 then nan else t.mean_acc
+let variance t = if t.count < 2 then nan else t.m2 /. float_of_int (t.count - 1)
+let stddev t = sqrt (variance t)
+let min t = t.minv
+let max t = t.maxv
+
+let merge a b =
+  if a.count = 0 then { b with count = b.count }
+  else if b.count = 0 then { a with count = a.count }
+  else begin
+    let count = a.count + b.count in
+    let delta = b.mean_acc -. a.mean_acc in
+    let mean_acc =
+      a.mean_acc +. (delta *. float_of_int b.count /. float_of_int count)
+    in
+    let m2 =
+      a.m2 +. b.m2
+      +. delta *. delta
+         *. float_of_int a.count *. float_of_int b.count
+         /. float_of_int count
+    in
+    {
+      count;
+      total = a.total +. b.total;
+      m2;
+      mean_acc;
+      minv = Stdlib.min a.minv b.minv;
+      maxv = Stdlib.max a.maxv b.maxv;
+    }
+  end
+
+let summary t =
+  if t.count = 0 then "(no samples)"
+  else
+    Printf.sprintf "%.4g ± %.3g (%.4g..%.4g, n=%d)" (mean t)
+      (if t.count < 2 then 0. else stddev t)
+      t.minv t.maxv t.count
+
+let percentile_of_sorted a p =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.percentile_of_sorted: empty array";
+  if p <= 0. then a.(0)
+  else if p >= 1. then a.(n - 1)
+  else begin
+    let rank = p *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+  end
+
+let median_of_sorted a = percentile_of_sorted a 0.5

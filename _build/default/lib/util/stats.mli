@@ -1,0 +1,36 @@
+(** Running statistics and small numeric summaries used by the
+    experiment harness. *)
+
+type t
+(** A mutable accumulator of float observations. *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val add_int : t -> int -> unit
+
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+(** [mean t] is [nan] when no observation was added. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [nan] with fewer than two observations. *)
+
+val stddev : t -> float
+val min : t -> float
+val max : t -> float
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh accumulator holding the union of the
+    observations of [a] and [b] (exactly for count/total/min/max, via
+    the parallel-variance formula for second moments). *)
+
+val summary : t -> string
+(** One-line [mean ± stddev (min..max, n)] rendering. *)
+
+val median_of_sorted : float array -> float
+(** Median of a sorted array.  @raise Invalid_argument on [||]. *)
+
+val percentile_of_sorted : float array -> float -> float
+(** [percentile_of_sorted a p] for [p] in [\[0,1\]], nearest-rank with
+    linear interpolation.  The array must be sorted ascending. *)

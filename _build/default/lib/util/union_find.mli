@@ -1,0 +1,21 @@
+(** Disjoint-set forest with union by rank and path compression.
+    Used for contraction bookkeeping and connectivity checks. *)
+
+type t
+
+val create : int -> t
+(** [create n] has elements [0 .. n-1], each its own set. *)
+
+val find : t -> int -> int
+(** Canonical representative of the element's set. *)
+
+val union : t -> int -> int -> bool
+(** [union t a b] merges the two sets; returns [false] when they were
+    already the same set. *)
+
+val same : t -> int -> int -> bool
+val count : t -> int
+(** Number of disjoint sets remaining. *)
+
+val size_of : t -> int -> int
+(** Size of the set containing the element. *)

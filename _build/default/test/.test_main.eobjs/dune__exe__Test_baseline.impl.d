@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array Baseline Distnet Graphlib List Printf QCheck QCheck_alcotest Util

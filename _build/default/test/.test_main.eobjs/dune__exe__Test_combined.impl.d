@@ -1,0 +1,1 @@
+test/test_combined.ml: Alcotest Graphlib Spanner Util

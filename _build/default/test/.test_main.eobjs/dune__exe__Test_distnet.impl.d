@@ -1,0 +1,1 @@
+test/test_distnet.ml: Alcotest Array Distnet Graphlib List QCheck QCheck_alcotest Stdlib Util

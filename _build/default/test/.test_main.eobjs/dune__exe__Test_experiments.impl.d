@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Experiments Filename Format Fun Graphlib List String Sys Util

@@ -1,0 +1,1 @@
+test/test_fibonacci.ml: Alcotest Array Distnet Float Graphlib List Printf QCheck QCheck_alcotest Spanner Stdlib Util

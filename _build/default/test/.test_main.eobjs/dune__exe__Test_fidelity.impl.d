@@ -1,0 +1,1 @@
+test/test_fidelity.ml: Alcotest Array Graphlib Hashtbl List Option Printf Queue Spanner Util

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Float Format Graphlib List Printf QCheck QCheck_alcotest Util

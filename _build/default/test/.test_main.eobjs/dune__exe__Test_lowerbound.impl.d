@@ -1,0 +1,1 @@
+test/test_lowerbound.ml: Alcotest Array Float Graphlib Lowerbound Printf Stdlib Util

@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Array Baseline Graphlib List Oracle QCheck QCheck_alcotest Spanner Stdlib Util

@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest Array Graphlib List Oracle Printf QCheck QCheck_alcotest Util

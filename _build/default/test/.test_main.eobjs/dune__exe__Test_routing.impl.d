@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Array Graphlib List Option Oracle Printf Util

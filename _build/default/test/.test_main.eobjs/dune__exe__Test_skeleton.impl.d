@@ -1,0 +1,1 @@
+test/test_skeleton.ml: Alcotest Array Distnet Float Graphlib Hashtbl List Option Printf QCheck QCheck_alcotest Spanner Stdlib Util

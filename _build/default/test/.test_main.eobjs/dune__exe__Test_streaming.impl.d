@@ -1,0 +1,1 @@
+test/test_streaming.ml: Alcotest Array Baseline Graphlib List Printf Spanner Util

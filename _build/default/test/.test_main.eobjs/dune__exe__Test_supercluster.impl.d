@@ -1,0 +1,1 @@
+test/test_supercluster.ml: Alcotest Baseline Graphlib List Printf Util

@@ -1,0 +1,1 @@
+test/test_weighted.ml: Alcotest Array Baseline Graphlib List Printf QCheck QCheck_alcotest Util

@@ -1,0 +1,8 @@
+  $ ../../bin/spanner_cli.exe gen --kind cycle -n 12 -o net.edges
+  $ head -1 net.edges
+  $ ../../bin/spanner_cli.exe build -i net.edges --algo bfs-tree --sources 12 | head -2
+  $ ../../bin/spanner_cli.exe build -i net.edges --algo greedy -k 2 -o sp.edges | tail -1
+  $ head -1 sp.edges
+  $ ../../bin/spanner_cli.exe eval net.edges sp.edges --exact
+  $ ../../bin/spanner_cli.exe experiment E99 2>&1 | head -1
+  $ ../../bin/spanner_cli.exe experiment E9 | head -6

@@ -1,0 +1,38 @@
+A tiny end-to-end run of the command-line driver: generate a graph,
+build spanners with several algorithms, round-trip through files.
+
+  $ ../../bin/spanner_cli.exe gen --kind cycle -n 12 -o net.edges
+  wrote net.edges: n=12, m=12, avg deg 2.00, max deg 2
+
+  $ head -1 net.edges
+  12 12
+
+  $ ../../bin/spanner_cli.exe build -i net.edges --algo bfs-tree --sources 12 | head -2
+  graph: n=12, m=12, avg deg 2.00, max deg 2
+  bfs-tree: 11 edges (0.917 per vertex)
+
+  $ ../../bin/spanner_cli.exe build -i net.edges --algo greedy -k 2 -o sp.edges | tail -1
+  spanner written to sp.edges
+
+A cycle has girth 12 > 2k, so greedy k=2 keeps all 12 edges:
+
+  $ head -1 sp.edges
+  12 12
+
+  $ ../../bin/spanner_cli.exe eval net.edges sp.edges --exact
+  pairs=66 stretch(max=1.000 avg=1.000) additive(max=0 avg=0.00) lost=0
+
+The experiment registry rejects unknown ids:
+
+  $ ../../bin/spanner_cli.exe experiment E99 2>&1 | head -1
+  unknown experiment E99 (have: E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13, E14, E15, E16, E17, E18, E19, E20)
+
+E9 is pure computation and deterministic:
+
+  $ ../../bin/spanner_cli.exe experiment E9 | head -6
+  
+  == E9: worst-case per-vertex contribution X^t_p (exact DP)
+     reproduces: Lemma 6, inequality (4): X^t_p <= p^-1(ln(t+1) - zeta) + t
+  p     t     X^t_p  lemma6-bound  ratio  BS-style t+2/p  bound holds
+  ----  ----  -----  ------------  -----  --------------  -----------
+  0.5   1     0.625  1.74          0.36   5               yes        

@@ -1,0 +1,259 @@
+(* Tests for the baseline spanner algorithms. *)
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+module G = Graphlib.Graph
+module Gen = Graphlib.Gen
+module Edge_set = Graphlib.Edge_set
+module Metrics = Graphlib.Metrics
+module Girth = Graphlib.Girth
+module Baswana_sen = Baseline.Baswana_sen
+module Baswana_sen_dist = Baseline.Baswana_sen_dist
+module Greedy = Baseline.Greedy
+module Neighborhood_dist = Baseline.Neighborhood_dist
+module Bfs_tree = Baseline.Bfs_tree
+
+let rng () = Util.Prng.create ~seed:2007
+
+let exact_max_stretch g s =
+  let rep = Metrics.exact ~g ~h:(Edge_set.to_graph s) in
+  checki "nothing disconnected" 0 rep.Metrics.disconnected;
+  rep.Metrics.max_mult
+
+(* ------------------------------------------------------------------ *)
+(* Baswana–Sen *)
+
+let test_bs_stretch_bound () =
+  List.iter
+    (fun k ->
+      let g = Gen.connected_gnp (rng ()) ~n:150 ~p:0.06 in
+      let r = Baswana_sen.build ~k ~seed:3 g in
+      let stretch = exact_max_stretch g r.Baswana_sen.spanner in
+      checkb
+        (Printf.sprintf "k=%d: stretch %.1f <= %d" k stretch ((2 * k) - 1))
+        true
+        (stretch <= float_of_int ((2 * k) - 1)))
+    [ 2; 3; 4 ]
+
+let test_bs_size_reasonable () =
+  (* E|S| = O(k n^(1+1/k}); allow a factor 4 over k*n^(1+1/k). *)
+  let n = 2000 in
+  let g = Gen.connected_gnp (rng ()) ~n ~p:0.015 in
+  List.iter
+    (fun k ->
+      let r = Baswana_sen.build ~k ~seed:5 g in
+      let size = float_of_int (Edge_set.cardinal r.Baswana_sen.spanner) in
+      let bound =
+        4. *. float_of_int k *. (float_of_int n ** (1. +. (1. /. float_of_int k)))
+      in
+      checkb (Printf.sprintf "k=%d size %.0f <= %.0f" k size bound) true (size <= bound))
+    [ 2; 3 ]
+
+let test_bs_larger_k_sparser () =
+  let g = Gen.connected_gnp (rng ()) ~n:2500 ~p:0.012 in
+  let size k = Edge_set.cardinal (Baswana_sen.build ~k ~seed:9 g).Baswana_sen.spanner in
+  checkb "k=4 sparser than k=2" true (size 4 < size 2)
+
+let test_bs_phases_reported () =
+  let g = Gen.connected_gnp (rng ()) ~n:300 ~p:0.04 in
+  let r = Baswana_sen.build ~k:3 ~seed:1 g in
+  checki "k phases" 3 (List.length r.Baswana_sen.phases);
+  (match r.Baswana_sen.phases with
+  | (c0, _) :: _ -> checki "starts from singletons" 300 c0
+  | [] -> Alcotest.fail "no phases")
+
+let test_bs_tape_bounds () =
+  let tape = Baswana_sen.draw_tape (rng ()) ~n:1000 ~k:4 in
+  Array.iter (fun fu -> checkb "tape in [0, k-1]" true (fu >= 0 && fu <= 3)) tape
+
+let test_bs_dist_equals_sequential () =
+  List.iter
+    (fun (seed, n, p, k) ->
+      let g = Gen.connected_gnp (Util.Prng.create ~seed) ~n ~p in
+      let tape = Baswana_sen.draw_tape (Util.Prng.create ~seed:(seed * 2)) ~n ~k in
+      let seq = Baswana_sen.build_with ~k ~tape g in
+      let dist = Baswana_sen_dist.build_with ~k ~tape g in
+      checki "same size"
+        (Edge_set.cardinal seq.Baswana_sen.spanner)
+        (Edge_set.cardinal dist.Baswana_sen_dist.spanner);
+      Edge_set.iter seq.Baswana_sen.spanner (fun e ->
+          checkb "same edges" true (Edge_set.mem dist.Baswana_sen_dist.spanner e)))
+    [ (1, 200, 0.05, 2); (2, 300, 0.03, 3); (3, 250, 0.04, 4) ]
+
+let test_bs_dist_round_count () =
+  (* O(k) rounds: two per phase. *)
+  let g = Gen.connected_gnp (rng ()) ~n:400 ~p:0.03 in
+  let r = Baswana_sen_dist.build ~k:5 ~seed:4 g in
+  checki "2k rounds" 10 r.Baswana_sen_dist.stats.Distnet.Sim.rounds;
+  checki "2-word messages" 2 r.Baswana_sen_dist.stats.Distnet.Sim.max_message_words
+
+(* ------------------------------------------------------------------ *)
+(* Greedy *)
+
+let test_greedy_stretch_exact_bound () =
+  List.iter
+    (fun k ->
+      let g = Gen.connected_gnp (rng ()) ~n:130 ~p:0.08 in
+      let r = Greedy.build ~k g in
+      let stretch = exact_max_stretch g r.Greedy.spanner in
+      checkb
+        (Printf.sprintf "k=%d stretch %.1f <= %d" k stretch ((2 * k) - 1))
+        true
+        (stretch <= float_of_int ((2 * k) - 1)))
+    [ 1; 2; 3; 5 ]
+
+let test_greedy_girth () =
+  List.iter
+    (fun k ->
+      let g = Gen.connected_gnp (rng ()) ~n:200 ~p:0.06 in
+      let r = Greedy.build ~k g in
+      checkb
+        (Printf.sprintf "girth > 2k for k=%d" k)
+        true
+        (Girth.has_girth_gt (Edge_set.to_graph r.Greedy.spanner) (2 * k)))
+    [ 2; 3; 4 ]
+
+let test_greedy_k1_spanning_forest_plus () =
+  (* k = 1: keep edge iff endpoints not adjacent already — i.e., all
+     of a simple graph's edges survive?  No: limit 1 means an edge is
+     dropped iff the endpoints are already at distance <= 1, which
+     never happens in a simple graph scanned once... except parallel
+     paths don't matter.  So k=1 keeps everything. *)
+  let g = Gen.connected_gnp (rng ()) ~n:100 ~p:0.05 in
+  let r = Greedy.build ~k:1 g in
+  checki "k=1 keeps all edges" (G.m g) (Edge_set.cardinal r.Greedy.spanner)
+
+let test_greedy_complete_graph () =
+  (* Greedy with k=2 on K_n: girth > 4 and stretch 3. *)
+  let g = Gen.complete 40 in
+  let r = Greedy.build ~k:2 g in
+  checkb "sparse" true (Edge_set.cardinal r.Greedy.spanner < 300);
+  checkb "girth > 4" true (Girth.has_girth_gt (Edge_set.to_graph r.Greedy.spanner) 4)
+
+let test_greedy_skeleton_linear () =
+  (* k = ceil(log n): size < n * (1 + o(1)); concretely < 1.2 n. *)
+  let g = Gen.connected_gnp (rng ()) ~n:1500 ~p:0.02 in
+  let r = Greedy.skeleton g in
+  checkb
+    (Printf.sprintf "linear size (%d)" (Edge_set.cardinal r.Greedy.spanner))
+    true
+    (float_of_int (Edge_set.cardinal r.Greedy.spanner) < 1.2 *. 1500.)
+
+let test_greedy_counts_queries () =
+  let g = Gen.cycle 30 in
+  let r = Greedy.build ~k:2 g in
+  checki "one query per edge" (G.m g) r.Greedy.distance_queries
+
+(* ------------------------------------------------------------------ *)
+(* Neighborhood-collect *)
+
+let test_nbhd_girth_and_connectivity () =
+  let g = Gen.connected_gnp (rng ()) ~n:250 ~p:0.05 in
+  let r = Neighborhood_dist.build ~k:3 g in
+  let h = Edge_set.to_graph r.Neighborhood_dist.spanner in
+  checkb "connected" true (G.is_connected h);
+  checkb "girth > 6" true (Girth.has_girth_gt h 6)
+
+let test_nbhd_rounds_equal_k () =
+  let g = Gen.connected_gnp (rng ()) ~n:200 ~p:0.05 in
+  let r = Neighborhood_dist.build ~k:4 g in
+  checki "k rounds" 4 r.Neighborhood_dist.stats.Distnet.Sim.rounds
+
+let test_nbhd_message_blowup () =
+  (* The whole point: messages carry neighborhoods, so their length
+     dwarfs the CONGEST baselines'. *)
+  let g = Gen.connected_gnp (rng ()) ~n:300 ~p:0.05 in
+  let r = Neighborhood_dist.build ~k:3 g in
+  let bs = Baswana_sen_dist.build ~k:3 ~seed:2 g in
+  checkb
+    (Printf.sprintf "neighborhood messages (%d words) >> Baswana-Sen (%d)"
+       r.Neighborhood_dist.stats.Distnet.Sim.max_message_words
+       bs.Baswana_sen_dist.stats.Distnet.Sim.max_message_words)
+    true
+    (r.Neighborhood_dist.stats.Distnet.Sim.max_message_words
+    > 50 * bs.Baswana_sen_dist.stats.Distnet.Sim.max_message_words)
+
+let test_nbhd_preserves_components () =
+  let g = Gen.gnp (rng ()) ~n:200 ~p:0.008 in
+  let r = Neighborhood_dist.build ~k:3 g in
+  let _, cg = G.components g in
+  let _, ch = G.components (Edge_set.to_graph r.Neighborhood_dist.spanner) in
+  checki "components preserved" cg ch
+
+(* ------------------------------------------------------------------ *)
+(* BFS tree *)
+
+let test_bfs_tree_size () =
+  let g = Gen.connected_gnp (rng ()) ~n:500 ~p:0.02 in
+  let r = Bfs_tree.build g in
+  checki "n-1 edges" 499 (Edge_set.cardinal r.Bfs_tree.spanner);
+  checki "one root" 1 (List.length r.Bfs_tree.roots);
+  checkb "connected" true (G.is_connected (Edge_set.to_graph r.Bfs_tree.spanner))
+
+let test_bfs_tree_disconnected () =
+  let g = G.of_edges ~n:7 [ (0, 1); (1, 2); (3, 4); (5, 6) ] in
+  let r = Bfs_tree.build g in
+  checki "forest edges" 4 (Edge_set.cardinal r.Bfs_tree.spanner);
+  checki "roots per component" 3 (List.length r.Bfs_tree.roots)
+
+let prop_greedy_stretch =
+  QCheck.Test.make ~name:"greedy: stretch <= 2k-1 (random graphs)" ~count:15
+    QCheck.(pair (int_range 20 80) (int_range 2 4))
+    (fun (n, k) ->
+      let g = Gen.connected_gnp (Util.Prng.create ~seed:(n * k)) ~n ~p:0.1 in
+      let r = Greedy.build ~k g in
+      let rep = Metrics.exact ~g ~h:(Edge_set.to_graph r.Greedy.spanner) in
+      rep.Metrics.disconnected = 0
+      && rep.Metrics.max_mult <= float_of_int ((2 * k) - 1) +. 1e-9)
+
+let prop_bs_dist_equals_seq =
+  QCheck.Test.make ~name:"baswana-sen: distributed = sequential" ~count:15
+    QCheck.(pair (int_range 20 120) (int_range 2 4))
+    (fun (n, k) ->
+      let g = Gen.gnp (Util.Prng.create ~seed:(n + k)) ~n ~p:(4. /. float_of_int n) in
+      let tape = Baswana_sen.draw_tape (Util.Prng.create ~seed:(n * k)) ~n ~k in
+      let seq = Baswana_sen.build_with ~k ~tape g in
+      let dist = Baswana_sen_dist.build_with ~k ~tape g in
+      let ok = ref (Edge_set.cardinal seq.Baswana_sen.spanner
+                    = Edge_set.cardinal dist.Baswana_sen_dist.spanner) in
+      Edge_set.iter seq.Baswana_sen.spanner (fun e ->
+          if not (Edge_set.mem dist.Baswana_sen_dist.spanner e) then ok := false);
+      !ok)
+
+let suite =
+  [
+    ( "baseline.baswana_sen",
+      [
+        Alcotest.test_case "stretch <= 2k-1" `Quick test_bs_stretch_bound;
+        Alcotest.test_case "size O(k n^{1+1/k})" `Quick test_bs_size_reasonable;
+        Alcotest.test_case "larger k sparser" `Quick test_bs_larger_k_sparser;
+        Alcotest.test_case "phases reported" `Quick test_bs_phases_reported;
+        Alcotest.test_case "tape bounds" `Quick test_bs_tape_bounds;
+        Alcotest.test_case "distributed = sequential" `Quick test_bs_dist_equals_sequential;
+        Alcotest.test_case "O(k) rounds, 2-word msgs" `Quick test_bs_dist_round_count;
+        QCheck_alcotest.to_alcotest prop_bs_dist_equals_seq;
+      ] );
+    ( "baseline.greedy",
+      [
+        Alcotest.test_case "stretch <= 2k-1" `Quick test_greedy_stretch_exact_bound;
+        Alcotest.test_case "girth > 2k" `Quick test_greedy_girth;
+        Alcotest.test_case "k=1 keeps all" `Quick test_greedy_k1_spanning_forest_plus;
+        Alcotest.test_case "complete graph" `Quick test_greedy_complete_graph;
+        Alcotest.test_case "skeleton linear size" `Quick test_greedy_skeleton_linear;
+        Alcotest.test_case "query counting" `Quick test_greedy_counts_queries;
+        QCheck_alcotest.to_alcotest prop_greedy_stretch;
+      ] );
+    ( "baseline.neighborhood",
+      [
+        Alcotest.test_case "girth & connectivity" `Quick test_nbhd_girth_and_connectivity;
+        Alcotest.test_case "k rounds" `Quick test_nbhd_rounds_equal_k;
+        Alcotest.test_case "message blowup" `Quick test_nbhd_message_blowup;
+        Alcotest.test_case "components preserved" `Quick test_nbhd_preserves_components;
+      ] );
+    ( "baseline.bfs_tree",
+      [
+        Alcotest.test_case "size & connectivity" `Quick test_bfs_tree_size;
+        Alcotest.test_case "disconnected" `Quick test_bfs_tree_disconnected;
+      ] );
+  ]

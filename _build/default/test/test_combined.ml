@@ -1,0 +1,59 @@
+(* Tests for Corollary 1's combined spanner. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+module G = Graphlib.Graph
+module Gen = Graphlib.Gen
+module Edge_set = Graphlib.Edge_set
+module Metrics = Graphlib.Metrics
+module Combined = Spanner.Combined
+
+let rng () = Util.Prng.create ~seed:808
+
+let test_union_size_accounting () =
+  let g = Gen.connected_gnp (rng ()) ~n:600 ~p:0.04 in
+  let r = Combined.build ~ell:2 ~seed:2 g in
+  let total = Edge_set.cardinal r.Combined.spanner in
+  checkb "union at most the sum" true
+    (total <= r.Combined.skeleton_size + r.Combined.fibonacci_size);
+  checkb "union at least each part" true
+    (total >= r.Combined.skeleton_size && total >= r.Combined.fibonacci_size)
+
+let test_union_dominates_parts () =
+  (* The union's distortion is no worse than either part's (more edges
+     never hurt distances). *)
+  let g = Gen.king_torus ~width:20 ~height:20 in
+  let seed = 5 in
+  let fib = Spanner.Fibonacci.build ~o:4 ~ell:2 ~seed g in
+  let r = Combined.build ~o:4 ~ell:2 ~seed g in
+  let stretch s =
+    (Metrics.exact ~g ~h:(Edge_set.to_graph s)).Metrics.max_mult
+  in
+  checkb "union <= fibonacci alone" true
+    (stretch r.Combined.spanner <= stretch fib.Spanner.Fibonacci.spanner +. 1e-9)
+
+let test_union_connectivity () =
+  let g = Gen.connected_gnp (rng ()) ~n:400 ~p:0.03 in
+  let r = Combined.build ~ell:2 ~seed:9 g in
+  checkb "connected" true (G.is_connected (Edge_set.to_graph r.Combined.spanner));
+  let rep = Metrics.exact ~g ~h:(Edge_set.to_graph r.Combined.spanner) in
+  checki "nothing lost" 0 rep.Metrics.disconnected
+
+let test_default_density_scales () =
+  (* D defaults to ~log log n: just check it runs and stays sparse on a
+     dense graph. *)
+  let g = Gen.connected_gnp (rng ()) ~n:2000 ~p:0.02 in
+  let r = Combined.build ~ell:2 ~seed:4 g in
+  checkb "sparser than input" true (Edge_set.cardinal r.Combined.spanner < G.m g)
+
+let suite =
+  [
+    ( "core.combined",
+      [
+        Alcotest.test_case "size accounting" `Quick test_union_size_accounting;
+        Alcotest.test_case "dominates parts" `Quick test_union_dominates_parts;
+        Alcotest.test_case "connectivity" `Quick test_union_connectivity;
+        Alcotest.test_case "default density" `Quick test_default_density_scales;
+      ] );
+  ]

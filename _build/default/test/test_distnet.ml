@@ -1,0 +1,229 @@
+(* Tests for the synchronous network simulator. *)
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+module G = Graphlib.Graph
+module Gen = Graphlib.Gen
+module Bfs = Graphlib.Bfs
+module Sim = Distnet.Sim
+module Protocols = Distnet.Protocols
+
+let rng () = Util.Prng.create ~seed:91
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_send_requires_link () =
+  let g = Gen.path 4 in
+  let t = Sim.create g in
+  Alcotest.check_raises "non-neighbor rejected"
+    (Invalid_argument "Sim.send: 0 -> 2 is not a network link") (fun () ->
+      Sim.send t ~src:0 ~dst:2 ~words:1 ())
+
+let test_send_one_per_edge_per_round () =
+  let g = Gen.path 4 in
+  let t = Sim.create g in
+  Sim.send t ~src:0 ~dst:1 ~words:1 ();
+  Alcotest.check_raises "duplicate rejected"
+    (Invalid_argument "Sim.send: 0 already sent to 1 this round") (fun () ->
+      Sim.send t ~src:0 ~dst:1 ~words:1 ());
+  (* After the round advances, sending again is allowed. *)
+  ignore (Sim.step t (fun ~dst:_ ~src:_ () -> ()));
+  Sim.send t ~src:0 ~dst:1 ~words:1 ();
+  ignore (Sim.step t (fun ~dst:_ ~src:_ () -> ()));
+  checki "rounds" 2 (Sim.stats t).Sim.rounds
+
+let test_word_accounting () =
+  let g = Gen.path 3 in
+  let t = Sim.create g in
+  Sim.send t ~src:0 ~dst:1 ~words:3 ();
+  Sim.send t ~src:2 ~dst:1 ~words:5 ();
+  ignore (Sim.step t (fun ~dst:_ ~src:_ () -> ()));
+  let s = Sim.stats t in
+  checki "messages" 2 s.Sim.messages;
+  checki "words" 8 s.Sim.words;
+  checki "max message" 5 s.Sim.max_message_words
+
+let test_positive_words_required () =
+  let g = Gen.path 2 in
+  let t = Sim.create g in
+  Alcotest.check_raises "zero-word message rejected"
+    (Invalid_argument "Sim.send: words must be >= 1") (fun () ->
+      Sim.send t ~src:0 ~dst:1 ~words:0 ())
+
+let test_quiescence () =
+  let g = Gen.path 3 in
+  let t = Sim.create g in
+  checkb "initially quiescent" true (Sim.quiescent t);
+  Sim.send t ~src:0 ~dst:1 ~words:1 ();
+  checkb "pending" false (Sim.quiescent t);
+  Sim.run_until_quiescent t (fun ~dst:_ ~src:_ () -> ());
+  checkb "drained" true (Sim.quiescent t)
+
+let test_relay_chain_rounds () =
+  (* Relaying a token down a path of length k takes k rounds. *)
+  let k = 7 in
+  let g = Gen.path (k + 1) in
+  let t = Sim.create g in
+  Sim.send t ~src:0 ~dst:1 ~words:1 1;
+  Sim.run_until_quiescent t (fun ~dst ~src:_ hop ->
+      if dst < k then Sim.send t ~src:dst ~dst:(dst + 1) ~words:1 (hop + 1));
+  checki "rounds = path length" k (Sim.stats t).Sim.rounds
+
+let test_idle_rounds () =
+  let g = Gen.path 2 in
+  let t = Sim.create g in
+  Sim.add_idle_rounds t 5;
+  checki "idle accounted" 5 (Sim.stats t).Sim.rounds
+
+(* ------------------------------------------------------------------ *)
+(* BFS protocol *)
+
+let test_dist_bfs_matches_sequential () =
+  let r = rng () in
+  let g = Gen.connected_gnp r ~n:150 ~p:0.03 in
+  let _, dist = Protocols.bfs g ~root:0 in
+  let expected = Bfs.distances g ~src:0 in
+  Alcotest.check (Alcotest.array Alcotest.int) "distances agree" expected dist
+
+let test_dist_bfs_rounds () =
+  let g = Gen.path 10 in
+  let stats, dist = Protocols.bfs g ~root:0 in
+  checki "distance to end" 9 dist.(9);
+  (* Layered BFS needs ecc rounds of sends + 1 drain round. *)
+  checkb "rounds close to eccentricity" true
+    (stats.Sim.rounds >= 9 && stats.Sim.rounds <= 11);
+  checki "unit messages" 1 stats.Sim.max_message_words
+
+let test_dist_bfs_disconnected () =
+  let g = G.of_edges ~n:5 [ (0, 1); (2, 3) ] in
+  let _, dist = Protocols.bfs g ~root:0 in
+  checki "reached" 1 dist.(1);
+  checki "unreachable" (-1) dist.(2);
+  checki "isolated" (-1) dist.(4)
+
+(* ------------------------------------------------------------------ *)
+(* Flooding *)
+
+let test_flood_reaches_component () =
+  let r = rng () in
+  let g = Gen.connected_gnp r ~n:100 ~p:0.04 in
+  let stats, reached = Protocols.flood g ~root:3 ~payload_words:2 in
+  Array.iter (fun b -> checkb "all reached" true b) reached;
+  checkb "messages at least n-1" true (stats.Sim.messages >= G.n g - 1);
+  checki "payload width respected" 2 stats.Sim.max_message_words
+
+let test_flood_message_count_on_tree () =
+  (* On a path, flooding sends exactly one message per edge direction
+     away from the root plus the initial edge. *)
+  let g = Gen.path 6 in
+  let stats, _ = Protocols.flood g ~root:0 ~payload_words:1 in
+  checki "one message per hop" 5 stats.Sim.messages
+
+(* ------------------------------------------------------------------ *)
+(* Node-program runner *)
+
+module Echo = struct
+  (* Each node sends its id to all neighbors in round 1 and records the
+     max id it ever hears; silence afterwards. *)
+  type state = { me : int; best : int }
+  type message = int
+
+  let message_words _ = 1
+
+  let init g v =
+    let out =
+      Graphlib.Graph.fold_neighbors g v ~init:[] ~f:(fun acc w _ -> (w, v) :: acc)
+    in
+    ({ me = v; best = v }, out)
+
+  let receive _g ~round:_ _v st inbox =
+    let best = List.fold_left (fun acc (_, x) -> Stdlib.max acc x) st.best inbox in
+    ({ st with best }, [])
+end
+
+module Echo_run = Sim.Run (Echo)
+
+let test_runner_echo () =
+  let g = Gen.cycle 8 in
+  let stats, states = Echo_run.run g in
+  Array.iteri
+    (fun v st ->
+      let expected =
+        Graphlib.Graph.fold_neighbors g v ~init:v ~f:(fun acc w _ -> Stdlib.max acc w)
+      in
+      checki "max neighbor id" expected st.Echo.best)
+    states;
+  checkb "bounded rounds" true (stats.Sim.rounds <= 2)
+
+module Max_flood = struct
+  (* Classic max-id flooding: every node forwards improvements; at
+     quiescence every node knows the global max in its component. *)
+  type state = int
+  type message = int
+
+  let message_words _ = 1
+
+  let init g v =
+    let out =
+      Graphlib.Graph.fold_neighbors g v ~init:[] ~f:(fun acc w _ -> (w, v) :: acc)
+    in
+    (v, out)
+
+  let receive g ~round:_ v st inbox =
+    let best = List.fold_left (fun acc (_, x) -> Stdlib.max acc x) st inbox in
+    if best > st then
+      ( best,
+        Graphlib.Graph.fold_neighbors g v ~init:[] ~f:(fun acc w _ ->
+            (w, best) :: acc) )
+    else (st, [])
+end
+
+module Max_run = Sim.Run (Max_flood)
+
+let test_runner_max_flood () =
+  let r = rng () in
+  let g = Gen.connected_gnp r ~n:60 ~p:0.06 in
+  let _, states = Max_run.run g in
+  Array.iter (fun st -> checki "everyone learns max" (G.n g - 1) st) states
+
+let prop_dist_bfs_equals_sequential =
+  QCheck.Test.make ~name:"distributed BFS = sequential BFS" ~count:30
+    QCheck.(int_range 2 60)
+    (fun n ->
+      let r = Util.Prng.create ~seed:n in
+      let g = Gen.gnp r ~n ~p:(3. /. float_of_int n) in
+      let _, dist = Protocols.bfs g ~root:0 in
+      dist = Bfs.distances g ~src:0)
+
+let suite =
+  [
+    ( "distnet.engine",
+      [
+        Alcotest.test_case "send requires link" `Quick test_send_requires_link;
+        Alcotest.test_case "one per edge per round" `Quick test_send_one_per_edge_per_round;
+        Alcotest.test_case "word accounting" `Quick test_word_accounting;
+        Alcotest.test_case "positive words" `Quick test_positive_words_required;
+        Alcotest.test_case "quiescence" `Quick test_quiescence;
+        Alcotest.test_case "relay chain rounds" `Quick test_relay_chain_rounds;
+        Alcotest.test_case "idle rounds" `Quick test_idle_rounds;
+      ] );
+    ( "distnet.bfs",
+      [
+        Alcotest.test_case "matches sequential" `Quick test_dist_bfs_matches_sequential;
+        Alcotest.test_case "rounds ~ eccentricity" `Quick test_dist_bfs_rounds;
+        Alcotest.test_case "disconnected" `Quick test_dist_bfs_disconnected;
+        QCheck_alcotest.to_alcotest prop_dist_bfs_equals_sequential;
+      ] );
+    ( "distnet.flood",
+      [
+        Alcotest.test_case "reaches component" `Quick test_flood_reaches_component;
+        Alcotest.test_case "tree message count" `Quick test_flood_message_count_on_tree;
+      ] );
+    ( "distnet.runner",
+      [
+        Alcotest.test_case "echo" `Quick test_runner_echo;
+        Alcotest.test_case "max flood" `Quick test_runner_max_flood;
+      ] );
+  ]

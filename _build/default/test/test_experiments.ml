@@ -1,0 +1,115 @@
+(* Tests for graph I/O, the king torus, and the experiment harness. *)
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+module G = Graphlib.Graph
+module Gen = Graphlib.Gen
+module Io = Graphlib.Io
+module Apsp = Graphlib.Apsp
+
+let test_io_roundtrip () =
+  let rng = Util.Prng.create ~seed:4 in
+  let g = Gen.gnp rng ~n:120 ~p:0.05 in
+  let path = Filename.temp_file "ultrasparse" ".edges" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Io.write g path;
+      let g' = Io.read path in
+      checki "n preserved" (G.n g) (G.n g');
+      checki "m preserved" (G.m g) (G.m g');
+      G.iter_edges g (fun _ u v -> checkb "edge preserved" true (G.mem_edge g' u v)))
+
+let test_io_comments_and_blanks () =
+  let path = Filename.temp_file "ultrasparse" ".edges" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "# a comment\n\n3 2\n0 1\n\n# another\n1 2\n";
+      close_out oc;
+      let g = Io.read path in
+      checki "n" 3 (G.n g);
+      checki "m" 2 (G.m g))
+
+let test_king_torus_shape () =
+  let g = Gen.king_torus ~width:8 ~height:8 in
+  checki "n" 64 (G.n g);
+  checki "8-regular" 8 (G.max_degree g);
+  checki "m" (64 * 8 / 2) (G.m g);
+  checkb "connected" true (G.is_connected g);
+  checki "diameter = side/2" 4 (Apsp.diameter g)
+
+let test_experiment_registry () =
+  checki "experiment count" 20 (List.length Experiments.Run.ids);
+  List.iter
+    (fun id -> checkb (id ^ " resolvable") true (Experiments.Run.by_id id <> None))
+    Experiments.Run.ids;
+  checkb "case-insensitive" true (Experiments.Run.by_id "e9" <> None);
+  checkb "unknown rejected" true (Experiments.Run.by_id "E99" = None)
+
+let test_e9_table_contents () =
+  (* E9 is pure computation: check the actual reproduction claim in its
+     rows (the "bound holds" column is always "yes"). *)
+  let t = Experiments.Run.e9_contribution ~quick:true ~seed:1 () in
+  checkb "has rows" true (List.length t.Experiments.Table.rows = 16);
+  List.iter
+    (fun row ->
+      match List.rev row with
+      | verdict :: _ -> Alcotest.check Alcotest.string "bound holds" "yes" verdict
+      | [] -> Alcotest.fail "empty row")
+    t.Experiments.Table.rows
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec at i = i + nl <= hl && (String.sub haystack i nl = needle || at (i + 1)) in
+  nl = 0 || at 0
+
+let test_table_rendering () =
+  let t =
+    {
+      Experiments.Table.id = "T";
+      title = "demo";
+      reproduces = "nothing";
+      columns = [ "a"; "b" ];
+      rows = [ [ "1"; "22" ]; [ "333"; "4" ] ];
+      notes = [ "a note" ];
+    }
+  in
+  let s = Format.asprintf "%a" Experiments.Table.print t in
+  checkb "mentions title" true (contains ~needle:"demo" s);
+  checkb "mentions note" true (contains ~needle:"a note" s);
+  checkb "aligned header" true (contains ~needle:"a    b" s)
+
+let test_e6_rows_decay () =
+  (* Theorem 4's shape: measured beta decays as tau grows. *)
+  let t = Experiments.Run.e6_lb_eps_beta ~quick:true ~seed:5 () in
+  let betas =
+    List.map
+      (fun row -> float_of_string (List.nth row 4))
+      t.Experiments.Table.rows
+  in
+  let rec nonincreasing = function
+    | a :: b :: rest -> a +. 0.5 >= b && nonincreasing (b :: rest)
+    | _ -> true
+  in
+  checkb "beta decays with tau" true (nonincreasing betas)
+
+let suite =
+  [
+    ( "graph.io",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
+        Alcotest.test_case "comments & blanks" `Quick test_io_comments_and_blanks;
+      ] );
+    ( "graph.king_torus",
+      [ Alcotest.test_case "shape" `Quick test_king_torus_shape ] );
+    ( "experiments",
+      [
+        Alcotest.test_case "registry" `Quick test_experiment_registry;
+        Alcotest.test_case "table rendering" `Quick test_table_rendering;
+        Alcotest.test_case "E9 bound holds" `Quick test_e9_table_contents;
+        Alcotest.test_case "E6 decays with tau" `Quick test_e6_rows_decay;
+      ] );
+  ]

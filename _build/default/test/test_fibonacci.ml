@@ -1,0 +1,385 @@
+(* Tests for Section 4: Fib_params, Fibonacci (sequential) and
+   Fibonacci_dist. *)
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+module G = Graphlib.Graph
+module Gen = Graphlib.Gen
+module Bfs = Graphlib.Bfs
+module Edge_set = Graphlib.Edge_set
+module Metrics = Graphlib.Metrics
+module Fib_params = Spanner.Fib_params
+module Fibonacci = Spanner.Fibonacci
+module Fibonacci_dist = Spanner.Fibonacci_dist
+module Bounds = Spanner.Bounds
+
+let rng () = Util.Prng.create ~seed:1618
+
+(* ------------------------------------------------------------------ *)
+(* Fib_params *)
+
+let test_params_fh_recurrences () =
+  (* Lemma 8: f_i = f_{i-1} + f_{i-2} + 1, h_i = h_{i-1} + h_{i-2} + (i-1),
+     with f_0 = 0, f_1 = 1, h_0 = h_1 = 0. *)
+  checki "f_0" 0 (Fib_params.fi 0);
+  checki "f_1" 1 (Fib_params.fi 1);
+  checki "h_0" 0 (Fib_params.hi 0);
+  checki "h_1" 0 (Fib_params.hi 1);
+  for i = 2 to 15 do
+    checki "f recurrence" (Fib_params.fi (i - 1) + Fib_params.fi (i - 2) + 1) (Fib_params.fi i);
+    checki "h recurrence" (Fib_params.hi (i - 1) + Fib_params.hi (i - 2) + (i - 1)) (Fib_params.hi i)
+  done
+
+let test_params_qs_monotone () =
+  let p = Fib_params.make ~n:100_000 ~o:5 ~ell:4 () in
+  let qs = p.Fib_params.qs in
+  checkb "q_0 = 1" true (qs.(0) = 1.);
+  for i = 1 to 6 do
+    checkb
+      (Printf.sprintf "q_%d <= q_%d" i (i - 1))
+      true
+      (qs.(i) <= qs.(i - 1) +. 1e-15)
+  done;
+  Alcotest.check (Alcotest.float 1e-12) "q_{o+1} = 1/n" (1. /. 100_000.) qs.(6)
+
+let test_params_default_order_is_sparsest () =
+  let p = Fib_params.make ~n:65536 () in
+  (* log2 65536 = 16; log_phi 16 ~ 5.76 -> o = 5 *)
+  checki "default order" 5 p.Fib_params.o
+
+let test_params_theorem7_ell () =
+  let p = Fib_params.make ~n:1000 ~o:2 ~eps:0.5 () in
+  (* ell = ceil(3*2/0.5) + 2 = 14 *)
+  checki "ell from Theorem 7" 14 p.Fib_params.ell
+
+let test_params_radius () =
+  let p = Fib_params.make ~n:1000 ~o:3 ~ell:3 () in
+  checki "ell^0" 1 (Fib_params.radius p 0);
+  checki "ell^2" 9 (Fib_params.radius p 2)
+
+let test_params_level_sizes () =
+  let p = Fib_params.make ~n:30_000 ~o:4 ~ell:2 () in
+  let levels = Fib_params.draw_levels (rng ()) p in
+  checki "levels length" 30_000 (Array.length levels);
+  (* |V_i| concentrates near q_i n. *)
+  for i = 1 to 4 do
+    let cnt = Array.fold_left (fun acc l -> if l >= i then acc + 1 else acc) 0 levels in
+    let expected = p.Fib_params.qs.(i) *. 30_000. in
+    checkb
+      (Printf.sprintf "|V_%d| = %d near %.0f" i cnt expected)
+      true
+      (float_of_int cnt > (0.7 *. expected) -. 10.
+      && float_of_int cnt < (1.3 *. expected) +. 10.)
+  done
+
+let test_params_rejects_bad () =
+  Alcotest.check_raises "o < 1" (Invalid_argument "Fib_params.make: order must be >= 1")
+    (fun () -> ignore (Fib_params.make ~n:100 ~o:0 ()))
+
+let test_params_budgeted_ratios () =
+  (* Theorem 8: after the adjustment, no consecutive q-ratio exceeds
+     n^(1/t). *)
+  let n = 50_000 in
+  let p = Fib_params.make ~n ~o:6 ~ell:2 () in
+  List.iter
+    (fun tee ->
+      let cap = float_of_int n ** (1. /. float_of_int tee) in
+      let p' = Fib_params.budgeted p ~tee in
+      for i = 0 to p'.Fib_params.o - 1 do
+        let ratio = p'.Fib_params.qs.(i) /. p'.Fib_params.qs.(i + 1) in
+        checkb
+          (Printf.sprintf "t=%d: q_%d/q_%d = %.1f <= %.1f" tee i (i + 1) ratio cap)
+          true
+          (ratio <= cap *. (1. +. 1e-9))
+      done;
+      (* still a nested hierarchy *)
+      for i = 1 to p'.Fib_params.o + 1 do
+        checkb "monotone" true (p'.Fib_params.qs.(i) <= p'.Fib_params.qs.(i - 1) +. 1e-15)
+      done)
+    [ 2; 3; 5 ]
+
+let test_params_budgeted_noop_when_generous () =
+  let p = Fib_params.make ~n:1000 ~o:3 ~ell:2 () in
+  let p' = Fib_params.budgeted p ~tee:1 in
+  Alcotest.check
+    (Alcotest.array (Alcotest.float 1e-12))
+    "t=1 changes nothing" p.Fib_params.qs p'.Fib_params.qs
+
+(* ------------------------------------------------------------------ *)
+(* Fibonacci sequential *)
+
+let build ~o ~ell ~seed g = Fibonacci.build ~o ~ell ~seed g
+
+let test_fib_connectivity () =
+  List.iter
+    (fun seed ->
+      let g = Gen.connected_gnp (Util.Prng.create ~seed) ~n:400 ~p:0.03 in
+      let r = build ~o:3 ~ell:2 ~seed g in
+      checkb "connected" true (G.is_connected (Edge_set.to_graph r.Fibonacci.spanner)))
+    [ 1; 2; 3 ]
+
+let test_fib_stretch_within_stage_bound () =
+  (* Theorem 7 / Lemma 10: every pair's spanner distance is bounded by
+     C^o_{ell'} with ell' = ceil(d^(1/o)) (rounding up to the next
+     ell'-power).  Check exactly on a small graph. *)
+  let g = Gen.connected_gnp (rng ()) ~n:160 ~p:0.05 in
+  let o = 3 and ell = 6 in
+  let r = build ~o ~ell ~seed:7 g in
+  let h = Edge_set.to_graph r.Fibonacci.spanner in
+  let n = G.n g in
+  for u = 0 to n - 1 do
+    let dg = Bfs.distances g ~src:u and dh = Bfs.distances h ~src:u in
+    for v = u + 1 to n - 1 do
+      let d = dg.(v) in
+      if d > 0 then begin
+        checkb "pair not lost" true (dh.(v) >= 0);
+        let ell' =
+          Stdlib.max 1
+            (int_of_float
+               (Float.ceil (float_of_int d ** (1. /. float_of_int o))))
+        in
+        if ell' <= ell - 2 then begin
+          let bound = Bounds.fib_c ~ell:ell' o in
+          checkb
+            (Printf.sprintf "d=%d: %d <= C^%d_%d = %.1f" d dh.(v) o ell' bound)
+            true
+            (float_of_int dh.(v) <= bound +. 1e-9)
+        end
+      end
+    done
+  done
+
+let test_fib_parent_forest_present () =
+  (* Every vertex within ell^(i-1) of V_i must reach V_i inside the
+     spanner at its exact graph distance (the parent-path rule). *)
+  let g = Gen.torus ~width:20 ~height:20 in
+  let o = 3 and ell = 3 in
+  let r = build ~o ~ell ~seed:9 g in
+  let h = Edge_set.to_graph r.Fibonacci.spanner in
+  let levels = r.Fibonacci.levels in
+  for i = 1 to o do
+    let vi =
+      List.filteri (fun _ _ -> true)
+        (List.filter (fun v -> levels.(v) >= i) (List.init (G.n g) (fun v -> v)))
+    in
+    if vi <> [] then begin
+      let dg = Bfs.multi_source g ~sources:vi in
+      let dh = Bfs.multi_source h ~sources:vi in
+      let radius = Fib_params.radius r.Fibonacci.params (i - 1) in
+      Array.iteri
+        (fun v d ->
+          if d >= 0 && d <= radius then
+            checki
+              (Printf.sprintf "level %d: vertex %d reaches V_i at distance %d" i v d)
+              d dh.Bfs.dist.(v))
+        dg.Bfs.dist
+    end
+  done
+
+let test_fib_size_tradeoff () =
+  (* Lemma 8: size decreases as the order grows (sparseness-distortion
+     tradeoff), on a graph dense enough to be sparsified. *)
+  let g = Gen.connected_gnp (rng ()) ~n:2500 ~p:0.01 in
+  let size o = Edge_set.cardinal (build ~o ~ell:2 ~seed:11 g).Fibonacci.spanner in
+  let s2 = size 2 and s5 = size 5 in
+  checkb (Printf.sprintf "o=5 (%d) sparser than o=2 (%d)" s5 s2) true (s5 < s2)
+
+let test_fib_stretch_tradeoff () =
+  (* ...and distortion moves the other way. *)
+  let g = Gen.connected_gnp (rng ()) ~n:2500 ~p:0.01 in
+  let avg o =
+    let r = build ~o ~ell:2 ~seed:11 g in
+    let h = Edge_set.to_graph r.Fibonacci.spanner in
+    (Metrics.sampled (Util.Prng.create ~seed:3) ~g ~h ~sources:6).Metrics.avg_mult
+  in
+  checkb "o=5 has more stretch than o=2" true (avg 5 > avg 2)
+
+let test_fib_ball_strictness () =
+  (* B_{i+1}(v) excludes vertices at distance >= delta(v, V_{i+1}):
+     with V_{i+1} = everything (impossible by sampling but forced via
+     build_with), balls become empty and only forests remain. *)
+  let g = Gen.cycle 30 in
+  let params = Fib_params.make ~n:30 ~o:1 ~ell:3 () in
+  let levels = Array.make 30 1 in
+  (* everyone in V_1 *)
+  let r = Fibonacci.build_with ~params ~levels g in
+  (* With V_1 = V: delta(v, V_1) = 0, so S_0's balls are empty and
+     every level-1 parent path is trivial; S_1 balls connect V_0 = V
+     to V_1 within ell... but closer than V_2 = empty -> full radius.
+     At minimum the spanner must keep the cycle connected. *)
+  checkb "still connected" true (G.is_connected (Edge_set.to_graph r.Fibonacci.spanner))
+
+let test_fib_per_level_stats () =
+  let g = Gen.connected_gnp (rng ()) ~n:500 ~p:0.03 in
+  let r = build ~o:3 ~ell:2 ~seed:5 g in
+  checki "o+1 levels reported" 4 (Array.length r.Fibonacci.per_level);
+  checki "level 0 holds everyone" 500 r.Fibonacci.per_level.(0).Fibonacci.members;
+  let prev = ref max_int in
+  Array.iter
+    (fun s ->
+      checkb "levels shrink" true (s.Fibonacci.members <= !prev);
+      prev := s.Fibonacci.members)
+    r.Fibonacci.per_level
+
+let test_fib_lemma7_level_sizes () =
+  (* Lemma 7: the expected number of ball paths contributed at level i
+     is below n q_{i-1} q_i / q_{i+1} * ell^i (level 0: n / q_1).
+     Statistical check with x4 slack on a fixed seed. *)
+  let n = 4000 in
+  let g = Gen.connected_gnp (rng ()) ~n ~p:(12. /. float_of_int n) in
+  let params = Fib_params.make ~n ~o:3 ~ell:2 () in
+  let levels = Fib_params.draw_levels (Util.Prng.create ~seed:44) params in
+  let r = Fibonacci.build_with ~params ~levels g in
+  let qs = params.Fib_params.qs in
+  let nf = float_of_int n in
+  Array.iteri
+    (fun i stat ->
+      let expected =
+        if i = 0 then nf /. qs.(1)
+        else
+          nf *. qs.(i - 1) *. qs.(i) /. qs.(i + 1)
+          *. float_of_int (Fib_params.radius params i)
+      in
+      checkb
+        (Printf.sprintf "level %d: %d paths <= 4x Lemma-7 bound %.0f" i
+           stat.Fibonacci.ball_paths expected)
+        true
+        (float_of_int stat.Fibonacci.ball_paths <= Stdlib.max 10. (4. *. expected)))
+    r.Fibonacci.per_level
+
+let test_fib_path_graph () =
+  (* On a path, the spanner must keep all n-1 edges. *)
+  let g = Gen.path 50 in
+  let r = build ~o:2 ~ell:3 ~seed:3 g in
+  checki "path kept" 49 (Edge_set.cardinal r.Fibonacci.spanner)
+
+(* ------------------------------------------------------------------ *)
+(* Fibonacci distributed *)
+
+let test_fib_dist_matches_sequential_unblocked () =
+  (* With a generous budget (t=1 gives n words) nothing blocks and the
+     distributed construction covers the same balls; sizes agree. *)
+  let g = Gen.connected_gnp (rng ()) ~n:300 ~p:0.04 in
+  let params = Fib_params.make ~n:300 ~o:3 ~ell:2 () in
+  let levels = Fib_params.draw_levels (Util.Prng.create ~seed:21) params in
+  let seq = Fibonacci.build_with ~params ~levels g in
+  let dist = Fibonacci_dist.build_with ~params ~levels ~t:1 g in
+  checki "no blocking" 0 dist.Fibonacci_dist.blocked;
+  checki "no failures" 0 dist.Fibonacci_dist.failures;
+  checki "same size"
+    (Edge_set.cardinal seq.Fibonacci.spanner)
+    (Edge_set.cardinal dist.Fibonacci_dist.spanner)
+
+let test_fib_dist_stretch_never_worse_than_seq_bound () =
+  let g = Gen.connected_gnp (rng ()) ~n:300 ~p:0.04 in
+  let params = Fib_params.make ~n:300 ~o:3 ~ell:2 () in
+  let levels = Fib_params.draw_levels (Util.Prng.create ~seed:22) params in
+  let seq = Fibonacci.build_with ~params ~levels g in
+  let dist = Fibonacci_dist.build_with ~params ~levels ~t:2 g in
+  let rep_of s = Metrics.exact ~g ~h:(Edge_set.to_graph s) in
+  let rs = rep_of seq.Fibonacci.spanner and rd = rep_of dist.Fibonacci_dist.spanner in
+  checki "nothing lost (seq)" 0 rs.Metrics.disconnected;
+  checki "nothing lost (dist)" 0 rd.Metrics.disconnected;
+  (* Blocking can only ADD edges (keep-all) or lose ball members whose
+     paths the LV check restores; distortion must stay within the same
+     analytic bound. *)
+  checkb "dist stretch close to seq" true
+    (rd.Metrics.max_mult <= rs.Metrics.max_mult +. 3.)
+
+let test_fib_dist_budget_respected () =
+  let g = Gen.connected_gnp (rng ()) ~n:400 ~p:0.03 in
+  let dist = Fibonacci_dist.build ~o:3 ~ell:2 ~t:2 ~seed:8 g in
+  checkb
+    (Printf.sprintf "max message %d <= budget %d"
+       dist.Fibonacci_dist.stats.Distnet.Sim.max_message_words
+       dist.Fibonacci_dist.budget_words)
+    true
+    (dist.Fibonacci_dist.stats.Distnet.Sim.max_message_words
+    <= dist.Fibonacci_dist.budget_words)
+
+let test_fib_dist_blocking_triggers_on_tiny_budget () =
+  (* Force a tiny budget: blocking and (usually) Las Vegas recovery. *)
+  let g = Gen.connected_gnp (rng ()) ~n:250 ~p:0.06 in
+  let params = Fib_params.make ~n:250 ~o:3 ~ell:2 () in
+  let levels = Fib_params.draw_levels (Util.Prng.create ~seed:31) params in
+  let dist = Fibonacci_dist.build_with ~params ~levels ~t:8 g in
+  checkb "budget tiny" true (dist.Fibonacci_dist.budget_words <= 3);
+  checkb "blocking observed" true (dist.Fibonacci_dist.blocked > 0);
+  (* Whatever was blocked, the delivered spanner must not disconnect. *)
+  let h = Edge_set.to_graph dist.Fibonacci_dist.spanner in
+  checkb "still connected" true (G.is_connected h)
+
+let test_fib_dist_rounds_scale_with_radius () =
+  (* Rounds grow with ell^o (the dominating broadcast radius). *)
+  let g = Gen.torus ~width:16 ~height:16 in
+  let rounds ell =
+    let d = Fibonacci_dist.build ~o:2 ~ell ~t:1 ~seed:2 g in
+    d.Fibonacci_dist.stats.Distnet.Sim.rounds
+  in
+  checkb "ell=4 uses more rounds than ell=2" true (rounds 4 > rounds 2)
+
+let prop_fib_connectivity =
+  QCheck.Test.make ~name:"fibonacci: preserves connectivity" ~count:15
+    QCheck.(pair (int_range 20 120) (int_bound 1000))
+    (fun (n, seed) ->
+      let g = Gen.connected_gnp (Util.Prng.create ~seed) ~n ~p:(5. /. float_of_int n) in
+      let r = Fibonacci.build ~o:2 ~ell:3 ~seed:(seed + 1) g in
+      G.is_connected (Edge_set.to_graph r.Fibonacci.spanner))
+
+let prop_fib_distances_dominate =
+  QCheck.Test.make ~name:"fibonacci: spanner distances dominate" ~count:10
+    QCheck.(int_range 20 80)
+    (fun n ->
+      let g = Gen.connected_gnp (Util.Prng.create ~seed:n) ~n ~p:0.1 in
+      let r = Fibonacci.build ~o:2 ~ell:3 ~seed:n g in
+      let h = Edge_set.to_graph r.Fibonacci.spanner in
+      let ok = ref true in
+      let dg = Bfs.distances g ~src:0 and dh = Bfs.distances h ~src:0 in
+      Array.iteri
+        (fun v d -> if d >= 0 && dh.(v) >= 0 && dh.(v) < d then ok := false)
+        dg;
+      !ok)
+
+let suite =
+  [
+    ( "fib.params",
+      [
+        Alcotest.test_case "f/h recurrences" `Quick test_params_fh_recurrences;
+        Alcotest.test_case "qs monotone" `Quick test_params_qs_monotone;
+        Alcotest.test_case "default order" `Quick test_params_default_order_is_sparsest;
+        Alcotest.test_case "Theorem 7 ell" `Quick test_params_theorem7_ell;
+        Alcotest.test_case "radius" `Quick test_params_radius;
+        Alcotest.test_case "level sizes" `Quick test_params_level_sizes;
+        Alcotest.test_case "rejects bad args" `Quick test_params_rejects_bad;
+        Alcotest.test_case "budgeted ratios (Thm 8)" `Quick test_params_budgeted_ratios;
+        Alcotest.test_case "budgeted noop" `Quick test_params_budgeted_noop_when_generous;
+      ] );
+    ( "fib.sequential",
+      [
+        Alcotest.test_case "connectivity" `Quick test_fib_connectivity;
+        Alcotest.test_case "stretch within stage bound" `Quick
+          test_fib_stretch_within_stage_bound;
+        Alcotest.test_case "parent forest present" `Quick test_fib_parent_forest_present;
+        Alcotest.test_case "size tradeoff in o" `Quick test_fib_size_tradeoff;
+        Alcotest.test_case "stretch tradeoff in o" `Quick test_fib_stretch_tradeoff;
+        Alcotest.test_case "ball strictness" `Quick test_fib_ball_strictness;
+        Alcotest.test_case "per-level stats" `Quick test_fib_per_level_stats;
+        Alcotest.test_case "Lemma 7 level sizes" `Quick test_fib_lemma7_level_sizes;
+        Alcotest.test_case "path graph" `Quick test_fib_path_graph;
+        QCheck_alcotest.to_alcotest prop_fib_connectivity;
+        QCheck_alcotest.to_alcotest prop_fib_distances_dominate;
+      ] );
+    ( "fib.distributed",
+      [
+        Alcotest.test_case "matches sequential (unblocked)" `Quick
+          test_fib_dist_matches_sequential_unblocked;
+        Alcotest.test_case "stretch near sequential" `Quick
+          test_fib_dist_stretch_never_worse_than_seq_bound;
+        Alcotest.test_case "budget respected" `Quick test_fib_dist_budget_respected;
+        Alcotest.test_case "blocking on tiny budget" `Quick
+          test_fib_dist_blocking_triggers_on_tiny_budget;
+        Alcotest.test_case "rounds scale with radius" `Quick
+          test_fib_dist_rounds_scale_with_radius;
+      ] );
+  ]

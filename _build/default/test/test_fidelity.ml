@@ -1,0 +1,149 @@
+(* Deeper paper-fidelity tests: Lemma 2's cluster-radius recurrence on
+   live skeleton traces, and the tau-neighborhood symmetry of the
+   lower-bound gadget. *)
+
+let checkb = Alcotest.check Alcotest.bool
+
+module G = Graphlib.Graph
+module Gen = Graphlib.Gen
+module Bfs = Graphlib.Bfs
+module Edge_set = Graphlib.Edge_set
+module Gadget = Graphlib.Gadget
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 2(2): r_{i,j} = j (2 r_i + 1) + r_i. *)
+
+(* Radius of one cluster inside the member-induced spanner subgraph. *)
+let cluster_radius h ~members ~center =
+  let member = Hashtbl.create (List.length members) in
+  List.iter (fun v -> Hashtbl.replace member v ()) members;
+  let dist = Hashtbl.create (List.length members) in
+  let q = Queue.create () in
+  Hashtbl.replace dist center 0;
+  Queue.add center q;
+  let worst = ref 0 in
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    let du = Hashtbl.find dist u in
+    if du > !worst then worst := du;
+    G.iter_neighbors h u (fun v _ ->
+        if Hashtbl.mem member v && not (Hashtbl.mem dist v) then begin
+          Hashtbl.replace dist v (du + 1);
+          Queue.add v q
+        end)
+  done;
+  (* every member must be reachable inside the cluster - the spanning
+     tree invariant *)
+  List.iter
+    (fun v ->
+      checkb
+        (Printf.sprintf "member %d connected to center %d inside cluster" v center)
+        true (Hashtbl.mem dist v))
+    members;
+  !worst
+
+let test_lemma2_radius_recurrence () =
+  let n = 400 in
+  let g = Gen.connected_gnp (Util.Prng.create ~seed:5) ~n ~p:0.04 in
+  let plan = Spanner.Plan.make ~n () in
+  let sampling = Spanner.Sampling.draw (Util.Prng.create ~seed:6) ~n plan in
+  let r = Spanner.Skeleton.build_with ~trace:true ~plan ~sampling g in
+  let h = Edge_set.to_graph r.Spanner.Skeleton.spanner in
+  (* Walk the trace, maintaining the analytic radius recurrence. *)
+  let round_start_radius = ref 0 in
+  let current_round = ref 0 in
+  let last_bound = ref 0 in
+  List.iter
+    (fun (s : Spanner.Skeleton.snapshot) ->
+      let call = s.Spanner.Skeleton.call in
+      if call.Spanner.Plan.round > !current_round then begin
+        (* contraction: the new contracted vertices inherit the last
+           clustering's radius *)
+        round_start_radius := !last_bound;
+        current_round := call.Spanner.Plan.round
+      end;
+      let rprev = !round_start_radius in
+      let j = call.Spanner.Plan.iter + 1 in
+      let bound = (j * ((2 * rprev) + 1)) + rprev in
+      last_bound := bound;
+      (* group members by cluster center *)
+      let groups : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+      Array.iteri
+        (fun v c ->
+          if c >= 0 then
+            Hashtbl.replace groups c
+              (v :: Option.value ~default:[] (Hashtbl.find_opt groups c)))
+        s.Spanner.Skeleton.assignment;
+      Hashtbl.iter
+        (fun center members ->
+          let radius = cluster_radius h ~members ~center in
+          checkb
+            (Printf.sprintf
+               "call %d (round %d iter %d): cluster %d radius %d <= Lemma-2 bound %d"
+               call.Spanner.Plan.index call.Spanner.Plan.round call.Spanner.Plan.iter
+               center radius bound)
+            true (radius <= bound))
+        groups)
+    r.Spanner.Skeleton.snapshots
+
+(* ------------------------------------------------------------------ *)
+(* Gadget symmetry: every block vertex sees the same (unlabeled)
+   tau-neighborhood — the pillar of the Section 3 indistinguishability
+   argument.  We compare BFS level-size signatures up to depth tau. *)
+
+let neighborhood_signature g v ~depth =
+  let dist = Bfs.distances g ~src:v in
+  let sig_ = Array.make (depth + 1) 0 in
+  Array.iter
+    (fun d -> if d >= 0 && d <= depth then sig_.(d) <- sig_.(d) + 1)
+    dist;
+  Array.to_list sig_
+
+let test_gadget_neighborhood_symmetry () =
+  List.iter
+    (fun (tau, sigma, kappa) ->
+      let gd = Gadget.create ~tau ~sigma ~kappa in
+      let g = gd.Gadget.graph in
+      let reference =
+        neighborhood_signature g gd.Gadget.left.(0).(0) ~depth:tau
+      in
+      Array.iteri
+        (fun i _ ->
+          for j = 0 to sigma - 1 do
+            List.iter
+              (fun v ->
+                Alcotest.check
+                  (Alcotest.list Alcotest.int)
+                  (Printf.sprintf "block %d col %d vertex %d signature" i j v)
+                  reference
+                  (neighborhood_signature g v ~depth:tau))
+              [ gd.Gadget.left.(i).(j); gd.Gadget.right.(i).(j) ]
+          done)
+        gd.Gadget.left)
+    [ (2, 3, 3); (3, 4, 4); (4, 2, 5) ]
+
+let test_gadget_block_edges_same_degree_profile () =
+  (* Stronger form: the two endpoints of every block edge have the same
+     degree (sigma + 1). *)
+  let gd = Gadget.create ~tau:3 ~sigma:5 ~kappa:4 in
+  let g = gd.Gadget.graph in
+  List.iter
+    (fun e ->
+      let u, v = G.edge_endpoints g e in
+      Alcotest.check Alcotest.int "block endpoint degree" (5 + 1) (G.degree g u);
+      Alcotest.check Alcotest.int "block endpoint degree" (5 + 1) (G.degree g v))
+    gd.Gadget.block_edges
+
+let suite =
+  [
+    ( "fidelity.lemma2",
+      [ Alcotest.test_case "radius recurrence on trace" `Slow test_lemma2_radius_recurrence ]
+    );
+    ( "fidelity.gadget_symmetry",
+      [
+        Alcotest.test_case "tau-neighborhood signatures" `Quick
+          test_gadget_neighborhood_symmetry;
+        Alcotest.test_case "block degree profile" `Quick
+          test_gadget_block_edges_same_degree_profile;
+      ] );
+  ]

@@ -1,0 +1,604 @@
+(* Tests for the graph substrate: Graph, Gen, Bfs, Edge_set, Apsp,
+   Metrics, Girth, Gadget. *)
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+module G = Graphlib.Graph
+module Gen = Graphlib.Gen
+module Bfs = Graphlib.Bfs
+module Edge_set = Graphlib.Edge_set
+module Apsp = Graphlib.Apsp
+module Metrics = Graphlib.Metrics
+module Girth = Graphlib.Girth
+module Gadget = Graphlib.Gadget
+
+let rng () = Util.Prng.create ~seed:20080424 (* paper submission date *)
+
+(* ------------------------------------------------------------------ *)
+(* Graph core *)
+
+let test_build_dedup () =
+  let g = G.of_edges ~n:4 [ (0, 1); (1, 0); (1, 2); (2, 2); (1, 2) ] in
+  checki "n" 4 (G.n g);
+  checki "m (dedup, no loops)" 2 (G.m g);
+  checki "deg 1" 2 (G.degree g 1);
+  checki "deg 3" 0 (G.degree g 3)
+
+let test_edge_endpoints_normalized () =
+  let g = G.of_edges ~n:3 [ (2, 0); (1, 2) ] in
+  for e = 0 to G.m g - 1 do
+    let u, v = G.edge_endpoints g e in
+    checkb "u < v" true (u < v)
+  done
+
+let test_find_edge () =
+  let g = G.of_edges ~n:5 [ (0, 1); (1, 2); (3, 4) ] in
+  checkb "finds" true (G.mem_edge g 2 1);
+  checkb "finds reversed" true (G.mem_edge g 1 2);
+  checkb "absent" false (G.mem_edge g 0 2);
+  checkb "self" false (G.mem_edge g 1 1);
+  (match G.find_edge g 3 4 with
+  | Some e ->
+      let u, v = G.edge_endpoints g e in
+      checki "endpoint u" 3 u;
+      checki "endpoint v" 4 v
+  | None -> Alcotest.fail "edge (3,4) must exist")
+
+let test_degree_sum () =
+  let g = Gen.gnp (rng ()) ~n:200 ~p:0.05 in
+  let sum = ref 0 in
+  for v = 0 to G.n g - 1 do
+    sum := !sum + G.degree g v
+  done;
+  checki "handshake lemma" (2 * G.m g) !sum
+
+let test_components () =
+  let g = G.of_edges ~n:6 [ (0, 1); (1, 2); (3, 4) ] in
+  let label, count = G.components g in
+  checki "three components" 3 count;
+  checkb "0~2 same" true (label.(0) = label.(2));
+  checkb "3~4 same" true (label.(3) = label.(4));
+  checkb "0 vs 3 differ" true (label.(0) <> label.(3));
+  checkb "5 isolated" true (label.(5) <> label.(0) && label.(5) <> label.(3))
+
+let test_iter_edges_covers_all () =
+  let g = Gen.grid ~width:5 ~height:4 in
+  let count = ref 0 in
+  G.iter_edges g (fun _ u v ->
+      incr count;
+      checkb "valid endpoints" true (u >= 0 && v < G.n g && u < v));
+  checki "edge count" (G.m g) !count
+
+(* ------------------------------------------------------------------ *)
+(* Generators *)
+
+let test_gen_path () =
+  let g = Gen.path 10 in
+  checki "m" 9 (G.m g);
+  checkb "connected" true (G.is_connected g);
+  checki "diameter" 9 (Apsp.diameter g)
+
+let test_gen_cycle () =
+  let g = Gen.cycle 10 in
+  checki "m" 10 (G.m g);
+  checki "every degree 2" 2 (G.max_degree g);
+  checki "diameter" 5 (Apsp.diameter g)
+
+let test_gen_complete () =
+  let g = Gen.complete 8 in
+  checki "m" 28 (G.m g);
+  checki "diameter" 1 (Apsp.diameter g)
+
+let test_gen_complete_bipartite () =
+  let g = Gen.complete_bipartite 3 4 in
+  checki "n" 7 (G.n g);
+  checki "m" 12 (G.m g);
+  checki "diameter" 2 (Apsp.diameter g)
+
+let test_gen_grid () =
+  let g = Gen.grid ~width:4 ~height:3 in
+  checki "n" 12 (G.n g);
+  checki "m" ((3 * 3) + (2 * 4)) (G.m g);
+  checki "diameter = manhattan" 5 (Apsp.diameter g)
+
+let test_gen_torus () =
+  let g = Gen.torus ~width:6 ~height:6 in
+  checki "n" 36 (G.n g);
+  checki "4-regular" 4 (G.max_degree g);
+  checki "m" 72 (G.m g);
+  checki "diameter" 6 (Apsp.diameter g)
+
+let test_gen_hypercube () =
+  let g = Gen.hypercube ~dims:5 in
+  checki "n" 32 (G.n g);
+  checki "m" (5 * 32 / 2) (G.m g);
+  checki "diameter = dims" 5 (Apsp.diameter g)
+
+let test_gen_star () =
+  let g = Gen.star 12 in
+  checki "m" 11 (G.m g);
+  checki "diameter" 2 (Apsp.diameter g)
+
+let test_gen_gnp_density () =
+  let r = rng () in
+  let n = 400 and p = 0.02 in
+  let g = Gen.gnp r ~n ~p in
+  let expected = p *. float_of_int (n * (n - 1) / 2) in
+  let got = float_of_int (G.m g) in
+  checkb
+    (Printf.sprintf "edge count near expectation (%f vs %f)" got expected)
+    true
+    (Float.abs (got -. expected) < 5. *. sqrt expected)
+
+let test_gen_gnp_extremes () =
+  let r = rng () in
+  checki "p=0" 0 (G.m (Gen.gnp r ~n:50 ~p:0.));
+  checki "p=1" (50 * 49 / 2) (G.m (Gen.gnp r ~n:50 ~p:1.))
+
+let test_gen_gnm_exact () =
+  let r = rng () in
+  let g = Gen.gnm r ~n:100 ~m:250 in
+  checki "m exact" 250 (G.m g);
+  let g2 = Gen.gnm r ~n:10 ~m:1000 in
+  checki "m clamped" 45 (G.m g2)
+
+let test_gen_pa_connected () =
+  let r = rng () in
+  let g = Gen.preferential_attachment r ~n:300 ~k:2 in
+  checki "n" 300 (G.n g);
+  checkb "connected" true (G.is_connected g);
+  checkb "m in range" true (G.m g <= 2 * 300 && G.m g >= 299)
+
+let test_gen_regularish () =
+  let r = rng () in
+  let g = Gen.random_regularish r ~n:200 ~d:6 in
+  checkb "max degree close to d" true (G.max_degree g <= 6);
+  checkb "avg degree near d" true (G.average_degree g > 4.)
+
+let test_gen_caterpillar () =
+  let g = Gen.caterpillar ~spine:5 ~legs:3 in
+  checki "n" 20 (G.n g);
+  checki "m = n - 1 (tree)" 19 (G.m g);
+  checkb "connected" true (G.is_connected g)
+
+let test_ensure_connected () =
+  let r = rng () in
+  let g = G.of_edges ~n:9 [ (0, 1); (3, 4); (6, 7) ] in
+  let g' = Gen.ensure_connected r g in
+  checkb "now connected" true (G.is_connected g');
+  checkb "edges only added" true (G.m g' >= G.m g)
+
+(* ------------------------------------------------------------------ *)
+(* BFS *)
+
+let test_bfs_path_distances () =
+  let g = Gen.path 10 in
+  let d = Bfs.distances g ~src:0 in
+  for v = 0 to 9 do
+    checki "distance on path" v d.(v)
+  done
+
+let test_bfs_unreachable () =
+  let g = G.of_edges ~n:4 [ (0, 1) ] in
+  let d = Bfs.distances g ~src:0 in
+  checki "unreachable" (-1) d.(3)
+
+let test_multi_source_nearest () =
+  let g = Gen.path 10 in
+  let f = Bfs.multi_source g ~sources:[ 0; 9 ] in
+  checki "near 0" 0 f.source.(2);
+  checki "near 9" 9 f.source.(7);
+  checki "dist mid" 4 f.dist.(4);
+  checki "dist mid2" 4 f.dist.(5)
+
+let test_multi_source_min_id_ties () =
+  (* Vertex 2 is at distance 1 from sources 1 and 3: label must be 1. *)
+  let g = Gen.path 5 in
+  let f = Bfs.multi_source g ~sources:[ 3; 1 ] in
+  checki "tie to min id" 1 f.source.(2);
+  checki "dist" 1 f.dist.(2)
+
+let test_multi_source_parent_consistency () =
+  let r = rng () in
+  let g = Gen.connected_gnp r ~n:120 ~p:0.03 in
+  let sources = [ 0; 5; 17; 80 ] in
+  let f = Bfs.multi_source g ~sources in
+  for v = 0 to G.n g - 1 do
+    if f.dist.(v) > 0 then begin
+      let p = f.parent.(v) in
+      checki "parent one closer" (f.dist.(v) - 1) f.dist.(p);
+      checki "same label as parent" f.source.(p) f.source.(v);
+      let u, w = G.edge_endpoints g f.parent_edge.(v) in
+      checkb "parent edge touches both" true
+        ((u = v && w = p) || (u = p && w = v))
+    end
+  done
+
+let test_multi_source_radius () =
+  let g = Gen.path 10 in
+  let f = Bfs.multi_source ~radius:3 g ~sources:[ 0 ] in
+  checki "inside radius" 3 f.dist.(3);
+  checki "outside radius" (-1) f.dist.(4)
+
+let test_workspace_truncated () =
+  let g = Gen.path 10 in
+  let ws = Bfs.Workspace.create g in
+  let visited = ref [] in
+  Bfs.Workspace.run ws ~src:5 ~radius:2 ~on_visit:(fun ~v ~dist:_ ->
+      visited := v :: !visited);
+  let visited = List.sort compare !visited in
+  Alcotest.check (Alcotest.list Alcotest.int) "ball of radius 2" [ 3; 4; 5; 6; 7 ] visited;
+  checki "untouched" (-1) (Bfs.Workspace.dist ws 8)
+
+let test_workspace_reuse () =
+  let g = Gen.cycle 12 in
+  let ws = Bfs.Workspace.create g in
+  Bfs.Workspace.run ws ~src:0 ~radius:12 ~on_visit:(fun ~v:_ ~dist:_ -> ());
+  Bfs.Workspace.run ws ~src:6 ~radius:2 ~on_visit:(fun ~v:_ ~dist:_ -> ());
+  checki "fresh run dist" 2 (Bfs.Workspace.dist ws 4);
+  checki "old entries cleared" (-1) (Bfs.Workspace.dist ws 0)
+
+let test_workspace_path_edges () =
+  let g = Gen.path 8 in
+  let ws = Bfs.Workspace.create g in
+  Bfs.Workspace.run ws ~src:1 ~radius:5 ~on_visit:(fun ~v:_ ~dist:_ -> ());
+  let path = Bfs.Workspace.path_edges_to_source ws 5 in
+  checki "path length" 4 (List.length path);
+  List.iter
+    (fun e ->
+      let u, v = G.edge_endpoints g e in
+      checkb "path edge inside range" true (u >= 1 && v <= 5))
+    path
+
+let test_bfs_matches_apsp () =
+  let r = rng () in
+  let g = Gen.connected_gnp r ~n:80 ~p:0.06 in
+  let matrix = Apsp.compute g in
+  let d0 = Bfs.distances g ~src:7 in
+  Alcotest.check (Alcotest.array Alcotest.int) "row 7" matrix.(7) d0
+
+let test_eccentricity () =
+  let g = Gen.path 9 in
+  checki "end" 8 (Bfs.eccentricity g 0);
+  checki "middle" 4 (Bfs.eccentricity g 4);
+  checki "diameter lb" 8 (Bfs.diameter_lower_bound g ~seeds:[ 4; 0 ])
+
+(* ------------------------------------------------------------------ *)
+(* Edge_set *)
+
+let test_edge_set_basic () =
+  let g = Gen.cycle 6 in
+  let s = Edge_set.create g in
+  checki "empty" 0 (Edge_set.cardinal s);
+  Edge_set.add s 0;
+  Edge_set.add s 0;
+  Edge_set.add s 3;
+  checki "cardinal" 2 (Edge_set.cardinal s);
+  checkb "mem" true (Edge_set.mem s 3);
+  checkb "not mem" false (Edge_set.mem s 1)
+
+let test_edge_set_to_graph () =
+  let g = Gen.cycle 6 in
+  let s = Edge_set.of_list g [ 0; 1; 2; 3; 4 ] in
+  let h = Edge_set.to_graph s in
+  checki "same n" 6 (G.n h);
+  checki "m" 5 (G.m h);
+  checkb "still connected (path)" true (G.is_connected h)
+
+let test_edge_set_union () =
+  let g = Gen.cycle 6 in
+  let a = Edge_set.of_list g [ 0; 1 ] and b = Edge_set.of_list g [ 1; 5 ] in
+  let u = Edge_set.union a b in
+  checki "union card" 3 (Edge_set.cardinal u);
+  checki "a unchanged" 2 (Edge_set.cardinal a)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_metrics_identity () =
+  let r = rng () in
+  let g = Gen.connected_gnp r ~n:60 ~p:0.08 in
+  let rep = Metrics.exact ~g ~h:g in
+  Alcotest.check (Alcotest.float 1e-9) "max stretch 1" 1. rep.Metrics.max_mult;
+  checki "no additive" 0 rep.Metrics.max_add;
+  checki "nothing lost" 0 rep.Metrics.disconnected
+
+let test_metrics_cycle_vs_path () =
+  (* Dropping one edge of C_n: the max stretch is (n-1)/1 for that
+     edge's endpoints. *)
+  let n = 10 in
+  let g = Gen.cycle n in
+  let all = List.init (G.m g) (fun e -> e) in
+  let e_dropped = List.hd all in
+  let s = Edge_set.of_list g (List.tl all) in
+  let h = Edge_set.to_graph s in
+  let rep = Metrics.exact ~g ~h in
+  let u, v = G.edge_endpoints g e_dropped in
+  checkb "endpoints adjacent" true (u <> v);
+  Alcotest.check (Alcotest.float 1e-9) "max stretch n-1" (float_of_int (n - 1))
+    rep.Metrics.max_mult;
+  checki "max additive n-2" (n - 2) rep.Metrics.max_add
+
+let test_metrics_disconnection_counted () =
+  let g = Gen.path 4 in
+  let s = Edge_set.of_list g [] in
+  let h = Edge_set.to_graph s in
+  let rep = Metrics.exact ~g ~h in
+  checki "all pairs lost" 6 rep.Metrics.disconnected;
+  checki "no measured pairs" 0 rep.Metrics.pairs
+
+let test_metrics_sampled_agrees_on_identity () =
+  let r = rng () in
+  let g = Gen.connected_gnp r ~n:100 ~p:0.05 in
+  let rep = Metrics.sampled r ~g ~h:g ~sources:8 in
+  Alcotest.check (Alcotest.float 1e-9) "stretch 1" 1. rep.Metrics.max_mult
+
+let test_metrics_profile () =
+  let g = Gen.path 10 in
+  (* spanner = g: profile stretch must be 1 at every distance *)
+  let r = rng () in
+  let profile = Metrics.distance_profile r ~g ~h:g ~sources:10 in
+  List.iter
+    (fun (d, _) ->
+      match Metrics.stretch_at_distance profile d with
+      | Some s -> Alcotest.check (Alcotest.float 1e-9) "stretch 1" 1. s
+      | None -> Alcotest.fail "missing distance")
+    profile;
+  checkb "has distance 9" true (List.mem_assoc 9 profile)
+
+(* ------------------------------------------------------------------ *)
+(* Girth *)
+
+let test_girth_cycle () =
+  checkb "C5 girth 5" true (Girth.girth (Gen.cycle 5) = Some 5);
+  checkb "C12 girth 12" true (Girth.girth (Gen.cycle 12) = Some 12)
+
+let test_girth_tree () =
+  checkb "tree has none" true (Girth.girth (Gen.path 10) = None);
+  checkb "caterpillar none" true (Girth.girth (Gen.caterpillar ~spine:4 ~legs:2) = None)
+
+let test_girth_complete () =
+  checkb "K5 girth 3" true (Girth.girth (Gen.complete 5) = Some 3);
+  checkb "K33 girth 4" true (Girth.girth (Gen.complete_bipartite 3 3) = Some 4)
+
+let test_girth_gt () =
+  checkb "C7 > 6" true (Girth.has_girth_gt (Gen.cycle 7) 6);
+  checkb "C7 not > 7" false (Girth.has_girth_gt (Gen.cycle 7) 7)
+
+let test_girth_grid () =
+  checkb "grid girth 4" true (Girth.girth (Gen.grid ~width:3 ~height:3) = Some 4);
+  checkb "hypercube girth 4" true (Girth.girth (Gen.hypercube ~dims:4) = Some 4)
+
+(* ------------------------------------------------------------------ *)
+(* Gadget *)
+
+let test_gadget_size_bounds () =
+  (* Paper: n' < (kappa+1) sigma (tau+6) and m' > kappa sigma^2. *)
+  List.iter
+    (fun (tau, sigma, kappa) ->
+      let gd = Gadget.create ~tau ~sigma ~kappa in
+      let n = G.n gd.Gadget.graph and m = G.m gd.Gadget.graph in
+      checkb "n bound" true (n < (kappa + 1) * sigma * (tau + 6));
+      checkb "m bound" true (m > kappa * sigma * sigma))
+    [ (1, 2, 2); (3, 4, 3); (5, 3, 5); (2, 6, 2) ]
+
+let test_gadget_connected () =
+  let gd = Gadget.create ~tau:3 ~sigma:3 ~kappa:4 in
+  checkb "connected" true (G.is_connected gd.Gadget.graph)
+
+let test_gadget_critical_edges () =
+  let gd = Gadget.create ~tau:2 ~sigma:3 ~kappa:4 in
+  checki "one per block" 4 (Array.length gd.Gadget.critical_edges);
+  Array.iteri
+    (fun i e ->
+      let u, v = G.edge_endpoints gd.Gadget.graph e in
+      let l = gd.Gadget.left.(i).(0) and r = gd.Gadget.right.(i).(0) in
+      checkb "critical joins column 0" true
+        ((u = l && v = r) || (u = r && v = l)))
+    gd.Gadget.critical_edges
+
+let test_gadget_observer_distance () =
+  (* delta(vL_{0,0}, vL_{k-1,0}) = (kappa-1)(tau+2). *)
+  let tau = 3 and kappa = 4 in
+  let gd = Gadget.create ~tau ~sigma:3 ~kappa in
+  let u, v = Gadget.observers gd in
+  let d = Bfs.distances gd.Gadget.graph ~src:u in
+  checki "observer distance" ((kappa - 1) * (tau + 2)) d.(v);
+  checki "hop length" (tau + 2) (Gadget.hop_length gd)
+
+let test_gadget_critical_replacement () =
+  (* Removing one critical edge increases the observers' distance by
+     exactly 2 (the length-3 replacement through column j>1... in fact
+     through another column's L/R pair). *)
+  let tau = 3 and kappa = 3 in
+  let gd = Gadget.create ~tau ~sigma:3 ~kappa in
+  let g = gd.Gadget.graph in
+  let u, v = Gadget.observers gd in
+  let base = (Bfs.distances g ~src:u).(v) in
+  let drop = gd.Gadget.critical_edges.(1) in
+  let keep = Edge_set.create g in
+  G.iter_edges g (fun e _ _ -> if e <> drop then Edge_set.add keep e);
+  let h = Edge_set.to_graph keep in
+  let after = (Bfs.distances h ~src:u).(v) in
+  checki "distance grows by exactly 2" (base + 2) after
+
+let test_gadget_edge_partition () =
+  let gd = Gadget.create ~tau:2 ~sigma:4 ~kappa:3 in
+  let g = gd.Gadget.graph in
+  checki "partition covers all edges" (G.m g)
+    (List.length gd.Gadget.block_edges + List.length gd.Gadget.chain_edges);
+  checki "block edge count" (3 * 4 * 4) (List.length gd.Gadget.block_edges)
+
+let test_gadget_paper_parameters () =
+  let sigma, kappa = Gadget.paper_parameters ~n:10000 ~delta:0.2 ~c:2. ~tau:4 in
+  checkb "sigma positive" true (sigma >= 1);
+  checkb "kappa positive" true (kappa >= 1);
+  (* sigma = c(tau+6) n^delta = 2*10*10000^0.2 ~ 126 *)
+  checkb "sigma magnitude" true (sigma > 100 && sigma < 150)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let graph_gen =
+  QCheck.Gen.(
+    sized_size (1 -- 40) (fun n ->
+        let n = n + 2 in
+        list_size (0 -- (3 * n)) (pair (int_bound (n - 1)) (int_bound (n - 1)))
+        >|= fun edges -> Graphlib.Graph.of_edges ~n edges))
+
+let arbitrary_graph = QCheck.make ~print:(fun g -> Format.asprintf "%a" G.pp_summary g) graph_gen
+
+let prop_bfs_triangle_inequality =
+  QCheck.Test.make ~name:"bfs: adjacent vertices differ by <= 1" ~count:60 arbitrary_graph
+    (fun g ->
+      if G.n g = 0 then true
+      else begin
+        let d = Bfs.distances g ~src:0 in
+        let ok = ref true in
+        G.iter_edges g (fun _ u v ->
+            if d.(u) >= 0 && d.(v) >= 0 && abs (d.(u) - d.(v)) > 1 then ok := false;
+            if (d.(u) < 0) <> (d.(v) < 0) then ok := false);
+        !ok
+      end)
+
+let prop_components_edge_consistent =
+  QCheck.Test.make ~name:"components: edges stay within a component" ~count:60
+    arbitrary_graph (fun g ->
+      let label, _ = G.components g in
+      let ok = ref true in
+      G.iter_edges g (fun _ u v -> if label.(u) <> label.(v) then ok := false);
+      !ok)
+
+let prop_multi_source_matches_min_bfs =
+  QCheck.Test.make ~name:"multi_source: dist = min over single-source BFS" ~count:40
+    arbitrary_graph (fun g ->
+      if G.n g < 3 then true
+      else begin
+        let sources = [ 0; 1; 2 ] in
+        let f = Bfs.multi_source g ~sources in
+        let singles = List.map (fun s -> (s, Bfs.distances g ~src:s)) sources in
+        let ok = ref true in
+        for v = 0 to G.n g - 1 do
+          let best =
+            List.fold_left
+              (fun acc (_, d) ->
+                if d.(v) < 0 then acc
+                else match acc with None -> Some d.(v) | Some b -> Some (min b d.(v)))
+              None singles
+          in
+          (match (best, f.dist.(v)) with
+          | None, -1 -> ()
+          | Some b, fv when b = fv -> ()
+          | _ -> ok := false);
+          (* label is the min id among sources achieving the distance *)
+          if f.dist.(v) >= 0 then begin
+            let minid =
+              List.fold_left
+                (fun acc (s, d) ->
+                  if d.(v) = f.dist.(v) then min acc s else acc)
+                max_int singles
+            in
+            if minid <> f.source.(v) then ok := false
+          end
+        done;
+        !ok
+      end)
+
+let prop_edge_set_subgraph_distances_dominate =
+  QCheck.Test.make ~name:"subgraph distances dominate host distances" ~count:40
+    arbitrary_graph (fun g ->
+      if G.m g = 0 then true
+      else begin
+        let r = Util.Prng.create ~seed:99 in
+        let s = Edge_set.create g in
+        G.iter_edges g (fun e _ _ -> if Util.Prng.bool r then Edge_set.add s e);
+        let h = Edge_set.to_graph s in
+        let dg = Bfs.distances g ~src:0 and dh = Bfs.distances h ~src:0 in
+        let ok = ref true in
+        for v = 0 to G.n g - 1 do
+          if dh.(v) >= 0 && dg.(v) >= 0 && dh.(v) < dg.(v) then ok := false
+        done;
+        !ok
+      end)
+
+let suite =
+  [
+    ( "graph.core",
+      [
+        Alcotest.test_case "dedup & loops" `Quick test_build_dedup;
+        Alcotest.test_case "normalized endpoints" `Quick test_edge_endpoints_normalized;
+        Alcotest.test_case "find_edge" `Quick test_find_edge;
+        Alcotest.test_case "handshake" `Quick test_degree_sum;
+        Alcotest.test_case "components" `Quick test_components;
+        Alcotest.test_case "iter_edges" `Quick test_iter_edges_covers_all;
+        QCheck_alcotest.to_alcotest prop_components_edge_consistent;
+      ] );
+    ( "graph.gen",
+      [
+        Alcotest.test_case "path" `Quick test_gen_path;
+        Alcotest.test_case "cycle" `Quick test_gen_cycle;
+        Alcotest.test_case "complete" `Quick test_gen_complete;
+        Alcotest.test_case "complete bipartite" `Quick test_gen_complete_bipartite;
+        Alcotest.test_case "grid" `Quick test_gen_grid;
+        Alcotest.test_case "torus" `Quick test_gen_torus;
+        Alcotest.test_case "hypercube" `Quick test_gen_hypercube;
+        Alcotest.test_case "star" `Quick test_gen_star;
+        Alcotest.test_case "gnp density" `Quick test_gen_gnp_density;
+        Alcotest.test_case "gnp extremes" `Quick test_gen_gnp_extremes;
+        Alcotest.test_case "gnm exact" `Quick test_gen_gnm_exact;
+        Alcotest.test_case "preferential attachment" `Quick test_gen_pa_connected;
+        Alcotest.test_case "regular-ish" `Quick test_gen_regularish;
+        Alcotest.test_case "caterpillar" `Quick test_gen_caterpillar;
+        Alcotest.test_case "ensure_connected" `Quick test_ensure_connected;
+      ] );
+    ( "graph.bfs",
+      [
+        Alcotest.test_case "path distances" `Quick test_bfs_path_distances;
+        Alcotest.test_case "unreachable" `Quick test_bfs_unreachable;
+        Alcotest.test_case "multi-source nearest" `Quick test_multi_source_nearest;
+        Alcotest.test_case "min-id ties" `Quick test_multi_source_min_id_ties;
+        Alcotest.test_case "parent consistency" `Quick test_multi_source_parent_consistency;
+        Alcotest.test_case "radius" `Quick test_multi_source_radius;
+        Alcotest.test_case "workspace truncated" `Quick test_workspace_truncated;
+        Alcotest.test_case "workspace reuse" `Quick test_workspace_reuse;
+        Alcotest.test_case "workspace path edges" `Quick test_workspace_path_edges;
+        Alcotest.test_case "matches apsp" `Quick test_bfs_matches_apsp;
+        Alcotest.test_case "eccentricity" `Quick test_eccentricity;
+        QCheck_alcotest.to_alcotest prop_bfs_triangle_inequality;
+        QCheck_alcotest.to_alcotest prop_multi_source_matches_min_bfs;
+      ] );
+    ( "graph.edge_set",
+      [
+        Alcotest.test_case "basic" `Quick test_edge_set_basic;
+        Alcotest.test_case "to_graph" `Quick test_edge_set_to_graph;
+        Alcotest.test_case "union" `Quick test_edge_set_union;
+        QCheck_alcotest.to_alcotest prop_edge_set_subgraph_distances_dominate;
+      ] );
+    ( "graph.metrics",
+      [
+        Alcotest.test_case "identity" `Quick test_metrics_identity;
+        Alcotest.test_case "cycle vs path" `Quick test_metrics_cycle_vs_path;
+        Alcotest.test_case "disconnection counted" `Quick test_metrics_disconnection_counted;
+        Alcotest.test_case "sampled identity" `Quick test_metrics_sampled_agrees_on_identity;
+        Alcotest.test_case "distance profile" `Quick test_metrics_profile;
+      ] );
+    ( "graph.girth",
+      [
+        Alcotest.test_case "cycle" `Quick test_girth_cycle;
+        Alcotest.test_case "tree" `Quick test_girth_tree;
+        Alcotest.test_case "complete" `Quick test_girth_complete;
+        Alcotest.test_case "has_girth_gt" `Quick test_girth_gt;
+        Alcotest.test_case "grid/hypercube" `Quick test_girth_grid;
+      ] );
+    ( "graph.gadget",
+      [
+        Alcotest.test_case "size bounds" `Quick test_gadget_size_bounds;
+        Alcotest.test_case "connected" `Quick test_gadget_connected;
+        Alcotest.test_case "critical edges" `Quick test_gadget_critical_edges;
+        Alcotest.test_case "observer distance" `Quick test_gadget_observer_distance;
+        Alcotest.test_case "critical replacement +2" `Quick test_gadget_critical_replacement;
+        Alcotest.test_case "edge partition" `Quick test_gadget_edge_partition;
+        Alcotest.test_case "paper parameters" `Quick test_gadget_paper_parameters;
+      ] );
+  ]

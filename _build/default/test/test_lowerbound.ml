@@ -1,0 +1,119 @@
+(* Tests for the Section 3 lower-bound harness. *)
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+module Gadget = Graphlib.Gadget
+module Adversary = Lowerbound.Adversary
+
+let rng () = Util.Prng.create ~seed:3
+
+let test_keep_all_is_lossless () =
+  let gd = Gadget.create ~tau:3 ~sigma:3 ~kappa:4 in
+  let o = Adversary.run_once (rng ()) gd ~keep:1. in
+  checki "no critical discarded" 0 o.Adversary.discarded_critical;
+  checki "no distortion" 0 o.Adversary.additive;
+  checkb "not disconnected" true (not o.Adversary.disconnected)
+
+let test_keep_none_blocks () =
+  (* Dropping every block edge separates the observers (chains alone
+     do not connect consecutive blocks' column-0 vertices... they do
+     connect vR to vL across blocks but vL to vR within a block only
+     through block edges). *)
+  let gd = Gadget.create ~tau:2 ~sigma:3 ~kappa:3 in
+  let o = Adversary.run_once (rng ()) gd ~keep:0. in
+  checkb "disconnected" true o.Adversary.disconnected
+
+let test_replacement_path_rule () =
+  (* With a generous keep fraction the additive distortion is exactly
+     twice the number of missing critical edges, trial after trial. *)
+  let gd = Gadget.create ~tau:2 ~sigma:6 ~kappa:8 in
+  let s = Adversary.run (rng ()) gd ~keep:0.7 ~trials:40 in
+  checkb
+    (Printf.sprintf "exact in most trials (%d/40)" s.Adversary.replacement_exact)
+    true
+    (s.Adversary.replacement_exact >= 35);
+  checkb "mean additive tracks prediction" true
+    (Float.abs (s.Adversary.mean_additive -. s.Adversary.predicted_additive)
+    <= Stdlib.max 2. (0.5 *. s.Adversary.predicted_additive))
+
+let test_distortion_grows_with_discard () =
+  let gd = Gadget.create ~tau:2 ~sigma:5 ~kappa:10 in
+  let mean keep =
+    (Adversary.run (rng ()) gd ~keep ~trials:30).Adversary.mean_additive
+  in
+  let a_light = mean 0.9 and a_heavy = mean 0.3 in
+  checkb
+    (Printf.sprintf "keep 0.3 (%.1f) hurts more than keep 0.9 (%.1f)" a_heavy a_light)
+    true
+    (a_heavy > a_light)
+
+let test_theorem5_setup_shapes () =
+  let s = Adversary.theorem5 ~n:4000 ~delta:0.1 ~beta:4. in
+  let gd = s.Adversary.gadget in
+  checki "kappa = 2 beta" 8 gd.Gadget.kappa;
+  checkb "tau positive" true (s.Adversary.tau >= 1);
+  (* The observers' base distance is (kappa-1)(tau+2). *)
+  let u, v = Gadget.observers gd in
+  let d = (Graphlib.Bfs.distances gd.Gadget.graph ~src:u).(v) in
+  checki "base distance" ((gd.Gadget.kappa - 1) * (s.Adversary.tau + 2)) d
+
+let test_theorem5_forces_beta () =
+  (* The substance of Theorem 5: with the proof's parameters, the mean
+     additive distortion exceeds beta. *)
+  let beta = 4. in
+  let s = Adversary.theorem5 ~n:4000 ~delta:0.1 ~beta in
+  let sum =
+    Adversary.run (rng ()) s.Adversary.gadget ~keep:s.Adversary.keep_fraction
+      ~trials:30
+  in
+  checkb
+    (Printf.sprintf "mean additive %.2f > beta %.1f" sum.Adversary.mean_additive beta)
+    true
+    (sum.Adversary.mean_additive > beta)
+
+let test_theorem4_prediction_positive () =
+  let s = Adversary.theorem4 ~n:3000 ~delta:0.15 ~zeta:0.5 ~tau:2 in
+  let sum =
+    Adversary.run (rng ()) s.Adversary.gadget ~keep:s.Adversary.keep_fraction
+      ~trials:20
+  in
+  checkb "beta forced positive" true (sum.Adversary.mean_additive > 0.);
+  (* Theorem 4's analytic prediction is a lower bound up to its -2
+     slack; compare against the harness's own expectation. *)
+  checkb "prediction matches harness" true
+    (Float.abs (sum.Adversary.mean_additive -. sum.Adversary.predicted_additive)
+    <= Stdlib.max 3. (0.5 *. sum.Adversary.predicted_additive))
+
+let test_theorem6_setup_builds () =
+  let s = Adversary.theorem6 ~n:2000 ~nu:0.5 ~xi:0.1 ~c:2. in
+  checkb "gadget nonempty" true (Graphlib.Graph.n s.Adversary.gadget.Gadget.graph > 0)
+
+let test_more_rounds_less_distortion () =
+  (* The time-distortion tradeoff: larger tau (with the same keep
+     fraction and vertex budget) means fewer blocks, hence less
+     additive distortion — the shape of all three theorems. *)
+  let mean tau =
+    let sigma = 4 and kappa = Stdlib.max 2 (24 / (tau + 2)) in
+    let gd = Gadget.create ~tau ~sigma ~kappa in
+    (Adversary.run (rng ()) gd ~keep:0.5 ~trials:30).Adversary.mean_additive
+  in
+  checkb "tau=1 worse than tau=6" true (mean 1 > mean 6)
+
+let suite =
+  [
+    ( "lowerbound.adversary",
+      [
+        Alcotest.test_case "keep-all lossless" `Quick test_keep_all_is_lossless;
+        Alcotest.test_case "keep-none disconnects" `Quick test_keep_none_blocks;
+        Alcotest.test_case "replacement-path rule" `Quick test_replacement_path_rule;
+        Alcotest.test_case "distortion grows with discard" `Quick
+          test_distortion_grows_with_discard;
+        Alcotest.test_case "theorem 5 setup" `Quick test_theorem5_setup_shapes;
+        Alcotest.test_case "theorem 5 forces beta" `Quick test_theorem5_forces_beta;
+        Alcotest.test_case "theorem 4 prediction" `Quick test_theorem4_prediction_positive;
+        Alcotest.test_case "theorem 6 setup" `Quick test_theorem6_setup_builds;
+        Alcotest.test_case "more rounds, less distortion" `Quick
+          test_more_rounds_less_distortion;
+      ] );
+  ]

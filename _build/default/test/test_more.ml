@@ -1,0 +1,215 @@
+(* Second wave of property and integration tests: Plan invariants over
+   random parameters, cross-module integrations (skeleton of the
+   lower-bound gadget, oracle vs spanner), and API edge cases. *)
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+module G = Graphlib.Graph
+module Gen = Graphlib.Gen
+module Edge_set = Graphlib.Edge_set
+module Metrics = Graphlib.Metrics
+module Gadget = Graphlib.Gadget
+module Plan = Spanner.Plan
+
+(* ------------------------------------------------------------------ *)
+(* Plan invariants over random parameters *)
+
+let prop_plan_invariants =
+  QCheck.Test.make ~name:"plan: structural invariants for random (n, d, eps)" ~count:60
+    QCheck.(triple (int_range 2 1_000_000) (int_range 2 32) (int_range 1 10))
+    (fun (n, d, e10) ->
+      (* clamp: some qcheck shrinkers step outside int_range *)
+      let n = Stdlib.max 2 n and d = Stdlib.max 2 d in
+      let e10 = Stdlib.max 1 (Stdlib.min 10 e10) in
+      let eps = float_of_int e10 /. 10. in
+      let plan = Plan.make ~n ~d ~eps () in
+      let calls = plan.Plan.calls in
+      let ncalls = Array.length calls in
+      let ok = ref (ncalls >= 1) in
+      (* last call kills *)
+      if calls.(ncalls - 1).Plan.p <> 0. then ok := false;
+      (* density nondecreasing, reaches n; indexes sequential; rounds
+         nondecreasing *)
+      let prev_density = ref 0. in
+      Array.iteri
+        (fun i c ->
+          if c.Plan.index <> i then ok := false;
+          if c.Plan.density_after < !prev_density then ok := false;
+          prev_density := c.Plan.density_after;
+          if c.Plan.p < 0. || c.Plan.p >= 1. then ok := false;
+          if i > 0 && c.Plan.round < calls.(i - 1).Plan.round then ok := false)
+        calls;
+      if calls.(ncalls - 1).Plan.density_after < float_of_int n then ok := false;
+      (* schedule stays short: well under 80 calls even at n = 10^6 *)
+      if ncalls > 80 then ok := false;
+      !ok)
+
+let prop_sampling_within_plan =
+  QCheck.Test.make ~name:"sampling: tape indexes lie within the plan" ~count:40
+    QCheck.(pair (int_range 2 5_000) (int_bound 1000))
+    (fun (n, seed) ->
+      let plan = Plan.make ~n () in
+      let s = Spanner.Sampling.draw (Util.Prng.create ~seed) ~n plan in
+      let ncalls = Array.length plan.Plan.calls in
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        let fu = Spanner.Sampling.first_unsampled s v in
+        if fu < 0 || fu >= ncalls then ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-module integration *)
+
+let test_skeleton_of_gadget () =
+  (* Run the paper's own algorithm on the paper's own lower-bound
+     graph: it must preserve connectivity and every chain edge (chains
+     are bridges). *)
+  let gd = Gadget.create ~tau:3 ~sigma:4 ~kappa:5 in
+  let g = gd.Gadget.graph in
+  let r = Spanner.Skeleton.build ~seed:7 g in
+  let h = Edge_set.to_graph r.Spanner.Skeleton.spanner in
+  checkb "connected" true (G.is_connected h);
+  (* Pendant-chain edges are bridges: all must be kept. *)
+  let u, v = Gadget.observers gd in
+  let d = Graphlib.Bfs.distances h ~src:u in
+  checkb "observers still connected" true (d.(v) >= 0)
+
+let test_skeleton_dist_on_king_torus_eps1 () =
+  let g = Gen.king_torus ~width:14 ~height:14 in
+  let n = G.n g in
+  let plan = Plan.make ~n ~eps:1.0 () in
+  let sampling = Spanner.Sampling.draw (Util.Prng.create ~seed:3) ~n plan in
+  let seq = Spanner.Skeleton.build_with ~plan ~sampling g in
+  let dist = Spanner.Skeleton_dist.build_with ~plan ~sampling g in
+  checki "seq = dist at eps=1"
+    (Edge_set.cardinal seq.Spanner.Skeleton.spanner)
+    (Edge_set.cardinal dist.Spanner.Skeleton_dist.spanner)
+
+let test_oracle_consistent_with_spanner_distances () =
+  (* Oracle estimates and Baswana-Sen spanner distances both
+     2k-1-approximate; the oracle may not exceed (2k-1) * exact, and
+     both must agree on connectivity. *)
+  let g = Gen.connected_gnp (Util.Prng.create ~seed:4) ~n:150 ~p:0.06 in
+  let k = 2 in
+  let o = Oracle.Distance_oracle.build ~k ~seed:9 g in
+  let bs = Baseline.Baswana_sen.build ~k ~seed:9 g in
+  let h = Edge_set.to_graph bs.Baseline.Baswana_sen.spanner in
+  for u = 0 to 20 do
+    let dh = Graphlib.Bfs.distances h ~src:u in
+    let dg = Graphlib.Bfs.distances g ~src:u in
+    for v = 0 to G.n g - 1 do
+      if u <> v then begin
+        match Oracle.Distance_oracle.query o u v with
+        | Some est ->
+            checkb "oracle sound" true (est >= dg.(v));
+            checkb "spanner sound" true (dh.(v) >= dg.(v))
+        | None -> checki "both disconnected" (-1) dg.(v)
+      end
+    done
+  done
+
+let test_fib_dist_on_gadget () =
+  (* The Fibonacci distributed protocol must run on the gadget too
+     (long chains = deep balls). *)
+  let gd = Gadget.create ~tau:2 ~sigma:3 ~kappa:3 in
+  let g = gd.Gadget.graph in
+  let r = Spanner.Fibonacci_dist.build ~o:2 ~ell:2 ~t:1 ~seed:5 g in
+  let h = Edge_set.to_graph r.Spanner.Fibonacci_dist.spanner in
+  let _, cg = G.components g and _, ch = G.components h in
+  checki "components preserved" cg ch
+
+(* ------------------------------------------------------------------ *)
+(* API edge cases *)
+
+let test_skeleton_trivial_graphs () =
+  List.iter
+    (fun (name, g) ->
+      let r = Spanner.Skeleton.build ~seed:1 g in
+      checkb name true (Edge_set.cardinal r.Spanner.Skeleton.spanner <= G.m g))
+    [
+      ("empty graph", G.of_edges ~n:0 []);
+      ("single vertex", G.of_edges ~n:1 []);
+      ("single edge", G.of_edges ~n:2 [ (0, 1) ]);
+      ("two isolated", G.of_edges ~n:2 []);
+      ("triangle", Gen.complete 3);
+    ]
+
+let test_fibonacci_trivial_graphs () =
+  List.iter
+    (fun (name, g) ->
+      let r = Spanner.Fibonacci.build ~o:1 ~ell:2 ~seed:1 g in
+      checkb name true (Edge_set.cardinal r.Spanner.Fibonacci.spanner <= G.m g))
+    [
+      ("single vertex", G.of_edges ~n:1 []);
+      ("single edge", G.of_edges ~n:2 [ (0, 1) ]);
+      ("triangle", Gen.complete 3);
+    ]
+
+let test_single_edge_kept () =
+  (* Any correct spanner of a single edge keeps it. *)
+  let g = G.of_edges ~n:2 [ (0, 1) ] in
+  checki "skeleton keeps bridge" 1
+    (Edge_set.cardinal (Spanner.Skeleton.build ~seed:2 g).Spanner.Skeleton.spanner);
+  checki "fibonacci keeps bridge" 1
+    (Edge_set.cardinal (Spanner.Fibonacci.build ~o:1 ~ell:2 ~seed:2 g).Spanner.Fibonacci.spanner);
+  checki "baswana-sen keeps bridge" 1
+    (Edge_set.cardinal (Baseline.Baswana_sen.build ~k:2 ~seed:2 g).Baseline.Baswana_sen.spanner)
+
+let prop_contribution_argmax_is_local_max =
+  QCheck.Test.make ~name:"contribution: argmax_q beats its neighbors" ~count:50
+    QCheck.(pair (int_range 1 19) (int_bound 200))
+    (fun (p20, xprev10) ->
+      let p = float_of_int p20 /. 20. in
+      let xprev = float_of_int xprev10 /. 10. in
+      let q = Spanner.Contribution.argmax_q ~p ~xprev in
+      (* recompute the step value locally *)
+      let step q =
+        let qf = float_of_int q in
+        let keep = (1. -. p) ** (qf +. 1.) in
+        ((1. -. keep) *. xprev) +. (qf *. keep)
+        +. ((1. -. p) *. (1. -. ((1. -. p) ** qf)))
+      in
+      let v = step q in
+      v >= step (q + 1) -. 1e-12 && (q = 0 || v >= step (q - 1) -. 1e-12))
+
+let prop_tower_rounds_cover_n =
+  QCheck.Test.make ~name:"tower: rounds_for covers n" ~count:50
+    QCheck.(pair (int_range 2 1_000_000) (int_range 2 16))
+    (fun (n, d) ->
+      let l = Util.Tower.rounds_for ~d ~n in
+      (* product s_1^2..s_{l-1}^2 * s_l >= n, saturating *)
+      let mul a b = if a > Util.Tower.cap / b then Util.Tower.cap else a * b in
+      let acc = ref 1 in
+      for i = 1 to l - 1 do
+        let s = Util.Tower.s ~d i in
+        acc := mul (mul !acc s) s
+      done;
+      mul !acc (Util.Tower.s ~d l) >= n)
+
+let suite =
+  [
+    ( "more.plan",
+      [
+        QCheck_alcotest.to_alcotest prop_plan_invariants;
+        QCheck_alcotest.to_alcotest prop_sampling_within_plan;
+      ] );
+    ( "more.integration",
+      [
+        Alcotest.test_case "skeleton of the gadget" `Quick test_skeleton_of_gadget;
+        Alcotest.test_case "dist=seq on king torus, eps=1" `Quick
+          test_skeleton_dist_on_king_torus_eps1;
+        Alcotest.test_case "oracle vs spanner soundness" `Quick
+          test_oracle_consistent_with_spanner_distances;
+        Alcotest.test_case "fibonacci dist on gadget" `Quick test_fib_dist_on_gadget;
+      ] );
+    ( "more.edge_cases",
+      [
+        Alcotest.test_case "skeleton trivial graphs" `Quick test_skeleton_trivial_graphs;
+        Alcotest.test_case "fibonacci trivial graphs" `Quick test_fibonacci_trivial_graphs;
+        Alcotest.test_case "bridges kept" `Quick test_single_edge_kept;
+        QCheck_alcotest.to_alcotest prop_contribution_argmax_is_local_max;
+        QCheck_alcotest.to_alcotest prop_tower_rounds_cover_n;
+      ] );
+  ]

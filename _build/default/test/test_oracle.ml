@@ -1,0 +1,126 @@
+(* Tests for the Thorup–Zwick distance oracle. *)
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+module G = Graphlib.Graph
+module Gen = Graphlib.Gen
+module Apsp = Graphlib.Apsp
+module Oracle = Oracle.Distance_oracle
+
+let rng () = Util.Prng.create ~seed:2005
+
+let check_oracle_against_apsp ~k g oracle =
+  let d = Apsp.compute g in
+  let n = G.n g in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      match (Oracle.query oracle u v, d.(u).(v)) with
+      | Some est, exact ->
+          if exact < 0 then
+            Alcotest.failf "oracle invented a path %d-%d (est %d)" u v est
+          else
+            checkb
+              (Printf.sprintf "%d-%d: %d within [%d, %d]" u v est exact
+                 (((2 * k) - 1) * exact))
+              true
+              (est >= exact && est <= ((2 * k) - 1) * exact)
+      | None, exact ->
+          if exact >= 0 then
+            Alcotest.failf "oracle missed connected pair %d-%d (exact %d)" u v exact
+    done
+  done
+
+let test_oracle_exact_k1 () =
+  (* k = 1: the bunch of every vertex is its whole component; the
+     oracle is exact. *)
+  let g = Gen.connected_gnp (rng ()) ~n:60 ~p:0.08 in
+  let o = Oracle.build ~k:1 ~seed:4 g in
+  let d = Apsp.compute g in
+  for u = 0 to 59 do
+    for v = 0 to 59 do
+      match Oracle.query o u v with
+      | Some est -> checki "exact at k=1" d.(u).(v) est
+      | None -> Alcotest.fail "connected graph"
+    done
+  done
+
+let test_oracle_stretch_bounds () =
+  List.iter
+    (fun k ->
+      let g = Gen.connected_gnp (rng ()) ~n:90 ~p:0.06 in
+      let o = Oracle.build ~k ~seed:(k * 3) g in
+      check_oracle_against_apsp ~k g o)
+    [ 2; 3; 4 ]
+
+let test_oracle_disconnected () =
+  let g = G.of_edges ~n:6 [ (0, 1); (1, 2); (3, 4) ] in
+  let o = Oracle.build ~k:2 ~seed:1 g in
+  checkb "same component answers" true (Oracle.query o 0 2 <> None);
+  checkb "cross components None" true (Oracle.query o 0 3 = None);
+  checkb "isolated None" true (Oracle.query o 0 5 = None)
+
+let test_oracle_self () =
+  let g = Gen.cycle 10 in
+  let o = Oracle.build ~k:2 ~seed:1 g in
+  checkb "self distance 0" true (Oracle.query o 4 4 = Some 0)
+
+let test_oracle_symmetry_bound () =
+  (* Estimates need not be symmetric, but both directions obey the
+     stretch bound. *)
+  let g = Gen.king_torus ~width:8 ~height:8 in
+  let k = 3 in
+  let o = Oracle.build ~k ~seed:9 g in
+  check_oracle_against_apsp ~k g o
+
+let test_oracle_space_tradeoff () =
+  (* Larger k, smaller oracle: the O(k n^{1+1/k}) tradeoff. *)
+  let g = Gen.connected_gnp (rng ()) ~n:1500 ~p:0.02 in
+  let size k = Oracle.size (Oracle.build ~k ~seed:5 g) in
+  let s1 = size 1 and s3 = size 3 in
+  checkb (Printf.sprintf "k=3 (%d) much smaller than k=1 (%d)" s3 s1) true (2 * s3 < s1);
+  (* k=1 stores every component-mate: n^2 entries on a connected graph. *)
+  checkb "k=1 is quadratic" true (s1 >= 1500 * 1500)
+
+let test_oracle_levels_shape () =
+  let g = Gen.connected_gnp (rng ()) ~n:2000 ~p:0.01 in
+  let o = Oracle.build ~k:3 ~seed:2 g in
+  let lv = Oracle.levels o in
+  let count i = Array.fold_left (fun acc l -> if l >= i then acc + 1 else acc) 0 lv in
+  checki "A_0 = V" 2000 (count 0);
+  let q = 2000. ** (2. /. 3.) in
+  checkb "A_1 near n^{2/3}" true
+    (float_of_int (count 1) > 0.6 *. q && float_of_int (count 1) < 1.5 *. q)
+
+let prop_oracle_stretch =
+  QCheck.Test.make ~name:"oracle: stretch <= 2k-1 on random graphs" ~count:10
+    QCheck.(pair (int_range 15 50) (int_range 2 3))
+    (fun (n, k) ->
+      let g = Gen.connected_gnp (Util.Prng.create ~seed:(n * k)) ~n ~p:0.12 in
+      let o = Oracle.build ~k ~seed:(n + k) g in
+      let d = Apsp.compute g in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          match Oracle.query o u v with
+          | Some est ->
+              if not (est >= d.(u).(v) && est <= ((2 * k) - 1) * d.(u).(v)) then ok := false
+          | None -> if d.(u).(v) >= 0 then ok := false
+        done
+      done;
+      !ok)
+
+let suite =
+  [
+    ( "oracle.thorup_zwick",
+      [
+        Alcotest.test_case "exact at k=1" `Quick test_oracle_exact_k1;
+        Alcotest.test_case "stretch bounds" `Quick test_oracle_stretch_bounds;
+        Alcotest.test_case "disconnected" `Quick test_oracle_disconnected;
+        Alcotest.test_case "self" `Quick test_oracle_self;
+        Alcotest.test_case "king torus" `Quick test_oracle_symmetry_bound;
+        Alcotest.test_case "space tradeoff" `Quick test_oracle_space_tradeoff;
+        Alcotest.test_case "level sizes" `Quick test_oracle_levels_shape;
+        QCheck_alcotest.to_alcotest prop_oracle_stretch;
+      ] );
+  ]

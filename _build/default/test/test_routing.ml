@@ -1,0 +1,125 @@
+(* Tests for the compact routing scheme. *)
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+module G = Graphlib.Graph
+module Gen = Graphlib.Gen
+module Apsp = Graphlib.Apsp
+module Routing = Oracle.Compact_routing
+
+let rng () = Util.Prng.create ~seed:1999
+
+let check_all_routes ~max_stretch g r =
+  let d = Apsp.compute g in
+  let n = G.n g in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      match (Routing.route r ~src:u ~dst:v, d.(u).(v)) with
+      | Some path, exact ->
+          checkb "pair connected" true (exact >= 0);
+          (* path is a real walk in g *)
+          let rec verify = function
+            | a :: (b :: _ as rest) ->
+                checkb "hop is an edge" true (G.mem_edge g a b);
+                verify rest
+            | _ -> ()
+          in
+          verify path;
+          (match path with
+          | first :: _ ->
+              checki "starts at src" u first;
+              checki "ends at dst" v (List.nth path (List.length path - 1))
+          | [] -> Alcotest.fail "empty route");
+          let hops = List.length path - 1 in
+          checkb
+            (Printf.sprintf "route %d->%d: %d hops vs %d exact" u v hops exact)
+            true
+            (hops >= exact && (exact = 0 || hops <= max_stretch * exact))
+      | None, exact -> checki "None only when disconnected" (-1) exact
+    done
+  done
+
+let test_routing_correct_small () =
+  List.iter
+    (fun seed ->
+      let g = Gen.connected_gnp (Util.Prng.create ~seed) ~n:80 ~p:0.08 in
+      let r = Routing.build ~seed g in
+      check_all_routes ~max_stretch:5 g r)
+    [ 1; 2; 3 ]
+
+let test_routing_on_torus () =
+  let g = Gen.king_torus ~width:9 ~height:9 in
+  let r = Routing.build ~seed:5 g in
+  check_all_routes ~max_stretch:5 g r
+
+let test_routing_disconnected () =
+  let g = G.of_edges ~n:6 [ (0, 1); (2, 3) ] in
+  let r = Routing.build ~seed:1 g in
+  checkb "within component" true (Routing.route r ~src:0 ~dst:1 <> None);
+  checkb "across components" true (Routing.route r ~src:0 ~dst:2 = None)
+
+let test_routing_self () =
+  let g = Gen.cycle 8 in
+  let r = Routing.build ~seed:2 g in
+  Alcotest.check (Alcotest.list Alcotest.int) "self route" [ 3 ]
+    (Option.get (Routing.route r ~src:3 ~dst:3))
+
+let test_routing_state_compact () =
+  (* Per-node state must be o(n): on a 1500-vertex graph the average
+     table is much smaller than n entries. *)
+  let n = 1500 in
+  let g = Gen.connected_gnp (rng ()) ~n ~p:0.008 in
+  let r = Routing.build ~seed:7 g in
+  let avg = float_of_int (Routing.total_state r) /. float_of_int n in
+  checkb
+    (Printf.sprintf "avg table %.1f entries << n=%d" avg n)
+    true
+    (avg < float_of_int n /. 4.);
+  checkb "landmarks ~ sqrt n" true
+    (let l = List.length (Routing.landmarks r) in
+     l > 10 && l < 150)
+
+let test_routing_measured_stretch_low () =
+  let g = Gen.connected_gnp (rng ()) ~n:400 ~p:0.03 in
+  let r = Routing.build ~seed:3 g in
+  let stats = Util.Stats.create () in
+  let rng = rng () in
+  for _ = 1 to 300 do
+    let u = Util.Prng.int rng 400 and v = Util.Prng.int rng 400 in
+    if u <> v then begin
+      let exact = (Graphlib.Bfs.distances g ~src:u).(v) in
+      match Routing.route r ~src:u ~dst:v with
+      | Some path when exact > 0 ->
+          Util.Stats.add stats
+            (float_of_int (List.length path - 1) /. float_of_int exact)
+      | _ -> ()
+    end
+  done;
+  checkb
+    (Printf.sprintf "mean routing stretch %.2f < 2" (Util.Stats.mean stats))
+    true
+    (Util.Stats.mean stats < 2.)
+
+let test_home_landmark_is_nearest () =
+  let g = Gen.connected_gnp (rng ()) ~n:200 ~p:0.04 in
+  let r = Routing.build ~seed:9 g in
+  let ls = Routing.landmarks r in
+  let f = Graphlib.Bfs.multi_source g ~sources:ls in
+  for v = 0 to 199 do
+    checki "home = nearest landmark" f.Graphlib.Bfs.source.(v) (Routing.home_landmark r v)
+  done
+
+let suite =
+  [
+    ( "oracle.compact_routing",
+      [
+        Alcotest.test_case "all routes correct (small)" `Quick test_routing_correct_small;
+        Alcotest.test_case "torus routes" `Quick test_routing_on_torus;
+        Alcotest.test_case "disconnected" `Quick test_routing_disconnected;
+        Alcotest.test_case "self" `Quick test_routing_self;
+        Alcotest.test_case "state compact" `Quick test_routing_state_compact;
+        Alcotest.test_case "measured stretch low" `Quick test_routing_measured_stretch_low;
+        Alcotest.test_case "home landmark nearest" `Quick test_home_landmark_is_nearest;
+      ] );
+  ]

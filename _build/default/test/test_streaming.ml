@@ -1,0 +1,143 @@
+(* Tests for the streaming spanner and the random geometric
+   generator. *)
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+module G = Graphlib.Graph
+module Gen = Graphlib.Gen
+module Girth = Graphlib.Girth
+module Metrics = Graphlib.Metrics
+module Streaming = Baseline.Streaming
+
+let rng () = Util.Prng.create ~seed:2008
+
+let random_stream rng g =
+  let edges = ref [] in
+  G.iter_edges g (fun _ u v -> edges := (u, v) :: !edges);
+  let arr = Array.of_list !edges in
+  Util.Prng.shuffle rng arr;
+  Array.to_list arr
+
+(* ------------------------------------------------------------------ *)
+(* Streaming spanner *)
+
+let test_streaming_rejects_duplicates_and_loops () =
+  let t = Streaming.create ~n:5 ~k:2 in
+  checkb "loop rejected" false (Streaming.offer t 2 2);
+  checkb "first accepted" true (Streaming.offer t 0 1);
+  checkb "duplicate rejected" false (Streaming.offer t 0 1);
+  checkb "reverse duplicate rejected" false (Streaming.offer t 1 0);
+  checki "size" 1 (Streaming.size t);
+  checki "offered" 4 (Streaming.offered t)
+
+let test_streaming_stretch_any_order () =
+  List.iter
+    (fun seed ->
+      let r = Util.Prng.create ~seed in
+      let g = Gen.connected_gnp r ~n:120 ~p:0.08 in
+      let k = 2 in
+      let t = Streaming.of_stream ~n:120 ~k (random_stream r g) in
+      let h = Streaming.to_graph t in
+      let rep = Metrics.exact ~g ~h in
+      checki "nothing lost" 0 rep.Metrics.disconnected;
+      checkb
+        (Printf.sprintf "stretch %.2f <= %d" rep.Metrics.max_mult ((2 * k) - 1))
+        true
+        (rep.Metrics.max_mult <= float_of_int ((2 * k) - 1) +. 1e-9))
+    [ 1; 2; 3 ]
+
+let test_streaming_girth () =
+  let r = rng () in
+  let g = Gen.connected_gnp r ~n:200 ~p:0.06 in
+  let t = Streaming.of_stream ~n:200 ~k:3 (random_stream r g) in
+  checkb "girth > 2k" true (Girth.has_girth_gt (Streaming.to_graph t) 6)
+
+let test_streaming_memory_bound () =
+  (* Memory (= held edges) stays under the n^{1+1/k} frontier even for
+     an adversarially dense stream. *)
+  let n = 150 in
+  let g = Gen.complete n in
+  let r = rng () in
+  let t = Streaming.of_stream ~n ~k:2 (random_stream r g) in
+  let bound = 2. *. (float_of_int n ** 1.5) in
+  checkb
+    (Printf.sprintf "memory %d under frontier %.0f" (Streaming.size t) bound)
+    true
+    (float_of_int (Streaming.size t) < bound);
+  checki "saw the whole stream" (n * (n - 1) / 2) (Streaming.offered t)
+
+let test_streaming_matches_greedy_same_order () =
+  (* Fed in edge-id order, the stream rule IS the greedy spanner. *)
+  let g = Gen.connected_gnp (rng ()) ~n:100 ~p:0.1 in
+  let stream = ref [] in
+  G.iter_edges g (fun _ u v -> stream := (u, v) :: !stream);
+  let t = Streaming.of_stream ~n:100 ~k:2 (List.rev !stream) in
+  let gr = Baseline.Greedy.build ~k:2 g in
+  checki "same size" (Graphlib.Edge_set.cardinal gr.Baseline.Greedy.spanner)
+    (Streaming.size t)
+
+let test_streaming_incremental_connectivity () =
+  (* At any prefix of the stream, held edges connect whatever the
+     prefix connects. *)
+  let g = Gen.cycle 40 in
+  let r = rng () in
+  let stream = random_stream r g in
+  let t = Streaming.create ~n:40 ~k:3 in
+  List.iter
+    (fun (u, v) ->
+      ignore (Streaming.offer t u v);
+      (* u and v must now be within 2k-1 in the held spanner. *)
+      let h = Streaming.to_graph t in
+      let d = (Graphlib.Bfs.distances h ~src:u).(v) in
+      checkb "offered pair spanned" true (d >= 0 && d <= 5))
+    stream
+
+(* ------------------------------------------------------------------ *)
+(* Random geometric graphs *)
+
+let test_geometric_radius_semantics () =
+  let r = rng () in
+  let g = Gen.random_geometric r ~n:150 ~radius:0.15 in
+  checki "n" 150 (G.n g);
+  checkb "has edges" true (G.m g > 0);
+  (* Radius 0: no edges; radius sqrt 2: complete. *)
+  checki "radius 0" 0 (G.m (Gen.random_geometric r ~n:50 ~radius:0.));
+  checki "radius sqrt2" (50 * 49 / 2) (G.m (Gen.random_geometric r ~n:50 ~radius:1.5))
+
+let test_geometric_density_scales_with_radius () =
+  let r = rng () in
+  let m radius = G.m (Gen.random_geometric r ~n:400 ~radius) in
+  checkb "bigger radius, more edges" true (m 0.2 > m 0.08)
+
+let test_geometric_spanner_pipeline () =
+  (* The full pipeline on a geometric graph: skeleton stays connected
+     per component and sparsifies. *)
+  let r = rng () in
+  let g = Gen.random_geometric r ~n:800 ~radius:0.09 in
+  let sk = Spanner.Skeleton.build ~seed:3 g in
+  let h = Graphlib.Edge_set.to_graph sk.Spanner.Skeleton.spanner in
+  let _, cg = G.components g and _, ch = G.components h in
+  checki "components preserved" cg ch;
+  checkb "sparsified" true (Graphlib.Edge_set.cardinal sk.Spanner.Skeleton.spanner <= G.m g)
+
+let suite =
+  [
+    ( "baseline.streaming",
+      [
+        Alcotest.test_case "duplicates & loops" `Quick test_streaming_rejects_duplicates_and_loops;
+        Alcotest.test_case "stretch any order" `Quick test_streaming_stretch_any_order;
+        Alcotest.test_case "girth > 2k" `Quick test_streaming_girth;
+        Alcotest.test_case "memory bound" `Quick test_streaming_memory_bound;
+        Alcotest.test_case "matches greedy in id order" `Quick
+          test_streaming_matches_greedy_same_order;
+        Alcotest.test_case "incremental connectivity" `Quick
+          test_streaming_incremental_connectivity;
+      ] );
+    ( "graph.geometric",
+      [
+        Alcotest.test_case "radius semantics" `Quick test_geometric_radius_semantics;
+        Alcotest.test_case "density vs radius" `Quick test_geometric_density_scales_with_radius;
+        Alcotest.test_case "spanner pipeline" `Quick test_geometric_spanner_pipeline;
+      ] );
+  ]

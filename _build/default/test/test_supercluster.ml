@@ -1,0 +1,86 @@
+(* Tests for the EZ-style superclustering spanner. *)
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+module G = Graphlib.Graph
+module Gen = Graphlib.Gen
+module Edge_set = Graphlib.Edge_set
+module Metrics = Graphlib.Metrics
+module Supercluster = Baseline.Supercluster
+
+let rng () = Util.Prng.create ~seed:2024
+
+let test_connectivity () =
+  List.iter
+    (fun seed ->
+      let g = Gen.connected_gnp (Util.Prng.create ~seed) ~n:300 ~p:0.04 in
+      let r = Supercluster.build ~seed g in
+      checkb "connected" true (G.is_connected (Edge_set.to_graph r.Supercluster.spanner)))
+    [ 1; 2; 3 ]
+
+let test_components_preserved () =
+  let g = Gen.gnp (rng ()) ~n:300 ~p:0.006 in
+  let r = Supercluster.build ~seed:4 g in
+  let _, cg = G.components g in
+  let _, ch = G.components (Edge_set.to_graph r.Supercluster.spanner) in
+  checki "components" cg ch
+
+let test_no_disconnection_and_bounded_additive () =
+  (* The (1+eps,beta) signature: on an exact check, no pair is lost and
+     the additive error is a small constant. *)
+  let g = Gen.king_torus ~width:14 ~height:14 in
+  let r = Supercluster.build ~eps:0.5 ~seed:6 g in
+  let rep = Metrics.exact ~g ~h:(Edge_set.to_graph r.Supercluster.spanner) in
+  checki "nothing lost" 0 rep.Metrics.disconnected;
+  checkb
+    (Printf.sprintf "additive error %d small" rep.Metrics.max_add)
+    true (rep.Metrics.max_add <= 6)
+
+let test_additive_saturates () =
+  (* Additive error does not grow with distance (beta-behavior). *)
+  let g = Gen.king_torus ~width:30 ~height:30 in
+  let r = Supercluster.build ~seed:9 g in
+  let h = Edge_set.to_graph r.Supercluster.spanner in
+  let profile = Metrics.distance_profile (rng ()) ~g ~h ~sources:10 in
+  let additive d =
+    match Metrics.stretch_at_distance profile d with
+    | Some s -> (s -. 1.) *. float_of_int d
+    | None -> 0.
+  in
+  checkb "error at d=15 no worse than 3 + error at d=2" true
+    (additive 15 <= additive 2 +. 3.)
+
+let test_levels_diagnostics () =
+  let g = Gen.connected_gnp (rng ()) ~n:400 ~p:0.03 in
+  let r = Supercluster.build ~seed:2 g in
+  checkb "at least one level" true (r.Supercluster.levels_used >= 1);
+  let total_finished = List.fold_left ( + ) 0 r.Supercluster.finished_per_level in
+  (* every vertex's center eventually finishes; centers are a subset of
+     vertices and each finishes exactly once *)
+  checkb "finished counts sane" true (total_finished <= 400 && total_finished >= 1)
+
+let test_trivial_inputs () =
+  List.iter
+    (fun (name, g) ->
+      let r = Supercluster.build ~seed:1 g in
+      checkb name true (Edge_set.cardinal r.Supercluster.spanner <= G.m g))
+    [
+      ("single vertex", G.of_edges ~n:1 []);
+      ("single edge", G.of_edges ~n:2 [ (0, 1) ]);
+      ("path", Gen.path 20);
+    ]
+
+let suite =
+  [
+    ( "baseline.supercluster",
+      [
+        Alcotest.test_case "connectivity" `Quick test_connectivity;
+        Alcotest.test_case "components preserved" `Quick test_components_preserved;
+        Alcotest.test_case "bounded additive error" `Quick
+          test_no_disconnection_and_bounded_additive;
+        Alcotest.test_case "additive saturates" `Quick test_additive_saturates;
+        Alcotest.test_case "level diagnostics" `Quick test_levels_diagnostics;
+        Alcotest.test_case "trivial inputs" `Quick test_trivial_inputs;
+      ] );
+  ]
