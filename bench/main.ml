@@ -7,6 +7,7 @@
    Flags:  --full          full-size tables (slow)
            --tables-only   skip the Bechamel pass
            --bench-only    skip the tables
+           --json          machine-readable timings only (implies --bench-only)
            --seed N        change the experiment seed (default 1)
            --only Ei       run a single table *)
 
@@ -17,6 +18,7 @@ let seed = ref 1
 let quick = ref true
 let tables = ref true
 let benches = ref true
+let json = ref false
 let only = ref None
 
 let parse_args () =
@@ -29,6 +31,10 @@ let parse_args () =
         benches := false;
         go rest
     | "--bench-only" :: rest ->
+        tables := false;
+        go rest
+    | "--json" :: rest ->
+        json := true;
         tables := false;
         go rest
     | "--seed" :: v :: rest ->
@@ -75,6 +81,12 @@ let bench_tests () =
     t "e9.contribution_dp" (fun () -> ignore (Spanner.Contribution.xtp ~p:0.1 ~t:200));
     t "e10.flood" (fun () ->
         ignore (Distnet.Protocols.flood g_mid ~root:0 ~payload_words:4));
+    t "e21.reliable_bfs_drop20" (fun () ->
+        let faults =
+          Distnet.Fault.make ~seed:!seed
+            { Distnet.Fault.default_spec with Distnet.Fault.drop = 0.2 }
+        in
+        ignore (Distnet.Protocols.reliable_bfs ~faults g_small ~root:0));
     t "e11.combined" (fun () ->
         ignore (Spanner.Combined.build ~ell:2 ~seed:!seed g_small));
     t "e12.skeleton_traced" (fun () ->
@@ -95,22 +107,54 @@ let run_benches () =
   let open Bechamel in
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
-  Format.printf "@.== Bechamel timings (monotonic clock, one bench per experiment)@.";
-  List.iter
-    (fun test ->
-      let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"" [ test ]) in
-      let ols =
-        Analyze.all
-          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
-          instance results
-      in
-      Hashtbl.iter
-        (fun name result ->
-          match Analyze.OLS.estimates result with
-          | Some [ est ] -> Format.printf "%-28s %12.0f ns/run@." name est
-          | _ -> Format.printf "%-28s (no estimate)@." name)
-        ols)
-    (bench_tests ())
+  if not !json then
+    Format.printf "@.== Bechamel timings (monotonic clock, one bench per experiment)@.";
+  let timings =
+    List.concat_map
+      (fun test ->
+        let results =
+          Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"" [ test ])
+        in
+        let ols =
+          Analyze.all
+            (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+            instance results
+        in
+        Hashtbl.fold
+          (fun name result acc ->
+            (* Bechamel prefixes the (empty) group name: "/e1.foo". *)
+            let name =
+              if String.length name > 0 && name.[0] = '/' then
+                String.sub name 1 (String.length name - 1)
+              else name
+            in
+            match Analyze.OLS.estimates result with
+            | Some [ est ] -> (name, Some est) :: acc
+            | _ -> (name, None) :: acc)
+          ols [])
+      (bench_tests ())
+  in
+  if !json then begin
+    (* Machine-readable per-experiment timings: one object per bench,
+       suitable for the BENCH_*.json perf trajectory. *)
+    Format.printf "[@.";
+    List.iteri
+      (fun i (name, est) ->
+        let sep = if i = List.length timings - 1 then "" else "," in
+        match est with
+        | Some est ->
+            Format.printf {|  {"name": %S, "ns_per_run": %.1f}%s@.|} name est sep
+        | None -> Format.printf {|  {"name": %S, "ns_per_run": null}%s@.|} name sep)
+      timings;
+    Format.printf "]@."
+  end
+  else
+    List.iter
+      (fun (name, est) ->
+        match est with
+        | Some est -> Format.printf "%-28s %12.0f ns/run@." name est
+        | None -> Format.printf "%-28s (no estimate)@." name)
+      timings
 
 let () =
   parse_args ();

@@ -286,6 +286,162 @@ let oracle_cmd =
     Term.(const run $ kind_arg $ n_arg $ p_arg $ seed_arg $ input_arg $ k_arg $ queries)
 
 (* ------------------------------------------------------------------ *)
+(* simulate: protocols over a faulty network, with trace/replay *)
+
+let parse_crashes s =
+  (* "v@r,v@r,..." — node v crash-stops at round r. *)
+  if s = "" then []
+  else
+    String.split_on_char ',' s
+    |> List.map (fun part ->
+           let bad () =
+             failwith
+               (Printf.sprintf "bad crash spec %S (want NODE@ROUND,...)" part)
+           in
+           match String.split_on_char '@' (String.trim part) with
+           | [ v; r ] -> (
+               match (int_of_string_opt v, int_of_string_opt r) with
+               | Some v, Some r -> (v, r)
+               | _ -> bad ())
+           | _ -> bad ())
+
+let simulate_cmd =
+  let drop =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "drop" ] ~docv:"P" ~doc:"Per-message loss probability.")
+  in
+  let dup =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "dup" ] ~docv:"P" ~doc:"Per-message duplication probability.")
+  in
+  let delay =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "delay" ] ~docv:"P" ~doc:"Per-message delay probability.")
+  in
+  let max_delay =
+    Arg.(
+      value
+      & opt int 3
+      & info [ "max-delay" ] ~docv:"K"
+          ~doc:"Delayed messages wait uniform 1..K extra rounds.")
+  in
+  let crash =
+    Arg.(
+      value
+      & opt string ""
+      & info [ "crash" ] ~docv:"SPEC"
+          ~doc:"Crash-stop schedule, e.g. 3@5,9@12 (node 3 dies at round 5).")
+  in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Record every network event to FILE as JSON lines.")
+  in
+  let replay_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay the faults recorded in FILE (same graph flags required); \
+             overrides the random fault options and diffs the statistics \
+             against the recorded ones.")
+  in
+  let protocol =
+    Arg.(
+      value
+      & opt string "bfs"
+      & info [ "protocol" ] ~docv:"PROTO"
+          ~doc:"Protocol to run: bfs or flood (both ARQ-lifted).")
+  in
+  let root =
+    Arg.(value & opt int 0 & info [ "root" ] ~docv:"V" ~doc:"Protocol root node.")
+  in
+  let run kind n p seed input drop dup delay max_delay crash trace_file
+      replay_file protocol root =
+    let g = load_graph ~kind ~n ~p ~seed ~input in
+    Format.printf "graph: %a@." Graph.pp_summary g;
+    let faults, recorded =
+      match replay_file with
+      | Some file ->
+          let events, stored = Distnet.Trace.load file in
+          Format.printf "replaying %d events from %s@." (List.length events)
+            file;
+          (Distnet.Fault.scripted events, stored)
+      | None ->
+          let crashes = parse_crashes crash in
+          let spec =
+            { Distnet.Fault.drop; dup; delay; max_delay; crashes }
+          in
+          let plan =
+            if spec = { Distnet.Fault.default_spec with max_delay } then
+              Distnet.Fault.none
+            else Distnet.Fault.make ~seed:(seed + 31) spec
+          in
+          (plan, None)
+    in
+    let tracer =
+      match (replay_file, trace_file) with
+      | None, Some _ -> Some (Distnet.Trace.create ())
+      | _ -> None
+    in
+    let stats =
+      match protocol with
+      | "bfs" ->
+          let stats, dist = Distnet.Protocols.reliable_bfs ~faults ?tracer g ~root in
+          let expected = Graphlib.Bfs.distances g ~src:root in
+          Format.printf "distances correct: %b@." (dist = expected);
+          stats
+      | "flood" ->
+          let stats, reached =
+            Distnet.Protocols.reliable_flood ~faults ?tracer g ~root
+              ~payload_words:4
+          in
+          let cover =
+            Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 reached
+          in
+          Format.printf "reached %d/%d nodes@." cover (Graph.n g);
+          stats
+      | other -> failwith (Printf.sprintf "unknown protocol %s" other)
+    in
+    Format.printf "network: %a@." Distnet.Sim.pp_stats stats;
+    (match recorded with
+    | Some original -> (
+        match Distnet.Trace.diff_stats original stats with
+        | [] -> Format.printf "replay reproduces original stats: yes@."
+        | diffs ->
+            List.iter
+              (fun (field, a, b) ->
+                Format.printf "replay mismatch: %s recorded %d, got %d@." field
+                  a b)
+              diffs;
+            exit 1)
+    | None -> ());
+    match (trace_file, tracer) with
+    | Some file, Some tr ->
+        Distnet.Trace.save ~stats tr file;
+        Format.printf "trace written to %s (%d events)@." file
+          (Distnet.Trace.length tr)
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:
+         "Run a protocol over a faulty network (loss, duplication, delay, \
+          crashes), optionally tracing every event for deterministic replay.")
+    Term.(
+      const run $ kind_arg $ n_arg $ p_arg $ seed_arg $ input_arg $ drop $ dup
+      $ delay $ max_delay $ crash $ trace_file $ replay_file $ protocol $ root)
+
+(* ------------------------------------------------------------------ *)
 (* experiment *)
 
 let experiment_cmd =
@@ -293,7 +449,7 @@ let experiment_cmd =
     Arg.(
       value
       & pos_all string []
-      & info [] ~docv:"ID" ~doc:"Experiment ids (E1..E10); all when omitted.")
+      & info [] ~docv:"ID" ~doc:"Experiment ids (E1..E21); all when omitted.")
   in
   let full = Arg.(value & flag & info [ "full" ] ~doc:"Full-size workloads.") in
   let run ids full seed =
@@ -321,6 +477,6 @@ let main =
   Cmd.group
     (Cmd.info "spanner_cli" ~version:"1.0.0"
        ~doc:"Ultrasparse spanners and linear-size skeletons (Pettie, PODC 2008).")
-    [ gen_cmd; build_cmd; eval_cmd; trace_cmd; oracle_cmd; experiment_cmd ]
+    [ gen_cmd; build_cmd; eval_cmd; trace_cmd; oracle_cmd; simulate_cmd; experiment_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,126 @@
+type spec = {
+  drop : float;
+  dup : float;
+  delay : float;
+  max_delay : int;
+  crashes : (int * int) list;
+}
+
+let default_spec =
+  { drop = 0.; dup = 0.; delay = 0.; max_delay = 1; crashes = [] }
+
+type fate = Lost | Pass of { dup : bool; delay : int }
+
+let pass = Pass { dup = false; delay = 0 }
+
+(* Scripted fates are keyed by (round, src, dst); the engine processes
+   at most one fresh message per directed edge per round, so the key is
+   unique. *)
+type script = { fates : (int * int * int, fate) Hashtbl.t }
+
+type t =
+  | None_
+  | Random of { rng : Util.Prng.t; spec : spec; crashed_at : (int, int) Hashtbl.t }
+  | Scripted of { script : script; crashed_at : (int, int) Hashtbl.t }
+
+let none = None_
+let is_none = function None_ -> true | _ -> false
+
+let crash_table crashes =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (v, r) ->
+      match Hashtbl.find_opt tbl v with
+      | Some r' when r' <= r -> ()
+      | _ -> Hashtbl.replace tbl v r)
+    crashes;
+  tbl
+
+let make ~seed spec =
+  let check_rate name p =
+    if not (p >= 0. && p <= 1.) then
+      invalid_arg (Printf.sprintf "Fault.make: %s rate %g not in [0,1]" name p)
+  in
+  check_rate "drop" spec.drop;
+  check_rate "dup" spec.dup;
+  check_rate "delay" spec.delay;
+  if spec.delay > 0. && spec.max_delay < 1 then
+    invalid_arg "Fault.make: max_delay must be >= 1 when delay > 0";
+  List.iter
+    (fun (v, r) ->
+      if r < 0 then
+        invalid_arg (Printf.sprintf "Fault.make: node %d crash round %d < 0" v r))
+    spec.crashes;
+  Random
+    {
+      rng = Util.Prng.create ~seed;
+      spec;
+      crashed_at = crash_table spec.crashes;
+    }
+
+let scripted events =
+  let fates = Hashtbl.create 256 in
+  let crashes = ref [] in
+  let merge key f =
+    let dup, delay =
+      match Hashtbl.find_opt fates key with
+      | Some (Pass { dup; delay }) -> (dup, delay)
+      | Some Lost | None -> (false, 0)
+    in
+    Hashtbl.replace fates key
+      (match f with
+      | `Drop -> Lost
+      | `Dup -> Pass { dup = true; delay }
+      | `Delay k -> Pass { dup; delay = k })
+  in
+  List.iter
+    (fun (e : Trace.event) ->
+      let key = (e.Trace.round, e.Trace.src, e.Trace.dst) in
+      match e.Trace.kind with
+      | Trace.Drop Trace.Loss -> merge key `Drop
+      | Trace.Dup -> merge key `Dup
+      | Trace.Delay k -> merge key (`Delay k)
+      | Trace.Crash -> crashes := (e.Trace.src, e.Trace.round) :: !crashes
+      (* Send/Deliver lines and crash-induced drops are informational:
+         the replay engine re-derives them. *)
+      | Trace.Send | Trace.Deliver | Trace.Drop _ -> ())
+    events;
+  Scripted { script = { fates }; crashed_at = crash_table !crashes }
+
+let fate t ~round ~src ~dst =
+  match t with
+  | None_ -> pass
+  | Scripted { script; _ } -> (
+      match Hashtbl.find_opt script.fates (round, src, dst) with
+      | Some f -> f
+      | None -> pass)
+  | Random { rng; spec; _ } ->
+      (* Fixed draw order, one decision chain per message: the engine
+         calls this exactly once per processed message in deterministic
+         order, which keeps randomized runs reproducible from the seed. *)
+      if spec.drop > 0. && Util.Prng.bernoulli rng spec.drop then Lost
+      else
+        let dup = spec.dup > 0. && Util.Prng.bernoulli rng spec.dup in
+        let delay =
+          if spec.delay > 0. && Util.Prng.bernoulli rng spec.delay then
+            1 + Util.Prng.int rng spec.max_delay
+          else 0
+        in
+        if dup || delay > 0 then Pass { dup; delay } else pass
+
+let crashed_table = function
+  | None_ -> None
+  | Random { crashed_at; _ } | Scripted { crashed_at; _ } -> Some crashed_at
+
+let crashed t ~round v =
+  match crashed_table t with
+  | None -> false
+  | Some tbl -> (
+      match Hashtbl.find_opt tbl v with Some r -> round >= r | None -> false)
+
+let crash_schedule t =
+  match crashed_table t with
+  | None -> []
+  | Some tbl ->
+      Hashtbl.fold (fun v r acc -> (r, v) :: acc) tbl []
+      |> List.sort compare

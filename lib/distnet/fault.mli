@@ -1,0 +1,68 @@
+(** Deterministic fault plans for the network simulator.
+
+    A fault plan decides, for every message the engine processes, its
+    {e fate}: delivered as-is, lost, duplicated, or held back a bounded
+    number of rounds — plus a crash-stop schedule for nodes.  All
+    random decisions come from a {!Util.Prng} stream seeded once, so a
+    run is reproducible from [(graph seed, fault seed)] alone; a
+    {!scripted} plan takes its decisions from a recorded {!Trace}
+    instead, which is how replay reproduces a run bit-for-bit.
+
+    Crash-stop semantics: a node with crash round [r] participates
+    fully in rounds [< r]; from round [r] on it neither sends nor
+    receives.  Messages it put on the wire in round [r - 1] are still
+    delivered (they had already left the node). *)
+
+type t
+
+type spec = {
+  drop : float;  (** per-message loss probability, in [0,1] *)
+  dup : float;  (** probability a delivered message arrives twice *)
+  delay : float;  (** probability a message is held back *)
+  max_delay : int;  (** held-back messages wait uniform [1..max_delay] rounds *)
+  crashes : (int * int) list;  (** [(node, round)] crash-stop schedule *)
+}
+
+val default_spec : spec
+(** All rates zero, no crashes: [make ~seed default_spec] behaves
+    exactly like {!none}. *)
+
+(** The fate of one processed message. *)
+type fate =
+  | Lost
+  | Pass of { dup : bool; delay : int }  (** [delay = 0] means deliver now *)
+
+val none : t
+(** The loss-free plan: every fate is [Pass {dup = false; delay = 0}],
+    nothing crashes, and no PRNG is consulted.  This is the default of
+    [Sim.create] and preserves the seed engine's behavior exactly. *)
+
+val make : seed:int -> spec -> t
+(** A randomized plan drawing i.i.d. per-message decisions from a
+    fresh [Util.Prng] stream.
+    @raise Invalid_argument if a rate is outside [0,1], [max_delay < 1]
+    while [delay > 0], or a crash round is negative. *)
+
+val scripted : Trace.event list -> t
+(** A plan that replays the random decisions recorded in a trace: the
+    fate of the message processed at [(round, src, dst)] is rebuilt
+    from that trace's [Drop Loss]/[Dup]/[Delay] events, and the crash
+    schedule from its [Crash] events.  Messages with no recorded fault
+    event pass through untouched, so replaying a trace on the same
+    graph and protocol reproduces the original run bit-for-bit. *)
+
+val is_none : t -> bool
+(** [true] only for {!none} — lets the engine skip fault bookkeeping
+    entirely on the loss-free fast path. *)
+
+val fate : t -> round:int -> src:int -> dst:int -> fate
+(** The fate of the message from [src] to [dst] processed in [round].
+    Consumes PRNG state on randomized plans: the engine must call it
+    exactly once per processed message, in deterministic order. *)
+
+val crashed : t -> round:int -> int -> bool
+(** [crashed t ~round v]: has [v] crash-stopped by [round]? *)
+
+val crash_schedule : t -> (int * int) list
+(** [(round, node)] pairs sorted by round — the engine uses this to
+    emit [Crash] trace events as the rounds are reached. *)

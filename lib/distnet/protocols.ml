@@ -1,9 +1,9 @@
 module Graph = Graphlib.Graph
 
-let bfs g ~root =
+let bfs ?faults ?tracer g ~root =
   let n = Graph.n g in
   let dist = Array.make n (-1) in
-  let t = Sim.create g in
+  let t = Sim.create ?faults ?tracer g in
   let announce v d =
     dist.(v) <- d;
     Graph.iter_neighbors g v (fun w _ ->
@@ -14,10 +14,10 @@ let bfs g ~root =
       if dist.(dst) < 0 then announce dst d);
   (Sim.stats t, dist)
 
-let flood g ~root ~payload_words =
+let flood ?faults ?tracer g ~root ~payload_words =
   let n = Graph.n g in
   let reached = Array.make n false in
-  let t = Sim.create g in
+  let t = Sim.create ?faults ?tracer g in
   let forward v ~from =
     reached.(v) <- true;
     Graph.iter_neighbors g v (fun w _ ->
@@ -31,3 +31,60 @@ let flood g ~root ~payload_words =
   Sim.run_until_quiescent t (fun ~dst ~src () ->
       if not reached.(dst) then forward dst ~from:src);
   (Sim.stats t, reached)
+
+(* ------------------------------------------------------------------ *)
+(* Fault-tolerant variants: the same algorithms written as node
+   programs and lifted onto the lossy network by the Reliable ARQ
+   wrapper.  BFS becomes unweighted Bellman-Ford — a node re-announces
+   whenever its distance improves — because under delay and
+   retransmission the neat layer-by-layer arrival order is gone. *)
+
+let reliable_bfs ?max_rounds ?faults ?tracer g ~root =
+  let module N = struct
+    type state = int (* distance from root; -1 = unknown *)
+    type message = int (* "your distance is at most this" *)
+
+    let message_words _ = 1
+
+    let announce g v d =
+      Graph.fold_neighbors g v ~init:[] ~f:(fun acc w _ -> (w, d + 1) :: acc)
+
+    let init g v = if v = root then (0, announce g v 0) else (-1, [])
+
+    let receive g ~round:_ v st inbox =
+      let best =
+        List.fold_left
+          (fun acc (_, d) -> if acc < 0 || d < acc then d else acc)
+          st inbox
+      in
+      if best >= 0 && (st < 0 || best < st) then (best, announce g v best)
+      else (st, [])
+  end in
+  let module R = Reliable.Make (N) in
+  let module Runner = Sim.Run_active (R) in
+  let stats, states = Runner.run ?max_rounds ?faults ?tracer g in
+  (stats, Array.map R.inner states)
+
+let reliable_flood ?max_rounds ?faults ?tracer g ~root ~payload_words =
+  let module N = struct
+    type state = bool
+    type message = unit
+
+    let message_words () = payload_words
+
+    let fanout g v ~except =
+      Graph.fold_neighbors g v ~init:[] ~f:(fun acc w _ ->
+          if List.mem w except then acc else (w, ()) :: acc)
+
+    let init g v =
+      if v = root then (true, fanout g v ~except:[]) else (false, [])
+
+    let receive g ~round:_ v st inbox =
+      if (not st) && inbox <> [] then
+        (true, fanout g v ~except:(List.map fst inbox))
+      else (st, [])
+  end in
+  let module R = Reliable.Make (N) in
+  let module Runner = Sim.Run_active (R) in
+  let stats, states = Runner.run ?max_rounds ?faults ?tracer g in
+  (stats, Array.map R.inner states)

@@ -1,13 +1,61 @@
-(** Reference protocols on the simulator: distributed BFS and flooding.
-    Used by tests (to validate the engine against sequential BFS) and
-    by the overlay-broadcast experiment (E10). *)
+(** Reference protocols on the simulator: distributed BFS and flooding,
+    in both the paper's loss-free model and fault-tolerant (ARQ-lifted)
+    form.  Used by tests (to validate the engine against sequential
+    BFS), the overlay-broadcast experiment (E10), and the fault
+    experiment (E21). *)
 
-val bfs : Graphlib.Graph.t -> root:int -> Sim.stats * int array
+val bfs :
+  ?faults:Fault.t ->
+  ?tracer:Trace.t ->
+  Graphlib.Graph.t ->
+  root:int ->
+  Sim.stats * int array
 (** Layered BFS from [root] with unit-word messages.  Returns the
     per-node distances ([-1] when unreachable) and the round/message
-    statistics.  Completes in eccentricity+1 rounds. *)
+    statistics.  Completes in eccentricity+1 rounds.  Under a fault
+    plan this protocol is {e fragile by design} — a lost announcement
+    silently truncates the tree; use {!reliable_bfs} on lossy
+    networks. *)
 
-val flood : Graphlib.Graph.t -> root:int -> payload_words:int -> Sim.stats * bool array
+val flood :
+  ?faults:Fault.t ->
+  ?tracer:Trace.t ->
+  Graphlib.Graph.t ->
+  root:int ->
+  payload_words:int ->
+  Sim.stats * bool array
 (** Broadcast a [payload_words]-word message from [root] by flooding:
     every node forwards the first copy it receives to all neighbors
-    except the sender.  Returns reachability. *)
+    except the sender.  Returns reachability.  Like {!bfs}, fragile
+    under faults. *)
+
+(** {1 Fault-tolerant variants}
+
+    The same algorithms as self-contained node programs lifted through
+    {!Reliable.Make}: every inner message is sequenced, acknowledged,
+    and retransmitted until delivered, so both converge to the correct
+    answer under any loss/duplication/delay rates below 1 (crashed
+    nodes excepted).  Statistics include all ARQ traffic. *)
+
+val reliable_bfs :
+  ?max_rounds:int ->
+  ?faults:Fault.t ->
+  ?tracer:Trace.t ->
+  Graphlib.Graph.t ->
+  root:int ->
+  Sim.stats * int array
+(** Unweighted Bellman-Ford from [root] over reliable links: nodes
+    re-announce on every improvement, so distances are correct no
+    matter how deliveries are reordered.  On a loss-free network the
+    distance array equals {!bfs}'s. *)
+
+val reliable_flood :
+  ?max_rounds:int ->
+  ?faults:Fault.t ->
+  ?tracer:Trace.t ->
+  Graphlib.Graph.t ->
+  root:int ->
+  payload_words:int ->
+  Sim.stats * bool array
+(** Flooding over reliable links: reaches every live node in [root]'s
+    component at any loss rate below 1. *)

@@ -1,0 +1,156 @@
+module Graph = Graphlib.Graph
+
+let initial_rto = 3
+let max_rto = 32
+let max_retries = 12
+
+module Make (P : Sim.PROTOCOL) = struct
+  type message = { acks : int list; data : (int * P.message) option }
+
+  let message_words { acks; data } =
+    let d = match data with Some (_, m) -> 1 + P.message_words m | None -> 0 in
+    Stdlib.max 1 (List.length acks + d)
+
+  type peer = {
+    nbr : int;
+    mutable next_seq : int;
+    queue : P.message Queue.t;  (** inner messages awaiting transmission *)
+    mutable inflight : (int * P.message) option;  (** stop-and-wait window *)
+    mutable rto : int;
+    mutable timer : int;
+    mutable retries : int;
+    mutable pending_acks : int list;  (** to piggyback on the next send *)
+    received : (int, unit) Hashtbl.t;  (** seqs already delivered inward *)
+  }
+
+  type state = {
+    v : int;
+    mutable inner : P.state;
+    peers : peer array;
+    index : (int, int) Hashtbl.t;  (** neighbor id -> peers slot *)
+    mutable retrans : int;
+    mutable dead : int;
+  }
+
+  let inner st = st.inner
+  let retransmissions st = st.retrans
+  let dead_letters st = st.dead
+
+  let active st =
+    Array.exists
+      (fun p -> p.inflight <> None || not (Queue.is_empty p.queue))
+      st.peers
+
+  let peer_of st w =
+    match Hashtbl.find_opt st.index w with
+    | Some i -> st.peers.(i)
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Reliable: node %d has no neighbor %d" st.v w)
+
+  let enqueue st msgs =
+    List.iter (fun (dst, m) -> Queue.add m (peer_of st dst).queue) msgs
+
+  (* Begin transmitting the next queued message, if any. *)
+  let start_next p =
+    match Queue.take_opt p.queue with
+    | None -> None
+    | Some m ->
+        let seq = p.next_seq in
+        p.next_seq <- seq + 1;
+        p.inflight <- Some (seq, m);
+        p.rto <- initial_rto;
+        p.timer <- initial_rto;
+        p.retries <- 0;
+        Some (seq, m)
+
+  (* One round of the sender side for [p]: tick the timer, decide what
+     data (if any) goes on the wire this round. *)
+  let outgoing st p =
+    let data =
+      match p.inflight with
+      | None -> start_next p
+      | Some (seq, m) ->
+          p.timer <- p.timer - 1;
+          if p.timer > 0 then None
+          else if p.retries >= max_retries then begin
+            (* The peer is not answering (crashed, or the link is
+               hopeless): abandon, move on. *)
+            p.inflight <- None;
+            st.dead <- st.dead + 1;
+            start_next p
+          end
+          else begin
+            p.retries <- p.retries + 1;
+            p.rto <- Stdlib.min (2 * p.rto) max_rto;
+            p.timer <- p.rto;
+            st.retrans <- st.retrans + 1;
+            Some (seq, m)
+          end
+    in
+    let acks = p.pending_acks in
+    p.pending_acks <- [];
+    if data = None && acks = [] then None
+    else Some (p.nbr, { acks; data })
+
+  let flush st =
+    Array.fold_left
+      (fun out p -> match outgoing st p with Some m -> m :: out | None -> out)
+      [] st.peers
+
+  let init g v =
+    let nbrs = Array.of_list (Graph.neighbors g v) in
+    let peers =
+      Array.map
+        (fun nbr ->
+          {
+            nbr;
+            next_seq = 0;
+            queue = Queue.create ();
+            inflight = None;
+            rto = initial_rto;
+            timer = 0;
+            retries = 0;
+            pending_acks = [];
+            received = Hashtbl.create 8;
+          })
+        nbrs
+    in
+    let index = Hashtbl.create (Array.length nbrs) in
+    Array.iteri (fun i p -> Hashtbl.replace index p.nbr i) peers;
+    let inner, msgs = P.init g v in
+    let st = { v; inner; peers; index; retrans = 0; dead = 0 } in
+    enqueue st msgs;
+    (st, flush st)
+
+  let receive g ~round v st inbox =
+    let deliveries = ref [] in
+    List.iter
+      (fun (w, { acks; data }) ->
+        let p = peer_of st w in
+        List.iter
+          (fun a ->
+            match p.inflight with
+            | Some (seq, _) when seq = a ->
+                p.inflight <- None;
+                p.rto <- initial_rto;
+                p.retries <- 0
+            | _ -> () (* stale ack from an earlier retransmission *))
+          acks;
+        match data with
+        | None -> ()
+        | Some (seq, payload) ->
+            (* Ack every receipt — a duplicate means our previous ack
+               was lost (or the network duplicated the data). *)
+            if not (List.mem seq p.pending_acks) then
+              p.pending_acks <- seq :: p.pending_acks;
+            if not (Hashtbl.mem p.received seq) then begin
+              Hashtbl.replace p.received seq ();
+              deliveries := (w, payload) :: !deliveries
+            end)
+      inbox;
+    let inner, outs = P.receive g ~round v st.inner (List.rev !deliveries) in
+    st.inner <- inner;
+    enqueue st outs;
+    (st, flush st)
+end

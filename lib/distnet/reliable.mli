@@ -1,0 +1,45 @@
+(** Reliable delivery over a lossy network: an ack/retransmit wrapper
+    that lifts any {!Sim.PROTOCOL} node program onto a faulty network
+    unchanged.
+
+    Per directed neighbor link the wrapper runs stop-and-wait ARQ:
+    outgoing inner-protocol messages are queued FIFO, transmitted one
+    at a time with a sequence number, and retransmitted on a timeout
+    with exponential backoff until acknowledged.  Acknowledgements are
+    piggybacked on data traffic when possible and echoed on every
+    (re)receipt, so a lost ack is repaired by the sender's retry.  The
+    receiver tracks seen sequence numbers, making delivery to the
+    inner protocol idempotent under duplication and retransmission.
+
+    Each wire message costs [1] word per carried ack plus, when data
+    is present, [1] word of sequence number plus the inner payload's
+    words — so [Sim.stats] keeps honest word accounting including
+    every retransmission.
+
+    A transmission abandoned after {!max_retries} unacknowledged tries
+    (e.g. to a crashed neighbor) is counted in {!dead_letters}; this
+    bounds the run when a peer is gone forever. *)
+
+(** Retransmission policy (rounds are the time unit). *)
+
+val initial_rto : int
+(** First timeout: [3] rounds — the loss-free ack round trip plus one. *)
+
+val max_rto : int
+(** Backoff ceiling: [32] rounds. *)
+
+val max_retries : int
+(** Retransmissions before a message is abandoned: [12]. *)
+
+module Make (P : Sim.PROTOCOL) : sig
+  include Sim.ACTIVE_PROTOCOL
+
+  val inner : state -> P.state
+  (** The wrapped protocol's state at this node. *)
+
+  val retransmissions : state -> int
+  (** Data retransmissions this node has performed. *)
+
+  val dead_letters : state -> int
+  (** Transmissions this node abandoned after {!max_retries}. *)
+end

@@ -1,6 +1,6 @@
 module Graph = Graphlib.Graph
 
-type stats = {
+type stats = Trace.stats = {
   rounds : int;
   messages : int;
   words : int;
@@ -20,6 +20,13 @@ type 'msg t = {
      O(1) via a per-source hashtable built once. *)
   link : (int, int) Hashtbl.t;
   last_sent : int array;  (** per slot: round counter of the last send *)
+  faults : Fault.t;
+  tracer : Trace.t option;
+  (* Messages held back by a Delay fate, keyed by delivery round. *)
+  delayed : (int, 'msg envelope list) Hashtbl.t;
+  mutable delayed_count : int;
+  (* Crash events not yet emitted to the tracer, sorted by round. *)
+  mutable pending_crashes : (int * int) list;
   mutable epoch : int;
   mutable outbox : 'msg envelope list;
   mutable rounds : int;
@@ -30,7 +37,7 @@ type 'msg t = {
 
 let key ~n src dst = (src * n) + dst
 
-let create g =
+let create ?(faults = Fault.none) ?tracer g =
   let n = Graph.n g in
   let link = Hashtbl.create (4 * Graph.m g) in
   Graph.iter_edges g (fun e u v ->
@@ -40,6 +47,11 @@ let create g =
     g;
     link;
     last_sent = Array.make (Stdlib.max 1 (2 * Graph.m g)) (-1);
+    faults;
+    tracer;
+    delayed = Hashtbl.create 16;
+    delayed_count = 0;
+    pending_crashes = Fault.crash_schedule faults;
     epoch = 0;
     outbox = [];
     rounds = 0;
@@ -49,45 +61,112 @@ let create g =
   }
 
 let graph t = t.g
+let faults t = t.faults
+let round t = t.rounds
+
+let trace t ~round kind ~src ~dst ~words =
+  match t.tracer with
+  | None -> ()
+  | Some tr -> Trace.record tr { Trace.round; kind; src; dst; words }
 
 let send t ~src ~dst ~words payload =
   if words < 1 then invalid_arg "Sim.send: words must be >= 1";
   match Hashtbl.find_opt t.link (key ~n:(Graph.n t.g) src dst) with
   | None ->
       invalid_arg
-        (Printf.sprintf "Sim.send: %d -> %d is not a network link" src dst)
+        (Printf.sprintf "Sim.send: round %d: %d -> %d is not a network link"
+           t.rounds src dst)
   | Some slot ->
-      if t.last_sent.(slot) = t.epoch then
-        invalid_arg
-          (Printf.sprintf "Sim.send: %d already sent to %d this round" src dst);
-      t.last_sent.(slot) <- t.epoch;
-      t.outbox <- { src; dst; words; payload } :: t.outbox
+      if Fault.crashed t.faults ~round:t.rounds src then
+        (* A crashed node cannot put anything on the wire; the refusal
+           is silent so fault-oblivious drivers need no special case. *)
+        trace t ~round:t.rounds (Trace.Drop Trace.Src_crashed) ~src ~dst ~words
+      else begin
+        if t.last_sent.(slot) = t.epoch then
+          invalid_arg
+            (Printf.sprintf
+               "Sim.send: round %d: %d already sent to %d this round" t.rounds
+               src dst);
+        t.last_sent.(slot) <- t.epoch;
+        trace t ~round:t.rounds Trace.Send ~src ~dst ~words;
+        t.outbox <- { src; dst; words; payload } :: t.outbox
+      end
 
-let quiescent t = t.outbox = []
+let quiescent t = t.outbox = [] && t.delayed_count = 0
+
+(* Every message (or duplicate copy) put on the wire is charged to the
+   statistics at the step that processes it — delivered, lost, or held
+   back alike: transmission is the cost the network pays.  With the
+   loss-free plan this is exactly the seed engine's delivery-time
+   accounting. *)
+let charge t (e : 'msg envelope) =
+  t.messages <- t.messages + 1;
+  t.words <- t.words + e.words;
+  if e.words > t.max_message_words then t.max_message_words <- e.words
 
 let step t deliver =
   let batch = List.rev t.outbox in
   t.outbox <- [];
   t.epoch <- t.epoch + 1;
   t.rounds <- t.rounds + 1;
+  let round = t.rounds in
+  (* Emit crash events for nodes whose crash round has arrived. *)
+  let rec crashes = function
+    | (r, v) :: rest when r <= round ->
+        trace t ~round:r Trace.Crash ~src:v ~dst:(-1) ~words:0;
+        crashes rest
+    | rest -> t.pending_crashes <- rest
+  in
+  crashes t.pending_crashes;
   let count = ref 0 in
-  List.iter
-    (fun { src; dst; words; payload } ->
-      t.messages <- t.messages + 1;
-      t.words <- t.words + words;
-      if words > t.max_message_words then t.max_message_words <- words;
+  let deliver_now (e : 'msg envelope) =
+    if Fault.crashed t.faults ~round e.dst then
+      trace t ~round (Trace.Drop Trace.Dst_crashed) ~src:e.src ~dst:e.dst
+        ~words:e.words
+    else begin
       incr count;
-      deliver ~dst ~src payload)
+      trace t ~round Trace.Deliver ~src:e.src ~dst:e.dst ~words:e.words;
+      deliver ~dst:e.dst ~src:e.src e.payload
+    end
+  in
+  let hold e ~until =
+    Hashtbl.replace t.delayed until
+      (e :: Option.value ~default:[] (Hashtbl.find_opt t.delayed until));
+    t.delayed_count <- t.delayed_count + 1
+  in
+  (* Held-back messages whose delay expires this round arrive first. *)
+  (match Hashtbl.find_opt t.delayed round with
+  | None -> ()
+  | Some held ->
+      Hashtbl.remove t.delayed round;
+      let held = List.rev held in
+      t.delayed_count <- t.delayed_count - List.length held;
+      List.iter deliver_now held);
+  List.iter
+    (fun (e : 'msg envelope) ->
+      match Fault.fate t.faults ~round ~src:e.src ~dst:e.dst with
+      | Fault.Lost ->
+          charge t e;
+          trace t ~round (Trace.Drop Trace.Loss) ~src:e.src ~dst:e.dst
+            ~words:e.words
+      | Fault.Pass { dup; delay } ->
+          charge t e;
+          if dup then begin
+            charge t e;
+            trace t ~round Trace.Dup ~src:e.src ~dst:e.dst ~words:e.words
+          end;
+          if delay > 0 then begin
+            trace t ~round (Trace.Delay delay) ~src:e.src ~dst:e.dst
+              ~words:e.words;
+            hold e ~until:(round + delay);
+            if dup then hold e ~until:(round + delay)
+          end
+          else begin
+            deliver_now e;
+            if dup then deliver_now e
+          end)
     batch;
   !count
-
-let run_until_quiescent ?(max_rounds = 10_000_000) t deliver =
-  let budget = ref max_rounds in
-  while not (quiescent t) do
-    if !budget <= 0 then failwith "Sim.run_until_quiescent: round budget exhausted";
-    decr budget;
-    ignore (step t deliver)
-  done
 
 let stats t =
   {
@@ -96,6 +175,18 @@ let stats t =
     words = t.words;
     max_message_words = t.max_message_words;
   }
+
+let budget_exhausted t where =
+  failwith
+    (Format.asprintf "%s: round budget exhausted (%a)" where pp_stats (stats t))
+
+let run_until_quiescent ?(max_rounds = 10_000_000) t deliver =
+  let budget = ref max_rounds in
+  while not (quiescent t) do
+    if !budget <= 0 then budget_exhausted t "Sim.run_until_quiescent";
+    decr budget;
+    ignore (step t deliver)
+  done
 
 let add_idle_rounds t k =
   if k < 0 then invalid_arg "Sim.add_idle_rounds: negative";
@@ -118,11 +209,21 @@ module type PROTOCOL = sig
     state * (int * message) list
 end
 
-module Run (P : PROTOCOL) = struct
-  let run ?(max_rounds = 1_000_000) g =
+module type ACTIVE_PROTOCOL = sig
+  include PROTOCOL
+
+  val active : state -> bool
+end
+
+module Run_active (P : ACTIVE_PROTOCOL) = struct
+  let run ?(max_rounds = 1_000_000) ?faults ?tracer g =
     let n = Graph.n g in
-    let t = create g in
+    let t = create ?faults ?tracer g in
+    let faults = t.faults in
     let states = Array.init n (fun _ -> None) in
+    let state v =
+      match states.(v) with Some st -> st | None -> assert false
+    in
     let post v msgs =
       List.iter
         (fun (dst, m) -> send t ~src:v ~dst ~words:(P.message_words m) m)
@@ -131,23 +232,36 @@ module Run (P : PROTOCOL) = struct
     for v = 0 to n - 1 do
       let st, msgs = P.init g v in
       states.(v) <- Some st;
-      post v msgs
+      if not (Fault.crashed faults ~round:0 v) then post v msgs
     done;
     let inboxes = Array.make n [] in
     let round = ref 0 in
-    while not (quiescent t) do
-      if !round >= max_rounds then failwith "Sim.Run: round budget exhausted";
+    (* A node still counts as active only if it will get to act in the
+       next round — a crashed node's frozen state must not keep the
+       network alive. *)
+    let any_active () =
+      let rec go v =
+        v < n
+        && (((not (Fault.crashed faults ~round:(!round + 1) v))
+            && P.active (state v))
+           || go (v + 1))
+      in
+      go 0
+    in
+    while (not (quiescent t)) || any_active () do
+      if !round >= max_rounds then budget_exhausted t "Sim.Run";
       incr round;
       Array.fill inboxes 0 n [];
       ignore
         (step t (fun ~dst ~src m -> inboxes.(dst) <- (src, m) :: inboxes.(dst)));
       for v = 0 to n - 1 do
-        match states.(v) with
-        | None -> assert false
-        | Some st ->
-            let st, msgs = P.receive g ~round:!round v st (List.rev inboxes.(v)) in
-            states.(v) <- Some st;
-            post v msgs
+        if not (Fault.crashed faults ~round:!round v) then begin
+          let st, msgs =
+            P.receive g ~round:!round v (state v) (List.rev inboxes.(v))
+          in
+          states.(v) <- Some st;
+          post v msgs
+        end
       done
     done;
     let final =
@@ -155,3 +269,9 @@ module Run (P : PROTOCOL) = struct
     in
     (stats t, final)
 end
+
+module Run (P : PROTOCOL) = Run_active (struct
+  include P
+
+  let active _ = false
+end)

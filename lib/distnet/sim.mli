@@ -13,12 +13,21 @@
     round, word accounting) while an algorithm module drives rounds
     explicitly — this is how the intricate multi-phase protocols
     (skeleton, Fibonacci balls) are written.  The {!Run} functor wraps
-    the engine for self-contained node programs. *)
+    the engine for self-contained node programs; {!Run_active} extends
+    it to protocols with internal timers (retransmission) that must
+    keep receiving rounds while the network is quiescent.
 
-type stats = {
+    The engine can be driven over a faulty network: {!create}'s
+    [?faults] plan ({!Fault.t}) injects message loss, duplication,
+    bounded delay, and node crash-stops, and [?tracer] records every
+    network event into a {!Trace.t} for audit and deterministic replay.
+    Both default to off, in which case behavior is bit-identical to the
+    fault-free engine. *)
+
+type stats = Trace.stats = {
   rounds : int;  (** synchronous rounds executed *)
-  messages : int;  (** messages delivered in total *)
-  words : int;  (** total words delivered *)
+  messages : int;  (** messages transmitted (delivered, lost, or held) *)
+  words : int;  (** total words transmitted *)
   max_message_words : int;  (** length of the longest single message *)
 }
 
@@ -28,27 +37,46 @@ val pp_stats : Format.formatter -> stats -> unit
 
 type 'msg t
 
-val create : Graphlib.Graph.t -> 'msg t
+val create : ?faults:Fault.t -> ?tracer:Trace.t -> Graphlib.Graph.t -> 'msg t
+(** [create ?faults ?tracer g] prepares an idle network on [g].
+    [faults] defaults to {!Fault.none}, under which every observable
+    behavior (deliveries, statistics, errors) is identical to the
+    fault-free engine; [tracer] defaults to no recording. *)
+
 val graph : 'msg t -> Graphlib.Graph.t
 
+val faults : 'msg t -> Fault.t
+(** The fault plan the network runs under ({!Fault.none} by default). *)
+
+val round : 'msg t -> int
+(** The current round number: 0 before the first {!step}, and during a
+    delivery callback the round being delivered.  Protocols and the
+    tracer read this instead of threading their own counter. *)
+
 val send : 'msg t -> src:int -> dst:int -> words:int -> 'msg -> unit
-(** Enqueue a message for delivery at the next {!step}.
+(** Enqueue a message for delivery at the next {!step}.  If [src] has
+    crash-stopped, the message is silently discarded (and traced as a
+    drop) — a dead node cannot put anything on the wire.
     @raise Invalid_argument if [dst] is not a neighbor of [src], if
-    [words < 1], or if [src] already sent to [dst] this round. *)
+    [words < 1], or if [src] already sent to [dst] this round; the
+    message names the current round and both endpoints. *)
 
 val step : 'msg t -> (dst:int -> src:int -> 'msg -> unit) -> int
-(** Advance one synchronous round: deliver every queued message through
-    the callback (in deterministic order) and return the number
-    delivered.  Counts as one round even when nothing was queued. *)
+(** Advance one synchronous round: decide the fate of every queued
+    message under the fault plan, deliver the surviving ones (and any
+    held-back message whose delay expires this round) through the
+    callback in deterministic order, and return the number delivered.
+    Counts as one round even when nothing was queued. *)
 
 val quiescent : 'msg t -> bool
-(** No messages queued for the next round. *)
+(** No messages queued or held back for a later round. *)
 
 val run_until_quiescent :
   ?max_rounds:int -> 'msg t -> (dst:int -> src:int -> 'msg -> unit) -> unit
 (** Repeated {!step} until no message is in flight.  The callback may
     {!send} further messages.  @raise Failure after [max_rounds]
-    (default [10_000_000]) rounds. *)
+    (default [10_000_000]) rounds; the failure message reports the
+    statistics accumulated so far. *)
 
 val stats : 'msg t -> stats
 
@@ -83,6 +111,36 @@ module type PROTOCOL = sig
       the network is quiescent. *)
 end
 
+(** A protocol that may need rounds to keep ticking while the network
+    is quiescent — e.g. a retransmission timer waiting to fire. *)
+module type ACTIVE_PROTOCOL = sig
+  include PROTOCOL
+
+  val active : state -> bool
+  (** Does this node still have work pending (timers armed, messages
+      unacknowledged)?  The run ends when the network is quiescent and
+      no live node is active. *)
+end
+
+module Run_active (P : ACTIVE_PROTOCOL) : sig
+  val run :
+    ?max_rounds:int ->
+    ?faults:Fault.t ->
+    ?tracer:Trace.t ->
+    Graphlib.Graph.t ->
+    stats * P.state array
+  (** Run the protocol to completion.  Under a fault plan, a node that
+      crash-stops at round [r] executes no [receive] from round [r]
+      on: its state is frozen as of round [r - 1].
+      @raise Failure after [max_rounds] rounds (default [1_000_000]);
+      the message reports the statistics accumulated so far. *)
+end
+
 module Run (P : PROTOCOL) : sig
-  val run : ?max_rounds:int -> Graphlib.Graph.t -> stats * P.state array
+  val run :
+    ?max_rounds:int ->
+    ?faults:Fault.t ->
+    ?tracer:Trace.t ->
+    Graphlib.Graph.t ->
+    stats * P.state array
 end

@@ -1,0 +1,188 @@
+type stats = {
+  rounds : int;
+  messages : int;
+  words : int;
+  max_message_words : int;
+}
+
+let diff_stats a b =
+  let field name fa fb acc = if fa <> fb then (name, fa, fb) :: acc else acc in
+  []
+  |> field "max_message_words" a.max_message_words b.max_message_words
+  |> field "words" a.words b.words
+  |> field "messages" a.messages b.messages
+  |> field "rounds" a.rounds b.rounds
+
+type reason = Loss | Src_crashed | Dst_crashed
+
+type kind =
+  | Send
+  | Deliver
+  | Drop of reason
+  | Dup
+  | Delay of int
+  | Crash
+
+type event = { round : int; kind : kind; src : int; dst : int; words : int }
+
+let reason_name = function
+  | Loss -> "loss"
+  | Src_crashed -> "src-crashed"
+  | Dst_crashed -> "dst-crashed"
+
+let kind_name = function
+  | Send -> "send"
+  | Deliver -> "deliver"
+  | Drop _ -> "drop"
+  | Dup -> "dup"
+  | Delay _ -> "delay"
+  | Crash -> "crash"
+
+let pp_event ppf e =
+  Format.fprintf ppf "r%d %s %d->%d (%d words)" e.round (kind_name e.kind)
+    e.src e.dst e.words;
+  match e.kind with
+  | Drop r -> Format.fprintf ppf " [%s]" (reason_name r)
+  | Delay k -> Format.fprintf ppf " [+%d rounds]" k
+  | _ -> ()
+
+type t = { mutable rev_events : event list; mutable length : int }
+
+let create () = { rev_events = []; length = 0 }
+
+let record t e =
+  t.rev_events <- e :: t.rev_events;
+  t.length <- t.length + 1
+
+let events t = List.rev t.rev_events
+let length t = t.length
+
+(* ------------------------------------------------------------------ *)
+(* JSON lines.  The format is small and fixed, so both the printer and
+   the parser are hand-rolled: no JSON dependency. *)
+
+let event_to_json e =
+  let extra =
+    match e.kind with
+    | Drop r -> Printf.sprintf {|,"reason":"%s"|} (reason_name r)
+    | Delay k -> Printf.sprintf {|,"delay":%d|} k
+    | _ -> ""
+  in
+  Printf.sprintf {|{"round":%d,"kind":"%s","src":%d,"dst":%d,"words":%d%s}|}
+    e.round (kind_name e.kind) e.src e.dst e.words extra
+
+let stats_to_json s =
+  Printf.sprintf
+    {|{"kind":"stats","rounds":%d,"messages":%d,"words":%d,"max_message_words":%d}|}
+    s.rounds s.messages s.words s.max_message_words
+
+let save ?stats t file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun e ->
+          output_string oc (event_to_json e);
+          output_char oc '\n')
+        (events t);
+      match stats with
+      | Some s ->
+          output_string oc (stats_to_json s);
+          output_char oc '\n'
+      | None -> ())
+
+(* Minimal field extraction from one of our own JSON lines. *)
+
+let find_sub line needle =
+  let nl = String.length needle and ll = String.length line in
+  let rec at i =
+    if i + nl > ll then None
+    else if String.sub line i nl = needle then Some (i + nl)
+    else at (i + 1)
+  in
+  at 0
+
+let int_field line name =
+  match find_sub line (Printf.sprintf {|"%s":|} name) with
+  | None -> None
+  | Some start ->
+      let stop = ref start in
+      let ll = String.length line in
+      while
+        !stop < ll
+        && (match line.[!stop] with '0' .. '9' | '-' -> true | _ -> false)
+      do
+        incr stop
+      done;
+      if !stop = start then None
+      else Some (int_of_string (String.sub line start (!stop - start)))
+
+let str_field line name =
+  match find_sub line (Printf.sprintf {|"%s":"|} name) with
+  | None -> None
+  | Some start -> (
+      match String.index_from_opt line start '"' with
+      | None -> None
+      | Some stop -> Some (String.sub line start (stop - start)))
+
+let parse_line lineno line =
+  let fail msg =
+    failwith (Printf.sprintf "Trace.load: line %d: %s: %s" lineno msg line)
+  in
+  let int name =
+    match int_field line name with
+    | Some v -> v
+    | None -> fail (Printf.sprintf "missing field %S" name)
+  in
+  match str_field line "kind" with
+  | None -> fail "missing field \"kind\""
+  | Some "stats" ->
+      `Stats
+        {
+          rounds = int "rounds";
+          messages = int "messages";
+          words = int "words";
+          max_message_words = int "max_message_words";
+        }
+  | Some kind_s ->
+      let kind =
+        match kind_s with
+        | "send" -> Send
+        | "deliver" -> Deliver
+        | "drop" -> (
+            match str_field line "reason" with
+            | Some "src-crashed" -> Drop Src_crashed
+            | Some "dst-crashed" -> Drop Dst_crashed
+            | _ -> Drop Loss)
+        | "dup" -> Dup
+        | "delay" -> Delay (int "delay")
+        | "crash" -> Crash
+        | other -> fail (Printf.sprintf "unknown kind %S" other)
+      in
+      `Event
+        {
+          round = int "round";
+          kind;
+          src = int "src";
+          dst = int "dst";
+          words = int "words";
+        }
+
+let load file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rev_events = ref [] and stats = ref None and lineno = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr lineno;
+           if String.trim line <> "" then
+             match parse_line !lineno line with
+             | `Event e -> rev_events := e :: !rev_events
+             | `Stats s -> stats := Some s
+         done
+       with End_of_file -> ());
+      (List.rev !rev_events, !stats))

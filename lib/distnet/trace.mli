@@ -1,0 +1,63 @@
+(** Structured event log for simulator runs.
+
+    Every observable action of the (possibly faulty) network engine —
+    a message handed to the network, a delivery, a random loss, a
+    duplication, a hold-back, a crash — is recorded as one {!event}.
+    A trace can be saved as JSON lines, loaded back, and used to build
+    a {e scripted} fault plan ([Fault.scripted]) that reproduces the
+    original run bit-for-bit without consulting a PRNG.
+
+    This module is deliberately independent of {!Sim}: it owns the
+    {!stats} record (which [Sim] re-exports) so that the engine, the
+    fault layer, and the replay tooling can all share it without a
+    dependency cycle. *)
+
+type stats = {
+  rounds : int;  (** synchronous rounds executed *)
+  messages : int;  (** messages transmitted (including lost ones) *)
+  words : int;  (** total words transmitted *)
+  max_message_words : int;  (** length of the longest single message *)
+}
+
+val diff_stats : stats -> stats -> (string * int * int) list
+(** [diff_stats a b] lists every field on which [a] and [b] disagree as
+    [(field, a-value, b-value)]; [[]] means the runs match. *)
+
+(** Why a message was dropped. Only [Loss] is a random decision; the
+    crash variants are determined by the crash schedule and are
+    therefore not replayed from the script. *)
+type reason = Loss | Src_crashed | Dst_crashed
+
+type kind =
+  | Send  (** a node handed a message to the network *)
+  | Deliver  (** the message reached its destination *)
+  | Drop of reason  (** the message was lost in transit *)
+  | Dup  (** the network delivered a second copy *)
+  | Delay of int  (** the message was held for that many rounds *)
+  | Crash  (** the node [src] crash-stopped ([dst] is [-1]) *)
+
+type event = { round : int; kind : kind; src : int; dst : int; words : int }
+
+val pp_event : Format.formatter -> event -> unit
+
+(** {1 Recording} *)
+
+type t
+
+val create : unit -> t
+val record : t -> event -> unit
+val events : t -> event list
+(** Events in the order they were recorded. *)
+
+val length : t -> int
+
+(** {1 Persistence (JSON lines)} *)
+
+val save : ?stats:stats -> t -> string -> unit
+(** [save ?stats t file] writes one JSON object per line; when given,
+    the final line records the run's statistics so a replay can be
+    checked against them. *)
+
+val load : string -> event list * stats option
+(** Parse a file written by {!save}.
+    @raise Failure on a line that is not a trace event. *)

@@ -85,3 +85,9 @@ val e19_eps_beta_behavior : ?quick:bool -> seed:int -> unit -> Table.t
 val e20_compact_routing : ?quick:bool -> seed:int -> unit -> Table.t
 (** §5's closing question: compact routing state vs measured route
     stretch. *)
+
+val e21_faults : ?quick:bool -> seed:int -> unit -> Table.t
+(** Beyond the paper: §1.1's loss-free model relaxed.  Rounds/words
+    overhead of ARQ-lifted (reliable) BFS and skeleton-overlay
+    broadcast as the message drop rate sweeps 0 → 30%, with
+    correctness checks at every rate. *)

@@ -25,7 +25,7 @@ A cycle has girth 12 > 2k, so greedy k=2 keeps all 12 edges:
 The experiment registry rejects unknown ids:
 
   $ ../../bin/spanner_cli.exe experiment E99 2>&1 | head -1
-  unknown experiment E99 (have: E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13, E14, E15, E16, E17, E18, E19, E20)
+  unknown experiment E99 (have: E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13, E14, E15, E16, E17, E18, E19, E20, E21)
 
 E9 is pure computation and deterministic:
 
@@ -36,3 +36,30 @@ E9 is pure computation and deterministic:
   p     t     X^t_p  lemma6-bound  ratio  BS-style t+2/p  bound holds
   ----  ----  -----  ------------  -----  --------------  -----------
   0.5   1     0.625  1.74          0.36   5               yes        
+
+Fault injection with trace/replay: a lossy run converges to the right
+distances, its trace replays bit-for-bit, and the diff check passes:
+
+  $ ../../bin/spanner_cli.exe simulate --kind gnp -n 60 -p 0.08 --seed 3 --drop 0.2 --trace run.jsonl
+  graph: n=60, m=144, avg deg 4.80, max deg 10
+  distances correct: true
+  network: rounds=54 messages=791 words=1432 max_msg=3 words
+  trace written to run.jsonl (1582 events)
+
+  $ head -1 run.jsonl
+  {"round":0,"kind":"send","src":0,"dst":28,"words":2}
+
+  $ ../../bin/spanner_cli.exe simulate --kind gnp -n 60 -p 0.08 --seed 3 --replay run.jsonl
+  graph: n=60, m=144, avg deg 4.80, max deg 10
+  replaying 1582 events from run.jsonl
+  distances correct: true
+  network: rounds=54 messages=791 words=1432 max_msg=3 words
+  replay reproduces original stats: yes
+
+With no fault flags the engine is the paper's loss-free model and the
+ARQ-lifted BFS finishes in eccentricity + ack-drain rounds:
+
+  $ ../../bin/spanner_cli.exe simulate --kind cycle -n 12 --seed 1
+  graph: n=12, m=12, avg deg 2.00, max deg 2
+  distances correct: true
+  network: rounds=8 messages=36 words=72 max_msg=3 words

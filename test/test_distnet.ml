@@ -17,22 +17,25 @@ let rng () = Util.Prng.create ~seed:91
 let test_send_requires_link () =
   let g = Gen.path 4 in
   let t = Sim.create g in
+  (* The diagnostic names the round and both endpoints. *)
   Alcotest.check_raises "non-neighbor rejected"
-    (Invalid_argument "Sim.send: 0 -> 2 is not a network link") (fun () ->
-      Sim.send t ~src:0 ~dst:2 ~words:1 ())
+    (Invalid_argument "Sim.send: round 0: 0 -> 2 is not a network link")
+    (fun () -> Sim.send t ~src:0 ~dst:2 ~words:1 ())
 
 let test_send_one_per_edge_per_round () =
   let g = Gen.path 4 in
   let t = Sim.create g in
   Sim.send t ~src:0 ~dst:1 ~words:1 ();
   Alcotest.check_raises "duplicate rejected"
-    (Invalid_argument "Sim.send: 0 already sent to 1 this round") (fun () ->
-      Sim.send t ~src:0 ~dst:1 ~words:1 ());
+    (Invalid_argument "Sim.send: round 0: 0 already sent to 1 this round")
+    (fun () -> Sim.send t ~src:0 ~dst:1 ~words:1 ());
   (* After the round advances, sending again is allowed. *)
   ignore (Sim.step t (fun ~dst:_ ~src:_ () -> ()));
+  checki "round accessor advanced" 1 (Sim.round t);
   Sim.send t ~src:0 ~dst:1 ~words:1 ();
   ignore (Sim.step t (fun ~dst:_ ~src:_ () -> ()));
-  checki "rounds" 2 (Sim.stats t).Sim.rounds
+  checki "rounds" 2 (Sim.stats t).Sim.rounds;
+  checki "round accessor = stats.rounds" 2 (Sim.round t)
 
 let test_word_accounting () =
   let g = Gen.path 3 in
@@ -188,6 +191,231 @@ let test_runner_max_flood () =
   let _, states = Max_run.run g in
   Array.iter (fun st -> checki "everyone learns max" (G.n g - 1) st) states
 
+(* ------------------------------------------------------------------ *)
+(* Fault injection, reliable delivery, trace/replay *)
+
+module Fault = Distnet.Fault
+module Trace = Distnet.Trace
+module Reliable = Distnet.Reliable
+
+let stats_testable =
+  Alcotest.testable Sim.pp_stats (fun a b -> Trace.diff_stats a b = [])
+
+let test_zero_fault_plan_identical () =
+  (* A randomized plan with all rates zero must be byte-identical to
+     the seed engine: same stats, same results, on BFS and flooding. *)
+  let r = rng () in
+  let g = Gen.connected_gnp r ~n:150 ~p:0.03 in
+  let zero = Fault.make ~seed:7 Fault.default_spec in
+  let st0, d0 = Protocols.bfs g ~root:0 in
+  let st1, d1 = Protocols.bfs ~faults:zero g ~root:0 in
+  Alcotest.check stats_testable "bfs stats identical" st0 st1;
+  Alcotest.check (Alcotest.array Alcotest.int) "bfs distances identical" d0 d1;
+  let sf0, r0 = Protocols.flood g ~root:3 ~payload_words:2 in
+  let sf1, r1 = Protocols.flood ~faults:zero g ~root:3 ~payload_words:2 in
+  Alcotest.check stats_testable "flood stats identical" sf0 sf1;
+  Alcotest.check (Alcotest.array Alcotest.bool) "flood reach identical" r0 r1
+
+let test_drop_loses_messages () =
+  (* Certain loss: nothing is ever delivered, but transmissions are
+     still charged to the statistics. *)
+  let g = Gen.path 2 in
+  let faults = Fault.make ~seed:1 { Fault.default_spec with Fault.drop = 1. } in
+  let t = Sim.create ~faults g in
+  Sim.send t ~src:0 ~dst:1 ~words:4 ();
+  let delivered = Sim.step t (fun ~dst:_ ~src:_ () -> Alcotest.fail "delivered") in
+  checki "nothing delivered" 0 delivered;
+  checki "transmission charged" 1 (Sim.stats t).Sim.messages;
+  checki "words charged" 4 (Sim.stats t).Sim.words
+
+let test_dup_delivers_twice () =
+  let g = Gen.path 2 in
+  let faults = Fault.make ~seed:1 { Fault.default_spec with Fault.dup = 1. } in
+  let t = Sim.create ~faults g in
+  Sim.send t ~src:0 ~dst:1 ~words:2 ();
+  let delivered = Sim.step t (fun ~dst:_ ~src:_ () -> ()) in
+  checki "two copies" 2 delivered;
+  checki "both charged" 2 (Sim.stats t).Sim.messages;
+  checki "words doubled" 4 (Sim.stats t).Sim.words
+
+let test_delay_holds_messages () =
+  let g = Gen.path 2 in
+  let faults =
+    Fault.make ~seed:1
+      { Fault.default_spec with Fault.delay = 1.; max_delay = 1 }
+  in
+  let t = Sim.create ~faults g in
+  Sim.send t ~src:0 ~dst:1 ~words:1 ();
+  checki "held, not delivered" 0 (Sim.step t (fun ~dst:_ ~src:_ () -> ()));
+  checkb "still in flight" false (Sim.quiescent t);
+  checki "arrives one round late" 1 (Sim.step t (fun ~dst:_ ~src:_ () -> ()));
+  checkb "drained" true (Sim.quiescent t)
+
+let test_crash_stops_node () =
+  (* Node 2 of a path 0-1-2-3 crashes at round 1: it never forwards,
+     so reliable BFS gives up on 2 and 3 after max_retries. *)
+  let g = Gen.path 4 in
+  let faults =
+    Fault.make ~seed:1 { Fault.default_spec with Fault.crashes = [ (2, 1) ] }
+  in
+  let _, dist = Protocols.reliable_bfs ~faults g ~root:0 in
+  checki "node 1 reached" 1 dist.(1);
+  checki "crashed node frozen" (-1) dist.(2);
+  checki "behind the crash" (-1) dist.(3)
+
+let test_reliable_bfs_loss_free_matches () =
+  let r = rng () in
+  let g = Gen.connected_gnp r ~n:120 ~p:0.04 in
+  let _, expected = Protocols.bfs g ~root:0 in
+  let _, dist = Protocols.reliable_bfs g ~root:0 in
+  Alcotest.check (Alcotest.array Alcotest.int) "distances agree" expected dist
+
+let test_reliable_bfs_under_drop () =
+  (* The acceptance workload: 20% loss, seed 1 — the reliable protocol
+     still computes the exact distance array. *)
+  let r = Util.Prng.create ~seed:1 in
+  let g = Gen.connected_gnp r ~n:200 ~p:0.03 in
+  let faults = Fault.make ~seed:1 { Fault.default_spec with Fault.drop = 0.2 } in
+  let st_free, expected = Protocols.bfs g ~root:0 in
+  let st, dist = Protocols.reliable_bfs ~faults g ~root:0 in
+  Alcotest.check (Alcotest.array Alcotest.int) "distances survive 20% loss"
+    expected dist;
+  checkb "loss costs extra traffic" true (st.Sim.words > st_free.Sim.words)
+
+let test_reliable_flood_under_chaos () =
+  let r = rng () in
+  let g = Gen.connected_gnp r ~n:80 ~p:0.06 in
+  let faults =
+    Fault.make ~seed:3
+      {
+        Fault.default_spec with
+        Fault.drop = 0.25;
+        dup = 0.1;
+        delay = 0.2;
+        max_delay = 3;
+      }
+  in
+  let _, reached = Protocols.reliable_flood ~faults g ~root:0 ~payload_words:4 in
+  Array.iter (fun b -> checkb "all reached despite faults" true b) reached
+
+let test_trace_replay_reproduces_stats () =
+  let r = Util.Prng.create ~seed:2 in
+  let g = Gen.connected_gnp r ~n:90 ~p:0.05 in
+  let spec =
+    {
+      Fault.drop = 0.2;
+      dup = 0.05;
+      delay = 0.1;
+      max_delay = 2;
+      crashes = [ (7, 9) ];
+    }
+  in
+  let tracer = Trace.create () in
+  let st, dist = Protocols.reliable_bfs ~faults:(Fault.make ~seed:5 spec) ~tracer g ~root:0 in
+  checkb "trace non-empty" true (Trace.length tracer > 0);
+  (* Replay from the recorded events: no PRNG, fates are scripted. *)
+  let replayed = Fault.scripted (Trace.events tracer) in
+  let st', dist' = Protocols.reliable_bfs ~faults:replayed g ~root:0 in
+  Alcotest.check stats_testable "replay stats identical" st st';
+  Alcotest.check (Alcotest.array Alcotest.int) "replay distances identical"
+    dist dist'
+
+let test_trace_save_load_roundtrip () =
+  let r = rng () in
+  let g = Gen.connected_gnp r ~n:60 ~p:0.08 in
+  let tracer = Trace.create () in
+  let faults =
+    Fault.make ~seed:4
+      { Fault.default_spec with Fault.drop = 0.3; delay = 0.1; max_delay = 2 }
+  in
+  let st, _ = Protocols.reliable_bfs ~faults ~tracer g ~root:0 in
+  let path = Filename.temp_file "ultrasparse" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.save ~stats:st tracer path;
+      let events, stored = Trace.load path in
+      checki "every event round-trips" (Trace.length tracer)
+        (List.length events);
+      (match stored with
+      | Some s -> Alcotest.check stats_testable "stats round-trip" st s
+      | None -> Alcotest.fail "stats line missing");
+      checkb "events equal after reload" true (events = Trace.events tracer);
+      (* ... and the reloaded trace still replays bit-for-bit. *)
+      let st', _ = Protocols.reliable_bfs ~faults:(Fault.scripted events) g ~root:0 in
+      Alcotest.check stats_testable "reloaded replay stats" st st')
+
+let test_budget_failure_reports_stats () =
+  (* Two nodes ping-pong forever: the budget failure must carry the
+     accumulated statistics so non-convergence is diagnosable. *)
+  let g = Gen.path 2 in
+  let t = Sim.create g in
+  Sim.send t ~src:0 ~dst:1 ~words:1 ();
+  match
+    Sim.run_until_quiescent ~max_rounds:10 t (fun ~dst ~src:_ () ->
+        Sim.send t ~src:dst ~dst:(1 - dst) ~words:1 ())
+  with
+  | () -> Alcotest.fail "expected Failure"
+  | exception Failure msg ->
+      checkb "names the budget" true
+        (String.length msg > 0
+        && String.sub msg 0 24 = "Sim.run_until_quiescent:");
+      let contains needle =
+        let nl = String.length needle and hl = String.length msg in
+        let rec at i =
+          i + nl <= hl && (String.sub msg i nl = needle || at (i + 1))
+        in
+        at 0
+      in
+      checkb "reports rounds" true (contains "rounds=10");
+      checkb "reports words" true (contains "words=10")
+
+let prop_zero_fault_plan_identical =
+  QCheck.Test.make ~name:"zero-rate fault plan = seed engine" ~count:25
+    QCheck.(int_range 2 60)
+    (fun n ->
+      let g = Gen.gnp (Util.Prng.create ~seed:n) ~n ~p:(3. /. float_of_int n) in
+      let zero = Fault.make ~seed:n Fault.default_spec in
+      let st0, d0 = Protocols.bfs g ~root:0 in
+      let st1, d1 = Protocols.bfs ~faults:zero g ~root:0 in
+      st0 = st1 && d0 = d1)
+
+let prop_reliable_bfs_under_drop =
+  QCheck.Test.make ~name:"reliable BFS @20% drop = loss-free BFS" ~count:15
+    QCheck.(int_range 2 50)
+    (fun n ->
+      let g = Gen.gnp (Util.Prng.create ~seed:n) ~n ~p:(3. /. float_of_int n) in
+      let faults =
+        Fault.make ~seed:(n + 1) { Fault.default_spec with Fault.drop = 0.2 }
+      in
+      let _, expected = Protocols.bfs g ~root:0 in
+      let _, dist = Protocols.reliable_bfs ~faults g ~root:0 in
+      expected = dist)
+
+let prop_trace_replay_identical =
+  QCheck.Test.make ~name:"trace -> replay reproduces stats" ~count:15
+    QCheck.(int_range 2 40)
+    (fun n ->
+      let g = Gen.gnp (Util.Prng.create ~seed:n) ~n ~p:(3. /. float_of_int n) in
+      let faults =
+        Fault.make ~seed:(2 * n)
+          {
+            Fault.default_spec with
+            Fault.drop = 0.15;
+            dup = 0.1;
+            delay = 0.1;
+            max_delay = 2;
+          }
+      in
+      let tracer = Trace.create () in
+      let st, _ = Protocols.reliable_flood ~faults ~tracer g ~root:0 ~payload_words:2 in
+      let st', _ =
+        Protocols.reliable_flood
+          ~faults:(Fault.scripted (Trace.events tracer))
+          g ~root:0 ~payload_words:2
+      in
+      st = st')
+
 let prop_dist_bfs_equals_sequential =
   QCheck.Test.make ~name:"distributed BFS = sequential BFS" ~count:30
     QCheck.(int_range 2 60)
@@ -225,5 +453,33 @@ let suite =
       [
         Alcotest.test_case "echo" `Quick test_runner_echo;
         Alcotest.test_case "max flood" `Quick test_runner_max_flood;
+      ] );
+    ( "distnet.faults",
+      [
+        Alcotest.test_case "zero rates identical" `Quick
+          test_zero_fault_plan_identical;
+        Alcotest.test_case "drop loses messages" `Quick test_drop_loses_messages;
+        Alcotest.test_case "dup delivers twice" `Quick test_dup_delivers_twice;
+        Alcotest.test_case "delay holds messages" `Quick test_delay_holds_messages;
+        Alcotest.test_case "crash stops node" `Quick test_crash_stops_node;
+        Alcotest.test_case "budget failure reports stats" `Quick
+          test_budget_failure_reports_stats;
+        QCheck_alcotest.to_alcotest prop_zero_fault_plan_identical;
+      ] );
+    ( "distnet.reliable",
+      [
+        Alcotest.test_case "loss-free matches bfs" `Quick
+          test_reliable_bfs_loss_free_matches;
+        Alcotest.test_case "bfs under 20% drop" `Quick test_reliable_bfs_under_drop;
+        Alcotest.test_case "flood under chaos" `Quick test_reliable_flood_under_chaos;
+        QCheck_alcotest.to_alcotest prop_reliable_bfs_under_drop;
+      ] );
+    ( "distnet.trace",
+      [
+        Alcotest.test_case "replay reproduces stats" `Quick
+          test_trace_replay_reproduces_stats;
+        Alcotest.test_case "save/load roundtrip" `Quick
+          test_trace_save_load_roundtrip;
+        QCheck_alcotest.to_alcotest prop_trace_replay_identical;
       ] );
   ]
