@@ -87,6 +87,20 @@ let bench_tests () =
             { Distnet.Fault.default_spec with Distnet.Fault.drop = 0.2 }
         in
         ignore (Distnet.Protocols.reliable_bfs ~faults g_small ~root:0));
+    t "e22.skeleton_crash_recovery" (fun () ->
+        let faults =
+          Distnet.Fault.make ~seed:!seed
+            {
+              Distnet.Fault.default_spec with
+              Distnet.Fault.drop = 0.2;
+              crashes = [ (3, 40); (11, 120); (17, 300) ];
+            }
+        in
+        let r = Spanner.Skeleton_dist.build ~faults ~seed:!seed g_small in
+        ignore
+          (Spanner.Certify.run ~plan:r.Spanner.Skeleton_dist.plan
+             ~witness:r.Spanner.Skeleton_dist.witness g_small
+             r.Spanner.Skeleton_dist.spanner));
     t "e11.combined" (fun () ->
         ignore (Spanner.Combined.build ~ell:2 ~seed:!seed g_small));
     t "e12.skeleton_traced" (fun () ->

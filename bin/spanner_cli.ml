@@ -355,18 +355,53 @@ let simulate_cmd =
              overrides the random fault options and diffs the statistics \
              against the recorded ones.")
   in
+  let crash_frac =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "crash-frac" ] ~docv:"F"
+          ~doc:
+            "Crash-stop a random fraction F of the nodes (in addition to any \
+             --crash schedule), each at a random round.")
+  in
+  let crash_max_round =
+    Arg.(
+      value
+      & opt int 50
+      & info [ "crash-max-round" ] ~docv:"R"
+          ~doc:"Random --crash-frac crashes land uniformly in rounds 1..R.")
+  in
+  let certify =
+    Arg.(
+      value & flag
+      & info [ "certify" ]
+          ~doc:
+            "After a skeleton run, certify the output (subset, forest, \
+             contribution, stretch) and exit nonzero on failure.")
+  in
+  let mutate =
+    Arg.(
+      value & flag
+      & info [ "mutate" ]
+          ~doc:
+            "Sabotage the skeleton before certifying: remove one cluster-tree \
+             edge from the spanner.  The certifier must reject (exercises the \
+             failure path; implies --certify).")
+  in
   let protocol =
     Arg.(
       value
       & opt string "bfs"
-      & info [ "protocol" ] ~docv:"PROTO"
-          ~doc:"Protocol to run: bfs or flood (both ARQ-lifted).")
+      & info [ "protocol"; "algo" ] ~docv:"PROTO"
+          ~doc:
+            "Protocol to run: bfs, flood (both ARQ-lifted), or skeleton (the \
+             full Section 2 construction with crash recovery).")
   in
   let root =
     Arg.(value & opt int 0 & info [ "root" ] ~docv:"V" ~doc:"Protocol root node.")
   in
-  let run kind n p seed input drop dup delay max_delay crash trace_file
-      replay_file protocol root =
+  let run kind n p seed input drop dup delay max_delay crash crash_frac
+      crash_max_round certify mutate trace_file replay_file protocol root =
     let g = load_graph ~kind ~n ~p ~seed ~input in
     Format.printf "graph: %a@." Graph.pp_summary g;
     let faults, recorded =
@@ -375,9 +410,39 @@ let simulate_cmd =
           let events, stored = Distnet.Trace.load file in
           Format.printf "replaying %d events from %s@." (List.length events)
             file;
-          (Distnet.Fault.scripted events, stored)
+          (* A loss-free recording must replay over the loss-free
+             engine: protocols (skeleton) pick their transport by
+             [Fault.is_none], and a scripted all-deliver plan is not
+             [none] even though it injects nothing. *)
+          let has_faults =
+            List.exists
+              (fun (e : Distnet.Trace.event) ->
+                match e.kind with
+                | Distnet.Trace.Send | Distnet.Trace.Deliver -> false
+                | _ -> true)
+              events
+          in
+          let plan =
+            if has_faults then Distnet.Fault.scripted events
+            else Distnet.Fault.none
+          in
+          (plan, stored)
       | None ->
-          let crashes = parse_crashes crash in
+          let crashes =
+            let explicit = parse_crashes crash in
+            if crash_frac <= 0. then explicit
+            else begin
+              let rng = Util.Prng.create ~seed:(seed + 87) in
+              let picks = ref [] in
+              for v = 0 to Graph.n g - 1 do
+                if Util.Prng.bernoulli rng crash_frac then
+                  picks :=
+                    (v, 1 + Util.Prng.int rng (Stdlib.max 1 crash_max_round))
+                    :: !picks
+              done;
+              explicit @ List.rev !picks
+            end
+          in
           let spec =
             { Distnet.Fault.drop; dup; delay; max_delay; crashes }
           in
@@ -393,6 +458,7 @@ let simulate_cmd =
       | None, Some _ -> Some (Distnet.Trace.create ())
       | _ -> None
     in
+    let certification_failed = ref false in
     let stats =
       match protocol with
       | "bfs" ->
@@ -410,6 +476,49 @@ let simulate_cmd =
           in
           Format.printf "reached %d/%d nodes@." cover (Graph.n g);
           stats
+      | "skeleton" ->
+          let r = Spanner.Skeleton_dist.build ~faults ?tracer ~seed g in
+          Format.printf "spanner: %d edges, %d aborts@."
+            (Edge_set.cardinal r.Spanner.Skeleton_dist.spanner)
+            r.Spanner.Skeleton_dist.aborts;
+          let rc = r.Spanner.Skeleton_dist.recovery in
+          if not (Distnet.Fault.is_none faults) then
+            Format.printf
+              "recovery: %d crashed, %d orphaned, %d recovered edges, %d \
+               checkpoints, %d retransmissions, %d dead letters@."
+              rc.Spanner.Skeleton_dist.crashed rc.Spanner.Skeleton_dist.orphaned
+              rc.Spanner.Skeleton_dist.recovered_edges
+              rc.Spanner.Skeleton_dist.checkpoints
+              rc.Spanner.Skeleton_dist.retransmissions
+              rc.Spanner.Skeleton_dist.dead_letters;
+          if certify || mutate then begin
+            let w = r.Spanner.Skeleton_dist.witness in
+            let spanner =
+              if not mutate then r.Spanner.Skeleton_dist.spanner
+              else begin
+                let victim = ref (-1) in
+                Array.iteri
+                  (fun v e ->
+                    if !victim < 0 && e >= 0 && not w.Spanner.Certify.crashed.(v)
+                    then victim := e)
+                  w.Spanner.Certify.parent_edge;
+                if !victim < 0 then failwith "mutate: no cluster-tree edge to remove";
+                Format.printf "mutate: removed cluster-tree edge %d@." !victim;
+                let edges = ref [] in
+                Edge_set.iter r.Spanner.Skeleton_dist.spanner (fun e ->
+                    if e <> !victim then edges := e :: !edges);
+                Edge_set.of_list g !edges
+              end
+            in
+            let verdict =
+              Spanner.Certify.run ~plan:r.Spanner.Skeleton_dist.plan ~witness:w
+                g spanner
+            in
+            Format.printf "%a@." Spanner.Certify.pp verdict;
+            if not (Spanner.Certify.ok verdict) then
+              certification_failed := true
+          end;
+          r.Spanner.Skeleton_dist.stats
       | other -> failwith (Printf.sprintf "unknown protocol %s" other)
     in
     Format.printf "network: %a@." Distnet.Sim.pp_stats stats;
@@ -425,12 +534,13 @@ let simulate_cmd =
               diffs;
             exit 1)
     | None -> ());
-    match (trace_file, tracer) with
+    (match (trace_file, tracer) with
     | Some file, Some tr ->
         Distnet.Trace.save ~stats tr file;
         Format.printf "trace written to %s (%d events)@." file
           (Distnet.Trace.length tr)
-    | _ -> ()
+    | _ -> ());
+    if !certification_failed then exit 1
   in
   Cmd.v
     (Cmd.info "simulate"
@@ -439,7 +549,8 @@ let simulate_cmd =
           crashes), optionally tracing every event for deterministic replay.")
     Term.(
       const run $ kind_arg $ n_arg $ p_arg $ seed_arg $ input_arg $ drop $ dup
-      $ delay $ max_delay $ crash $ trace_file $ replay_file $ protocol $ root)
+      $ delay $ max_delay $ crash $ crash_frac $ crash_max_round $ certify
+      $ mutate $ trace_file $ replay_file $ protocol $ root)
 
 (* ------------------------------------------------------------------ *)
 (* experiment *)

@@ -1,12 +1,27 @@
 module Graph = Graphlib.Graph
 module Edge_set = Graphlib.Edge_set
 module Sim = Distnet.Sim
+module Fault = Distnet.Fault
+module Trace = Distnet.Trace
+module Reliable = Distnet.Reliable
+module Recovery = Distnet.Recovery
+
+type recovery_report = {
+  crashed : int;
+  orphaned : int;
+  recovered_edges : int;
+  checkpoints : int;
+  retransmissions : int;
+  dead_letters : int;
+}
 
 type result = {
   spanner : Edge_set.t;
   plan : Plan.t;
   aborts : int;
   stats : Sim.stats;
+  witness : Certify.witness;
+  recovery : recovery_report;
 }
 
 type msg =
@@ -22,6 +37,8 @@ type msg =
   | Final_down of { edges : int list; finished : bool }
   | Abort
   | Dead
+  | Probe  (** recovery: "are you there?" — the transport ack is the answer *)
+  | Orphan  (** recovery: "our subtree lost its root path; abort with me" *)
 
 let words = function
   | Exchange _ -> 2
@@ -35,10 +52,16 @@ let words = function
   | Final_down { edges; _ } -> List.length edges + 1
   | Abort -> 1
   | Dead -> 1
+  | Probe -> 1
+  | Orphan -> 1
 
 (* Mutable per-node state.  Everything a node reads during the protocol
    is either local, carried by a received message, or part of the
-   globally-known schedule — the driver below only sequences phases. *)
+   globally-known schedule — the driver below only sequences phases.
+   The [*_waiting] tables are each phase's explicit completion state:
+   a phase ends when every live node's table for it has drained, which
+   (unlike running the network to quiescence) still works when a
+   message can be lost or its sender can crash mid-phase. *)
 type node = {
   id : int;
   mutable alive : bool;
@@ -52,20 +75,24 @@ type node = {
   nb_edge : (int, int) Hashtbl.t;  (** neighbor -> incident edge id *)
   (* per-call scratch *)
   mutable nb_cl : (int, int * int) Hashtbl.t;  (** neighbor -> (cl, fu) *)
+  mutable ex_waiting : (int, unit) Hashtbl.t;  (** exchange: peers awaited *)
   mutable deciding : bool;
-  mutable pending : int;  (** convergecast reports still awaited *)
+  mutable cv_waiting : (int, unit) Hashtbl.t;  (** convergecast: children awaited *)
+  mutable report_sent : bool;
   mutable best : (int * int * int) option;  (** edge, target cl, target fu *)
   mutable best_peer : int;  (** crossing neighbor of my own candidate *)
   mutable best_from : int;  (** child that supplied [best]; -1 = self *)
+  mutable wave_done : bool;
   mutable is_dying : bool;
   mutable die_queue : (int * int) Queue.t;
   mutable die_sent : (int, int) Hashtbl.t;  (** cl -> best edge forwarded *)
-  mutable die_children_pending : int;
+  mutable die_waiting : (int, unit) Hashtbl.t;  (** dying: children awaited *)
   mutable die_done_sent : bool;
   mutable fin_queue : int Queue.t;
   mutable fin_src_done : bool;
   mutable fin_done_sent : bool;
   mutable fin_aborting : bool;
+  mutable orphaned : bool;  (** crash recovery fired: exiting this call *)
 }
 
 let fresh_node id =
@@ -81,23 +108,27 @@ let fresh_node id =
     nb_dead = Hashtbl.create 4;
     nb_edge = Hashtbl.create 4;
     nb_cl = Hashtbl.create 4;
+    ex_waiting = Hashtbl.create 4;
     deciding = false;
-    pending = 0;
+    cv_waiting = Hashtbl.create 4;
+    report_sent = false;
     best = None;
     best_peer = -1;
     best_from = -1;
+    wave_done = false;
     is_dying = false;
     die_queue = Queue.create ();
     die_sent = Hashtbl.create 4;
-    die_children_pending = 0;
+    die_waiting = Hashtbl.create 4;
     die_done_sent = false;
     fin_queue = Queue.create ();
     fin_src_done = false;
     fin_done_sent = false;
     fin_aborting = false;
+    orphaned = false;
   }
 
-let build_with ~plan ~sampling g =
+let build_with ?(faults = Fault.none) ?tracer ~plan ~sampling g =
   let n = Graph.n g in
   let nodes = Array.init n fresh_node in
   Array.iter
@@ -107,33 +138,144 @@ let build_with ~plan ~sampling g =
     (fun nd ->
       Graph.iter_neighbors g nd.id (fun w e -> Hashtbl.replace nd.nb_edge w e))
     nodes;
-  let net = Sim.create g in
+  let use_arq = not (Fault.is_none faults) in
   let spanner = Edge_set.create g in
   let aborts = ref 0 in
   let budget = plan.Plan.word_budget in
   let die_cap = Stdlib.max 1 (budget / 2) in
   let fin_cap = Stdlib.max 1 budget in
-  let send ~src ~dst m = Sim.send net ~src ~dst ~words:(words m) m in
+
+  (* Witness labels (Certify) and recovery bookkeeping. *)
+  let parent = Array.make n (-1) in
+  let parent_edge = Array.make n (-1) in
+  let contributed = Array.make n 0 in
+  let calls_alive = Array.make n 0 in
+  let kept_all = Array.make n false in
+  let det = Recovery.Detector.create ~n in
+  let ckpt = Recovery.Checkpoints.create ~n () in
+  let orphans = ref 0 in
+  let recovered_edges = ref 0 in
+  let suspicion_events = ref 0 in
+
+  (* The engine is created inside the chosen transport (its wire type
+     differs: bare protocol messages vs ARQ frames), so round and
+     statistics access go through these cells. *)
+  let round_now = ref (fun () -> 0) in
+  let stats_now =
+    ref (fun () ->
+        { Sim.rounds = 0; messages = 0; words = 0; max_message_words = 0 })
+  in
+  (* [crashed_now v]: has the fault plan crash-stopped [v] by the
+     current round?  Used only to freeze a crashed node's execution
+     (the engine already silences its wire) — never to inform a live
+     node's decisions, which see crashes exclusively through the
+     failure detector. *)
+  let crashed_now v = Fault.crashed faults ~round:(!round_now ()) v in
+  let is_live nd = nd.alive && (not nd.orphaned) && not (crashed_now nd.id) in
+
+  (* Transport indirection: the one protocol below runs either straight
+     on the engine (loss-free fast path, bit-compatible with the
+     original driver) or through a per-link Reliable ARQ wrapper. *)
+  let emit_ref = ref (fun ~src:_ ~dst:_ (_ : msg) -> ()) in
+  let pump_ref = ref (fun () -> ()) in
+  let idle_ref = ref (fun () -> true) in
+  let link_idle_ref = ref (fun _ _ -> true) in
+  let emit ~src ~dst m = !emit_ref ~src ~dst m in
+
+  let keep ~who e =
+    if not (Edge_set.mem spanner e) then begin
+      Edge_set.add spanner e;
+      contributed.(who) <- contributed.(who) + 1
+    end
+  in
+
   (* Deferred p2 (un)registrations, flushed in their own phase to keep
      the one-message-per-link-per-round rule easy to respect. *)
   let notifications = ref [] in
   let set_p2 nd target =
     if nd.p2 <> target then begin
-      if nd.p2 >= 0 then notifications := (nd.id, nd.p2, P2_unregister) :: !notifications;
-      if target >= 0 then notifications := (nd.id, target, P2_register) :: !notifications;
-      nd.p2 <- target
+      if nd.p2 >= 0 then
+        notifications := (nd.id, nd.p2, P2_unregister) :: !notifications;
+      if target >= 0 then
+        notifications := (nd.id, target, P2_register) :: !notifications;
+      nd.p2 <- target;
+      parent.(nd.id) <- target;
+      parent_edge.(nd.id) <-
+        (if target >= 0 then Hashtbl.find nd.nb_edge target else -1)
     end
   in
 
-  (* ---------------- per-phase handlers ---------------- *)
-  let handle_exchange ~dst ~src m =
-    match m with
-    | Exchange { cl; fu } ->
-        let nd = nodes.(dst) in
-        if nd.alive then Hashtbl.replace nd.nb_cl src (cl, fu)
-    | _ -> assert false
+  (* ---------------- crash recovery ---------------- *)
+
+  (* Orphan abort: this node's path to its cluster root is gone (its
+     tree parent crash-stopped, or an ancestor's did and the Orphan
+     cascade reached us).  Restore the exchange-boundary checkpoint,
+     keep every incident live edge — the paper's abort rule widened to
+     intra-cluster edges, because a crash can sever the cluster tree
+     itself (DESIGN.md, recovery model) — and leave the algorithm at
+     this call's death-notice phase.  Size degrades; stretch does not. *)
+  let rec do_orphan nd =
+    if nd.alive && not nd.orphaned then begin
+      nd.orphaned <- true;
+      incr orphans;
+      (match Recovery.Checkpoints.restore ckpt nd.id with
+      | Some (cl, fu) ->
+          nd.cl_center <- cl;
+          nd.cl_fu <- fu
+      | None -> ());
+      kept_all.(nd.id) <- true;
+      Hashtbl.iter
+        (fun w e ->
+          if not (Hashtbl.mem nd.nb_dead w) then
+            if not (Edge_set.mem spanner e) then begin
+              Edge_set.add spanner e;
+              contributed.(nd.id) <- contributed.(nd.id) + 1;
+              incr recovered_edges
+            end)
+        nd.nb_edge;
+      List.iter
+        (fun c ->
+          if not (Hashtbl.mem nd.nb_dead c) then emit ~src:nd.id ~dst:c Orphan)
+        (List.sort_uniq compare (nd.p1_children @ nd.p2_children))
+    end
+
+  (* After [cv_waiting] drains (a report arrived, or an awaited child
+     was given up on), forward the merged candidate up the tree. *)
+  and cv_maybe_forward nd =
+    if
+      nd.deciding && (not nd.report_sent)
+      && (not nd.orphaned)
+      && Hashtbl.length nd.cv_waiting = 0
+      && nd.p1 >= 0
+      && not (Hashtbl.mem nd.nb_dead nd.p1)
+    then begin
+      nd.report_sent <- true;
+      match nd.best with
+      | None -> emit ~src:nd.id ~dst:nd.p1 Report_none
+      | Some (edge, target_cl, target_fu) ->
+          emit ~src:nd.id ~dst:nd.p1 (Report { edge; target_cl; target_fu })
+    end
+
+  (* [by] has given up on every retransmission to [w]: in the
+     crash-stop model [w] is gone.  Scrub it from [by]'s waiting sets
+     and tree links; if it was [by]'s parent, [by] is an orphan. *)
+  and on_suspect ~by w =
+    incr suspicion_events;
+    Recovery.Detector.suspect det w;
+    let nd = nodes.(by) in
+    Hashtbl.replace nd.nb_dead w ();
+    Hashtbl.remove nd.ex_waiting w;
+    if Hashtbl.mem nd.cv_waiting w then begin
+      Hashtbl.remove nd.cv_waiting w;
+      cv_maybe_forward nd
+    end;
+    Hashtbl.remove nd.die_waiting w;
+    nd.p1_children <- List.filter (fun c -> c <> w) nd.p1_children;
+    nd.p2_children <- List.filter (fun c -> c <> w) nd.p2_children;
+    if nd.alive && (nd.p1 = w || nd.p2 = w) then do_orphan nd
   in
 
+  (* ---------------- message handlers ---------------- *)
   let merge_report nd ~from candidate =
     (match candidate with
     | None -> ()
@@ -143,22 +285,8 @@ let build_with ~plan ~sampling g =
         | _ ->
             nd.best <- Some (e, cl, fu);
             nd.best_from <- from));
-    nd.pending <- nd.pending - 1;
-    if nd.pending = 0 && nd.p1 >= 0 then
-      match nd.best with
-      | None -> send ~src:nd.id ~dst:nd.p1 Report_none
-      | Some (edge, target_cl, target_fu) ->
-          send ~src:nd.id ~dst:nd.p1 (Report { edge; target_cl; target_fu })
-  in
-
-  let handle_converge ~dst ~src m =
-    let nd = nodes.(dst) in
-    if nd.alive then
-      match m with
-      | Report_none -> merge_report nd ~from:src None
-      | Report { edge; target_cl; target_fu } ->
-          merge_report nd ~from:src (Some (edge, target_cl, target_fu))
-      | _ -> assert false
+    Hashtbl.remove nd.cv_waiting from;
+    cv_maybe_forward nd
   in
 
   let adopt_cluster nd ~cl ~fu =
@@ -166,19 +294,20 @@ let build_with ~plan ~sampling g =
     nd.cl_fu <- fu
   in
 
-  let rec start_wave nd =
+  let start_wave nd =
     (* [nd]'s merged best is the contracted vertex's winning candidate;
        push the decision towards the proposer, everyone else off-path. *)
+    nd.wave_done <- true;
     match nd.best with
     | None -> assert false
     | Some (edge, new_cl, new_fu) ->
         adopt_cluster nd ~cl:new_cl ~fu:new_fu;
         if nd.best_from < 0 then begin
           (* I proposed the winning edge: hook onto the sampled cluster. *)
-          Edge_set.add spanner edge;
+          keep ~who:nd.id edge;
           set_p2 nd nd.best_peer;
           List.iter
-            (fun c -> send ~src:nd.id ~dst:c (Off_path { new_cl; new_fu }))
+            (fun c -> emit ~src:nd.id ~dst:c (Off_path { new_cl; new_fu }))
             nd.p1_children
         end
         else begin
@@ -186,35 +315,10 @@ let build_with ~plan ~sampling g =
           List.iter
             (fun c ->
               if c = nd.best_from then
-                send ~src:nd.id ~dst:c (On_path { edge; new_cl; new_fu })
-              else send ~src:nd.id ~dst:c (Off_path { new_cl; new_fu }))
+                emit ~src:nd.id ~dst:c (On_path { edge; new_cl; new_fu })
+              else emit ~src:nd.id ~dst:c (Off_path { new_cl; new_fu }))
             nd.p1_children
         end
-
-  and handle_wave ~dst ~src m =
-    let nd = nodes.(dst) in
-    match m with
-    | On_path _ ->
-        (* My subtree supplied the winner, so my merged best is the
-           edge named in the message; [start_wave] adopts it and pushes
-           the decision further down. *)
-        if nd.alive then start_wave nd
-    | Off_path { new_cl; new_fu } ->
-        if nd.alive then begin
-          adopt_cluster nd ~cl:new_cl ~fu:new_fu;
-          set_p2 nd nd.p1;
-          List.iter
-            (fun c -> send ~src:nd.id ~dst:c (Off_path { new_cl; new_fu }))
-            nd.p1_children
-        end
-    | Die_start ->
-        if nd.alive then begin
-          nd.is_dying <- true;
-          List.iter (fun c -> send ~src:nd.id ~dst:c Die_start) nd.p1_children
-        end
-    | P2_register -> nd.p2_children <- src :: nd.p2_children
-    | P2_unregister -> nd.p2_children <- List.filter (fun c -> c <> src) nd.p2_children
-    | _ -> assert false
   in
 
   (* Enqueue a (cluster, edge) entry unless a no-worse one was already
@@ -228,82 +332,165 @@ let build_with ~plan ~sampling g =
         Queue.add (cl, e) nd.die_queue
   in
 
-  let handle_die_up center_best ~dst ~src:_ m =
+  (* The center's authoritative per-cluster minimum, rebuilt each call. *)
+  let center_best = Array.make n (Hashtbl.create 0) in
+
+  let dispatch ~dst ~src m =
     let nd = nodes.(dst) in
-    if nd.alive then
-      match m with
-      | Die_up { entries; finished } ->
-          if nd.p1 < 0 then begin
+    match m with
+    | Exchange { cl; fu } ->
+        if nd.alive && not nd.orphaned then begin
+          Hashtbl.replace nd.nb_cl src (cl, fu);
+          Hashtbl.remove nd.ex_waiting src
+        end
+    | Report_none ->
+        if nd.alive && not nd.orphaned then merge_report nd ~from:src None
+    | Report { edge; target_cl; target_fu } ->
+        if nd.alive && not nd.orphaned then
+          merge_report nd ~from:src (Some (edge, target_cl, target_fu))
+    | On_path _ ->
+        (* My subtree supplied the winner, so my merged best is the
+           edge named in the message; [start_wave] adopts it and pushes
+           the decision further down. *)
+        if nd.alive && not nd.orphaned then start_wave nd
+    | Off_path { new_cl; new_fu } ->
+        if nd.alive && not nd.orphaned then begin
+          adopt_cluster nd ~cl:new_cl ~fu:new_fu;
+          set_p2 nd nd.p1;
+          nd.wave_done <- true;
+          List.iter
+            (fun c -> emit ~src:nd.id ~dst:c (Off_path { new_cl; new_fu }))
+            nd.p1_children
+        end
+    | Die_start ->
+        if nd.alive && not nd.orphaned then begin
+          nd.is_dying <- true;
+          nd.wave_done <- true;
+          List.iter (fun c -> emit ~src:nd.id ~dst:c Die_start) nd.p1_children
+        end
+    | P2_register -> nd.p2_children <- src :: nd.p2_children
+    | P2_unregister ->
+        nd.p2_children <- List.filter (fun c -> c <> src) nd.p2_children
+    | Die_up { entries; finished } ->
+        if nd.alive && not nd.orphaned then begin
+          if nd.p1 < 0 then
             (* Center: authoritative merge. *)
             List.iter
               (fun (cl, e) ->
                 match Hashtbl.find_opt center_best.(nd.id) cl with
                 | Some e' when e' <= e -> ()
                 | _ -> Hashtbl.replace center_best.(nd.id) cl e)
-              entries;
-            if finished then nd.die_children_pending <- nd.die_children_pending - 1
-          end
-          else begin
-            List.iter (die_offer nd) entries;
-            if finished then nd.die_children_pending <- nd.die_children_pending - 1
-          end
-      | _ -> assert false
-  in
-
-  let handle_final ~dst ~src:_ m =
-    let nd = nodes.(dst) in
-    if nd.alive then
-      match m with
-      | Final_down { edges; finished } ->
+              entries
+          else List.iter (die_offer nd) entries;
+          if finished then Hashtbl.remove nd.die_waiting src
+        end
+    | Final_down { edges; finished } ->
+        if nd.alive && not nd.orphaned then begin
           List.iter
             (fun e ->
               let u, v = Graph.edge_endpoints g e in
-              if u = nd.id || v = nd.id then Edge_set.add spanner e;
+              if u = nd.id || v = nd.id then keep ~who:nd.id e;
               Queue.add e nd.fin_queue)
             edges;
           if finished then nd.fin_src_done <- true
-      | Abort ->
+        end
+    | Abort ->
+        if nd.alive && not nd.orphaned then begin
           nd.fin_aborting <- true;
           nd.fin_src_done <- true;
+          kept_all.(nd.id) <- true;
           (* Keep every incident crossing edge, as the paper's escape
              hatch prescribes. *)
           Hashtbl.iter
             (fun w (cl, _) ->
               if cl <> nd.cl_center then
-                Edge_set.add spanner (Hashtbl.find nd.nb_edge w))
+                keep ~who:nd.id (Hashtbl.find nd.nb_edge w))
             nd.nb_cl
-      | _ -> assert false
-  in
-
-  let handle_dead ~dst ~src m =
-    match m with
+        end
     | Dead ->
         (* Besides marking the link dead, forget the late neighbor as a
            tree child: a contracted vertex that attached to us earlier
            this round may die later in the round, and its stale
-           registration would make us wait forever for its report. *)
-        let nd = nodes.(dst) in
+           registration would make us wait forever for its report.  A
+           notice from our own tree parent means it exited while we
+           still depend on it — the orphan-register race — so recover. *)
+        Recovery.Detector.note_death det src;
         Hashtbl.replace nd.nb_dead src ();
+        Hashtbl.remove nd.ex_waiting src;
         nd.p2_children <- List.filter (fun c -> c <> src) nd.p2_children;
-        nd.p1_children <- List.filter (fun c -> c <> src) nd.p1_children
-    | _ -> assert false
+        nd.p1_children <- List.filter (fun c -> c <> src) nd.p1_children;
+        if nd.alive && not nd.orphaned then begin
+          if Hashtbl.mem nd.cv_waiting src then begin
+            Hashtbl.remove nd.cv_waiting src;
+            cv_maybe_forward nd
+          end;
+          Hashtbl.remove nd.die_waiting src;
+          if nd.p1 = src || nd.p2 = src then do_orphan nd
+        end
+    | Probe -> ()  (* the transport-level ack is the whole answer *)
+    | Orphan -> if nd.alive && not nd.orphaned then do_orphan nd
   in
 
-  (* ---------------- driver ---------------- *)
+  (* ---------------- phase driver ---------------- *)
+  let phase_round_limit = 10_000 + (500 * n) in
+  let stuck name why =
+    failwith
+      (Format.asprintf "Skeleton_dist: %s phase stuck (%s; %a)" name why
+         Sim.pp_stats (!stats_now ()))
+  in
+  (* Run one phase to completion.  [tick] runs every iteration (the
+     dying/final phases stream batches from it); [probes] names the
+     (waiter, awaited) links to poke when the transport drains without
+     the phase completing.  Probing either completes the phase (the
+     peer was alive and its answer was already in flight), produces a
+     suspicion (progress: waiting sets shrink), or changes nothing —
+     which is a protocol bug and reported as such. *)
+  let run_phase name ~complete ?(tick = fun () -> ()) ~probes () =
+    let rounds = ref 0 in
+    let last_probe_mark = ref (-1) in
+    while not (complete ()) do
+      incr rounds;
+      if !rounds > phase_round_limit then stuck name "round limit";
+      tick ();
+      if !idle_ref () then begin
+        if !last_probe_mark = !suspicion_events then
+          stuck name "probed every awaited peer, no progress";
+        last_probe_mark := !suspicion_events;
+        let targets =
+          List.sort_uniq compare (probes ())
+          |> List.filter (fun (v, w) ->
+                 w >= 0 && not (Hashtbl.mem nodes.(v).nb_dead w))
+        in
+        if targets = [] then stuck name "drained with nothing to probe";
+        List.iter (fun (v, w) -> emit ~src:v ~dst:w Probe) targets
+      end
+      else !pump_ref ()
+    done
+  in
+  let no_probes () = [] in
+
   let run_call (call : Plan.call) =
     let k = call.Plan.index in
+    Array.iter
+      (fun nd -> if is_live nd then calls_alive.(nd.id) <- calls_alive.(nd.id) + 1)
+      nodes;
     (* Phase 1: exchange cluster identities over live links. *)
     Array.iter
       (fun nd ->
         if nd.alive then begin
           nd.nb_cl <- Hashtbl.create 8;
+          nd.ex_waiting <- Hashtbl.create 8;
           nd.deciding <- false;
+          nd.cv_waiting <- Hashtbl.create 4;
+          nd.report_sent <- false;
           nd.best <- None;
           nd.best_peer <- -1;
           nd.best_from <- -1;
+          nd.wave_done <- false;
           nd.is_dying <- false;
           nd.die_queue <- Queue.create ();
           nd.die_sent <- Hashtbl.create 4;
+          nd.die_waiting <- Hashtbl.create 4;
           nd.die_done_sent <- false;
           nd.fin_queue <- Queue.create ();
           nd.fin_src_done <- false;
@@ -313,19 +500,45 @@ let build_with ~plan ~sampling g =
       nodes;
     Array.iter
       (fun nd ->
-        if nd.alive then
+        if is_live nd then
           Hashtbl.iter
             (fun w _ ->
-              if not (Hashtbl.mem nd.nb_dead w) then
-                send ~src:nd.id ~dst:w (Exchange { cl = nd.cl_center; fu = nd.cl_fu }))
+              if not (Hashtbl.mem nd.nb_dead w) then begin
+                Hashtbl.replace nd.ex_waiting w ();
+                emit ~src:nd.id ~dst:w
+                  (Exchange { cl = nd.cl_center; fu = nd.cl_fu })
+              end)
             nd.nb_edge)
       nodes;
-    Sim.run_until_quiescent net handle_exchange;
+    run_phase "exchange"
+      ~complete:(fun () ->
+        Array.for_all
+          (fun nd -> (not (is_live nd)) || Hashtbl.length nd.ex_waiting = 0)
+          nodes)
+      ~probes:(fun () ->
+        (* Self-resolving (every awaited peer was also sent to), but a
+           probe re-arms the abandonment clock after e.g. a replayed
+           suspicion pattern diverges. *)
+        Array.to_list nodes
+        |> List.concat_map (fun nd ->
+               if is_live nd then
+                 Hashtbl.fold (fun w () acc -> (nd.id, w) :: acc) nd.ex_waiting []
+               else []))
+      ();
+    (* The exchange boundary is the recovery point: what a node knows
+       here (its cluster identity) is consistent cluster-wide, which is
+       exactly what the orphan abort must fall back to. *)
+    Array.iter
+      (fun nd ->
+        if is_live nd then
+          Recovery.Checkpoints.commit ckpt ~phase:"exchange" nd.id
+            (nd.cl_center, nd.cl_fu))
+      nodes;
     (* Phase 2: local candidates + convergecast inside unsampled
        contracted vertices. *)
     Array.iter
       (fun nd ->
-        if nd.alive && nd.cl_fu <= k then begin
+        if is_live nd && nd.cl_fu <= k then begin
           nd.deciding <- true;
           Hashtbl.iter
             (fun w (cl, fu) ->
@@ -339,43 +552,69 @@ let build_with ~plan ~sampling g =
                     nd.best_from <- -1
               end)
             nd.nb_cl;
-          nd.pending <- List.length nd.p1_children
+          List.iter
+            (fun c -> Hashtbl.replace nd.cv_waiting c ())
+            nd.p1_children
         end)
       nodes;
-    Array.iter
-      (fun nd ->
-        if nd.alive && nd.deciding && nd.pending = 0 && nd.p1 >= 0 then
-          match nd.best with
-          | None -> send ~src:nd.id ~dst:nd.p1 Report_none
-          | Some (edge, target_cl, target_fu) ->
-              send ~src:nd.id ~dst:nd.p1 (Report { edge; target_cl; target_fu }))
-      nodes;
-    Sim.run_until_quiescent net handle_converge;
+    Array.iter (fun nd -> if is_live nd then cv_maybe_forward nd) nodes;
+    run_phase "convergecast"
+      ~complete:(fun () ->
+        Array.for_all
+          (fun nd ->
+            (not (is_live nd)) || (not nd.deciding)
+            || (Hashtbl.length nd.cv_waiting = 0
+               && (nd.p1 < 0 || nd.report_sent
+                  || Hashtbl.mem nd.nb_dead nd.p1)))
+          nodes)
+      ~probes:(fun () ->
+        Array.to_list nodes
+        |> List.concat_map (fun nd ->
+               if is_live nd && nd.deciding then
+                 Hashtbl.fold (fun w () acc -> (nd.id, w) :: acc) nd.cv_waiting []
+               else []))
+      ();
     (* Phase 3: decision waves from every deciding center. *)
     Array.iter
       (fun nd ->
-        if nd.alive && nd.deciding && nd.p1 < 0 then begin
-          if nd.pending <> 0 then
+        if is_live nd && nd.deciding && nd.p1 < 0 then begin
+          if Hashtbl.length nd.cv_waiting <> 0 then
             failwith "Skeleton_dist: convergecast incomplete at decision time";
           match nd.best with
           | Some _ -> start_wave nd
           | None ->
               nd.is_dying <- true;
-              List.iter (fun c -> send ~src:nd.id ~dst:c Die_start) nd.p1_children
+              nd.wave_done <- true;
+              List.iter (fun c -> emit ~src:nd.id ~dst:c Die_start) nd.p1_children
         end)
       nodes;
-    Sim.run_until_quiescent net handle_wave;
+    run_phase "wave"
+      ~complete:(fun () ->
+        Array.for_all
+          (fun nd -> (not (is_live nd)) || (not nd.deciding) || nd.wave_done)
+          nodes)
+      ~probes:(fun () ->
+        Array.to_list nodes
+        |> List.filter_map (fun nd ->
+               if is_live nd && nd.deciding && (not nd.wave_done) && nd.p1 >= 0
+               then Some (nd.id, nd.p1)
+               else None))
+      ();
     (* Phase 3b: deferred p2 (un)registrations. *)
-    List.iter (fun (src, dst, m) -> send ~src ~dst m) !notifications;
+    List.iter
+      (fun (src, dst, m) ->
+        let nd = nodes.(src) in
+        if is_live nd && not (Hashtbl.mem nd.nb_dead dst) then
+          emit ~src ~dst m)
+      (List.rev !notifications);
     notifications := [];
-    Sim.run_until_quiescent net handle_wave;
+    run_phase "notify" ~complete:(fun () -> !idle_ref ()) ~probes:no_probes ();
     (* Phase 4: dying contracted vertices stream their (cluster, edge)
        lists to the center, budget words per link per round. *)
-    let center_best = Array.make n (Hashtbl.create 0) in
     Array.iter
       (fun nd ->
-        if nd.alive && nd.is_dying then begin
-          nd.die_children_pending <- List.length nd.p1_children;
+        if is_live nd && nd.is_dying then begin
+          List.iter (fun c -> Hashtbl.replace nd.die_waiting c ()) nd.p1_children;
           if nd.p1 < 0 then begin
             center_best.(nd.id) <- Hashtbl.create 16;
             (* The center's own incidences go straight into the merge. *)
@@ -392,135 +631,163 @@ let build_with ~plan ~sampling g =
           else
             Hashtbl.iter
               (fun w (cl, _) ->
-                if cl <> nd.cl_center then die_offer nd (cl, Hashtbl.find nd.nb_edge w))
+                if cl <> nd.cl_center then
+                  die_offer nd (cl, Hashtbl.find nd.nb_edge w))
               nd.nb_cl
         end)
       nodes;
-    let die_active () =
-      Array.exists
-        (fun nd ->
-          nd.alive && nd.is_dying
-          && (nd.die_children_pending > 0
-             || (nd.p1 >= 0 && not nd.die_done_sent)))
-        nodes
-    in
-    let guard = ref 0 in
-    while die_active () do
-      incr guard;
-      if !guard > 4 * n + 1000 then failwith "Skeleton_dist: dying phase stuck";
-      Array.iter
-        (fun nd ->
-          if
-            nd.alive && nd.is_dying && nd.p1 >= 0 && not nd.die_done_sent
-          then begin
-            let batch = ref [] in
-            let count = ref 0 in
-            while !count < die_cap && not (Queue.is_empty nd.die_queue) do
-              batch := Queue.pop nd.die_queue :: !batch;
-              incr count
-            done;
-            let finished =
-              nd.die_children_pending = 0 && Queue.is_empty nd.die_queue
-            in
-            if !batch <> [] || finished then begin
-              send ~src:nd.id ~dst:nd.p1 (Die_up { entries = !batch; finished });
-              if finished then nd.die_done_sent <- true
-            end
-          end)
-        nodes;
-      ignore (Sim.step net (handle_die_up center_best))
-    done;
+    run_phase "dying"
+      ~complete:(fun () ->
+        Array.for_all
+          (fun nd ->
+            (not (is_live nd)) || (not nd.is_dying)
+            || Hashtbl.length nd.die_waiting = 0
+               && (nd.p1 < 0 || nd.die_done_sent))
+          nodes)
+      ~tick:(fun () ->
+        Array.iter
+          (fun nd ->
+            if
+              is_live nd && nd.is_dying && nd.p1 >= 0
+              && (not nd.die_done_sent)
+              && (not (Hashtbl.mem nd.nb_dead nd.p1))
+              && !link_idle_ref nd.id nd.p1
+            then begin
+              let batch = ref [] in
+              let count = ref 0 in
+              while !count < die_cap && not (Queue.is_empty nd.die_queue) do
+                batch := Queue.pop nd.die_queue :: !batch;
+                incr count
+              done;
+              let finished =
+                Hashtbl.length nd.die_waiting = 0 && Queue.is_empty nd.die_queue
+              in
+              if !batch <> [] || finished then begin
+                emit ~src:nd.id ~dst:nd.p1
+                  (Die_up { entries = !batch; finished });
+                if finished then nd.die_done_sent <- true
+              end
+            end)
+          nodes)
+      ~probes:(fun () ->
+        Array.to_list nodes
+        |> List.concat_map (fun nd ->
+               if is_live nd && nd.is_dying then
+                 Hashtbl.fold (fun w () acc -> (nd.id, w) :: acc) nd.die_waiting []
+               else []))
+      ();
     (* Phase 5: centers resolve — abort or broadcast the chosen edges. *)
     Array.iter
       (fun nd ->
-        if nd.alive && nd.is_dying && nd.p1 < 0 then begin
+        if is_live nd && nd.is_dying && nd.p1 < 0 then begin
           let best = center_best.(nd.id) in
           if Hashtbl.length best > call.Plan.abort_q then begin
             incr aborts;
             nd.fin_aborting <- true;
+            kept_all.(nd.id) <- true;
             (* The center keeps its own crossing edges too. *)
             Hashtbl.iter
               (fun w (cl, _) ->
                 if cl <> nd.cl_center then
-                  Edge_set.add spanner (Hashtbl.find nd.nb_edge w))
+                  keep ~who:nd.id (Hashtbl.find nd.nb_edge w))
               nd.nb_cl;
-            List.iter (fun c -> send ~src:nd.id ~dst:c Abort) nd.p1_children;
-            nd.fin_src_done <- true;
-            nd.fin_done_sent <- true
+            nd.fin_src_done <- true
           end
           else begin
             Hashtbl.iter
               (fun _ e ->
                 let u, v = Graph.edge_endpoints g e in
-                if u = nd.id || v = nd.id then Edge_set.add spanner e;
+                if u = nd.id || v = nd.id then keep ~who:nd.id e;
                 Queue.add e nd.fin_queue)
               best;
             nd.fin_src_done <- true
           end
         end)
       nodes;
-    let fin_active () =
+    run_phase "final"
+      ~complete:(fun () ->
+        Array.for_all
+          (fun nd ->
+            (not (is_live nd)) || (not nd.is_dying)
+            || (nd.fin_src_done && (nd.p1_children = [] || nd.fin_done_sent)))
+          nodes)
+      ~tick:(fun () ->
+        Array.iter
+          (fun nd ->
+            if
+              is_live nd && nd.is_dying && nd.p1_children <> []
+              && (not nd.fin_done_sent)
+              && List.for_all (fun c -> !link_idle_ref nd.id c) nd.p1_children
+            then
+              if nd.fin_aborting then begin
+                List.iter (fun c -> emit ~src:nd.id ~dst:c Abort) nd.p1_children;
+                nd.fin_done_sent <- true
+              end
+              else begin
+                let batch = ref [] in
+                let count = ref 0 in
+                while !count < fin_cap && not (Queue.is_empty nd.fin_queue) do
+                  batch := Queue.pop nd.fin_queue :: !batch;
+                  incr count
+                done;
+                let finished = nd.fin_src_done && Queue.is_empty nd.fin_queue in
+                if !batch <> [] || finished then begin
+                  List.iter
+                    (fun c ->
+                      emit ~src:nd.id ~dst:c
+                        (Final_down { edges = !batch; finished }))
+                    nd.p1_children;
+                  if finished then nd.fin_done_sent <- true
+                end
+              end)
+          nodes)
+      ~probes:(fun () ->
+        Array.to_list nodes
+        |> List.filter_map (fun nd ->
+               if
+                 is_live nd && nd.is_dying && (not nd.fin_src_done) && nd.p1 >= 0
+               then Some (nd.id, nd.p1)
+               else None))
+      ();
+    (* Phase 6: deaths take effect; one notice per boundary link.
+       Orphans exit here too — their recovery is complete, and the
+       notice is what tells still-live neighbors to stop counting on
+       them.  Delivering the notices can itself orphan more nodes (the
+       Dead-from-parent race, or a suspicion ripening mid-phase), and
+       an orphan that misses its death notice would stay engine-live
+       but silent — acking probes while never speaking again, a
+       livelock for next call's exchange.  So collect-announce-drain
+       repeats until no exiting node remains. *)
+    let deaths_pending () =
       Array.exists
         (fun nd ->
-          nd.alive && nd.is_dying
-          && ((not nd.fin_src_done)
-             || (nd.p1_children <> [] && not nd.fin_done_sent)))
+          nd.alive && (nd.is_dying || nd.orphaned) && not (crashed_now nd.id))
         nodes
     in
-    let guard = ref 0 in
-    while fin_active () do
-      incr guard;
-      if !guard > 4 * n + 1000 then failwith "Skeleton_dist: final phase stuck";
+    while deaths_pending () do
+      let newly_dead = ref [] in
       Array.iter
         (fun nd ->
-          if
-            nd.alive && nd.is_dying && nd.p1_children <> []
-            && not nd.fin_done_sent
-          then
-            if nd.fin_aborting then begin
-              List.iter (fun c -> send ~src:nd.id ~dst:c Abort) nd.p1_children;
-              nd.fin_done_sent <- true
-            end
-            else begin
-              let batch = ref [] in
-              let count = ref 0 in
-              while !count < fin_cap && not (Queue.is_empty nd.fin_queue) do
-                batch := Queue.pop nd.fin_queue :: !batch;
-                incr count
-              done;
-              let finished = nd.fin_src_done && Queue.is_empty nd.fin_queue in
-              if !batch <> [] || finished then begin
-                List.iter
-                  (fun c ->
-                    send ~src:nd.id ~dst:c
-                      (Final_down { edges = !batch; finished }))
-                  nd.p1_children;
-                if finished then nd.fin_done_sent <- true
-              end
-            end)
+          if nd.alive && (nd.is_dying || nd.orphaned) && not (crashed_now nd.id)
+          then begin
+            nd.alive <- false;
+            newly_dead := nd :: !newly_dead
+          end)
         nodes;
-      ignore (Sim.step net handle_final)
-    done;
-    (* Phase 6: deaths take effect; one notice per boundary link. *)
-    let newly_dead = ref [] in
-    Array.iter
-      (fun nd ->
-        if nd.alive && nd.is_dying then begin
-          nd.alive <- false;
-          newly_dead := nd :: !newly_dead
-        end)
-      nodes;
-    List.iter
-      (fun nd ->
-        (* A node cannot know a neighbor died in this very call, so
-           simultaneous deaths cost one wasted notice per link — the
-           real protocol pays the same. *)
-        Hashtbl.iter
-          (fun w _ ->
-            if not (Hashtbl.mem nd.nb_dead w) then send ~src:nd.id ~dst:w Dead)
-          nd.nb_edge)
-      !newly_dead;
-    Sim.run_until_quiescent net handle_dead
+      List.iter
+        (fun nd ->
+          (* A node cannot know a neighbor died in this very call, so
+             simultaneous deaths cost one wasted notice per link — the
+             real protocol pays the same. *)
+          Hashtbl.iter
+            (fun w _ ->
+              if not (Hashtbl.mem nd.nb_dead w) then emit ~src:nd.id ~dst:w Dead)
+            nd.nb_edge)
+        !newly_dead;
+      run_phase "death-notices"
+        ~complete:(fun () -> !idle_ref ())
+        ~probes:no_probes ()
+    done
   in
 
   let contract () =
@@ -533,19 +800,158 @@ let build_with ~plan ~sampling g =
       nodes
   in
 
-  let current_round = ref 0 in
-  Array.iter
-    (fun (call : Plan.call) ->
-      if call.Plan.round > !current_round then begin
-        contract ();
-        current_round := call.Plan.round
-      end;
-      run_call call)
-    plan.Plan.calls;
-  { spanner; plan; aborts = !aborts; stats = Sim.stats net }
+  let run_plan () =
+    let current_round = ref 0 in
+    Array.iter
+      (fun (call : Plan.call) ->
+        if call.Plan.round > !current_round then begin
+          contract ();
+          current_round := call.Plan.round
+        end;
+        run_call call)
+      plan.Plan.calls
+  in
 
-let build ?(d = 4) ?(eps = 0.5) ~seed g =
+  (* ---------------- transports ---------------- *)
+  let retransmissions = ref 0 and dead_letters = ref 0 in
+  if not use_arq then begin
+    (* Loss-free fast path: protocol messages ride the engine bare, as
+       in the paper's model.  No acks, no sequence numbers — word
+       accounting and the produced spanner match the original driver. *)
+    let net : msg Sim.t = Sim.create ~faults ?tracer g in
+    round_now := (fun () -> Sim.round net);
+    stats_now := (fun () -> Sim.stats net);
+    emit_ref := (fun ~src ~dst m -> Sim.send net ~src ~dst ~words:(words m) m);
+    pump_ref := (fun () -> ignore (Sim.step net dispatch));
+    idle_ref := (fun () -> Sim.quiescent net);
+    link_idle_ref := (fun _ _ -> true);
+    run_plan ()
+  end
+  else begin
+    (* Faulty network: every link runs the Reliable stop-and-wait ARQ,
+       whose abandoned transmissions double as the failure detector.
+       The protocol state lives in [nodes]; the wrapped inner protocol
+       is just a mailbox that dispatches deliveries and drains the
+       outbox the phase driver fills. *)
+    let outbox : (int * msg) list array = Array.make n [] in
+    let module P = struct
+      type state = int
+      type message = msg
+
+      let message_words = words
+      let init _ v = (v, [])
+
+      let receive _ ~round:_ v st inbox =
+        List.iter (fun (src, m) -> dispatch ~dst:v ~src m) inbox;
+        let outs = List.rev outbox.(v) in
+        outbox.(v) <- [];
+        (st, outs)
+    end in
+    let module R = Reliable.Make (P) in
+    let net : R.message Sim.t = Sim.create ~faults ?tracer g in
+    round_now := (fun () -> Sim.round net);
+    stats_now := (fun () -> Sim.stats net);
+    let states = Array.init n (fun v -> fst (R.init g v)) in
+    let inboxes : (int * R.message) list array = Array.make n [] in
+    let suspects_seen = Array.make n 0 in
+    emit_ref := (fun ~src ~dst m -> outbox.(src) <- (dst, m) :: outbox.(src));
+    pump_ref :=
+      (fun () ->
+        ignore
+          (Sim.step net (fun ~dst ~src m ->
+               inboxes.(dst) <- (src, m) :: inboxes.(dst)));
+        let round = Sim.round net in
+        for v = 0 to n - 1 do
+          let inbox = List.rev inboxes.(v) in
+          inboxes.(v) <- [];
+          if not (crashed_now v) then begin
+            let _, outs = R.receive g ~round v states.(v) inbox in
+            List.iter
+              (fun (dst, rm) ->
+                Sim.send net ~src:v ~dst ~words:(R.message_words rm) rm)
+              outs
+          end
+        done;
+        (* Fold freshly abandoned transmissions into the detector. *)
+        for v = 0 to n - 1 do
+          if not (crashed_now v) then begin
+            let s = R.suspected states.(v) in
+            let len = List.length s in
+            if len > suspects_seen.(v) then begin
+              let fresh = ref [] and extra = ref (len - suspects_seen.(v)) in
+              List.iter
+                (fun w ->
+                  if !extra > 0 then begin
+                    fresh := w :: !fresh;
+                    decr extra
+                  end)
+                s;
+              suspects_seen.(v) <- len;
+              List.iter (fun w -> on_suspect ~by:v w) !fresh
+            end
+          end
+        done);
+    idle_ref :=
+      (fun () ->
+        Sim.quiescent net
+        && Array.for_all
+             (fun (nd : node) ->
+               crashed_now nd.id
+               || ((not (R.active states.(nd.id))) && outbox.(nd.id) = []))
+             nodes);
+    link_idle_ref :=
+      (fun v w ->
+        R.link_idle states.(v) w
+        && not (List.exists (fun (d, _) -> d = w) outbox.(v)));
+    run_plan ();
+    Array.iteri
+      (fun v st ->
+        if not (crashed_now v) then begin
+          retransmissions := !retransmissions + R.retransmissions st;
+          dead_letters := !dead_letters + R.dead_letters st
+        end)
+      states
+  end;
+
+  (* ---------------- result ---------------- *)
+  let stats = !stats_now () in
+  let crashed = Array.make n false in
+  List.iter
+    (fun (round, v) -> if round <= stats.Sim.rounds then crashed.(v) <- true)
+    (Fault.crash_schedule faults);
+  let witness =
+    {
+      Certify.parent;
+      parent_edge;
+      contributed;
+      calls_alive;
+      kept_all;
+      crashed;
+      max_abort_q =
+        Array.fold_left
+          (fun acc (c : Plan.call) -> Stdlib.max acc c.Plan.abort_q)
+          0 plan.Plan.calls;
+    }
+  in
+  {
+    spanner;
+    plan;
+    aborts = !aborts;
+    stats;
+    witness;
+    recovery =
+      {
+        crashed = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 crashed;
+        orphaned = !orphans;
+        recovered_edges = !recovered_edges;
+        checkpoints = Recovery.Checkpoints.commits ckpt;
+        retransmissions = !retransmissions;
+        dead_letters = !dead_letters;
+      };
+  }
+
+let build ?(d = 4) ?(eps = 0.5) ?faults ?tracer ~seed g =
   let plan = Plan.make ~n:(Graph.n g) ~d ~eps () in
   let rng = Util.Prng.create ~seed in
   let sampling = Sampling.draw rng ~n:(Graph.n g) plan in
-  build_with ~plan ~sampling g
+  build_with ?faults ?tracer ~plan ~sampling g

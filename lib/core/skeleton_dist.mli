@@ -1,15 +1,19 @@
 (** Distributed implementation of the Section 2 skeleton algorithm on
-    the {!Distnet.Sim} engine (the construction behind Theorem 2).
+    the {!Distnet.Sim} engine (the construction behind Theorem 2), with
+    crash recovery and self-certification.
 
     Every original vertex is a network node.  The schedule ({!Plan})
     depends only on [n, D, eps], so all nodes know it; the random tape
     ({!Sampling}) is each node's private coin flips, drawn before the
     first round as the paper prescribes.  Each [Expand] call runs as a
-    sequence of message phases:
+    sequence of message phases, each an explicit resumable state
+    machine whose completion is tracked by per-node waiting sets (not
+    network quiescence, which loss would defeat):
 
     + {b exchange} — every live node tells each live neighbor its
       cluster center and that center's first-unsampled call index
-      (2 words);
+      (2 words); the exchange boundary is also the {!Distnet.Recovery}
+      checkpoint every node commits;
     + {b convergecast} — inside each contracted vertex whose cluster
       went unsampled, candidate crossing edges to sampled clusters
       flow up the [p1] tree, min edge id winning (3 words);
@@ -26,22 +30,63 @@
     Between rounds each node locally promotes [p2] to [p1]
     (contraction costs no communication).
 
-    Given the same {!Sampling} tape, the produced spanner is {e edge
-    for edge identical} to {!Skeleton.build_with} — the test suite
-    relies on this.  Phases are driven to quiescence rather than by the
-    paper's analytic [2 r_i + 1] schedules (see DESIGN.md); dying
-    clusters also hold the global schedule rather than overlapping
-    subsequent calls, so measured rounds upper-bound the paper's. *)
+    {b Fault tolerance.}  With a [?faults] plan the protocol runs every
+    link through the {!Distnet.Reliable} stop-and-wait ARQ, which makes
+    delivery exact-once under loss, duplication and delay, and whose
+    abandoned transmissions double as a crash-stop failure detector.  A
+    node whose cluster-tree parent ([p1] or [p2]) is detected crashed
+    executes the {e orphan abort}: it restores its exchange-boundary
+    checkpoint, keeps {e all} its incident live edges (the paper's
+    abort rule widened to intra-cluster edges — a crash can sever the
+    cluster tree itself; see DESIGN.md), cascades the abort to its own
+    subtree, and leaves the algorithm at the call's death-notice phase.
+    Crashes cost spanner {e size} (the recovered edges), never
+    {e stretch}.  Without faults the ARQ layer is bypassed entirely and
+    the produced spanner is {e edge for edge identical} to
+    {!Skeleton.build_with} on the same tape — the test suite relies on
+    this.
+
+    The construction also records the per-vertex {!Certify.witness}
+    labels, so any output can be independently certified after the
+    fact. *)
+
+(** What fault recovery did during the run (all zero on a loss-free
+    network). *)
+type recovery_report = {
+  crashed : int;  (** nodes crash-stopped by the fault plan *)
+  orphaned : int;  (** nodes that executed the orphan abort *)
+  recovered_edges : int;  (** extra edges kept by orphan aborts *)
+  checkpoints : int;  (** phase-boundary checkpoint commits *)
+  retransmissions : int;  (** ARQ data retransmissions, all nodes *)
+  dead_letters : int;  (** ARQ transmissions abandoned, all nodes *)
+}
 
 type result = {
   spanner : Graphlib.Edge_set.t;
   plan : Plan.t;
-  aborts : int;
+  aborts : int;  (** the paper's abort rule firings (not orphan aborts) *)
   stats : Distnet.Sim.stats;
+  witness : Certify.witness;  (** labels for {!Certify.run} *)
+  recovery : recovery_report;
 }
 
 val build :
-  ?d:int -> ?eps:float -> seed:int -> Graphlib.Graph.t -> result
+  ?d:int ->
+  ?eps:float ->
+  ?faults:Distnet.Fault.t ->
+  ?tracer:Distnet.Trace.t ->
+  seed:int ->
+  Graphlib.Graph.t ->
+  result
 
 val build_with :
-  plan:Plan.t -> sampling:Sampling.t -> Graphlib.Graph.t -> result
+  ?faults:Distnet.Fault.t ->
+  ?tracer:Distnet.Trace.t ->
+  plan:Plan.t ->
+  sampling:Sampling.t ->
+  Graphlib.Graph.t ->
+  result
+(** @raise Failure if a phase cannot complete and probing the awaited
+    peers produces no new crash suspicions — either a protocol bug or
+    a fault plan outside the crash-stop envelope (e.g. a partitioned
+    link that never heals); the message names the stuck phase. *)

@@ -30,11 +30,20 @@ module Make (P : Sim.PROTOCOL) = struct
     index : (int, int) Hashtbl.t;  (** neighbor id -> peers slot *)
     mutable retrans : int;
     mutable dead : int;
+    mutable abandoned : int list;  (** peers with >= 1 dead letter *)
   }
 
   let inner st = st.inner
   let retransmissions st = st.retrans
   let dead_letters st = st.dead
+  let suspected st = st.abandoned
+
+  let link_idle st w =
+    match Hashtbl.find_opt st.index w with
+    | None -> true
+    | Some i ->
+        let p = st.peers.(i) in
+        p.inflight = None && Queue.is_empty p.queue
 
   let active st =
     Array.exists
@@ -78,6 +87,8 @@ module Make (P : Sim.PROTOCOL) = struct
                hopeless): abandon, move on. *)
             p.inflight <- None;
             st.dead <- st.dead + 1;
+            if not (List.mem p.nbr st.abandoned) then
+              st.abandoned <- p.nbr :: st.abandoned;
             start_next p
           end
           else begin
@@ -119,7 +130,9 @@ module Make (P : Sim.PROTOCOL) = struct
     let index = Hashtbl.create (Array.length nbrs) in
     Array.iteri (fun i p -> Hashtbl.replace index p.nbr i) peers;
     let inner, msgs = P.init g v in
-    let st = { v; inner; peers; index; retrans = 0; dead = 0 } in
+    let st =
+      { v; inner; peers; index; retrans = 0; dead = 0; abandoned = [] }
+    in
     enqueue st msgs;
     (st, flush st)
 

@@ -42,4 +42,19 @@ module Make (P : Sim.PROTOCOL) : sig
 
   val dead_letters : state -> int
   (** Transmissions this node abandoned after {!max_retries}. *)
+
+  val link_idle : state -> int -> bool
+  (** No inner message queued or awaiting acknowledgement toward that
+      neighbor (pending acks don't count).  Streaming protocols use
+      this to pace batch emission: offering the next batch only on an
+      idle link keeps their per-round word budget honest even though
+      the ARQ layer, not the protocol, owns the wire. *)
+
+  val suspected : state -> int list
+  (** Neighbors to which at least one transmission was abandoned.  In
+      a crash-stop fault model an abandoned transmission is (whp) a
+      crashed peer — after {!max_retries} tries the probability that
+      independent per-message loss ate every copy is negligible — so
+      this doubles as the failure detector that {!Recovery} and the
+      fault-tolerant skeleton consume. *)
 end

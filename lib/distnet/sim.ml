@@ -177,8 +177,23 @@ let stats t =
   }
 
 let budget_exhausted t where =
-  failwith
-    (Format.asprintf "%s: round budget exhausted (%a)" where pp_stats (stats t))
+  (* Like the send errors, the exception names the round and — when a
+     message is still queued — the endpoints it was travelling between,
+     so a stuck protocol is diagnosable from the message alone. *)
+  let in_flight =
+    match t.outbox with
+    | { src; dst; _ } :: _ ->
+        Printf.sprintf ", %d in flight (head %d -> %d)"
+          (List.length t.outbox + t.delayed_count)
+          src dst
+    | [] ->
+        if t.delayed_count > 0 then
+          Printf.sprintf ", %d held back" t.delayed_count
+        else ""
+  in
+  invalid_arg
+    (Format.asprintf "%s: round %d: budget exhausted (%a)%s" where t.rounds
+       pp_stats (stats t) in_flight)
 
 let run_until_quiescent ?(max_rounds = 10_000_000) t deliver =
   let budget = ref max_rounds in

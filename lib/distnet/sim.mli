@@ -74,9 +74,10 @@ val quiescent : 'msg t -> bool
 val run_until_quiescent :
   ?max_rounds:int -> 'msg t -> (dst:int -> src:int -> 'msg -> unit) -> unit
 (** Repeated {!step} until no message is in flight.  The callback may
-    {!send} further messages.  @raise Failure after [max_rounds]
-    (default [10_000_000]) rounds; the failure message reports the
-    statistics accumulated so far. *)
+    {!send} further messages.  @raise Invalid_argument after
+    [max_rounds] (default [10_000_000]) rounds; the message reports the
+    current round, the statistics accumulated so far, and the endpoints
+    of the head in-flight message (matching the send errors). *)
 
 val stats : 'msg t -> stats
 
@@ -132,8 +133,9 @@ module Run_active (P : ACTIVE_PROTOCOL) : sig
   (** Run the protocol to completion.  Under a fault plan, a node that
       crash-stops at round [r] executes no [receive] from round [r]
       on: its state is frozen as of round [r - 1].
-      @raise Failure after [max_rounds] rounds (default [1_000_000]);
-      the message reports the statistics accumulated so far. *)
+      @raise Invalid_argument after [max_rounds] rounds (default
+      [1_000_000]); the message reports the round and the statistics
+      accumulated so far. *)
 end
 
 module Run (P : PROTOCOL) : sig

@@ -126,9 +126,10 @@ let str_field line name =
       | None -> None
       | Some stop -> Some (String.sub line start (stop - start)))
 
-let parse_line lineno line =
+let parse_line ~file lineno line =
   let fail msg =
-    failwith (Printf.sprintf "Trace.load: line %d: %s: %s" lineno msg line)
+    failwith
+      (Printf.sprintf "Trace.load: %s: line %d: %s: %s" file lineno msg line)
   in
   let int name =
     match int_field line name with
@@ -179,8 +180,16 @@ let load file =
          while true do
            let line = input_line ic in
            incr lineno;
+           (* Tolerate CRLF line endings and blank (or whitespace-only)
+              lines, trailing ones in particular — both show up when a
+              trace has been round-tripped through editors or scp. *)
+           let line =
+             let l = String.length line in
+             if l > 0 && line.[l - 1] = '\r' then String.sub line 0 (l - 1)
+             else line
+           in
            if String.trim line <> "" then
-             match parse_line !lineno line with
+             match parse_line ~file !lineno line with
              | `Event e -> rev_events := e :: !rev_events
              | `Stats s -> stats := Some s
          done

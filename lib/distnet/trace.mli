@@ -59,5 +59,8 @@ val save : ?stats:stats -> t -> string -> unit
     checked against them. *)
 
 val load : string -> event list * stats option
-(** Parse a file written by {!save}.
-    @raise Failure on a line that is not a trace event. *)
+(** Parse a file written by {!save}.  Blank (or whitespace-only) lines
+    and CRLF line endings are tolerated, so a trace survives editor or
+    transfer round-trips.
+    @raise Failure on a line that is not a trace event; the message
+    names the file and the offending line. *)

@@ -91,3 +91,12 @@ val e21_faults : ?quick:bool -> seed:int -> unit -> Table.t
     overhead of ARQ-lifted (reliable) BFS and skeleton-overlay
     broadcast as the message drop rate sweeps 0 → 30%, with
     correctness checks at every rate. *)
+
+val e22_recovery : ?quick:bool -> seed:int -> unit -> Table.t
+(** Beyond the paper: Theorem 2's construction under crash-stop
+    faults.  The self-healing distributed skeleton over a crash
+    fraction {0, 5, 10%} × drop rate {0, 20%} matrix, on one fixed
+    random tape: spanner size and recovered-edge cost of orphan
+    aborts, rounds/words overhead vs the loss-free baseline, and the
+    {!Spanner.Certify} verdict (with its audited max stretch) for
+    every cell. *)

@@ -25,7 +25,7 @@ A cycle has girth 12 > 2k, so greedy k=2 keeps all 12 edges:
 The experiment registry rejects unknown ids:
 
   $ ../../bin/spanner_cli.exe experiment E99 2>&1 | head -1
-  unknown experiment E99 (have: E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13, E14, E15, E16, E17, E18, E19, E20, E21)
+  unknown experiment E99 (have: E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13, E14, E15, E16, E17, E18, E19, E20, E21, E22)
 
 E9 is pure computation and deterministic:
 
@@ -63,3 +63,49 @@ ARQ-lifted BFS finishes in eccentricity + ack-drain rounds:
   graph: n=12, m=12, avg deg 2.00, max deg 2
   distances correct: true
   network: rounds=8 messages=36 words=72 max_msg=3 words
+
+The full skeleton construction runs over the faulty network too:
+crash-stops plus 20% loss, with phase checkpoints, orphan recovery and
+the output certifier — and the whole faulty run replays bit-for-bit:
+
+  $ ../../bin/spanner_cli.exe simulate --algo skeleton --kind gnp -n 72 -p 0.08 --seed 6 --drop 0.2 --crash 5@40,11@150,23@300 --certify --trace sk.jsonl
+  graph: n=72, m=228, avg deg 6.33, max deg 13
+  spanner: 125 edges, 0 aborts
+  recovery: 3 crashed, 9 orphaned, 45 recovered edges, 290 checkpoints, 1681 retransmissions, 22 dead letters
+  certification: PASS (69 live vertices, 544 pairs, size ratio 0.33)
+    [ok] subset: 125 edges, all in G
+    [ok] forest: 58 hook edges, acyclic
+    [ok] contribution: per-vertex cap respected (worst 0.83)
+    [ok] stretch: 544 pairs, max stretch 6.00 <= 3159.00
+  network: rounds=1722 messages=7217 words=14777 max_msg=5 words
+  trace written to sk.jsonl (14437 events)
+
+  $ ../../bin/spanner_cli.exe simulate --algo skeleton --kind gnp -n 72 -p 0.08 --seed 6 --certify --replay sk.jsonl | tail -2
+  network: rounds=1722 messages=7217 words=14777 max_msg=5 words
+  replay reproduces original stats: yes
+
+A sabotaged output (one cluster-tree edge removed) must be rejected,
+with a nonzero exit:
+
+  $ ../../bin/spanner_cli.exe simulate --algo skeleton --kind gnp -n 72 -p 0.08 --seed 6 --mutate > mutated.out
+  [1]
+
+  $ grep -E "mutate|certification|forest" mutated.out
+  mutate: removed cluster-tree edge 0
+  certification: FAIL (72 live vertices, 568 pairs, size ratio 0.23)
+    [FAIL] forest: 1 violation(s): vertex 0: hook edge 0 missing from spanner
+
+Fault-matrix smoke: crash fraction {0, 5, 10%} x drop {0, 20%} all
+complete and certify on the same seed:
+
+  $ for crash in 0 0.05 0.1; do for drop in 0 0.2; do
+  >   ../../bin/spanner_cli.exe simulate --algo skeleton --kind gnp -n 64 -p 0.1 --seed 5 \
+  >     --crash-frac $crash --crash-max-round 200 --drop $drop --certify \
+  >     | grep -E "^certification" | sed "s/^/crash=$crash drop=$drop /"
+  > done; done
+  crash=0 drop=0 certification: PASS (64 live vertices, 504 pairs, size ratio 0.24)
+  crash=0 drop=0.2 certification: PASS (64 live vertices, 504 pairs, size ratio 0.24)
+  crash=0.05 drop=0 certification: PASS (62 live vertices, 488 pairs, size ratio 0.25)
+  crash=0.05 drop=0.2 certification: PASS (62 live vertices, 488 pairs, size ratio 0.22)
+  crash=0.1 drop=0 certification: PASS (58 live vertices, 456 pairs, size ratio 0.24)
+  crash=0.1 drop=0.2 certification: PASS (58 live vertices, 456 pairs, size ratio 0.22)

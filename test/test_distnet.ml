@@ -355,8 +355,8 @@ let test_budget_failure_reports_stats () =
     Sim.run_until_quiescent ~max_rounds:10 t (fun ~dst ~src:_ () ->
         Sim.send t ~src:dst ~dst:(1 - dst) ~words:1 ())
   with
-  | () -> Alcotest.fail "expected Failure"
-  | exception Failure msg ->
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
       checkb "names the budget" true
         (String.length msg > 0
         && String.sub msg 0 24 = "Sim.run_until_quiescent:");
@@ -367,8 +367,10 @@ let test_budget_failure_reports_stats () =
         in
         at 0
       in
+      checkb "reports the round" true (contains "round 10:");
       checkb "reports rounds" true (contains "rounds=10");
-      checkb "reports words" true (contains "words=10")
+      checkb "reports words" true (contains "words=10");
+      checkb "reports in-flight endpoints" true (contains "in flight (head ")
 
 let prop_zero_fault_plan_identical =
   QCheck.Test.make ~name:"zero-rate fault plan = seed engine" ~count:25
@@ -424,6 +426,58 @@ let prop_dist_bfs_equals_sequential =
       let g = Gen.gnp r ~n ~p:(3. /. float_of_int n) in
       let _, dist = Protocols.bfs g ~root:0 in
       dist = Bfs.distances g ~src:0)
+
+(* ------------------------------------------------------------------ *)
+(* Recovery building blocks *)
+
+let test_recovery_checkpoints () =
+  let open Distnet.Recovery in
+  let ck = Checkpoints.create ~n:3 () in
+  checkb "empty store" true (Checkpoints.restore ck 0 = None);
+  Checkpoints.commit ck ~phase:"exchange" 0 (1, 2);
+  Checkpoints.commit ck ~phase:"wave" 0 (3, 4);
+  Checkpoints.commit ck ~phase:"exchange" 2 (5, 6);
+  checkb "latest wins" true (Checkpoints.restore ck 0 = Some (3, 4));
+  checkb "phase label" true (Checkpoints.phase ck 0 = Some "wave");
+  checkb "per node" true (Checkpoints.restore ck 2 = Some (5, 6));
+  checkb "untouched node" true (Checkpoints.restore ck 1 = None);
+  checki "commit count" 3 (Checkpoints.commits ck)
+
+let test_recovery_detector () =
+  let open Distnet.Recovery in
+  let d = Detector.create ~n:4 in
+  Detector.suspect d 1;
+  Detector.note_death d 2;
+  checkb "suspected is down" true (Detector.is_down d 1);
+  checkb "announced is down" true (Detector.is_down d 2);
+  checkb "announced is not suspected" false (Detector.is_suspected d 2);
+  checkb "suspected list" true (Detector.suspected d = [ 1 ]);
+  (* A death notice supersedes an earlier suspicion: the peer left
+     cleanly after all, so its contribution is complete. *)
+  Detector.note_death d 1;
+  checkb "notice supersedes suspicion" false (Detector.is_suspected d 1);
+  checki "no suspects left" 0 (Detector.suspected_count d)
+
+let test_reliable_link_idle () =
+  let module P = struct
+    type state = unit
+    type message = unit
+
+    let message_words () = 1
+    let init _ v = ((), if v = 0 then [ (1, ()) ] else [])
+    let receive _ ~round:_ _ () _ = ((), [])
+  end in
+  let module R = Distnet.Reliable.Make (P) in
+  let g = Gen.path 2 in
+  let st0, out0 = R.init g 0 in
+  checkb "first transmission on the wire" true (out0 <> []);
+  checkb "message awaiting ack -> busy" false (R.link_idle st0 1);
+  let st1, _ = R.init g 1 in
+  checkb "nothing queued -> idle" true (R.link_idle st1 0);
+  checkb "unknown neighbor -> idle" true (R.link_idle st1 7);
+  let _, acks = R.receive g ~round:1 1 st1 (List.map (fun (_, m) -> (0, m)) out0) in
+  let _ = R.receive g ~round:2 0 st0 (List.map (fun (_, m) -> (1, m)) acks) in
+  checkb "acked -> idle again" true (R.link_idle st0 1)
 
 let suite =
   [
@@ -481,5 +535,12 @@ let suite =
         Alcotest.test_case "save/load roundtrip" `Quick
           test_trace_save_load_roundtrip;
         QCheck_alcotest.to_alcotest prop_trace_replay_identical;
+      ] );
+    ( "distnet.recovery",
+      [
+        Alcotest.test_case "checkpoints commit/restore" `Quick
+          test_recovery_checkpoints;
+        Alcotest.test_case "detector precedence" `Quick test_recovery_detector;
+        Alcotest.test_case "ARQ link idleness" `Quick test_reliable_link_idle;
       ] );
   ]

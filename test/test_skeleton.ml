@@ -471,6 +471,101 @@ let prop_dist_equals_sequential =
           if not (Edge_set.mem seq.Skeleton.spanner e) then same := false);
       !same)
 
+(* ------------------------------------------------------------------ *)
+(* Self-healing: faulty transports, crash recovery, certification *)
+
+module Certify = Spanner.Certify
+module Fault = Distnet.Fault
+
+let test_dist_lossy_equals_sequential () =
+  (* Same tape, heavy loss + duplication + delay: the ARQ transport
+     must still deliver the exact sequential spanner, with zero
+     recovery actions. *)
+  let g = Gen.connected_gnp (Util.Prng.create ~seed:77) ~n:120 ~p:0.06 in
+  let plan = Plan.make ~n:(G.n g) () in
+  let sampling = Sampling.draw (Util.Prng.create ~seed:9) ~n:(G.n g) plan in
+  let seq = Skeleton.build_with ~plan ~sampling g in
+  let faults =
+    Fault.make ~seed:3
+      { Fault.default_spec with Fault.drop = 0.25; dup = 0.05; delay = 0.1 }
+  in
+  let dist = Skeleton_dist.build_with ~faults ~plan ~sampling g in
+  checki "same size"
+    (Edge_set.cardinal seq.Skeleton.spanner)
+    (Edge_set.cardinal dist.Skeleton_dist.spanner);
+  Edge_set.iter seq.Skeleton.spanner (fun e ->
+      checkb "dist has every seq edge" true
+        (Edge_set.mem dist.Skeleton_dist.spanner e));
+  let rc = dist.Skeleton_dist.recovery in
+  checki "no crashes" 0 rc.Skeleton_dist.crashed;
+  checki "no orphans" 0 rc.Skeleton_dist.orphaned;
+  checkb "loss cost retransmissions" true (rc.Skeleton_dist.retransmissions > 0)
+
+let test_dist_crash_recovery_certifies () =
+  (* Crash-stops under 20% loss: the construction completes, every
+     scheduled crash registers, checkpoints were committed, and the
+     certifier accepts the surviving output. *)
+  let g = Gen.connected_gnp (Util.Prng.create ~seed:5) ~n:128 ~p:0.06 in
+  let crashes = [ (1, 120); (7, 300); (20, 250); (33, 40); (60, 200) ] in
+  let faults =
+    Fault.make ~seed:11 { Fault.default_spec with Fault.drop = 0.2; crashes }
+  in
+  let r = Skeleton_dist.build ~faults ~seed:5 g in
+  let rc = r.Skeleton_dist.recovery in
+  checki "all scheduled crashes happened" 5 rc.Skeleton_dist.crashed;
+  checkb "checkpoints committed" true (rc.Skeleton_dist.checkpoints > 0);
+  let v =
+    Certify.run ~plan:r.Skeleton_dist.plan ~witness:r.Skeleton_dist.witness g
+      r.Skeleton_dist.spanner
+  in
+  checkb "certifier accepts the recovered output" true (Certify.ok v)
+
+let remove_one_hook_edge (w : Certify.witness) g spanner =
+  (* The first live vertex's cluster-tree edge, dropped from the set. *)
+  let victim = ref (-1) in
+  Array.iteri
+    (fun v e -> if !victim < 0 && e >= 0 && not w.Certify.crashed.(v) then victim := e)
+    w.Certify.parent_edge;
+  if !victim < 0 then None
+  else begin
+    let edges = ref [] in
+    Edge_set.iter spanner (fun e -> if e <> !victim then edges := e :: !edges);
+    Some (Edge_set.of_list g !edges)
+  end
+
+let prop_certifier_accepts =
+  QCheck.Test.make ~name:"certify: accepts every loss-free build" ~count:15
+    QCheck.(pair (int_range 20 120) (int_bound 1000))
+    (fun (n, seed) ->
+      let g =
+        Gen.gnp (Util.Prng.create ~seed:(seed + 1)) ~n ~p:(4. /. float_of_int n)
+      in
+      let r = Skeleton_dist.build ~seed g in
+      Certify.ok
+        (Certify.run ~plan:r.Skeleton_dist.plan ~witness:r.Skeleton_dist.witness
+           g r.Skeleton_dist.spanner))
+
+let prop_certifier_rejects_mutation =
+  QCheck.Test.make ~name:"certify: rejects a sabotaged spanner" ~count:15
+    QCheck.(pair (int_range 30 120) (int_bound 1000))
+    (fun (n, seed) ->
+      let g =
+        Gen.connected_gnp
+          (Util.Prng.create ~seed:(seed + 1))
+          ~n
+          ~p:(4. /. float_of_int n)
+      in
+      let r = Skeleton_dist.build ~seed g in
+      match
+        remove_one_hook_edge r.Skeleton_dist.witness g r.Skeleton_dist.spanner
+      with
+      | None -> QCheck.assume_fail ()
+      | Some mutated ->
+          not
+            (Certify.ok
+               (Certify.run ~plan:r.Skeleton_dist.plan
+                  ~witness:r.Skeleton_dist.witness g mutated)))
+
 let prop_skeleton_connectivity =
   QCheck.Test.make ~name:"skeleton: preserves connectivity" ~count:20
     QCheck.(pair (int_range 10 150) (int_bound 1000))
@@ -542,5 +637,14 @@ let suite =
         Alcotest.test_case "message length bounded" `Quick test_dist_message_length_bounded;
         Alcotest.test_case "rounds scale polylog" `Quick test_dist_rounds_scale_polylog;
         QCheck_alcotest.to_alcotest prop_dist_equals_sequential;
+      ] );
+    ( "core.self_healing",
+      [
+        Alcotest.test_case "lossy = sequential" `Quick
+          test_dist_lossy_equals_sequential;
+        Alcotest.test_case "crash recovery certifies" `Quick
+          test_dist_crash_recovery_certifies;
+        QCheck_alcotest.to_alcotest prop_certifier_accepts;
+        QCheck_alcotest.to_alcotest prop_certifier_rejects_mutation;
       ] );
   ]
