@@ -101,6 +101,21 @@ let bench_tests () =
           (Spanner.Certify.run ~plan:r.Spanner.Skeleton_dist.plan
              ~witness:r.Spanner.Skeleton_dist.witness g_small
              r.Spanner.Skeleton_dist.spanner));
+    t "e23.skeleton_churn_repair" (fun () ->
+        let u, v =
+          (* any edge of the graph works; edge 0 is stable for a fixed seed *)
+          let e = Graph.edge g_small 0 in
+          (e.Graph.u, e.Graph.v)
+        in
+        let faults =
+          Distnet.Fault.make ~seed:!seed ~graph:g_small
+            {
+              Distnet.Fault.default_spec with
+              Distnet.Fault.churn =
+                [ Distnet.Fault.Edge_down { round = 30; u; v } ];
+            }
+        in
+        ignore (Spanner.Skeleton_dist.build ~faults ~seed:!seed g_small));
     t "e11.combined" (fun () ->
         ignore (Spanner.Combined.build ~ell:2 ~seed:!seed g_small));
     t "e12.skeleton_traced" (fun () ->

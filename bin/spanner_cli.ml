@@ -305,6 +305,62 @@ let parse_crashes s =
                | _ -> bad ())
            | _ -> bad ())
 
+let parse_edge_events what s =
+  (* "u-v@r,u-v@r,..." — the edge u-v changes state at round r. *)
+  if s = "" then []
+  else
+    String.split_on_char ',' s
+    |> List.map (fun part ->
+           let bad () =
+             failwith
+               (Printf.sprintf "bad %s spec %S (want U-V@ROUND,...)" what part)
+           in
+           match String.split_on_char '@' (String.trim part) with
+           | [ uv; r ] -> (
+               match (String.split_on_char '-' uv, int_of_string_opt r) with
+               | [ u; v ], Some r -> (
+                   match (int_of_string_opt u, int_of_string_opt v) with
+                   | Some u, Some v -> (r, u, v)
+                   | _ -> bad ())
+               | _ -> bad ())
+           | _ -> bad ())
+
+let parse_links s =
+  (* "u-v,u-v,..." — the links of a partition cut. *)
+  if s = "" then []
+  else
+    String.split_on_char ',' s
+    |> List.map (fun part ->
+           let bad () =
+             failwith
+               (Printf.sprintf "bad partition link %S (want U-V,...)" part)
+           in
+           match String.split_on_char '-' (String.trim part) with
+           | [ u; v ] -> (
+               match (int_of_string_opt u, int_of_string_opt v) with
+               | Some u, Some v -> (u, v)
+               | _ -> bad ())
+           | _ -> bad ())
+
+let churn_of_trace events =
+  List.filter_map
+    (fun (e : Distnet.Trace.event) ->
+      match e.Distnet.Trace.kind with
+      | Distnet.Trace.Edge_down ->
+          Some
+            (Distnet.Fault.Edge_down
+               { round = e.Distnet.Trace.round; u = e.src; v = e.dst })
+      | Distnet.Trace.Edge_up ->
+          Some
+            (Distnet.Fault.Edge_up
+               { round = e.Distnet.Trace.round; u = e.src; v = e.dst })
+      | Distnet.Trace.Join ->
+          Some
+            (Distnet.Fault.Join
+               { round = e.Distnet.Trace.round; node = e.src })
+      | _ -> None)
+    events
+
 let simulate_cmd =
   let drop =
     Arg.(
@@ -388,6 +444,75 @@ let simulate_cmd =
              edge from the spanner.  The certifier must reject (exercises the \
              failure path; implies --certify).")
   in
+  let edge_drop =
+    Arg.(
+      value
+      & opt string ""
+      & info [ "edge-drop" ] ~docv:"SPEC"
+          ~doc:
+            "Churn: edges going down, e.g. 3-7@10,5-9@20 (edge 3-7 goes down \
+             at round 10).  A down edge silently swallows messages; the ARQ \
+             retransmits and eventually suspects the peer.")
+  in
+  let edge_up =
+    Arg.(
+      value
+      & opt string ""
+      & info [ "edge-up" ] ~docv:"SPEC"
+          ~doc:"Churn: edges coming (back) up, same U-V@ROUND syntax.")
+  in
+  let partition =
+    Arg.(
+      value
+      & opt string ""
+      & info [ "partition" ] ~docv:"LINKS"
+          ~doc:
+            "Churn: cut all listed links at once, e.g. 3-7,5-9 (see \
+             --partition-round and --heal-round).")
+  in
+  let partition_round =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "partition-round" ] ~docv:"R"
+          ~doc:"Round at which the --partition cut happens.")
+  in
+  let heal_round =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "heal-round" ] ~docv:"R"
+          ~doc:
+            "Heal the --partition at round R (0: never heals — the spanner \
+             ends partitioned and each island is certified separately).")
+  in
+  let join =
+    Arg.(
+      value
+      & opt string ""
+      & info [ "join" ] ~docv:"SPEC"
+          ~doc:
+            "Churn: late node joins, e.g. 4@25 (node 4 only joins the network \
+             at round 25; until then all its links are dead).")
+  in
+  let churn_trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "churn-trace" ] ~docv:"FILE"
+          ~doc:
+            "Load edge_down/edge_up/join events from a recorded trace FILE \
+             and add them to the churn plan.")
+  in
+  let phase_limit =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "phase-limit" ] ~docv:"N"
+          ~doc:
+            "Abort a skeleton phase after N rounds with a structured stuck \
+             report (default 10000 + 500n).")
+  in
   let protocol =
     Arg.(
       value
@@ -401,7 +526,9 @@ let simulate_cmd =
     Arg.(value & opt int 0 & info [ "root" ] ~docv:"V" ~doc:"Protocol root node.")
   in
   let run kind n p seed input drop dup delay max_delay crash crash_frac
-      crash_max_round certify mutate trace_file replay_file protocol root =
+      crash_max_round edge_drop edge_up partition partition_round heal_round
+      join churn_trace phase_limit certify mutate trace_file replay_file
+      protocol root =
     let g = load_graph ~kind ~n ~p ~seed ~input in
     Format.printf "graph: %a@." Graph.pp_summary g;
     let faults, recorded =
@@ -443,13 +570,49 @@ let simulate_cmd =
               explicit @ List.rev !picks
             end
           in
+          let churn =
+            List.map
+              (fun (r, u, v) -> Distnet.Fault.Edge_down { round = r; u; v })
+              (parse_edge_events "edge-drop" edge_drop)
+            @ List.map
+                (fun (r, u, v) -> Distnet.Fault.Edge_up { round = r; u; v })
+                (parse_edge_events "edge-up" edge_up)
+            @ (match parse_links partition with
+              | [] -> []
+              | links ->
+                  [
+                    Distnet.Fault.Partition
+                      {
+                        round = partition_round;
+                        edges = links;
+                        heal =
+                          (if heal_round > 0 then Some heal_round else None);
+                      };
+                  ])
+            @ List.map
+                (fun (v, r) -> Distnet.Fault.Join { round = r; node = v })
+                (parse_crashes join)
+            @
+            match churn_trace with
+            | None -> []
+            | Some file ->
+                let events, _ = Distnet.Trace.load file in
+                let churn = churn_of_trace events in
+                Format.printf "churn plan: %d events from %s@."
+                  (List.length churn) file;
+                churn
+          in
           let spec =
-            { Distnet.Fault.drop; dup; delay; max_delay; crashes }
+            { Distnet.Fault.drop; dup; delay; max_delay; crashes; churn }
           in
           let plan =
             if spec = { Distnet.Fault.default_spec with max_delay } then
               Distnet.Fault.none
-            else Distnet.Fault.make ~seed:(seed + 31) spec
+            else
+              try Distnet.Fault.make ~seed:(seed + 31) ~graph:g spec
+              with Invalid_argument msg ->
+                Format.eprintf "spanner_cli: %s@." msg;
+                exit 1
           in
           (plan, None)
     in
@@ -476,49 +639,101 @@ let simulate_cmd =
           in
           Format.printf "reached %d/%d nodes@." cover (Graph.n g);
           stats
-      | "skeleton" ->
-          let r = Spanner.Skeleton_dist.build ~faults ?tracer ~seed g in
-          Format.printf "spanner: %d edges, %d aborts@."
-            (Edge_set.cardinal r.Spanner.Skeleton_dist.spanner)
-            r.Spanner.Skeleton_dist.aborts;
-          let rc = r.Spanner.Skeleton_dist.recovery in
-          if not (Distnet.Fault.is_none faults) then
-            Format.printf
-              "recovery: %d crashed, %d orphaned, %d recovered edges, %d \
-               checkpoints, %d retransmissions, %d dead letters@."
-              rc.Spanner.Skeleton_dist.crashed rc.Spanner.Skeleton_dist.orphaned
-              rc.Spanner.Skeleton_dist.recovered_edges
-              rc.Spanner.Skeleton_dist.checkpoints
-              rc.Spanner.Skeleton_dist.retransmissions
-              rc.Spanner.Skeleton_dist.dead_letters;
-          if certify || mutate then begin
-            let w = r.Spanner.Skeleton_dist.witness in
-            let spanner =
-              if not mutate then r.Spanner.Skeleton_dist.spanner
-              else begin
-                let victim = ref (-1) in
-                Array.iteri
-                  (fun v e ->
-                    if !victim < 0 && e >= 0 && not w.Spanner.Certify.crashed.(v)
-                    then victim := e)
-                  w.Spanner.Certify.parent_edge;
-                if !victim < 0 then failwith "mutate: no cluster-tree edge to remove";
-                Format.printf "mutate: removed cluster-tree edge %d@." !victim;
-                let edges = ref [] in
-                Edge_set.iter r.Spanner.Skeleton_dist.spanner (fun e ->
-                    if e <> !victim then edges := e :: !edges);
-                Edge_set.of_list g !edges
-              end
-            in
-            let verdict =
-              Spanner.Certify.run ~plan:r.Spanner.Skeleton_dist.plan ~witness:w
-                g spanner
-            in
-            Format.printf "%a@." Spanner.Certify.pp verdict;
-            if not (Spanner.Certify.ok verdict) then
-              certification_failed := true
-          end;
-          r.Spanner.Skeleton_dist.stats
+      | "skeleton" -> (
+          match
+            Spanner.Skeleton_dist.build ~faults ?tracer
+              ?phase_round_limit:phase_limit ~seed g
+          with
+          | exception
+              Spanner.Skeleton_dist.Stuck { phase; waiting_on; stats } ->
+              (* Structured dead end — e.g. a partition that never heals
+                 and outlasts the phase budget.  Report and exit clean. *)
+              let preview =
+                let rec take k = function
+                  | x :: tl when k > 0 -> x :: take (k - 1) tl
+                  | _ -> []
+                in
+                take 8 waiting_on
+                |> List.map (fun (v, w) -> Printf.sprintf "%d->%d" v w)
+                |> String.concat ", "
+              in
+              Format.printf "stuck: %s phase cannot complete; waiting on %d \
+                             link(s)%s@."
+                phase
+                (List.length waiting_on)
+                (if preview = "" then "" else " (" ^ preview ^ ")");
+              Format.printf "network: %a@." Distnet.Sim.pp_stats stats;
+              exit 2
+          | r ->
+              Format.printf "spanner: %d edges, %d aborts@."
+                (Edge_set.cardinal r.Spanner.Skeleton_dist.spanner)
+                r.Spanner.Skeleton_dist.aborts;
+              let rc = r.Spanner.Skeleton_dist.recovery in
+              if not (Distnet.Fault.is_none faults) then
+                Format.printf
+                  "recovery: %d crashed, %d orphaned, %d recovered edges, %d \
+                   checkpoints, %d retransmissions, %d dead letters@."
+                  rc.Spanner.Skeleton_dist.crashed
+                  rc.Spanner.Skeleton_dist.orphaned
+                  rc.Spanner.Skeleton_dist.recovered_edges
+                  rc.Spanner.Skeleton_dist.checkpoints
+                  rc.Spanner.Skeleton_dist.retransmissions
+                  rc.Spanner.Skeleton_dist.dead_letters;
+              let churned = Distnet.Fault.has_churn faults in
+              if churned then begin
+                let rp = r.Spanner.Skeleton_dist.repair in
+                Format.printf
+                  "repair: %a (%d dead spanner edges, %d rehooked, %d \
+                   replaced, %d keep-all, %d rounds, %d components)@."
+                  Spanner.Skeleton_dist.pp_outcome
+                  rp.Spanner.Skeleton_dist.outcome
+                  rp.Spanner.Skeleton_dist.dead_spanner_edges
+                  rp.Spanner.Skeleton_dist.rehooked
+                  rp.Spanner.Skeleton_dist.replaced_edges
+                  rp.Spanner.Skeleton_dist.keep_all_fallbacks
+                  rp.Spanner.Skeleton_dist.repair_rounds
+                  rp.Spanner.Skeleton_dist.components
+              end;
+              if certify || mutate then begin
+                let w = r.Spanner.Skeleton_dist.witness in
+                let spanner =
+                  if not mutate then r.Spanner.Skeleton_dist.spanner
+                  else begin
+                    let victim = ref (-1) in
+                    Array.iteri
+                      (fun v e ->
+                        if
+                          !victim < 0 && e >= 0
+                          && not w.Spanner.Certify.crashed.(v)
+                        then victim := e)
+                      w.Spanner.Certify.parent_edge;
+                    if !victim < 0 then
+                      failwith "mutate: no cluster-tree edge to remove";
+                    Format.printf "mutate: removed cluster-tree edge %d@."
+                      !victim;
+                    let edges = ref [] in
+                    Edge_set.iter r.Spanner.Skeleton_dist.spanner (fun e ->
+                        if e <> !victim then edges := e :: !edges);
+                    Edge_set.of_list g !edges
+                  end
+                in
+                (* Under churn, audit against the surviving topology and
+                   guarantee every live component gets a BFS source. *)
+                let down = Array.make (Stdlib.max 1 (Graph.m g)) false in
+                List.iter
+                  (fun e -> down.(e) <- true)
+                  r.Spanner.Skeleton_dist.dead_edges;
+                let verdict =
+                  Spanner.Certify.run
+                    ~down_edge:(fun e -> churned && down.(e))
+                    ~per_component:churned
+                    ~plan:r.Spanner.Skeleton_dist.plan ~witness:w g spanner
+                in
+                Format.printf "%a@." Spanner.Certify.pp verdict;
+                if not (Spanner.Certify.ok verdict) then
+                  certification_failed := true
+              end;
+              r.Spanner.Skeleton_dist.stats)
       | other -> failwith (Printf.sprintf "unknown protocol %s" other)
     in
     Format.printf "network: %a@." Distnet.Sim.pp_stats stats;
@@ -549,8 +764,10 @@ let simulate_cmd =
           crashes), optionally tracing every event for deterministic replay.")
     Term.(
       const run $ kind_arg $ n_arg $ p_arg $ seed_arg $ input_arg $ drop $ dup
-      $ delay $ max_delay $ crash $ crash_frac $ crash_max_round $ certify
-      $ mutate $ trace_file $ replay_file $ protocol $ root)
+      $ delay $ max_delay $ crash $ crash_frac $ crash_max_round $ edge_drop
+      $ edge_up $ partition $ partition_round $ heal_round $ join
+      $ churn_trace $ phase_limit $ certify $ mutate $ trace_file
+      $ replay_file $ protocol $ root)
 
 (* ------------------------------------------------------------------ *)
 (* experiment *)

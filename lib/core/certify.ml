@@ -20,6 +20,7 @@ type verdict = {
   max_stretch : float;
   stretch_bound : float;
   size_ratio : float;
+  components : int;
 }
 
 let ok v = List.for_all (fun c -> c.ok) v.checks
@@ -71,7 +72,8 @@ let bfs adj ~n ~src dist queue =
 
 (* ------------------------------------------------------------------ *)
 
-let run ?(sources = 8) ?(seed = 1) ~(plan : Plan.t) ~witness g spanner =
+let run ?(sources = 8) ?(seed = 1) ?(down_edge = fun _ -> false)
+    ?(per_component = false) ~(plan : Plan.t) ~witness g spanner =
   let n = Graph.n g in
   let w = witness in
   let live v = not w.crashed.(v) in
@@ -123,6 +125,8 @@ let run ?(sources = 8) ?(seed = 1) ~(plan : Plan.t) ~witness g spanner =
         fail (Printf.sprintf "vertex %d: malformed label (parent %d, edge %d)" v p e)
       else if not (Edge_set.mem spanner e) then
         fail (Printf.sprintf "vertex %d: hook edge %d missing from spanner" v e)
+      else if down_edge e then
+        fail (Printf.sprintf "vertex %d: hook edge %d is down" v e)
       else
         let a, b = Graph.edge_endpoints g e in
         if not ((a = v && b = p) || (a = p && b = v)) then
@@ -159,23 +163,79 @@ let run ?(sources = 8) ?(seed = 1) ~(plan : Plan.t) ~witness g spanner =
   let bound =
     Bounds.skeleton_distortion ~n:plan.Plan.n ~d:plan.Plan.d ~eps:plan.Plan.eps
   in
-  let adj_g = build_adj ~n ~alive:live (fun f -> Graph.iter_edges g (fun _ u v -> f u v)) in
+  (* Down edges belong to neither side of the comparison: the audit is
+     of the spanner against the graph that actually survives. *)
+  let adj_g =
+    build_adj ~n ~alive:live (fun f ->
+        Graph.iter_edges g (fun e u v -> if not (down_edge e) then f u v))
+  in
   let adj_h =
     build_adj ~n ~alive:live (fun f ->
         Edge_set.iter spanner (fun e ->
-            let u, v = Graph.edge_endpoints g e in
-            f u v))
+            if not (down_edge e) then begin
+              let u, v = Graph.edge_endpoints g e in
+              f u v
+            end))
   in
   let rng = Util.Prng.create ~seed in
   let live_vertices = Array.of_seq (Seq.filter live (Seq.init n Fun.id)) in
   Util.Prng.shuffle rng live_vertices;
-  let nsrc = Stdlib.min sources (Array.length live_vertices) in
   let dg = Array.make n (-1)
   and dh = Array.make n (-1)
   and queue = Array.make (Stdlib.max 1 n) 0 in
+  (* Components of the surviving graph — BFS from shuffled vertices so
+     per-component source picks stay seed-reproducible. *)
+  let comp = Array.make n (-1) in
+  let ncomp = ref 0 in
+  Array.iter
+    (fun v ->
+      if comp.(v) < 0 then begin
+        bfs adj_g ~n ~src:v dg queue;
+        for u = 0 to n - 1 do
+          if dg.(u) >= 0 && comp.(u) < 0 then comp.(u) <- !ncomp
+        done;
+        incr ncomp
+      end)
+    live_vertices;
+  (* Source sample: with [per_component], first one representative per
+     live component (a source never audits across a cut — pairs
+     unreachable in the surviving graph are skipped — so a component
+     with no source would go entirely unchecked), then shuffled extras
+     up to the budget. *)
+  let srcs =
+    if not per_component then
+      Array.sub live_vertices 0 (Stdlib.min sources (Array.length live_vertices))
+    else begin
+      let budget =
+        Stdlib.min
+          (Stdlib.max sources !ncomp)
+          (Array.length live_vertices)
+      in
+      let seen = Array.make (Stdlib.max 1 !ncomp) false in
+      let reps = ref [] and extras = ref [] in
+      Array.iter
+        (fun v ->
+          if not seen.(comp.(v)) then begin
+            seen.(comp.(v)) <- true;
+            reps := v :: !reps
+          end
+          else extras := v :: !extras)
+        live_vertices;
+      let buf = Array.make budget 0 in
+      let i = ref 0 in
+      List.iter
+        (fun v ->
+          if !i < budget then begin
+            buf.(!i) <- v;
+            incr i
+          end)
+        (List.rev !reps @ List.rev !extras);
+      buf
+    end
+  in
   let pairs = ref 0 and max_stretch = ref 1. in
-  for i = 0 to nsrc - 1 do
-    let s = live_vertices.(i) in
+  for i = 0 to Array.length srcs - 1 do
+    let s = srcs.(i) in
     bfs adj_g ~n ~src:s dg queue;
     bfs adj_h ~n ~src:s dh queue;
     for v = 0 to n - 1 do
@@ -206,14 +266,17 @@ let run ?(sources = 8) ?(seed = 1) ~(plan : Plan.t) ~witness g spanner =
     stretch_bound = bound;
     size_ratio =
       float_of_int size /. Bounds.skeleton_size ~n:plan.Plan.n ~d:plan.Plan.d;
+    components = !ncomp;
   }
 
 (* ------------------------------------------------------------------ *)
 
 let pp fmt v =
-  Format.fprintf fmt "certification: %s (%d live vertices, %d pairs, size ratio %.2f)"
+  Format.fprintf fmt "certification: %s (%d live vertices, %d pairs, size ratio %.2f%s)"
     (if ok v then "PASS" else "FAIL")
-    v.live v.pairs v.size_ratio;
+    v.live v.pairs v.size_ratio
+    (if v.components > 1 then Printf.sprintf ", %d components" v.components
+     else "");
   List.iter
     (fun c ->
       Format.fprintf fmt "@.  [%s] %s: %s" (if c.ok then "ok" else "FAIL") c.name
@@ -233,6 +296,6 @@ let pp_json fmt v =
   Buffer.add_string b
     (Printf.sprintf
        "], \"live\": %d, \"pairs\": %d, \"max_stretch\": %.4f, \"stretch_bound\": \
-        %.4f, \"size_ratio\": %.4f}"
-       v.live v.pairs v.max_stretch v.stretch_bound v.size_ratio);
+        %.4f, \"size_ratio\": %.4f, \"components\": %d}"
+       v.live v.pairs v.max_stretch v.stretch_bound v.size_ratio v.components);
   Format.pp_print_string fmt (Buffer.contents b)

@@ -57,6 +57,7 @@ type verdict = {
   max_stretch : float;  (** worst sampled multiplicative stretch *)
   stretch_bound : float;  (** Theorem 2's bound for the plan's n, D, eps *)
   size_ratio : float;  (** measured size / Lemma 6 expectation (reported) *)
+  components : int;  (** components of the surviving graph *)
 }
 
 val ok : verdict -> bool
@@ -65,6 +66,8 @@ val ok : verdict -> bool
 val run :
   ?sources:int ->
   ?seed:int ->
+  ?down_edge:(int -> bool) ->
+  ?per_component:bool ->
   plan:Plan.t ->
   witness:witness ->
   Graphlib.Graph.t ->
@@ -73,7 +76,20 @@ val run :
 (** [run ~plan ~witness g spanner] certifies the output.  [sources]
     (default 8) BFS sources are drawn with [seed] (default 1) among
     the non-crashed vertices for the stretch audit; all their
-    reachable pairs are checked. *)
+    reachable pairs are checked.
+
+    [down_edge] (default: none) marks edges the topology churn left
+    down: they are excluded from both sides of the stretch comparison
+    — the audit is of the spanner against the graph that actually
+    survives — and a witness hook over a down edge fails the forest
+    check.
+
+    [per_component] (default false): guarantee at least one BFS source
+    in every component of the surviving graph before spending the rest
+    of the budget on shuffled extras.  A source never audits across a
+    cut (pairs unreachable in the surviving graph are skipped), so
+    after a partition this is what certifies each island separately —
+    without it a small component can escape the audit entirely. *)
 
 val pp : Format.formatter -> verdict -> unit
 (** Human-readable multi-line report. *)

@@ -15,6 +15,55 @@ type recovery_report = {
   dead_letters : int;
 }
 
+type repair_outcome = Intact | Patched | Degraded | Partitioned of int
+
+type repair_report = {
+  outcome : repair_outcome;
+  dead_spanner_edges : int;
+  rehooked : int;
+  replaced_edges : int;
+  keep_all_fallbacks : int;
+  repair_rounds : int;
+  components : int;
+}
+
+let no_repair =
+  {
+    outcome = Intact;
+    dead_spanner_edges = 0;
+    rehooked = 0;
+    replaced_edges = 0;
+    keep_all_fallbacks = 0;
+    repair_rounds = 0;
+    components = 1;
+  }
+
+let pp_outcome ppf = function
+  | Intact -> Format.pp_print_string ppf "intact"
+  | Patched -> Format.pp_print_string ppf "patched"
+  | Degraded -> Format.pp_print_string ppf "degraded"
+  | Partitioned k -> Format.fprintf ppf "partitioned(%d)" k
+
+exception
+  Stuck of {
+    phase : string;
+    waiting_on : (int * int) list;
+    stats : Sim.stats;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Stuck { phase; waiting_on; stats } ->
+        Some
+          (Format.asprintf "Skeleton_dist.Stuck(phase %s; waiting on %s; %a)"
+             phase
+             (String.concat ", "
+                (List.map
+                   (fun (v, w) -> Printf.sprintf "%d->%d" v w)
+                   waiting_on))
+             Sim.pp_stats stats)
+    | _ -> None)
+
 type result = {
   spanner : Edge_set.t;
   plan : Plan.t;
@@ -22,6 +71,8 @@ type result = {
   stats : Sim.stats;
   witness : Certify.witness;
   recovery : recovery_report;
+  repair : repair_report;
+  dead_edges : int list;
 }
 
 type msg =
@@ -39,6 +90,14 @@ type msg =
   | Dead
   | Probe  (** recovery: "are you there?" — the transport ack is the answer *)
   | Orphan  (** recovery: "our subtree lost its root path; abort with me" *)
+  (* incremental repair (topology churn): a detached fragment re-enters
+     the Expand state machine on its bounded neighborhood *)
+  | Repair_id of { root : int }  (** repair exchange: my fragment root (-1 = attached) *)
+  | Repair_ack of { root : int }  (** answer to [Repair_id] *)
+  | Repair_report of { edge : int }  (** repair convergecast candidate *)
+  | Repair_none
+  | Repair_on_path  (** repair wave: your merged best won, continue the flip *)
+  | Repair_keep_all  (** repair fallback: fragment degrades to keep-all *)
 
 let words = function
   | Exchange _ -> 2
@@ -54,6 +113,11 @@ let words = function
   | Dead -> 1
   | Probe -> 1
   | Orphan -> 1
+  | Repair_id _ | Repair_ack _ -> 1
+  | Repair_report _ -> 2
+  | Repair_none -> 1
+  | Repair_on_path -> 1
+  | Repair_keep_all -> 1
 
 (* Mutable per-node state.  Everything a node reads during the protocol
    is either local, carried by a received message, or part of the
@@ -93,6 +157,16 @@ type node = {
   mutable fin_done_sent : bool;
   mutable fin_aborting : bool;
   mutable orphaned : bool;  (** crash recovery fired: exiting this call *)
+  (* incremental repair scratch (only touched by the repair pass) *)
+  mutable rp_root : int;  (** my fragment's repair root; -1 = attached *)
+  mutable rp_parent : int;  (** parent within the repair forest *)
+  mutable rp_children : int list;
+  mutable rp_nb : (int, int) Hashtbl.t;  (** neighbor -> fragment root *)
+  mutable rp_waiting : (int, unit) Hashtbl.t;  (** repair exchange: acks awaited *)
+  mutable rp_cv_waiting : (int, unit) Hashtbl.t;  (** repair convergecast *)
+  mutable rp_report_sent : bool;
+  mutable rp_best : (int * int) option;  (** edge, crossing peer (-1 from child) *)
+  mutable rp_best_from : int;  (** child that supplied [rp_best]; -1 = self *)
 }
 
 let fresh_node id =
@@ -126,9 +200,19 @@ let fresh_node id =
     fin_done_sent = false;
     fin_aborting = false;
     orphaned = false;
+    rp_root = -1;
+    rp_parent = -1;
+    rp_children = [];
+    rp_nb = Hashtbl.create 1;
+    rp_waiting = Hashtbl.create 1;
+    rp_cv_waiting = Hashtbl.create 1;
+    rp_report_sent = false;
+    rp_best = None;
+    rp_best_from = -1;
   }
 
-let build_with ?(faults = Fault.none) ?tracer ~plan ~sampling g =
+let build_with ?(faults = Fault.none) ?tracer ?phase_round_limit ~plan ~sampling
+    g =
   let n = Graph.n g in
   let nodes = Array.init n fresh_node in
   Array.iter
@@ -172,6 +256,19 @@ let build_with ?(faults = Fault.none) ?tracer ~plan ~sampling g =
      failure detector. *)
   let crashed_now v = Fault.crashed faults ~round:(!round_now ()) v in
   let is_live nd = nd.alive && (not nd.orphaned) && not (crashed_now nd.id) in
+  (* Churn-aware views of the topology (identity without churn): is an
+     edge currently up, and is a vertex present — joined and not
+     crash-stopped?  The repair pass decides exclusively through these,
+     never through protocol liveness (which ends false for everyone
+     once the last call's kill has run). *)
+  let edge_up_now = ref (fun (_ : int) -> true) in
+  let present_now v =
+    (not (crashed_now v)) && Fault.joined faults ~round:(!round_now ()) v
+  in
+  let repair_mode = ref false in
+  let rp_keep_alls = ref 0 and rp_replaced = ref 0 in
+  let repair_ref = ref no_repair in
+  let dead_edges_ref = ref [] in
 
   (* Transport indirection: the one protocol below runs either straight
      on the engine (loss-free fast path, bit-compatible with the
@@ -203,6 +300,66 @@ let build_with ?(faults = Fault.none) ?tracer ~plan ~sampling g =
       parent_edge.(nd.id) <-
         (if target >= 0 then Hashtbl.find nd.nb_edge target else -1)
     end
+  in
+
+  (* ---------------- incremental repair helpers ---------------- *)
+
+  (* Repair runs after the protocol's own registration machinery has
+     shut down, so hook updates rewrite the witness labels directly —
+     no deferred (un)registration traffic. *)
+  let rp_set_parent nd target =
+    nd.p2 <- target;
+    parent.(nd.id) <- target;
+    parent_edge.(nd.id) <-
+      (if target >= 0 then Hashtbl.find nd.nb_edge target else -1)
+  in
+
+  (* Forward the fragment-local minimum up the repair tree once every
+     awaited child has reported (or been given up on). *)
+  let rp_maybe_forward nd =
+    if
+      !repair_mode && nd.rp_root >= 0
+      && (not nd.rp_report_sent)
+      && Hashtbl.length nd.rp_cv_waiting = 0
+      && nd.rp_parent >= 0
+    then begin
+      nd.rp_report_sent <- true;
+      match nd.rp_best with
+      | None -> emit ~src:nd.id ~dst:nd.rp_parent Repair_none
+      | Some (edge, _) ->
+          emit ~src:nd.id ~dst:nd.rp_parent (Repair_report { edge })
+    end
+  in
+
+  (* The repair decision wave: as in [start_wave], an on-path node's own
+     merged best IS the fragment winner (min edge id is a total order),
+     so the message needs no payload.  The root-to-proposer path flips
+     parent direction; the proposer keeps the crossing edge and hooks
+     across it. *)
+  let rp_start_wave nd =
+    match nd.rp_best with
+    | None -> ()
+    | Some (edge, peer) ->
+        if nd.rp_best_from < 0 then begin
+          keep ~who:nd.id edge;
+          rp_set_parent nd peer
+        end
+        else begin
+          rp_set_parent nd nd.rp_best_from;
+          emit ~src:nd.id ~dst:nd.rp_best_from Repair_on_path
+        end
+  in
+
+  (* Fragment-wide fallback, the paper's abort rule transplanted: every
+     member keeps all incident edges that are currently usable.  Size
+     degrades; stretch does not. *)
+  let rp_do_keep_all nd =
+    kept_all.(nd.id) <- true;
+    Hashtbl.iter
+      (fun w e ->
+        if present_now w && !edge_up_now e then keep ~who:nd.id e)
+      nd.nb_edge;
+    List.iter (fun c -> emit ~src:nd.id ~dst:c Repair_keep_all) nd.rp_children
   in
 
   (* ---------------- crash recovery ---------------- *)
@@ -272,6 +429,12 @@ let build_with ?(faults = Fault.none) ?tracer ~plan ~sampling g =
     Hashtbl.remove nd.die_waiting w;
     nd.p1_children <- List.filter (fun c -> c <> w) nd.p1_children;
     nd.p2_children <- List.filter (fun c -> c <> w) nd.p2_children;
+    Hashtbl.remove nd.rp_waiting w;
+    if Hashtbl.mem nd.rp_cv_waiting w then begin
+      Hashtbl.remove nd.rp_cv_waiting w;
+      rp_maybe_forward nd
+    end;
+    nd.rp_children <- List.filter (fun c -> c <> w) nd.rp_children;
     if nd.alive && (nd.p1 = w || nd.p2 = w) then do_orphan nd
   in
 
@@ -429,14 +592,41 @@ let build_with ?(faults = Fault.none) ?tracer ~plan ~sampling g =
         end
     | Probe -> ()  (* the transport-level ack is the whole answer *)
     | Orphan -> if nd.alive && not nd.orphaned then do_orphan nd
+    (* Repair messages ignore [alive]: by the time churn repair runs,
+       every node has executed the final call's kill.  Presence is the
+       engine's business — a message that arrives was deliverable. *)
+    | Repair_id { root } ->
+        if !repair_mode then begin
+          Hashtbl.replace nd.rp_nb src root;
+          emit ~src:nd.id ~dst:src (Repair_ack { root = nd.rp_root })
+        end
+    | Repair_ack { root } ->
+        if !repair_mode then begin
+          Hashtbl.replace nd.rp_nb src root;
+          Hashtbl.remove nd.rp_waiting src
+        end
+    | Repair_report { edge } ->
+        if !repair_mode then begin
+          (match nd.rp_best with
+          | Some (e', _) when e' <= edge -> ()
+          | _ ->
+              nd.rp_best <- Some (edge, -1);
+              nd.rp_best_from <- src);
+          Hashtbl.remove nd.rp_cv_waiting src;
+          rp_maybe_forward nd
+        end
+    | Repair_none ->
+        if !repair_mode then begin
+          Hashtbl.remove nd.rp_cv_waiting src;
+          rp_maybe_forward nd
+        end
+    | Repair_on_path -> if !repair_mode then rp_start_wave nd
+    | Repair_keep_all -> if !repair_mode then rp_do_keep_all nd
   in
 
   (* ---------------- phase driver ---------------- *)
-  let phase_round_limit = 10_000 + (500 * n) in
-  let stuck name why =
-    failwith
-      (Format.asprintf "Skeleton_dist: %s phase stuck (%s; %a)" name why
-         Sim.pp_stats (!stats_now ()))
+  let phase_round_limit =
+    match phase_round_limit with Some l -> l | None -> 10_000 + (500 * n)
   in
   (* Run one phase to completion.  [tick] runs every iteration (the
      dying/final phases stream batches from it); [probes] names the
@@ -448,20 +638,47 @@ let build_with ?(faults = Fault.none) ?tracer ~plan ~sampling g =
   let run_phase name ~complete ?(tick = fun () -> ()) ~probes () =
     let rounds = ref 0 in
     let last_probe_mark = ref (-1) in
+    (* A phase that can make no further progress — round limit hit, or
+       the transport drained with every probe already answered — is a
+       structured failure: the caller learns which phase wedged and who
+       was still being waited on (e.g. peers beyond a never-healing
+       partition), instead of an opaque hang. *)
+    let stuck () =
+      let waiting_on =
+        List.sort_uniq compare (probes ())
+        |> List.filter (fun (v, w) ->
+               w >= 0 && not (Hashtbl.mem nodes.(v).nb_dead w))
+      in
+      (* A phase with no probe set (notify: a pure transport drain)
+         still names the culprits: the ARQ links that never fell idle
+         — under a partition, exactly the links crossing the cut. *)
+      let waiting_on =
+        if waiting_on <> [] then waiting_on
+        else begin
+          let busy = ref [] in
+          for v = n - 1 downto 0 do
+            if present_now v then
+              Graph.iter_neighbors g v (fun w _ ->
+                  if not (!link_idle_ref v w) then busy := (v, w) :: !busy)
+          done;
+          List.sort_uniq compare !busy
+        end
+      in
+      raise (Stuck { phase = name; waiting_on; stats = !stats_now () })
+    in
     while not (complete ()) do
       incr rounds;
-      if !rounds > phase_round_limit then stuck name "round limit";
+      if !rounds > phase_round_limit then stuck ();
       tick ();
       if !idle_ref () then begin
-        if !last_probe_mark = !suspicion_events then
-          stuck name "probed every awaited peer, no progress";
+        if !last_probe_mark = !suspicion_events then stuck ();
         last_probe_mark := !suspicion_events;
         let targets =
           List.sort_uniq compare (probes ())
           |> List.filter (fun (v, w) ->
                  w >= 0 && not (Hashtbl.mem nodes.(v).nb_dead w))
         in
-        if targets = [] then stuck name "drained with nothing to probe";
+        if targets = [] then stuck ();
         List.iter (fun (v, w) -> emit ~src:v ~dst:w Probe) targets
       end
       else !pump_ref ()
@@ -812,6 +1029,309 @@ let build_with ?(faults = Fault.none) ?tracer ~plan ~sampling g =
       plan.Plan.calls
   in
 
+  (* ---------------- incremental repair (churn) ---------------- *)
+
+  (* After the plan's calls finish under topology churn, the spanner
+     may have lost edges: hooks severed, kept crossing edges down,
+     late joiners never integrated.  Instead of rebuilding from
+     scratch, detached fragments re-enter the Expand state machine on
+     their bounded neighborhood — the same exchange / convergecast /
+     decision-wave shape as a call, restricted to fragment members —
+     and hook across their minimum-id live crossing edge.  Fragments
+     that stay detached after the iteration bound degrade to the
+     paper's keep-all abort; a live graph that is itself disconnected
+     is reported as partitioned, never as a failure. *)
+  let run_repair ~fast_forward () =
+    (* Let every scheduled churn event land before assessing damage. *)
+    fast_forward (Fault.last_churn_round faults);
+    let live v = present_now v in
+    let edge_up e = !edge_up_now e in
+    let start_round = !round_now () in
+    (* 1. Sweep spanner edges the churn left down. *)
+    let dead = ref [] in
+    Edge_set.iter spanner (fun e -> if not (edge_up e) then dead := e :: !dead);
+    List.iter (Edge_set.remove spanner) !dead;
+    let dead_spanner_edges = List.length !dead in
+    (* 2. Roots: live nodes whose hook to their parent is unusable.
+       Hook-edge ids are snapshotted first — re-rooting rewrites
+       [parent_edge]. *)
+    let hook_edges = Hashtbl.create 16 in
+    for v = 0 to n - 1 do
+      if live v && parent.(v) >= 0 then Hashtbl.replace hook_edges parent_edge.(v) ()
+    done;
+    let roots = ref [] in
+    for v = 0 to n - 1 do
+      if
+        live v
+        && parent.(v) >= 0
+        && ((not (live parent.(v))) || not (edge_up parent_edge.(v)))
+      then begin
+        rp_set_parent nodes.(v) (-1);
+        roots := v :: !roots
+      end
+    done;
+    (* A joiner nobody ever heard from is a singleton fragment. *)
+    List.iter
+      (fun (_, v) ->
+        if live v && parent.(v) < 0 && Recovery.Detector.is_suspected det v
+        then roots := v :: !roots)
+      (Fault.join_schedule faults);
+    let roots = ref (List.sort_uniq compare !roots) in
+    (* 3. Dead non-hook edges were kept for stretch across clusters;
+       each live endpoint substitutes its cheapest usable non-spanner
+       edge.  The extra keep is accounted as one more call alive. *)
+    let substitute v =
+      let nd = nodes.(v) in
+      let best = ref (-1) in
+      Hashtbl.iter
+        (fun w e ->
+          if
+            live w && edge_up e
+            && (not (Edge_set.mem spanner e))
+            && (!best < 0 || e < !best)
+          then best := e)
+        nd.nb_edge;
+      if !best >= 0 then begin
+        calls_alive.(v) <- calls_alive.(v) + 1;
+        keep ~who:v !best;
+        incr rp_replaced
+      end
+    in
+    List.iter
+      (fun e ->
+        if not (Hashtbl.mem hook_edges e) then begin
+          let u, v = Graph.edge_endpoints g e in
+          if live u && live v then begin
+            substitute u;
+            substitute v
+          end
+        end)
+      !dead;
+    (* 4. Fresh epoch for the failure detector: a link that is up
+       between two present nodes is usable again, whatever the ARQ
+       concluded while it was down or its peer un-joined. *)
+    Array.iter
+      (fun nd ->
+        if live nd.id then
+          Hashtbl.iter
+            (fun w e -> if live w && edge_up e then Hashtbl.remove nd.nb_dead w)
+            nd.nb_edge)
+      nodes;
+    repair_mode := true;
+    (* Rebuild the repair forest from the witness labels (protocol
+       liveness is gone by now) and mark fragment membership; each
+       member's re-entry counts as one more call alive. *)
+    let rebuild_forest () =
+      Array.iter
+        (fun nd ->
+          nd.rp_root <- -1;
+          nd.rp_parent <- -1;
+          nd.rp_children <- [];
+          nd.rp_nb <- Hashtbl.create 4;
+          nd.rp_waiting <- Hashtbl.create 4;
+          nd.rp_cv_waiting <- Hashtbl.create 4;
+          nd.rp_report_sent <- false;
+          nd.rp_best <- None;
+          nd.rp_best_from <- -1)
+        nodes;
+      for v = 0 to n - 1 do
+        if
+          live v && parent.(v) >= 0 && live parent.(v)
+          && edge_up parent_edge.(v)
+        then begin
+          nodes.(v).rp_parent <- parent.(v);
+          nodes.(parent.(v)).rp_children <- v :: nodes.(parent.(v)).rp_children
+        end
+      done;
+      let members = ref [] in
+      List.iter
+        (fun r ->
+          let q = Queue.create () in
+          Queue.add r q;
+          while not (Queue.is_empty q) do
+            let v = Queue.pop q in
+            if nodes.(v).rp_root < 0 then begin
+              nodes.(v).rp_root <- r;
+              members := v :: !members;
+              calls_alive.(v) <- calls_alive.(v) + 1;
+              List.iter (fun c -> Queue.add c q) nodes.(v).rp_children
+            end
+          done)
+        !roots;
+      !members
+    in
+    let rehooked = ref 0 in
+    let progress = ref true in
+    let iter_n = ref 0 in
+    while !roots <> [] && !progress && !iter_n < 3 do
+      incr iter_n;
+      let members = rebuild_forest () in
+      (* Repair exchange: members learn each usable neighbor's
+         fragment root (-1 = attached). *)
+      List.iter
+        (fun v ->
+          let nd = nodes.(v) in
+          Hashtbl.iter
+            (fun w e ->
+              if live w && edge_up e then begin
+                Hashtbl.replace nd.rp_waiting w ();
+                emit ~src:v ~dst:w (Repair_id { root = nd.rp_root })
+              end)
+            nd.nb_edge)
+        members;
+      run_phase "repair-exchange"
+        ~complete:(fun () ->
+          List.for_all
+            (fun v ->
+              (not (live v)) || Hashtbl.length nodes.(v).rp_waiting = 0)
+            members)
+        ~probes:(fun () ->
+          List.concat_map
+            (fun v ->
+              if live v then
+                Hashtbl.fold
+                  (fun w () acc -> (v, w) :: acc)
+                  nodes.(v).rp_waiting []
+              else [])
+            members)
+        ();
+      (* Local candidates — an edge crossing to the attached part or to
+         a strictly smaller-rooted fragment (the order keeps the hook
+         relation acyclic) — then convergecast the fragment minimum. *)
+      List.iter
+        (fun v ->
+          let nd = nodes.(v) in
+          Hashtbl.iter
+            (fun w root_w ->
+              if root_w <> nd.rp_root && (root_w < 0 || root_w < nd.rp_root)
+              then begin
+                let e = Hashtbl.find nd.nb_edge w in
+                match nd.rp_best with
+                | Some (e', _) when e' <= e -> ()
+                | _ ->
+                    nd.rp_best <- Some (e, w);
+                    nd.rp_best_from <- -1
+              end)
+            nd.rp_nb;
+          List.iter
+            (fun c -> Hashtbl.replace nd.rp_cv_waiting c ())
+            nd.rp_children)
+        members;
+      List.iter (fun v -> rp_maybe_forward nodes.(v)) members;
+      run_phase "repair-convergecast"
+        ~complete:(fun () ->
+          List.for_all
+            (fun v ->
+              (not (live v))
+              ||
+              let nd = nodes.(v) in
+              Hashtbl.length nd.rp_cv_waiting = 0
+              && (nd.rp_parent < 0 || nd.rp_report_sent))
+            members)
+        ~probes:(fun () ->
+          List.concat_map
+            (fun v ->
+              if live v then
+                Hashtbl.fold
+                  (fun w () acc -> (v, w) :: acc)
+                  nodes.(v).rp_cv_waiting []
+              else [])
+            members)
+        ();
+      (* Roots with a candidate launch the parent-flip wave. *)
+      let resolved, unresolved =
+        List.partition (fun r -> nodes.(r).rp_best <> None) !roots
+      in
+      List.iter (fun r -> rp_start_wave nodes.(r)) resolved;
+      run_phase "repair-wave"
+        ~complete:(fun () -> !idle_ref ())
+        ~probes:no_probes ();
+      rehooked := !rehooked + List.length resolved;
+      progress := resolved <> [];
+      roots := unresolved
+    done;
+    (* Fragments still detached found no usable crossing edge (or the
+       iteration bound ran out): degrade to keep-all. *)
+    if !roots <> [] then begin
+      ignore (rebuild_forest ());
+      rp_keep_alls := List.length !roots;
+      List.iter (fun r -> rp_do_keep_all nodes.(r)) !roots;
+      run_phase "repair-keep-all"
+        ~complete:(fun () -> !idle_ref ())
+        ~probes:no_probes ()
+    end;
+    repair_mode := false;
+    (* 5. Seam bridging.  A partition that healed only after both sides
+       had written each other off leaves every hook intact yet no
+       crossing edge in the spanner: during the cut, cross-cut keeps
+       never happened.  Sweep live up edges in id order and keep any
+       edge joining two spanner components — the re-advertised link's
+       endpoints adopt it as a substitute crossing edge (accounted like
+       a substitute: one more call alive for the keeper). *)
+    let suf = Util.Union_find.create n in
+    Edge_set.iter spanner (fun e ->
+        if edge_up e then begin
+          let u, v = Graph.edge_endpoints g e in
+          if live u && live v then ignore (Util.Union_find.union suf u v)
+        end);
+    for e = 0 to Graph.m g - 1 do
+      if edge_up e && not (Edge_set.mem spanner e) then begin
+        let u, v = Graph.edge_endpoints g e in
+        if live u && live v && Util.Union_find.union suf u v then begin
+          let who = Stdlib.min u v in
+          calls_alive.(who) <- calls_alive.(who) + 1;
+          keep ~who e;
+          incr rp_replaced
+        end
+      end
+    done;
+    (* Ladder verdict: components of the live graph decide partitioned;
+       otherwise any keep-all fallback means degraded. *)
+    let comp = Array.make n (-1) in
+    let ncomp = ref 0 in
+    for v = 0 to n - 1 do
+      if live v && comp.(v) < 0 then begin
+        incr ncomp;
+        let q = Queue.create () in
+        Queue.add v q;
+        comp.(v) <- v;
+        while not (Queue.is_empty q) do
+          let u = Queue.pop q in
+          Hashtbl.iter
+            (fun w e ->
+              if live w && edge_up e && comp.(w) < 0 then begin
+                comp.(w) <- v;
+                Queue.add w q
+              end)
+            nodes.(u).nb_edge
+        done
+      end
+    done;
+    let ncomp = Stdlib.max 1 !ncomp in
+    let outcome =
+      if ncomp > 1 then Partitioned ncomp
+      else if !rp_keep_alls > 0 then Degraded
+      else if dead_spanner_edges = 0 && !rehooked = 0 && !rp_replaced = 0 then
+        Intact
+      else Patched
+    in
+    repair_ref :=
+      {
+        outcome;
+        dead_spanner_edges;
+        rehooked = !rehooked;
+        replaced_edges = !rp_replaced;
+        keep_all_fallbacks = !rp_keep_alls;
+        repair_rounds = !round_now () - start_round;
+        components = ncomp;
+      };
+    let down = ref [] in
+    for e = Graph.m g - 1 downto 0 do
+      if not (edge_up e) then down := e :: !down
+    done;
+    dead_edges_ref := !down
+  in
+
   (* ---------------- transports ---------------- *)
   let retransmissions = ref 0 and dead_letters = ref 0 in
   if not use_arq then begin
@@ -849,8 +1369,10 @@ let build_with ?(faults = Fault.none) ?tracer ~plan ~sampling g =
     end in
     let module R = Reliable.Make (P) in
     let net : R.message Sim.t = Sim.create ~faults ?tracer g in
+    let dynamic = Fault.has_churn faults in
     round_now := (fun () -> Sim.round net);
     stats_now := (fun () -> Sim.stats net);
+    edge_up_now := Sim.edge_up net;
     let states = Array.init n (fun v -> fst (R.init g v)) in
     let inboxes : (int * R.message) list array = Array.make n [] in
     let suspects_seen = Array.make n 0 in
@@ -866,9 +1388,13 @@ let build_with ?(faults = Fault.none) ?tracer ~plan ~sampling g =
           inboxes.(v) <- [];
           if not (crashed_now v) then begin
             let _, outs = R.receive g ~round v states.(v) inbox in
+            (* Under churn a down link swallows the frame — the ARQ
+               retransmits, and persistent downtime ripens into a
+               suspicion exactly like a crashed peer. *)
             List.iter
               (fun (dst, rm) ->
-                Sim.send net ~src:v ~dst ~words:(R.message_words rm) rm)
+                if (not dynamic) || Sim.link_up net ~src:v ~dst then
+                  Sim.send net ~src:v ~dst ~words:(R.message_words rm) rm)
               outs
           end
         done;
@@ -904,6 +1430,13 @@ let build_with ?(faults = Fault.none) ?tracer ~plan ~sampling g =
         R.link_idle states.(v) w
         && not (List.exists (fun (d, _) -> d = w) outbox.(v)));
     run_plan ();
+    if dynamic then
+      run_repair
+        ~fast_forward:(fun target ->
+          while Sim.round net < target do
+            !pump_ref ()
+          done)
+        ();
     Array.iteri
       (fun v st ->
         if not (crashed_now v) then begin
@@ -919,6 +1452,18 @@ let build_with ?(faults = Fault.none) ?tracer ~plan ~sampling g =
   List.iter
     (fun (round, v) -> if round <= stats.Sim.rounds then crashed.(v) <- true)
     (Fault.crash_schedule faults);
+  (* A late joiner that never integrated — suspected by its neighbors
+     and neither rehooked nor degraded by the repair pass — is absent
+     from the spanner through no protocol fault; audit it like a
+     crashed node rather than failing the stretch check on it. *)
+  List.iter
+    (fun (round, v) ->
+      if
+        round > stats.Sim.rounds
+        || (Recovery.Detector.is_suspected det v
+           && parent.(v) < 0 && not kept_all.(v))
+      then crashed.(v) <- true)
+    (Fault.join_schedule faults);
   let witness =
     {
       Certify.parent;
@@ -948,10 +1493,12 @@ let build_with ?(faults = Fault.none) ?tracer ~plan ~sampling g =
         retransmissions = !retransmissions;
         dead_letters = !dead_letters;
       };
+    repair = !repair_ref;
+    dead_edges = !dead_edges_ref;
   }
 
-let build ?(d = 4) ?(eps = 0.5) ?faults ?tracer ~seed g =
+let build ?(d = 4) ?(eps = 0.5) ?faults ?tracer ?phase_round_limit ~seed g =
   let plan = Plan.make ~n:(Graph.n g) ~d ~eps () in
   let rng = Util.Prng.create ~seed in
   let sampling = Sampling.draw rng ~n:(Graph.n g) plan in
-  build_with ?faults ?tracer ~plan ~sampling g
+  build_with ?faults ?tracer ?phase_round_limit ~plan ~sampling g

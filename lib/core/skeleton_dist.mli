@@ -61,6 +61,44 @@ type recovery_report = {
   dead_letters : int;  (** ARQ transmissions abandoned, all nodes *)
 }
 
+(** How well the spanner survived topology churn — the degradation
+    ladder.  [Intact]: no spanner edge was affected.  [Patched]: local
+    repair rehooked every detached fragment and substituted every dead
+    crossing edge.  [Degraded]: at least one fragment fell back to the
+    keep-all abort (size grows, stretch holds).  [Partitioned k]: the
+    live graph itself has [k] components; repair patched each side
+    independently, and certification must run per component. *)
+type repair_outcome = Intact | Patched | Degraded | Partitioned of int
+
+val pp_outcome : Format.formatter -> repair_outcome -> unit
+
+(** What the incremental repair pass did after the last churn event
+    ([no_repair]-equal on a churn-free run). *)
+type repair_report = {
+  outcome : repair_outcome;
+  dead_spanner_edges : int;  (** spanner edges swept because down *)
+  rehooked : int;  (** fragments re-attached by the repair wave *)
+  replaced_edges : int;  (** substitute edges for dead crossing edges *)
+  keep_all_fallbacks : int;  (** fragments degraded to keep-all *)
+  repair_rounds : int;  (** engine rounds spent repairing *)
+  components : int;  (** live-graph components after churn *)
+}
+
+val no_repair : repair_report
+
+(** A phase that can make no further progress: the round limit was hit,
+    or the transport drained with every probe already answered.  Either
+    a protocol bug or a fault plan outside the recoverable envelope —
+    e.g. a partition that never heals.  [waiting_on] lists the
+    (waiter, awaited-peer) links still open, which under a partition
+    names the links crossing the cut. *)
+exception
+  Stuck of {
+    phase : string;
+    waiting_on : (int * int) list;
+    stats : Distnet.Sim.stats;
+  }
+
 type result = {
   spanner : Graphlib.Edge_set.t;
   plan : Plan.t;
@@ -68,6 +106,8 @@ type result = {
   stats : Distnet.Sim.stats;
   witness : Certify.witness;  (** labels for {!Certify.run} *)
   recovery : recovery_report;
+  repair : repair_report;
+  dead_edges : int list;  (** edge ids still down when the run ended *)
 }
 
 val build :
@@ -75,6 +115,7 @@ val build :
   ?eps:float ->
   ?faults:Distnet.Fault.t ->
   ?tracer:Distnet.Trace.t ->
+  ?phase_round_limit:int ->
   seed:int ->
   Graphlib.Graph.t ->
   result
@@ -82,11 +123,19 @@ val build :
 val build_with :
   ?faults:Distnet.Fault.t ->
   ?tracer:Distnet.Trace.t ->
+  ?phase_round_limit:int ->
   plan:Plan.t ->
   sampling:Sampling.t ->
   Graphlib.Graph.t ->
   result
-(** @raise Failure if a phase cannot complete and probing the awaited
+(** With a churn-carrying fault plan, the run fast-forwards past the
+    last churn event after the schedule completes and executes the
+    incremental repair pass (see {!repair_report}); down links during
+    the run look like loss to the ARQ and ripen into suspicions if
+    they stay down past the retry horizon.  [phase_round_limit] bounds
+    the rounds any one phase may spend (default [10_000 + 500 n]).
+
+    @raise Stuck if a phase cannot complete and probing the awaited
     peers produces no new crash suspicions — either a protocol bug or
-    a fault plan outside the crash-stop envelope (e.g. a partitioned
-    link that never heals); the message names the stuck phase. *)
+    a fault plan outside the recoverable envelope (e.g. a partitioned
+    link that never heals); the payload names the stuck phase. *)

@@ -1,17 +1,67 @@
+type churn_event =
+  | Edge_down of { round : int; u : int; v : int }
+  | Edge_up of { round : int; u : int; v : int }
+  | Partition of { round : int; edges : (int * int) list; heal : int option }
+  | Join of { round : int; node : int }
+
 type spec = {
   drop : float;
   dup : float;
   delay : float;
   max_delay : int;
   crashes : (int * int) list;
+  churn : churn_event list;
 }
 
 let default_spec =
-  { drop = 0.; dup = 0.; delay = 0.; max_delay = 1; crashes = [] }
+  { drop = 0.; dup = 0.; delay = 0.; max_delay = 1; crashes = []; churn = [] }
 
 type fate = Lost | Pass of { dup : bool; delay : int }
 
 let pass = Pass { dup = false; delay = 0 }
+
+type action =
+  | Act_edge_down of { u : int; v : int }
+  | Act_edge_up of { u : int; v : int }
+  | Act_partition of { links : (int * int) list; heal : int option }
+  | Act_heal of { links : (int * int) list }
+  | Act_join of int
+
+(* Normalized per-round churn schedule: every churn event contributes
+   one action at its round; a partition with a heal round contributes a
+   second action at the heal round.  Stable sort keeps the listed order
+   within a round. *)
+type dynamics = {
+  schedule : (int * action) list;
+  joins : (int, int) Hashtbl.t;  (* node -> first round it is present *)
+  last_round : int;  (* latest scheduled round, 0 when static *)
+}
+
+let no_dynamics = { schedule = []; joins = Hashtbl.create 1; last_round = 0 }
+
+let dynamics_of_churn churn =
+  if churn = [] then no_dynamics
+  else begin
+    let joins = Hashtbl.create 8 in
+    let acts =
+      List.concat_map
+        (function
+          | Edge_down { round; u; v } -> [ (round, Act_edge_down { u; v }) ]
+          | Edge_up { round; u; v } -> [ (round, Act_edge_up { u; v }) ]
+          | Partition { round; edges; heal } -> (
+              let cut = (round, Act_partition { links = edges; heal }) in
+              match heal with
+              | None -> [ cut ]
+              | Some h -> [ cut; (h, Act_heal { links = edges }) ])
+          | Join { round; node } ->
+              Hashtbl.replace joins node round;
+              [ (round, Act_join node) ])
+        churn
+    in
+    let schedule = List.stable_sort (fun (r, _) (r', _) -> compare r r') acts in
+    let last_round = List.fold_left (fun acc (r, _) -> max acc r) 0 schedule in
+    { schedule; joins; last_round }
+  end
 
 (* Scripted fates are keyed by (round, src, dst); the engine processes
    at most one fresh message per directed edge per round, so the key is
@@ -20,8 +70,17 @@ type script = { fates : (int * int * int, fate) Hashtbl.t }
 
 type t =
   | None_
-  | Random of { rng : Util.Prng.t; spec : spec; crashed_at : (int, int) Hashtbl.t }
-  | Scripted of { script : script; crashed_at : (int, int) Hashtbl.t }
+  | Random of {
+      rng : Util.Prng.t;
+      spec : spec;
+      crashed_at : (int, int) Hashtbl.t;
+      dyn : dynamics;
+    }
+  | Scripted of {
+      script : script;
+      crashed_at : (int, int) Hashtbl.t;
+      dyn : dynamics;
+    }
 
 let none = None_
 let is_none = function None_ -> true | _ -> false
@@ -36,7 +95,68 @@ let crash_table crashes =
     crashes;
   tbl
 
-let make ~seed spec =
+let validate_churn ?graph churn =
+  let check_vertex v =
+    match graph with
+    | Some g when v < 0 || v >= Graphlib.Graph.n g ->
+        invalid_arg
+          (Printf.sprintf
+             "Fault.make: churn references vertex %d outside this %d-vertex \
+              graph"
+             v (Graphlib.Graph.n g))
+    | _ ->
+        if v < 0 then
+          invalid_arg
+            (Printf.sprintf "Fault.make: churn references vertex %d" v)
+  in
+  let check_edge (u, v) =
+    check_vertex u;
+    check_vertex v;
+    match graph with
+    | Some g when Graphlib.Graph.find_edge g u v = None ->
+        invalid_arg
+          (Printf.sprintf "Fault.make: churn references edge %d-%d not in the \
+                           graph" u v)
+    | _ -> ()
+  in
+  let check_round r =
+    if r < 0 then
+      invalid_arg (Printf.sprintf "Fault.make: churn round %d < 0" r)
+  in
+  let seen_join = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Edge_down { round; u; v } | Edge_up { round; u; v } ->
+          check_round round;
+          check_edge (u, v)
+      | Partition { round; edges; heal } -> (
+          check_round round;
+          if edges = [] then
+            invalid_arg "Fault.make: partition with no links";
+          List.iter check_edge edges;
+          match heal with
+          | Some h when h <= round ->
+              invalid_arg
+                (Printf.sprintf
+                   "Fault.make: partition heal round %d <= partition round %d"
+                   h round)
+          | _ -> ())
+      | Join { round; node } ->
+          check_vertex node;
+          if round < 1 then
+            invalid_arg
+              (Printf.sprintf
+                 "Fault.make: node %d join round %d < 1 (nodes present from \
+                  the start need no join event)"
+                 node round);
+          if Hashtbl.mem seen_join node then
+            invalid_arg
+              (Printf.sprintf "Fault.make: duplicate join entry for node %d"
+                 node);
+          Hashtbl.replace seen_join node ())
+    churn
+
+let make ~seed ?graph spec =
   let check_rate name p =
     if not (p >= 0. && p <= 1.) then
       invalid_arg (Printf.sprintf "Fault.make: %s rate %g not in [0,1]" name p)
@@ -46,21 +166,37 @@ let make ~seed spec =
   check_rate "delay" spec.delay;
   if spec.delay > 0. && spec.max_delay < 1 then
     invalid_arg "Fault.make: max_delay must be >= 1 when delay > 0";
+  let seen_crash = Hashtbl.create 8 in
   List.iter
     (fun (v, r) ->
       if r < 0 then
-        invalid_arg (Printf.sprintf "Fault.make: node %d crash round %d < 0" v r))
+        invalid_arg (Printf.sprintf "Fault.make: node %d crash round %d < 0" v r);
+      (match graph with
+      | Some g when v < 0 || v >= Graphlib.Graph.n g ->
+          invalid_arg
+            (Printf.sprintf
+               "Fault.make: crash references vertex %d outside this %d-vertex \
+                graph"
+               v (Graphlib.Graph.n g))
+      | _ -> ());
+      if Hashtbl.mem seen_crash v then
+        invalid_arg
+          (Printf.sprintf "Fault.make: duplicate crash entry for node %d" v);
+      Hashtbl.replace seen_crash v ())
     spec.crashes;
+  validate_churn ?graph spec.churn;
   Random
     {
       rng = Util.Prng.create ~seed;
       spec;
       crashed_at = crash_table spec.crashes;
+      dyn = dynamics_of_churn spec.churn;
     }
 
 let scripted events =
   let fates = Hashtbl.create 256 in
   let crashes = ref [] in
+  let rev_churn = ref [] in
   let merge key f =
     let dup, delay =
       match Hashtbl.find_opt fates key with
@@ -81,11 +217,30 @@ let scripted events =
       | Trace.Dup -> merge key `Dup
       | Trace.Delay k -> merge key (`Delay k)
       | Trace.Crash -> crashes := (e.Trace.src, e.Trace.round) :: !crashes
-      (* Send/Deliver lines and crash-induced drops are informational:
-         the replay engine re-derives them. *)
-      | Trace.Send | Trace.Deliver | Trace.Drop _ -> ())
+      | Trace.Edge_down ->
+          rev_churn :=
+            Edge_down { round = e.Trace.round; u = e.Trace.src; v = e.Trace.dst }
+            :: !rev_churn
+      | Trace.Edge_up ->
+          rev_churn :=
+            Edge_up { round = e.Trace.round; u = e.Trace.src; v = e.Trace.dst }
+            :: !rev_churn
+      | Trace.Join ->
+          rev_churn :=
+            Join { round = e.Trace.round; node = e.Trace.src } :: !rev_churn
+      (* Send/Deliver lines, schedule-induced drops, and partition/heal
+         markers are informational: the replay engine re-derives them
+         (each partitioned link is also traced as its own edge event). *)
+      | Trace.Send | Trace.Deliver | Trace.Drop _ | Trace.Partition
+      | Trace.Heal ->
+          ())
     events;
-  Scripted { script = { fates }; crashed_at = crash_table !crashes }
+  Scripted
+    {
+      script = { fates };
+      crashed_at = crash_table !crashes;
+      dyn = dynamics_of_churn (List.rev !rev_churn);
+    }
 
 let fate t ~round ~src ~dst =
   match t with
@@ -124,3 +279,20 @@ let crash_schedule t =
   | Some tbl ->
       Hashtbl.fold (fun v r acc -> (r, v) :: acc) tbl []
       |> List.sort compare
+
+let dynamics = function
+  | None_ -> no_dynamics
+  | Random { dyn; _ } | Scripted { dyn; _ } -> dyn
+
+let churn_schedule t = (dynamics t).schedule
+let has_churn t = (dynamics t).schedule <> []
+let last_churn_round t = (dynamics t).last_round
+
+let join_schedule t =
+  Hashtbl.fold (fun v r acc -> (r, v) :: acc) (dynamics t).joins []
+  |> List.sort compare
+
+let joined t ~round v =
+  match Hashtbl.find_opt (dynamics t).joins v with
+  | None -> true
+  | Some r -> round >= r

@@ -2,7 +2,9 @@
 
     A fault plan decides, for every message the engine processes, its
     {e fate}: delivered as-is, lost, duplicated, or held back a bounded
-    number of rounds — plus a crash-stop schedule for nodes.  All
+    number of rounds — plus a crash-stop schedule for nodes and a
+    {e churn plan} for the topology itself (edges going down and up,
+    link partitions with an optional heal round, late node joins).  All
     random decisions come from a {!Util.Prng} stream seeded once, so a
     run is reproducible from [(graph seed, fault seed)] alone; a
     {!scripted} plan takes its decisions from a recorded {!Trace}
@@ -11,9 +13,30 @@
     Crash-stop semantics: a node with crash round [r] participates
     fully in rounds [< r]; from round [r] on it neither sends nor
     receives.  Messages it put on the wire in round [r - 1] are still
-    delivered (they had already left the node). *)
+    delivered (they had already left the node).
+
+    Churn semantics: the engine applies the scheduled actions of round
+    [r] at the start of round [r], before any delivery of that round.
+    A message in flight (including one held back by a delay fate) over
+    a link that is down at its delivery round is dropped.  A node with
+    join round [r] is absent before [r]: it neither sends nor receives,
+    and messages addressed to it are dropped. *)
 
 type t
+
+(** One scheduled topology change.  Edges are named by their endpoints
+    [(u, v)] (order irrelevant) and must exist in the graph the plan is
+    used with — {!make} validates them when given the graph. *)
+type churn_event =
+  | Edge_down of { round : int; u : int; v : int }
+      (** the link [u]-[v] goes down at the start of [round] *)
+  | Edge_up of { round : int; u : int; v : int }
+      (** the link comes (back) up at the start of [round] *)
+  | Partition of { round : int; edges : (int * int) list; heal : int option }
+      (** a set of links goes down together; with [heal = Some r'] they
+          all come back at [r'] ([r' > round] required) *)
+  | Join of { round : int; node : int }
+      (** the node first appears at the start of [round] ([round >= 1]) *)
 
 type spec = {
   drop : float;  (** per-message loss probability, in [0,1] *)
@@ -21,11 +44,12 @@ type spec = {
   delay : float;  (** probability a message is held back *)
   max_delay : int;  (** held-back messages wait uniform [1..max_delay] rounds *)
   crashes : (int * int) list;  (** [(node, round)] crash-stop schedule *)
+  churn : churn_event list;  (** topology changes, applied between rounds *)
 }
 
 val default_spec : spec
-(** All rates zero, no crashes: [make ~seed default_spec] behaves
-    exactly like {!none}. *)
+(** All rates zero, no crashes, no churn: [make ~seed default_spec]
+    behaves exactly like {!none}. *)
 
 (** The fate of one processed message. *)
 type fate =
@@ -34,22 +58,31 @@ type fate =
 
 val none : t
 (** The loss-free plan: every fate is [Pass {dup = false; delay = 0}],
-    nothing crashes, and no PRNG is consulted.  This is the default of
-    [Sim.create] and preserves the seed engine's behavior exactly. *)
+    nothing crashes, the topology is static, and no PRNG is consulted.
+    This is the default of [Sim.create] and preserves the seed engine's
+    behavior exactly. *)
 
-val make : seed:int -> spec -> t
+val make : seed:int -> ?graph:Graphlib.Graph.t -> spec -> t
 (** A randomized plan drawing i.i.d. per-message decisions from a
-    fresh [Util.Prng] stream.
+    fresh [Util.Prng] stream.  When [graph] is given, every vertex and
+    edge the crash/churn schedules reference is checked against it.
     @raise Invalid_argument if a rate is outside [0,1], [max_delay < 1]
-    while [delay > 0], or a crash round is negative. *)
+    while [delay > 0], a crash round is negative, the same node has two
+    crash entries, a churn event references a negative round or (given
+    [graph]) a vertex or edge the graph does not have, a partition is
+    empty or heals no later than it starts, or a node has two join
+    entries or a join round [< 1]. *)
 
 val scripted : Trace.event list -> t
-(** A plan that replays the random decisions recorded in a trace: the
-    fate of the message processed at [(round, src, dst)] is rebuilt
-    from that trace's [Drop Loss]/[Dup]/[Delay] events, and the crash
-    schedule from its [Crash] events.  Messages with no recorded fault
-    event pass through untouched, so replaying a trace on the same
-    graph and protocol reproduces the original run bit-for-bit. *)
+(** A plan that replays the decisions recorded in a trace: the fate of
+    the message processed at [(round, src, dst)] is rebuilt from that
+    trace's [Drop Loss]/[Dup]/[Delay] events, the crash schedule from
+    its [Crash] events, and the churn plan from its
+    [Edge_down]/[Edge_up]/[Join] events (partition/heal markers are
+    informational: each partitioned link is also traced as its own
+    edge event).  Messages with no recorded fault event pass through
+    untouched, so replaying a trace on the same graph and protocol
+    reproduces the original run bit-for-bit. *)
 
 val is_none : t -> bool
 (** [true] only for {!none} — lets the engine skip fault bookkeeping
@@ -66,3 +99,35 @@ val crashed : t -> round:int -> int -> bool
 val crash_schedule : t -> (int * int) list
 (** [(round, node)] pairs sorted by round — the engine uses this to
     emit [Crash] trace events as the rounds are reached. *)
+
+(** {1 Churn schedule}
+
+    The engine consumes the normalized schedule below; protocol code
+    normally only needs {!joined} (and [Sim.link_up] for edges). *)
+
+(** One normalized scheduled action.  A [Partition] churn event
+    appears as one [Act_partition] (the engine downs each link and
+    traces the marker) and, when healing, one later [Act_heal]. *)
+type action =
+  | Act_edge_down of { u : int; v : int }
+  | Act_edge_up of { u : int; v : int }
+  | Act_partition of { links : (int * int) list; heal : int option }
+  | Act_heal of { links : (int * int) list }
+  | Act_join of int
+
+val churn_schedule : t -> (int * action) list
+(** [(round, action)] pairs sorted by round (stable within a round). *)
+
+val has_churn : t -> bool
+(** Does the plan schedule any topology change at all? *)
+
+val last_churn_round : t -> int
+(** The latest scheduled churn round ([0] for a static topology) —
+    lets a driver idle the engine forward until all churn has landed. *)
+
+val join_schedule : t -> (int * int) list
+(** [(round, node)] pairs sorted by round, one per late joiner. *)
+
+val joined : t -> round:int -> int -> bool
+(** [joined t ~round v]: is [v] present at [round]?  Always [true] for
+    nodes without a join entry. *)

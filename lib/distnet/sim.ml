@@ -13,6 +13,16 @@ let pp_stats ppf s =
 
 type 'msg envelope = { src : int; dst : int; words : int; payload : 'msg }
 
+exception Link_down of { round : int; src : int; dst : int }
+
+let () =
+  Printexc.register_printer (function
+    | Link_down { round; src; dst } ->
+        Some
+          (Printf.sprintf "Sim.Link_down(round %d: link %d-%d is down)" round
+             src dst)
+    | _ -> None)
+
 type 'msg t = {
   g : Graph.t;
   (* Directed-link slots: edge e gives slot 2e for (u -> v) and 2e+1
@@ -22,6 +32,12 @@ type 'msg t = {
   last_sent : int array;  (** per slot: round counter of the last send *)
   faults : Fault.t;
   tracer : Trace.t option;
+  (* Dynamic topology.  [dynamic] is false for churn-free plans, in
+     which case no per-message liveness check runs — the static paths
+     stay byte-identical to the seed engine. *)
+  dynamic : bool;
+  edge_alive : bool array;  (** per undirected edge *)
+  mutable pending_churn : (int * Fault.action) list;
   (* Messages held back by a Delay fate, keyed by delivery round. *)
   delayed : (int, 'msg envelope list) Hashtbl.t;
   mutable delayed_count : int;
@@ -37,37 +53,97 @@ type 'msg t = {
 
 let key ~n src dst = (src * n) + dst
 
+let trace t ~round kind ~src ~dst ~words =
+  match t.tracer with
+  | None -> ()
+  | Some tr -> Trace.record tr { Trace.round; kind; src; dst; words }
+
+let edge_of_link t u v =
+  match Hashtbl.find_opt t.link (key ~n:(Graph.n t.g) u v) with
+  | Some slot -> slot / 2
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Sim: churn references edge %d-%d not in the graph" u v)
+
+let flip_link t ~round ~up (u, v) =
+  t.edge_alive.(edge_of_link t u v) <- up;
+  trace t ~round
+    (if up then Trace.Edge_up else Trace.Edge_down)
+    ~src:u ~dst:v ~words:0
+
+let apply_action t ~round = function
+  | Fault.Act_edge_down { u; v } -> flip_link t ~round ~up:false (u, v)
+  | Fault.Act_edge_up { u; v } -> flip_link t ~round ~up:true (u, v)
+  | Fault.Act_partition { links; _ } ->
+      trace t ~round Trace.Partition ~src:(-1) ~dst:(-1)
+        ~words:(List.length links);
+      List.iter (flip_link t ~round ~up:false) links
+  | Fault.Act_heal { links } ->
+      trace t ~round Trace.Heal ~src:(-1) ~dst:(-1) ~words:(List.length links);
+      List.iter (flip_link t ~round ~up:true) links
+  | Fault.Act_join v -> trace t ~round Trace.Join ~src:v ~dst:(-1) ~words:0
+
+(* Apply every scheduled churn action whose round has arrived.  Actions
+   land at the {e start} of their round, before that round's
+   deliveries: a message in flight over a link downed this round is
+   dropped at delivery time. *)
+let apply_churn t ~round =
+  let rec go = function
+    | (r, act) :: rest when r <= round ->
+        apply_action t ~round:r act;
+        go rest
+    | rest -> t.pending_churn <- rest
+  in
+  go t.pending_churn
+
 let create ?(faults = Fault.none) ?tracer g =
   let n = Graph.n g in
   let link = Hashtbl.create (4 * Graph.m g) in
   Graph.iter_edges g (fun e u v ->
       Hashtbl.replace link (key ~n u v) (2 * e);
       Hashtbl.replace link (key ~n v u) ((2 * e) + 1));
-  {
-    g;
-    link;
-    last_sent = Array.make (Stdlib.max 1 (2 * Graph.m g)) (-1);
-    faults;
-    tracer;
-    delayed = Hashtbl.create 16;
-    delayed_count = 0;
-    pending_crashes = Fault.crash_schedule faults;
-    epoch = 0;
-    outbox = [];
-    rounds = 0;
-    messages = 0;
-    words = 0;
-    max_message_words = 0;
-  }
+  let t =
+    {
+      g;
+      link;
+      last_sent = Array.make (Stdlib.max 1 (2 * Graph.m g)) (-1);
+      faults;
+      tracer;
+      dynamic = Fault.has_churn faults;
+      edge_alive = Array.make (Stdlib.max 1 (Graph.m g)) true;
+      pending_churn = Fault.churn_schedule faults;
+      delayed = Hashtbl.create 16;
+      delayed_count = 0;
+      pending_crashes = Fault.crash_schedule faults;
+      epoch = 0;
+      outbox = [];
+      rounds = 0;
+      messages = 0;
+      words = 0;
+      max_message_words = 0;
+    }
+  in
+  (* Round-0 churn (e.g. an edge down from the start) must constrain
+     the init sends, which happen before the first step. *)
+  if t.dynamic then apply_churn t ~round:0;
+  t
 
 let graph t = t.g
 let faults t = t.faults
 let round t = t.rounds
 
-let trace t ~round kind ~src ~dst ~words =
-  match t.tracer with
-  | None -> ()
-  | Some tr -> Trace.record tr { Trace.round; kind; src; dst; words }
+let edge_up t e =
+  if e < 0 || e >= Graph.m t.g then invalid_arg "Sim.edge_up: no such edge";
+  t.edge_alive.(e)
+
+let link_up t ~src ~dst =
+  match Hashtbl.find_opt t.link (key ~n:(Graph.n t.g) src dst) with
+  | Some slot -> t.edge_alive.(slot / 2)
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Sim.link_up: %d -> %d is not a network link" src dst)
+
+let joined t v = Fault.joined t.faults ~round:t.rounds v
 
 let send t ~src ~dst ~words payload =
   if words < 1 then invalid_arg "Sim.send: words must be >= 1";
@@ -81,6 +157,14 @@ let send t ~src ~dst ~words payload =
         (* A crashed node cannot put anything on the wire; the refusal
            is silent so fault-oblivious drivers need no special case. *)
         trace t ~round:t.rounds (Trace.Drop Trace.Src_crashed) ~src ~dst ~words
+      else if t.dynamic && not (Fault.joined t.faults ~round:t.rounds src) then
+        (* Likewise a node that has not joined yet. *)
+        trace t ~round:t.rounds (Trace.Drop Trace.Not_joined) ~src ~dst ~words
+      else if t.dynamic && not t.edge_alive.(slot / 2) then
+        (* Unlike a crash, a down link is visible to the sender (its
+           NIC reports no carrier), so the refusal is loud: churn-aware
+           callers check {!link_up} first and treat down as loss. *)
+        raise (Link_down { round = t.rounds; src; dst })
       else begin
         if t.last_sent.(slot) = t.epoch then
           invalid_arg
@@ -118,10 +202,17 @@ let step t deliver =
     | rest -> t.pending_crashes <- rest
   in
   crashes t.pending_crashes;
+  if t.dynamic then apply_churn t ~round;
   let count = ref 0 in
   let deliver_now (e : 'msg envelope) =
     if Fault.crashed t.faults ~round e.dst then
       trace t ~round (Trace.Drop Trace.Dst_crashed) ~src:e.src ~dst:e.dst
+        ~words:e.words
+    else if t.dynamic && not t.edge_alive.(edge_of_link t e.src e.dst) then
+      trace t ~round (Trace.Drop Trace.Link_down) ~src:e.src ~dst:e.dst
+        ~words:e.words
+    else if t.dynamic && not (Fault.joined t.faults ~round e.dst) then
+      trace t ~round (Trace.Drop Trace.Not_joined) ~src:e.src ~dst:e.dst
         ~words:e.words
     else begin
       incr count;
@@ -241,13 +332,22 @@ module Run_active (P : ACTIVE_PROTOCOL) = struct
     in
     let post v msgs =
       List.iter
-        (fun (dst, m) -> send t ~src:v ~dst ~words:(P.message_words m) m)
+        (fun (dst, m) ->
+          (* The runner's node programs are churn-oblivious: a send
+             over a down link simply never makes it onto the wire
+             (loss, as far as the protocol can tell). *)
+          if (not t.dynamic) || link_up t ~src:v ~dst then
+            send t ~src:v ~dst ~words:(P.message_words m) m)
         msgs
     in
+    (* Late joiners are initialized when their join round arrives. *)
+    let pending_joins = ref (Fault.join_schedule faults) in
     for v = 0 to n - 1 do
-      let st, msgs = P.init g v in
-      states.(v) <- Some st;
-      if not (Fault.crashed faults ~round:0 v) then post v msgs
+      if Fault.joined faults ~round:0 v then begin
+        let st, msgs = P.init g v in
+        states.(v) <- Some st;
+        if not (Fault.crashed faults ~round:0 v) then post v msgs
+      end
     done;
     let inboxes = Array.make n [] in
     let round = ref 0 in
@@ -257,20 +357,36 @@ module Run_active (P : ACTIVE_PROTOCOL) = struct
     let any_active () =
       let rec go v =
         v < n
-        && (((not (Fault.crashed faults ~round:(!round + 1) v))
+        && ((states.(v) <> None
+            && (not (Fault.crashed faults ~round:(!round + 1) v))
             && P.active (state v))
            || go (v + 1))
       in
       go 0
     in
-    while (not (quiescent t)) || any_active () do
+    while (not (quiescent t)) || any_active () || !pending_joins <> [] do
       if !round >= max_rounds then budget_exhausted t "Sim.Run";
       incr round;
       Array.fill inboxes 0 n [];
       ignore
         (step t (fun ~dst ~src m -> inboxes.(dst) <- (src, m) :: inboxes.(dst)));
+      (* Nodes whose join round arrived appear now: they were already
+         eligible for this round's deliveries, and their first sends go
+         out this round like everyone else's. *)
+      let rec join = function
+        | (r, v) :: rest when r <= !round ->
+            let st, msgs = P.init g v in
+            states.(v) <- Some st;
+            if not (Fault.crashed faults ~round:!round v) then post v msgs;
+            join rest
+        | rest -> pending_joins := rest
+      in
+      join !pending_joins;
       for v = 0 to n - 1 do
-        if not (Fault.crashed faults ~round:!round v) then begin
+        if
+          states.(v) <> None
+          && not (Fault.crashed faults ~round:!round v)
+        then begin
           let st, msgs =
             P.receive g ~round:!round v (state v) (List.rev inboxes.(v))
           in
@@ -280,7 +396,11 @@ module Run_active (P : ACTIVE_PROTOCOL) = struct
       done
     done;
     let final =
-      Array.map (function Some st -> st | None -> assert false) states
+      (* A node whose join round never arrived ends in its initial
+         state: it did not participate. *)
+      Array.mapi
+        (fun v -> function Some st -> st | None -> fst (P.init g v))
+        states
     in
     (stats t, final)
 end

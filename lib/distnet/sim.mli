@@ -19,10 +19,19 @@
 
     The engine can be driven over a faulty network: {!create}'s
     [?faults] plan ({!Fault.t}) injects message loss, duplication,
-    bounded delay, and node crash-stops, and [?tracer] records every
+    bounded delay, node crash-stops, and {e topology churn} (edges
+    down/up, partitions, late joins), and [?tracer] records every
     network event into a {!Trace.t} for audit and deterministic replay.
     Both default to off, in which case behavior is bit-identical to the
-    fault-free engine. *)
+    fault-free engine.
+
+    Churn is applied between rounds: the scheduled actions of round [r]
+    land at the start of round [r], before that round's deliveries.  A
+    message in flight over a link that is down at its delivery round is
+    dropped (and traced); a {!send} over a link that is {e already}
+    down raises {!Link_down} — unlike a crash or a loss, the sender's
+    own link state is locally observable, so churn-aware callers check
+    {!link_up} first and treat a down link as loss. *)
 
 type stats = Trace.stats = {
   rounds : int;  (** synchronous rounds executed *)
@@ -37,11 +46,16 @@ val pp_stats : Format.formatter -> stats -> unit
 
 type 'msg t
 
+exception Link_down of { round : int; src : int; dst : int }
+(** Raised by {!send} when the link is down under the churn plan. *)
+
 val create : ?faults:Fault.t -> ?tracer:Trace.t -> Graphlib.Graph.t -> 'msg t
 (** [create ?faults ?tracer g] prepares an idle network on [g].
     [faults] defaults to {!Fault.none}, under which every observable
     behavior (deliveries, statistics, errors) is identical to the
-    fault-free engine; [tracer] defaults to no recording. *)
+    fault-free engine; [tracer] defaults to no recording.  Churn
+    actions scheduled for round 0 are applied immediately, so they
+    constrain the protocol's initial sends. *)
 
 val graph : 'msg t -> Graphlib.Graph.t
 
@@ -55,11 +69,26 @@ val round : 'msg t -> int
 
 val send : 'msg t -> src:int -> dst:int -> words:int -> 'msg -> unit
 (** Enqueue a message for delivery at the next {!step}.  If [src] has
-    crash-stopped, the message is silently discarded (and traced as a
-    drop) — a dead node cannot put anything on the wire.
+    crash-stopped (or has not joined yet), the message is silently
+    discarded (and traced as a drop) — a dead or absent node cannot
+    put anything on the wire.
+    @raise Link_down if the link is down under the churn plan: the
+    sender can observe its own link state, so the refusal is loud.
     @raise Invalid_argument if [dst] is not a neighbor of [src], if
     [words < 1], or if [src] already sent to [dst] this round; the
     message names the current round and both endpoints. *)
+
+val link_up : 'msg t -> src:int -> dst:int -> bool
+(** The live-edge view: is the link up this round?  [true] whenever the
+    plan schedules no churn.
+    @raise Invalid_argument if [src]-[dst] is not a network link. *)
+
+val edge_up : 'msg t -> int -> bool
+(** {!link_up} by undirected edge identifier. *)
+
+val joined : 'msg t -> int -> bool
+(** Has this node joined the network by the current round?  [true]
+    whenever the plan schedules no join for it. *)
 
 val step : 'msg t -> (dst:int -> src:int -> 'msg -> unit) -> int
 (** Advance one synchronous round: decide the fate of every queued
@@ -132,7 +161,11 @@ module Run_active (P : ACTIVE_PROTOCOL) : sig
     stats * P.state array
   (** Run the protocol to completion.  Under a fault plan, a node that
       crash-stops at round [r] executes no [receive] from round [r]
-      on: its state is frozen as of round [r - 1].
+      on: its state is frozen as of round [r - 1].  A node with join
+      round [r] is initialized at round [r] (its [init] sends go out
+      that round); under churn the node programs stay oblivious — a
+      send over a down link is simply discarded, i.e. looks like loss.
+      A node whose join round never arrives ends in its initial state.
       @raise Invalid_argument after [max_rounds] rounds (default
       [1_000_000]); the message reports the round and the statistics
       accumulated so far. *)

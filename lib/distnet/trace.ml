@@ -13,7 +13,7 @@ let diff_stats a b =
   |> field "messages" a.messages b.messages
   |> field "rounds" a.rounds b.rounds
 
-type reason = Loss | Src_crashed | Dst_crashed
+type reason = Loss | Src_crashed | Dst_crashed | Link_down | Not_joined
 
 type kind =
   | Send
@@ -22,6 +22,11 @@ type kind =
   | Dup
   | Delay of int
   | Crash
+  | Edge_down
+  | Edge_up
+  | Partition
+  | Heal
+  | Join
 
 type event = { round : int; kind : kind; src : int; dst : int; words : int }
 
@@ -29,6 +34,8 @@ let reason_name = function
   | Loss -> "loss"
   | Src_crashed -> "src-crashed"
   | Dst_crashed -> "dst-crashed"
+  | Link_down -> "link-down"
+  | Not_joined -> "not-joined"
 
 let kind_name = function
   | Send -> "send"
@@ -37,14 +44,26 @@ let kind_name = function
   | Dup -> "dup"
   | Delay _ -> "delay"
   | Crash -> "crash"
+  | Edge_down -> "edge_down"
+  | Edge_up -> "edge_up"
+  | Partition -> "partition"
+  | Heal -> "heal"
+  | Join -> "join"
 
 let pp_event ppf e =
-  Format.fprintf ppf "r%d %s %d->%d (%d words)" e.round (kind_name e.kind)
-    e.src e.dst e.words;
   match e.kind with
-  | Drop r -> Format.fprintf ppf " [%s]" (reason_name r)
-  | Delay k -> Format.fprintf ppf " [+%d rounds]" k
-  | _ -> ()
+  | Edge_down | Edge_up ->
+      Format.fprintf ppf "r%d %s %d-%d" e.round (kind_name e.kind) e.src e.dst
+  | Partition | Heal ->
+      Format.fprintf ppf "r%d %s (%d links)" e.round (kind_name e.kind) e.words
+  | Join -> Format.fprintf ppf "r%d join node %d" e.round e.src
+  | _ -> (
+      Format.fprintf ppf "r%d %s %d->%d (%d words)" e.round (kind_name e.kind)
+        e.src e.dst e.words;
+      match e.kind with
+      | Drop r -> Format.fprintf ppf " [%s]" (reason_name r)
+      | Delay k -> Format.fprintf ppf " [+%d rounds]" k
+      | _ -> ())
 
 type t = { mutable rev_events : event list; mutable length : int }
 
@@ -155,10 +174,17 @@ let parse_line ~file lineno line =
             match str_field line "reason" with
             | Some "src-crashed" -> Drop Src_crashed
             | Some "dst-crashed" -> Drop Dst_crashed
+            | Some "link-down" -> Drop Link_down
+            | Some "not-joined" -> Drop Not_joined
             | _ -> Drop Loss)
         | "dup" -> Dup
         | "delay" -> Delay (int "delay")
         | "crash" -> Crash
+        | "edge_down" -> Edge_down
+        | "edge_up" -> Edge_up
+        | "partition" -> Partition
+        | "heal" -> Heal
+        | "join" -> Join
         | other -> fail (Printf.sprintf "unknown kind %S" other)
       in
       `Event

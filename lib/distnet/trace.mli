@@ -24,9 +24,9 @@ val diff_stats : stats -> stats -> (string * int * int) list
     [(field, a-value, b-value)]; [[]] means the runs match. *)
 
 (** Why a message was dropped. Only [Loss] is a random decision; the
-    crash variants are determined by the crash schedule and are
-    therefore not replayed from the script. *)
-type reason = Loss | Src_crashed | Dst_crashed
+    crash, link-state, and join variants are determined by their
+    schedules and are therefore not replayed from the script. *)
+type reason = Loss | Src_crashed | Dst_crashed | Link_down | Not_joined
 
 type kind =
   | Send  (** a node handed a message to the network *)
@@ -35,6 +35,15 @@ type kind =
   | Dup  (** the network delivered a second copy *)
   | Delay of int  (** the message was held for that many rounds *)
   | Crash  (** the node [src] crash-stopped ([dst] is [-1]) *)
+  | Edge_down  (** the link [src]-[dst] went down (churn) *)
+  | Edge_up  (** the link [src]-[dst] came (back) up (churn) *)
+  | Partition
+      (** marker: a scripted partition began this round; [words] counts
+          its links, each also traced as its own [Edge_down] *)
+  | Heal
+      (** marker: a partition healed this round; [words] counts its
+          links, each also traced as its own [Edge_up] *)
+  | Join  (** the node [src] joined the network this round *)
 
 type event = { round : int; kind : kind; src : int; dst : int; words : int }
 

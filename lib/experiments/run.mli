@@ -100,3 +100,11 @@ val e22_recovery : ?quick:bool -> seed:int -> unit -> Table.t
     aborts, rounds/words overhead vs the loss-free baseline, and the
     {!Spanner.Certify} verdict (with its audited max stretch) for
     every cell. *)
+
+val e23_churn : ?quick:bool -> seed:int -> unit -> Table.t
+(** Beyond the paper: Theorem 2's construction under topology churn.
+    Across a churn scenario (hook-edge drops, a healing partition) ×
+    message-loss matrix: the incremental repair pass's outcome ladder,
+    damage counters, and rounds, against a from-scratch distributed
+    rebuild on the surviving graph — with per-component certification
+    of every churned output. *)

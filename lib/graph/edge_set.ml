@@ -3,6 +3,7 @@ type t = { g : Graph.t; bits : Util.Bitset.t }
 let create g = { g; bits = Util.Bitset.create (Graph.m g) }
 let host t = t.g
 let add t e = Util.Bitset.set t.bits e
+let remove t e = Util.Bitset.clear t.bits e
 let mem t e = Util.Bitset.mem t.bits e
 let cardinal t = Util.Bitset.cardinal t.bits
 let add_path t edges = List.iter (add t) edges

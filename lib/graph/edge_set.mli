@@ -8,6 +8,11 @@ val create : Graph.t -> t
 
 val host : t -> Graph.t
 val add : t -> int -> unit
+
+val remove : t -> int -> unit
+(** Remove an edge id; no-op if absent.  Used by the incremental
+    repair path when a spanner edge dies under churn. *)
+
 val mem : t -> int -> bool
 val cardinal : t -> int
 

@@ -25,7 +25,7 @@ A cycle has girth 12 > 2k, so greedy k=2 keeps all 12 edges:
 The experiment registry rejects unknown ids:
 
   $ ../../bin/spanner_cli.exe experiment E99 2>&1 | head -1
-  unknown experiment E99 (have: E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13, E14, E15, E16, E17, E18, E19, E20, E21, E22)
+  unknown experiment E99 (have: E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13, E14, E15, E16, E17, E18, E19, E20, E21, E22, E23)
 
 E9 is pure computation and deterministic:
 
@@ -109,3 +109,46 @@ complete and certify on the same seed:
   crash=0.05 drop=0.2 certification: PASS (62 live vertices, 488 pairs, size ratio 0.22)
   crash=0.1 drop=0 certification: PASS (58 live vertices, 456 pairs, size ratio 0.24)
   crash=0.1 drop=0.2 certification: PASS (58 live vertices, 456 pairs, size ratio 0.22)
+
+Topology churn: a spanner edge goes down mid-run, the incremental
+repair pass rehooks the detached fragment, and the certifier passes
+with the dead edge excluded from the audit:
+
+  $ ../../bin/spanner_cli.exe simulate --algo skeleton --kind gnp -n 48 -p 0.15 --seed 5 --edge-drop 0-5@60 --certify
+  graph: n=48, m=167, avg deg 6.96, max deg 13
+  spanner: 53 edges, 0 aborts
+  recovery: 0 crashed, 0 orphaned, 0 recovered edges, 189 checkpoints, 24 retransmissions, 2 dead letters
+  repair: patched (1 dead spanner edges, 1 rehooked, 0 replaced, 0 keep-all, 9 rounds, 1 components)
+  certification: PASS (48 live vertices, 376 pairs, size ratio 0.21)
+    [ok] subset: 53 edges, all in G
+    [ok] forest: 46 hook edges, acyclic
+    [ok] contribution: per-vertex cap respected (worst 0.88)
+    [ok] stretch: 376 pairs, max stretch 9.00 <= 2859.50
+  network: rounds=404 messages=4436 words=8213 max_msg=4 words
+
+A churn plan referencing a non-existent edge is rejected up front:
+
+  $ ../../bin/spanner_cli.exe simulate --algo skeleton --kind gnp -n 48 -p 0.15 --seed 5 --edge-drop 0-99@60
+  graph: n=48, m=167, avg deg 6.96, max deg 13
+  spanner_cli: Fault.make: churn references vertex 99 outside this 48-vertex graph
+  [1]
+
+A partition that never heals is outside the recoverable envelope once
+the phase budget runs out: the run ends in a structured stuck report
+naming the links crossing the cut, with a distinct exit code:
+
+  $ ../../bin/spanner_cli.exe simulate --algo skeleton --kind gnp -n 48 -p 0.15 --seed 5 --partition 0-5,0-7,0-21,0-22,0-26,0-29,0-41,0-44 --partition-round 3 --phase-limit 200
+  graph: n=48, m=167, avg deg 6.96, max deg 13
+  stuck: notify phase cannot complete; waiting on 16 link(s) (0->5, 0->7, 0->21, 0->22, 0->26, 0->29, 0->41, 0->44)
+  network: rounds=202 messages=728 words=1426 max_msg=3 words
+  [2]
+
+A recorded trace carries the churn schedule, so --churn-trace re-applies
+the same topology changes and the repair pass reproduces itself:
+
+  $ ../../bin/spanner_cli.exe simulate --algo skeleton --kind gnp -n 48 -p 0.15 --seed 5 --edge-drop 0-5@60 --trace churn.jsonl | grep repair
+  repair: patched (1 dead spanner edges, 1 rehooked, 0 replaced, 0 keep-all, 9 rounds, 1 components)
+
+  $ ../../bin/spanner_cli.exe simulate --algo skeleton --kind gnp -n 48 -p 0.15 --seed 5 --churn-trace churn.jsonl | grep -E "churn plan|repair"
+  churn plan: 1 events from churn.jsonl
+  repair: patched (1 dead spanner edges, 1 rehooked, 0 replaced, 0 keep-all, 9 rounds, 1 components)

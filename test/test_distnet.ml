@@ -308,6 +308,7 @@ let test_trace_replay_reproduces_stats () =
       delay = 0.1;
       max_delay = 2;
       crashes = [ (7, 9) ];
+      churn = [];
     }
   in
   let tracer = Trace.create () in
@@ -479,6 +480,137 @@ let test_reliable_link_idle () =
   let _ = R.receive g ~round:2 0 st0 (List.map (fun (_, m) -> (1, m)) acks) in
   checkb "acked -> idle again" true (R.link_idle st0 1)
 
+(* ------------------------------------------------------------------ *)
+(* Topology churn: plan validation, engine semantics, healing *)
+
+let test_fault_make_rejects_invalid_plans () =
+  let g = Gen.path 4 in
+  let expect msg spec =
+    Alcotest.check_raises msg (Invalid_argument msg) (fun () ->
+        ignore (Fault.make ~seed:1 ~graph:g spec))
+  in
+  let with_churn churn = { Fault.default_spec with Fault.churn } in
+  expect "Fault.make: duplicate crash entry for node 1"
+    { Fault.default_spec with Fault.crashes = [ (1, 5); (1, 9) ] };
+  expect "Fault.make: node 1 crash round -2 < 0"
+    { Fault.default_spec with Fault.crashes = [ (1, -2) ] };
+  expect "Fault.make: crash references vertex 99 outside this 4-vertex graph"
+    { Fault.default_spec with Fault.crashes = [ (99, 5) ] };
+  expect "Fault.make: churn references vertex 99 outside this 4-vertex graph"
+    (with_churn [ Fault.Edge_down { round = 1; u = 0; v = 99 } ]);
+  expect "Fault.make: churn references edge 0-2 not in the graph"
+    (with_churn [ Fault.Edge_down { round = 1; u = 0; v = 2 } ]);
+  expect "Fault.make: churn round -1 < 0"
+    (with_churn [ Fault.Edge_down { round = -1; u = 0; v = 1 } ]);
+  expect "Fault.make: partition with no links"
+    (with_churn [ Fault.Partition { round = 1; edges = []; heal = None } ]);
+  expect "Fault.make: partition heal round 5 <= partition round 5"
+    (with_churn
+       [ Fault.Partition { round = 5; edges = [ (0, 1) ]; heal = Some 5 } ]);
+  expect
+    "Fault.make: node 1 join round 0 < 1 (nodes present from the start need \
+     no join event)"
+    (with_churn [ Fault.Join { round = 0; node = 1 } ]);
+  expect "Fault.make: duplicate join entry for node 2"
+    (with_churn
+       [ Fault.Join { round = 3; node = 2 }; Fault.Join { round = 7; node = 2 } ])
+
+let test_churn_link_down_and_heal () =
+  (* A down link refuses raw sends (structured error), reports itself
+     via link_up/edge_up, and works again once the churn brings it
+     back. *)
+  let g = Gen.path 3 in
+  let faults =
+    Fault.make ~seed:1 ~graph:g
+      {
+        Fault.default_spec with
+        Fault.churn =
+          [
+            Fault.Edge_down { round = 1; u = 0; v = 1 };
+            Fault.Edge_up { round = 3; u = 0; v = 1 };
+          ];
+      }
+  in
+  let t = Sim.create ~faults g in
+  checkb "link up at round 0" true (Sim.link_up t ~src:0 ~dst:1);
+  Sim.send t ~src:0 ~dst:1 ~words:1 ();
+  ignore (Sim.step t (fun ~dst:_ ~src:_ () -> ()));
+  (* Round 1: the edge is down. *)
+  checkb "link down after churn" false (Sim.link_up t ~src:0 ~dst:1);
+  checkb "down in both directions" false (Sim.link_up t ~src:1 ~dst:0);
+  checkb "edge_up agrees" false (Sim.edge_up t 0);
+  checkb "other edge untouched" true (Sim.link_up t ~src:1 ~dst:2);
+  (match Sim.send t ~src:0 ~dst:1 ~words:1 () with
+  | () -> Alcotest.fail "send on a down link must raise"
+  | exception Sim.Link_down { round; src; dst } ->
+      checki "error names the round" 1 round;
+      checki "error names src" 0 src;
+      checki "error names dst" 1 dst);
+  ignore (Sim.step t (fun ~dst:_ ~src:_ () -> ()));
+  ignore (Sim.step t (fun ~dst:_ ~src:_ () -> ()));
+  (* Round 3: healed. *)
+  checkb "link healed" true (Sim.link_up t ~src:0 ~dst:1);
+  let got = ref false in
+  Sim.send t ~src:0 ~dst:1 ~words:1 ();
+  ignore (Sim.step t (fun ~dst ~src:_ () -> if dst = 1 then got := true));
+  checkb "delivery works after heal" true !got
+
+let test_churn_inflight_dropped_on_down_edge () =
+  (* A message in flight when its link goes down is lost, exactly like
+     a drop — it does not tunnel through the partition. *)
+  let g = Gen.path 2 in
+  let faults =
+    Fault.make ~seed:1 ~graph:g
+      {
+        Fault.default_spec with
+        Fault.churn = [ Fault.Edge_down { round = 1; u = 0; v = 1 } ];
+      }
+  in
+  let t = Sim.create ~faults g in
+  Sim.send t ~src:0 ~dst:1 ~words:1 ();
+  (* The send happened in round 0; delivery would be in round 1, but
+     the edge goes down at the start of round 1. *)
+  let got = ref false in
+  ignore (Sim.step t (fun ~dst:_ ~src:_ () -> got := true));
+  checkb "in-flight message dropped" false !got
+
+let test_churn_healed_partition_bfs_correct () =
+  (* A partition that heals is just a burst of loss to the ARQ: the
+     reliable BFS still computes the exact distance array. *)
+  let r = Util.Prng.create ~seed:13 in
+  let g = Gen.connected_gnp r ~n:80 ~p:0.06 in
+  let cut = ref [] in
+  G.iter_neighbors g 0 (fun w _ -> cut := (0, w) :: !cut);
+  let faults =
+    Fault.make ~seed:2 ~graph:g
+      {
+        Fault.default_spec with
+        Fault.churn =
+          [ Fault.Partition { round = 2; edges = !cut; heal = Some 30 } ];
+      }
+  in
+  let _, expected = Protocols.bfs g ~root:1 in
+  let _, dist = Protocols.reliable_bfs ~faults g ~root:1 in
+  Alcotest.check (Alcotest.array Alcotest.int)
+    "distances survive a healed partition" expected dist
+
+let test_churn_late_join_flood_reaches_all () =
+  (* A node that joins late still ends up flooded: ARQ retransmissions
+     cover the window where it did not exist. *)
+  let r = Util.Prng.create ~seed:17 in
+  let g = Gen.connected_gnp r ~n:60 ~p:0.08 in
+  let faults =
+    Fault.make ~seed:3 ~graph:g
+      {
+        Fault.default_spec with
+        Fault.churn = [ Fault.Join { round = 6; node = 5 } ];
+      }
+  in
+  let _, reached = Protocols.reliable_flood ~faults g ~root:0 ~payload_words:2 in
+  Array.iteri
+    (fun v b -> checkb (Printf.sprintf "node %d reached" v) true b)
+    reached
+
 let suite =
   [
     ( "distnet.engine",
@@ -542,5 +674,18 @@ let suite =
           test_recovery_checkpoints;
         Alcotest.test_case "detector precedence" `Quick test_recovery_detector;
         Alcotest.test_case "ARQ link idleness" `Quick test_reliable_link_idle;
+      ] );
+    ( "distnet.churn",
+      [
+        Alcotest.test_case "plan validation rejects nonsense" `Quick
+          test_fault_make_rejects_invalid_plans;
+        Alcotest.test_case "link down + heal semantics" `Quick
+          test_churn_link_down_and_heal;
+        Alcotest.test_case "in-flight dropped on down edge" `Quick
+          test_churn_inflight_dropped_on_down_edge;
+        Alcotest.test_case "healed partition BFS correct" `Quick
+          test_churn_healed_partition_bfs_correct;
+        Alcotest.test_case "late join flood reaches all" `Quick
+          test_churn_late_join_flood_reaches_all;
       ] );
   ]

@@ -566,6 +566,169 @@ let prop_certifier_rejects_mutation =
                (Certify.run ~plan:r.Skeleton_dist.plan
                   ~witness:r.Skeleton_dist.witness g mutated)))
 
+(* ------------------------------------------------------------------ *)
+(* Topology churn: incremental repair, the degradation ladder, replay *)
+
+let first_hook_edge (r : Skeleton_dist.result) =
+  (* A cluster-tree hook edge is always a spanner edge, so cutting it
+     guarantees the repair pass has real damage to fix. *)
+  let e = ref (-1) in
+  Array.iter
+    (fun pe -> if !e < 0 && pe >= 0 then e := pe)
+    r.Skeleton_dist.witness.Certify.parent_edge;
+  !e
+
+let certify_churned (r : Skeleton_dist.result) g =
+  let down = Array.make (Stdlib.max 1 (G.m g)) false in
+  List.iter (fun e -> down.(e) <- true) r.Skeleton_dist.dead_edges;
+  Certify.run ~plan:r.Skeleton_dist.plan ~witness:r.Skeleton_dist.witness
+    ~down_edge:(fun e -> down.(e))
+    ~per_component:true g r.Skeleton_dist.spanner
+
+let test_churn_edge_kill_repaired_locally () =
+  let g = Gen.connected_gnp (Util.Prng.create ~seed:21) ~n:96 ~p:0.07 in
+  let plan = Plan.make ~n:(G.n g) () in
+  let sampling = Sampling.draw (Util.Prng.create ~seed:8) ~n:(G.n g) plan in
+  let base = Skeleton_dist.build_with ~plan ~sampling g in
+  let e = first_hook_edge base in
+  checkb "found a hook edge" true (e >= 0);
+  let u, v = G.edge_endpoints g e in
+  let faults =
+    Fault.make ~seed:3 ~graph:g
+      {
+        Fault.default_spec with
+        Fault.churn = [ Fault.Edge_down { round = 40; u; v } ];
+      }
+  in
+  let r = Skeleton_dist.build_with ~faults ~plan ~sampling g in
+  let rp = r.Skeleton_dist.repair in
+  checkb "spanner edge died" true (rp.Skeleton_dist.dead_spanner_edges >= 1);
+  checkb "fragment rehooked" true (rp.Skeleton_dist.rehooked >= 1);
+  checkb "ladder reports damage" true (rp.Skeleton_dist.outcome <> Skeleton_dist.Intact);
+  (* The point of incremental repair: far cheaper than rebuilding. *)
+  checkb
+    (Printf.sprintf "repair (%d rounds) cheaper than a from-scratch run (%d)"
+       rp.Skeleton_dist.repair_rounds base.Skeleton_dist.stats.Distnet.Sim.rounds)
+    true
+    (rp.Skeleton_dist.repair_rounds < base.Skeleton_dist.stats.Distnet.Sim.rounds);
+  checkb "certifier accepts the repaired output" true
+    (Certify.ok (certify_churned r g))
+
+let test_churn_healed_partition_ends_patched () =
+  (* A partition that heals plus one permanent spanner-edge kill: the
+     run must end on the *patched* rung with the certifier passing. *)
+  let g = Gen.connected_gnp (Util.Prng.create ~seed:21) ~n:96 ~p:0.07 in
+  let plan = Plan.make ~n:(G.n g) () in
+  let sampling = Sampling.draw (Util.Prng.create ~seed:8) ~n:(G.n g) plan in
+  let base = Skeleton_dist.build_with ~plan ~sampling g in
+  let e = first_hook_edge base in
+  let u, v = G.edge_endpoints g e in
+  let cut = ref [] in
+  G.iter_neighbors g 7 (fun w _ -> cut := (7, w) :: !cut);
+  let faults =
+    Fault.make ~seed:3 ~graph:g
+      {
+        Fault.default_spec with
+        Fault.churn =
+          [
+            Fault.Partition { round = 3; edges = !cut; heal = Some 25 };
+            Fault.Edge_down { round = 40; u; v };
+          ];
+      }
+  in
+  let r = Skeleton_dist.build_with ~faults ~plan ~sampling g in
+  let rp = r.Skeleton_dist.repair in
+  checkb "outcome is patched" true (rp.Skeleton_dist.outcome = Skeleton_dist.Patched);
+  checki "one component after the heal" 1 rp.Skeleton_dist.components;
+  let verdict = certify_churned r g in
+  checkb "certifier passes after the heal" true (Certify.ok verdict)
+
+let test_churn_partition_never_heals () =
+  (* Cutting a vertex off for good: the run still terminates, reports
+     the partitioned rung with the component count, and each island
+     certifies separately. *)
+  let g = Gen.connected_gnp (Util.Prng.create ~seed:21) ~n:96 ~p:0.07 in
+  let cut = ref [] in
+  G.iter_neighbors g 0 (fun w _ -> cut := (0, w) :: !cut);
+  let faults =
+    Fault.make ~seed:3 ~graph:g
+      {
+        Fault.default_spec with
+        Fault.churn =
+          [ Fault.Partition { round = 3; edges = !cut; heal = None } ];
+      }
+  in
+  let r = Skeleton_dist.build ~faults ~seed:8 g in
+  let rp = r.Skeleton_dist.repair in
+  checkb "ladder reports the partition" true
+    (rp.Skeleton_dist.outcome = Skeleton_dist.Partitioned 2);
+  checki "two live components" 2 rp.Skeleton_dist.components;
+  let verdict = certify_churned r g in
+  checki "certifier sees both components" 2 verdict.Certify.components;
+  checkb "each island certifies" true (Certify.ok verdict)
+
+let test_churn_stuck_is_structured () =
+  (* The same never-healing partition with a phase budget too small for
+     the failure detector to ripen: instead of hanging or crashing with
+     a backtrace, the run raises the structured Stuck exception naming
+     the wedged phase and the links it was waiting on. *)
+  let g = Gen.connected_gnp (Util.Prng.create ~seed:21) ~n:96 ~p:0.07 in
+  let cut = ref [] in
+  G.iter_neighbors g 0 (fun w _ -> cut := (0, w) :: !cut);
+  let faults =
+    Fault.make ~seed:3 ~graph:g
+      {
+        Fault.default_spec with
+        Fault.churn =
+          [ Fault.Partition { round = 3; edges = !cut; heal = None } ];
+      }
+  in
+  match Skeleton_dist.build ~faults ~phase_round_limit:150 ~seed:8 g with
+  | _ -> Alcotest.fail "expected Stuck"
+  | exception Skeleton_dist.Stuck { phase; waiting_on; stats } ->
+      checkb "phase is named" true (String.length phase > 0);
+      checkb "waiting links listed" true (waiting_on <> []);
+      checkb "cut links appear" true
+        (List.exists (fun (a, b) -> a = 0 || b = 0) waiting_on);
+      checkb "stats carried" true (stats.Distnet.Sim.rounds > 0)
+
+let prop_churn_trace_replay_identical =
+  QCheck.Test.make
+    ~name:"churn: trace replay reproduces the spanner edge set" ~count:10
+    QCheck.(pair (int_range 20 80) (int_bound 1000))
+    (fun (n, seed) ->
+      let g =
+        Gen.connected_gnp
+          (Util.Prng.create ~seed:(seed + 1))
+          ~n
+          ~p:(4. /. float_of_int n)
+      in
+      let plan = Plan.make ~n:(G.n g) () in
+      let sampling = Sampling.draw (Util.Prng.create ~seed) ~n:(G.n g) plan in
+      let e = seed mod G.m g in
+      let u, v = G.edge_endpoints g e in
+      let faults =
+        Fault.make ~seed:(seed + 2) ~graph:g
+          {
+            Fault.default_spec with
+            Fault.drop = 0.1;
+            churn = [ Fault.Edge_down { round = 10; u; v } ];
+          }
+      in
+      let tracer = Distnet.Trace.create () in
+      let r1 = Skeleton_dist.build_with ~faults ~tracer ~plan ~sampling g in
+      let r2 =
+        Skeleton_dist.build_with
+          ~faults:(Fault.scripted (Distnet.Trace.events tracer))
+          ~plan ~sampling g
+      in
+      let same = ref true in
+      Edge_set.iter r1.Skeleton_dist.spanner (fun e ->
+          if not (Edge_set.mem r2.Skeleton_dist.spanner e) then same := false);
+      Edge_set.iter r2.Skeleton_dist.spanner (fun e ->
+          if not (Edge_set.mem r1.Skeleton_dist.spanner e) then same := false);
+      !same && r1.Skeleton_dist.repair = r2.Skeleton_dist.repair)
+
 let prop_skeleton_connectivity =
   QCheck.Test.make ~name:"skeleton: preserves connectivity" ~count:20
     QCheck.(pair (int_range 10 150) (int_bound 1000))
@@ -646,5 +809,17 @@ let suite =
           test_dist_crash_recovery_certifies;
         QCheck_alcotest.to_alcotest prop_certifier_accepts;
         QCheck_alcotest.to_alcotest prop_certifier_rejects_mutation;
+      ] );
+    ( "core.churn_repair",
+      [
+        Alcotest.test_case "edge kill repaired locally" `Quick
+          test_churn_edge_kill_repaired_locally;
+        Alcotest.test_case "healed partition ends patched" `Quick
+          test_churn_healed_partition_ends_patched;
+        Alcotest.test_case "partition never heals" `Quick
+          test_churn_partition_never_heals;
+        Alcotest.test_case "stuck is structured" `Quick
+          test_churn_stuck_is_structured;
+        QCheck_alcotest.to_alcotest prop_churn_trace_replay_identical;
       ] );
   ]
