@@ -59,7 +59,7 @@ let bench_tests () =
   let g_small = Gen.connected_gnp rng ~n:250 ~p:0.05 in
   let torus = Gen.king_torus ~width:20 ~height:20 in
   let gadget = Graphlib.Gadget.create ~tau:2 ~sigma:5 ~kappa:6 in
-  let t name f = Test.make ~name (Staged.stage f) in
+  let t name f = (name, Test.make ~name (Staged.stage f)) in
   [
     t "e1.skeleton_dist" (fun () ->
         ignore (Spanner.Skeleton_dist.build ~seed:!seed g_small));
@@ -138,9 +138,23 @@ let run_benches () =
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
   if not !json then
     Format.printf "@.== Bechamel timings (monotonic clock, one bench per experiment)@.";
+  (* --only Ei narrows the bench pass to that experiment's benches
+     (names are "e<i>.<what>"). *)
+  let selected =
+    let all = bench_tests () in
+    match !only with
+    | None -> all
+    | Some id ->
+        let prefix = String.lowercase_ascii id ^ "." in
+        let plen = String.length prefix in
+        List.filter
+          (fun (name, _) ->
+            String.length name >= plen && String.sub name 0 plen = prefix)
+          all
+  in
   let timings =
     List.concat_map
-      (fun test ->
+      (fun (_, test) ->
         let results =
           Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"" [ test ])
         in
@@ -161,12 +175,14 @@ let run_benches () =
             | Some [ est ] -> (name, Some est) :: acc
             | _ -> (name, None) :: acc)
           ols [])
-      (bench_tests ())
+      selected
   in
   if !json then begin
-    (* Machine-readable per-experiment timings: one object per bench,
+    (* Machine-readable per-experiment timings: a header identifying
+       the run (seed, quick/full mode) plus one object per bench,
        suitable for the BENCH_*.json perf trajectory. *)
-    Format.printf "[@.";
+    Format.printf {|{"seed": %d, "mode": %S, "timings": [@.|} !seed
+      (if !quick then "quick" else "full");
     List.iteri
       (fun i (name, est) ->
         let sep = if i = List.length timings - 1 then "" else "," in
@@ -175,7 +191,7 @@ let run_benches () =
             Format.printf {|  {"name": %S, "ns_per_run": %.1f}%s@.|} name est sep
         | None -> Format.printf {|  {"name": %S, "ns_per_run": null}%s@.|} name sep)
       timings;
-    Format.printf "]@."
+    Format.printf "]}@."
   end
   else
     List.iter
@@ -187,16 +203,21 @@ let run_benches () =
 
 let () =
   parse_args ();
+  (* Validate --only up front, whatever passes run: an unknown id must
+     fail loudly (exit 2), not silently bench nothing under --json. *)
+  (match !only with
+  | Some id when Experiments.Run.by_id id = None ->
+      Printf.eprintf "unknown experiment %s (have: %s)\n" id
+        (String.concat ", " Experiments.Run.ids);
+      exit 2
+  | _ -> ());
   if !tables then begin
     match !only with
     | Some id -> (
         match Experiments.Run.by_id id with
         | Some f ->
             Experiments.Table.print Format.std_formatter (f ~quick:!quick ~seed:!seed ())
-        | None ->
-            Printf.eprintf "unknown experiment %s (have: %s)\n" id
-              (String.concat ", " Experiments.Run.ids);
-            exit 2)
+        | None -> assert false)
     | None ->
         List.iter
           (Experiments.Table.print Format.std_formatter)

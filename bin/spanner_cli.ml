@@ -513,6 +513,38 @@ let simulate_cmd =
             "Abort a skeleton phase after N rounds with a structured stuck \
              report (default 10000 + 500n).")
   in
+  let metrics_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Record labeled metrics (per-phase cost, per-link load, ARQ \
+             counters) and write the snapshot to FILE as JSON lines.")
+  in
+  let metrics_summary =
+    Arg.(
+      value & flag
+      & info [ "metrics-summary" ]
+          ~doc:
+            "Print the per-phase cost table (rounds, messages, words, max \
+             words per phase; totals equal the network statistics).")
+  in
+  let audit_bounds =
+    Arg.(
+      value & flag
+      & info [ "audit-bounds" ]
+          ~doc:
+            "After a skeleton run, compare observed rounds, max message \
+             words, and spanner size against the paper's bounds and print \
+             PASS/WARN per bound.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"With $(b,--audit-bounds): exit nonzero on any WARN.")
+  in
   let protocol =
     Arg.(
       value
@@ -528,7 +560,7 @@ let simulate_cmd =
   let run kind n p seed input drop dup delay max_delay crash crash_frac
       crash_max_round edge_drop edge_up partition partition_round heal_round
       join churn_trace phase_limit certify mutate trace_file replay_file
-      protocol root =
+      metrics_file metrics_summary audit_bounds strict protocol root =
     let g = load_graph ~kind ~n ~p ~seed ~input in
     Format.printf "graph: %a@." Graph.pp_summary g;
     let faults, recorded =
@@ -622,17 +654,29 @@ let simulate_cmd =
       | _ -> None
     in
     let certification_failed = ref false in
+    (* One registry for the whole run; stays the shared no-op sink
+       unless some metrics-consuming flag was given, so default output
+       is byte-identical to the uninstrumented CLI. *)
+    let reg =
+      if metrics_file <> None || metrics_summary || audit_bounds then
+        Obs.Metrics.create ()
+      else Obs.Metrics.disabled
+    in
+    let plan_ref = ref None in
+    let spanner_edges_ref = ref None in
     let stats =
       match protocol with
       | "bfs" ->
-          let stats, dist = Distnet.Protocols.reliable_bfs ~faults ?tracer g ~root in
+          let stats, dist =
+            Distnet.Protocols.reliable_bfs ~faults ?tracer ~metrics:reg g ~root
+          in
           let expected = Graphlib.Bfs.distances g ~src:root in
           Format.printf "distances correct: %b@." (dist = expected);
           stats
       | "flood" ->
           let stats, reached =
-            Distnet.Protocols.reliable_flood ~faults ?tracer g ~root
-              ~payload_words:4
+            Distnet.Protocols.reliable_flood ~faults ?tracer ~metrics:reg g
+              ~root ~payload_words:4
           in
           let cover =
             Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 reached
@@ -641,7 +685,7 @@ let simulate_cmd =
           stats
       | "skeleton" -> (
           match
-            Spanner.Skeleton_dist.build ~faults ?tracer
+            Spanner.Skeleton_dist.build ~faults ?tracer ~metrics:reg
               ?phase_round_limit:phase_limit ~seed g
           with
           | exception
@@ -665,6 +709,9 @@ let simulate_cmd =
               Format.printf "network: %a@." Distnet.Sim.pp_stats stats;
               exit 2
           | r ->
+              plan_ref := Some r.Spanner.Skeleton_dist.plan;
+              spanner_edges_ref :=
+                Some (Edge_set.cardinal r.Spanner.Skeleton_dist.spanner);
               Format.printf "spanner: %d edges, %d aborts@."
                 (Edge_set.cardinal r.Spanner.Skeleton_dist.spanner)
                 r.Spanner.Skeleton_dist.aborts;
@@ -726,7 +773,7 @@ let simulate_cmd =
                 let verdict =
                   Spanner.Certify.run
                     ~down_edge:(fun e -> churned && down.(e))
-                    ~per_component:churned
+                    ~per_component:churned ~metrics:reg
                     ~plan:r.Spanner.Skeleton_dist.plan ~witness:w g spanner
                 in
                 Format.printf "%a@." Spanner.Certify.pp verdict;
@@ -755,6 +802,63 @@ let simulate_cmd =
         Format.printf "trace written to %s (%d events)@." file
           (Distnet.Trace.length tr)
     | _ -> ());
+    if metrics_summary then begin
+      Format.printf "per-phase cost:@.";
+      Obs.Report.pp_phase_table Format.std_formatter
+        (Obs.Metrics.snapshot reg)
+    end;
+    (match metrics_file with
+    | Some file ->
+        (* Meta header first: enough to rebuild the plan and stats, so
+           [report --audit-bounds] can audit the file standalone. *)
+        let meta =
+          let b = Buffer.create 160 in
+          Buffer.add_string b
+            (Printf.sprintf {|{"kind":"meta","algo":"%s","n":%d,"arq":%d|}
+               protocol (Graph.n g)
+               (if Distnet.Fault.is_none faults then 0 else 1));
+          (match !plan_ref with
+          | Some (plan : Spanner.Plan.t) ->
+              Buffer.add_string b
+                (Printf.sprintf {|,"d":%d,"eps":%g|} plan.Spanner.Plan.d
+                   plan.Spanner.Plan.eps)
+          | None -> ());
+          (match !spanner_edges_ref with
+          | Some edges ->
+              Buffer.add_string b
+                (Printf.sprintf {|,"spanner_edges":%d|} edges)
+          | None -> ());
+          Buffer.add_string b
+            (Printf.sprintf
+               {|,"rounds":%d,"messages":%d,"words":%d,"max_message_words":%d}|}
+               stats.Distnet.Sim.rounds stats.Distnet.Sim.messages
+               stats.Distnet.Sim.words stats.Distnet.Sim.max_message_words);
+          Buffer.contents b
+        in
+        Obs.Metrics.save ~extra:[ meta ] reg file;
+        Format.printf "metrics written to %s (%d samples)@." file
+          (List.length (Obs.Metrics.snapshot reg))
+    | None -> ());
+    if audit_bounds then begin
+      match !plan_ref with
+      | None ->
+          Format.eprintf "spanner_cli: --audit-bounds needs --protocol skeleton@.";
+          exit 1
+      | Some plan ->
+          let phase_rounds =
+            List.map
+              (fun (r : Obs.Report.phase_row) ->
+                (r.Obs.Report.phase, r.Obs.Report.rounds))
+              (Obs.Report.phase_rows (Obs.Metrics.snapshot reg))
+          in
+          let report =
+            Spanner.Audit.run
+              ~arq:(not (Distnet.Fault.is_none faults))
+              ?spanner_edges:!spanner_edges_ref ~phase_rounds ~plan ~stats ()
+          in
+          Format.printf "%a" Spanner.Audit.pp report;
+          if strict && not (Spanner.Audit.ok report) then exit 1
+    end;
     if !certification_failed then exit 1
   in
   Cmd.v
@@ -767,7 +871,301 @@ let simulate_cmd =
       $ delay $ max_delay $ crash $ crash_frac $ crash_max_round $ edge_drop
       $ edge_up $ partition $ partition_round $ heal_round $ join
       $ churn_trace $ phase_limit $ certify $ mutate $ trace_file
-      $ replay_file $ protocol $ root)
+      $ replay_file $ metrics_file $ metrics_summary $ audit_bounds $ strict
+      $ protocol $ root)
+
+(* ------------------------------------------------------------------ *)
+(* report *)
+
+let report_cmd =
+  let files =
+    Arg.(
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Trace or metrics JSONL files (written by simulate --trace / \
+             --metrics); the kind is auto-detected per file.")
+  in
+  let top =
+    Arg.(
+      value & opt int 5
+      & info [ "top" ] ~docv:"K" ~doc:"Rows in the top-$(docv) tables.")
+  in
+  let audit_bounds =
+    Arg.(
+      value & flag
+      & info [ "audit-bounds" ]
+          ~doc:
+            "Audit a metrics file's recorded run against the paper's bounds \
+             (needs the meta header of a skeleton run).")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"With $(b,--audit-bounds): exit nonzero on any WARN.")
+  in
+  let rec take k = function
+    | x :: tl when k > 0 -> x :: take (k - 1) tl
+    | _ -> []
+  in
+  (* Auto-detect: metrics files start with a {"kind":"meta"|"metric"}
+     line; anything else is treated as a trace. *)
+  let file_kind file =
+    let ic = open_in file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go () =
+          match input_line ic with
+          | exception End_of_file -> `Empty
+          | line when String.trim line = "" -> go ()
+          | line -> (
+              match Obs.Metrics.json_str line "kind" with
+              | Some "metric" | Some "meta" -> `Metrics
+              | _ -> `Trace)
+        in
+        go ())
+  in
+  let read_meta file =
+    let ic = open_in file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let meta = ref None in
+        (try
+           while true do
+             let line = input_line ic in
+             if
+               !meta = None
+               && Obs.Metrics.json_str line "kind" = Some "meta"
+             then meta := Some line
+           done
+         with End_of_file -> ());
+        !meta)
+  in
+  let bump tbl key w =
+    let m, ww = Option.value ~default:(0, 0) (Hashtbl.find_opt tbl key) in
+    Hashtbl.replace tbl key (m + 1, ww + w)
+  in
+  (* Sort (key, (msgs, words)) rows: words descending, key ascending. *)
+  let ranked tbl =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (k1, (_, w1)) (k2, (_, w2)) ->
+           if w1 <> w2 then compare w2 w1 else compare k1 k2)
+  in
+  let report_trace ~top file =
+    let module T = Distnet.Trace in
+    let sends = ref 0
+    and delivers = ref 0
+    and drops = ref 0
+    and dups = ref 0
+    and delays = ref 0
+    and send_words = ref 0
+    and max_round = ref 0 in
+    let node_sent = Hashtbl.create 64 in
+    let node_recv = Hashtbl.create 64 in
+    let link = Hashtbl.create 64 in
+    let round_words = Hashtbl.create 64 in
+    let stats =
+      T.iter_file file (fun e ->
+          if e.T.round > !max_round then max_round := e.T.round;
+          match e.T.kind with
+          | T.Send ->
+              sends := !sends + 1;
+              send_words := !send_words + e.T.words;
+              bump node_sent e.T.src e.T.words;
+              bump link (e.T.src, e.T.dst) e.T.words;
+              Hashtbl.replace round_words e.T.round
+                (e.T.words
+                + Option.value ~default:0
+                    (Hashtbl.find_opt round_words e.T.round))
+          | T.Deliver -> delivers := !delivers + 1;
+              bump node_recv e.T.dst e.T.words
+          | T.Drop _ -> drops := !drops + 1
+          | T.Dup -> dups := !dups + 1
+          | T.Delay _ -> delays := !delays + 1
+          | _ -> ())
+    in
+    Format.printf "trace report: %s@." file;
+    Format.printf
+      "  sends %d (%d words), delivered %d, dropped %d, dup %d, delayed %d@."
+      !sends !send_words !delivers !drops !dups !delays;
+    (match stats with
+    | Some s -> Format.printf "  recorded stats: %a@." Distnet.Sim.pp_stats s
+    | None -> ());
+    let nodes = take top (ranked node_sent) in
+    if nodes <> [] then begin
+      Format.printf "  top %d nodes by sent words:@." (List.length nodes);
+      List.iter
+        (fun (v, (m, w)) ->
+          let rm, rw =
+            Option.value ~default:(0, 0) (Hashtbl.find_opt node_recv v)
+          in
+          Format.printf
+            "    node %d: sent %d msgs / %d words, received %d / %d@." v m w
+            rm rw)
+        nodes
+    end;
+    let links = take top (ranked link) in
+    if links <> [] then begin
+      Format.printf "  top %d links by words:@." (List.length links);
+      List.iter
+        (fun ((u, v), (m, w)) ->
+          Format.printf "    %d->%d: %d msgs, %d words@." u v m w)
+        links
+    end;
+    if Hashtbl.length round_words > 0 then begin
+      let bins = 10 in
+      let width = Stdlib.max 1 ((!max_round + bins) / bins) in
+      let acc = Array.make bins 0 in
+      Hashtbl.iter
+        (fun r w ->
+          let b = Stdlib.min (bins - 1) (r / width) in
+          acc.(b) <- acc.(b) + w)
+        round_words;
+      Format.printf "  round timeline (words sent per bin of %d rounds):@."
+        width;
+      Array.iteri
+        (fun i w ->
+          Format.printf "    r%d-r%d: %d@." (i * width)
+            (((i + 1) * width) - 1)
+            w)
+        acc
+    end
+  in
+  let report_metrics ~top ~audit_bounds ~strict file =
+    let samples = Obs.Metrics.load file in
+    let meta = read_meta file in
+    Format.printf "metrics report: %s@." file;
+    (match meta with
+    | Some line ->
+        let get f = Option.value ~default:0 (Obs.Metrics.json_int line f) in
+        Format.printf
+          "  run: algo=%s n=%d arq=%d rounds=%d messages=%d words=%d \
+           max_message_words=%d@."
+          (Option.value ~default:"?" (Obs.Metrics.json_str line "algo"))
+          (get "n") (get "arq") (get "rounds") (get "messages") (get "words")
+          (get "max_message_words")
+    | None -> ());
+    Obs.Report.pp_phase_table Format.std_formatter samples;
+    let links =
+      List.filter_map
+        (fun (s : Obs.Metrics.sample) ->
+          match (s.Obs.Metrics.name, s.Obs.Metrics.value) with
+          | "link_words", Obs.Metrics.Counter w ->
+              let f k =
+                match List.assoc_opt k s.Obs.Metrics.labels with
+                | Some v -> int_of_string_opt v |> Option.value ~default:(-1)
+                | None -> -1
+              in
+              Some (f "src", f "dst", w)
+          | _ -> None)
+        samples
+    in
+    if links <> [] then begin
+      let links =
+        List.sort
+          (fun (s1, d1, w1) (s2, d2, w2) ->
+            if w1 <> w2 then compare w2 w1 else compare (s1, d1) (s2, d2))
+          links
+        |> take top
+      in
+      Format.printf "  top %d links by words:@." (List.length links);
+      List.iter
+        (fun (s, d, w) -> Format.printf "    %d->%d: %d words@." s d w)
+        links
+    end;
+    let is_phase (s : Obs.Metrics.sample) =
+      String.length s.Obs.Metrics.name >= 6
+      && String.sub s.Obs.Metrics.name 0 6 = "phase_"
+    in
+    let others =
+      List.filter
+        (fun (s : Obs.Metrics.sample) ->
+          s.Obs.Metrics.name <> "link_words" && not (is_phase s))
+        samples
+    in
+    if others <> [] then begin
+      Format.printf "  other metrics:@.";
+      Obs.Report.pp_summary Format.std_formatter others
+    end;
+    if audit_bounds then begin
+      match meta with
+      | None ->
+          Format.eprintf
+            "spanner_cli: report --audit-bounds: %s has no meta header@." file;
+          exit 1
+      | Some line -> (
+          match
+            ( Obs.Metrics.json_int line "n",
+              Obs.Metrics.json_int line "d",
+              Obs.Metrics.json_float line "eps" )
+          with
+          | Some n, Some d, Some eps ->
+              let plan = Spanner.Plan.make ~n ~d ~eps () in
+              let get f =
+                Option.value ~default:0 (Obs.Metrics.json_int line f)
+              in
+              let stats =
+                {
+                  Distnet.Sim.rounds = get "rounds";
+                  messages = get "messages";
+                  words = get "words";
+                  max_message_words = get "max_message_words";
+                }
+              in
+              let phase_rounds =
+                List.map
+                  (fun (r : Obs.Report.phase_row) ->
+                    (r.Obs.Report.phase, r.Obs.Report.rounds))
+                  (Obs.Report.phase_rows samples)
+              in
+              let report =
+                Spanner.Audit.run
+                  ~arq:(get "arq" = 1)
+                  ?spanner_edges:(Obs.Metrics.json_int line "spanner_edges")
+                  ~phase_rounds ~plan ~stats ()
+              in
+              Format.printf "%a" Spanner.Audit.pp report;
+              if strict && not (Spanner.Audit.ok report) then exit 1
+          | _ ->
+              Format.eprintf
+                "spanner_cli: report --audit-bounds: %s's meta header has no \
+                 d/eps (not a skeleton run)@."
+                file;
+              exit 1)
+    end
+  in
+  let run files top audit_bounds strict =
+    List.iter
+      (fun file ->
+        if not (Sys.file_exists file) then begin
+          Format.eprintf "spanner_cli: no such file %s@." file;
+          exit 1
+        end;
+        match file_kind file with
+        | `Metrics -> report_metrics ~top ~audit_bounds ~strict file
+        | `Trace ->
+            if audit_bounds then begin
+              Format.eprintf
+                "spanner_cli: report --audit-bounds needs a metrics file, \
+                 but %s is a trace@."
+                file;
+              exit 1
+            end;
+            report_trace ~top file
+        | `Empty -> Format.printf "%s: empty file@." file)
+      files
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Aggregate a saved trace or metrics file: per-phase and per-node \
+          summaries, most congested links, a round timeline, and \
+          (optionally) the paper-bound audit.")
+    Term.(const run $ files $ top $ audit_bounds $ strict)
 
 (* ------------------------------------------------------------------ *)
 (* experiment *)
@@ -777,7 +1175,7 @@ let experiment_cmd =
     Arg.(
       value
       & pos_all string []
-      & info [] ~docv:"ID" ~doc:"Experiment ids (E1..E21); all when omitted.")
+      & info [] ~docv:"ID" ~doc:"Experiment ids (E1..E24); all when omitted.")
   in
   let full = Arg.(value & flag & info [ "full" ] ~doc:"Full-size workloads.") in
   let run ids full seed =
@@ -805,6 +1203,7 @@ let main =
   Cmd.group
     (Cmd.info "spanner_cli" ~version:"1.0.0"
        ~doc:"Ultrasparse spanners and linear-size skeletons (Pettie, PODC 2008).")
-    [ gen_cmd; build_cmd; eval_cmd; trace_cmd; oracle_cmd; simulate_cmd; experiment_cmd ]
+    [ gen_cmd; build_cmd; eval_cmd; trace_cmd; oracle_cmd; simulate_cmd;
+      report_cmd; experiment_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,100 @@
+module Sim = Distnet.Sim
+
+type status = Pass | Warn
+
+type bound = {
+  name : string;
+  observed : float;
+  allowed : float;
+  status : status;
+  detail : string;
+}
+
+type report = { n : int; d : int; eps : float; bounds : bound list }
+
+let ok r = List.for_all (fun b -> b.status = Pass) r.bounds
+
+let rounds_slack = 64.
+let size_slack = 3.
+let words_framing = 2
+let words_arq_overhead = 3
+
+let check name ~observed ~allowed ~detail =
+  {
+    name;
+    observed;
+    allowed;
+    status = (if observed <= allowed then Pass else Warn);
+    detail;
+  }
+
+let run ?(arq = false) ?spanner_edges ?(phase_rounds = []) ~(plan : Plan.t)
+    ~(stats : Sim.stats) () =
+  let n = plan.Plan.n and d = plan.Plan.d and eps = plan.Plan.eps in
+  let time_bound = Bounds.skeleton_time ~n ~d ~eps in
+  let rounds_allowed = rounds_slack *. Stdlib.max 1. time_bound in
+  let rounds_detail =
+    Printf.sprintf "%.0f x Theorem 2 time bound %.1f" rounds_slack time_bound
+  in
+  let words_allowed =
+    plan.Plan.word_budget + words_framing
+    + if arq then words_arq_overhead else 0
+  in
+  let words_detail =
+    if arq then
+      Printf.sprintf "word budget %d + %d framing + %d ARQ"
+        plan.Plan.word_budget words_framing words_arq_overhead
+    else
+      Printf.sprintf "word budget %d + %d framing" plan.Plan.word_budget
+        words_framing
+  in
+  let bounds =
+    [
+      check "rounds"
+        ~observed:(float_of_int stats.Sim.rounds)
+        ~allowed:rounds_allowed ~detail:rounds_detail;
+      check "max message words"
+        ~observed:(float_of_int stats.Sim.max_message_words)
+        ~allowed:(float_of_int words_allowed) ~detail:words_detail;
+    ]
+  in
+  let bounds =
+    match spanner_edges with
+    | None -> bounds
+    | Some edges ->
+        let size_bound = Bounds.skeleton_size ~n ~d in
+        bounds
+        @ [
+            check "spanner size" ~observed:(float_of_int edges)
+              ~allowed:(size_slack *. size_bound)
+              ~detail:
+                (Printf.sprintf "%.0f x Lemma 6 expectation %.1f" size_slack
+                   size_bound);
+          ]
+  in
+  let bounds =
+    bounds
+    @ List.map
+        (fun (phase, r) ->
+          check
+            (Printf.sprintf "rounds[%s]" phase)
+            ~observed:(float_of_int r) ~allowed:rounds_allowed
+            ~detail:rounds_detail)
+        phase_rounds
+  in
+  { n; d; eps; bounds }
+
+let pp_num ppf v =
+  if Float.is_integer v then Format.fprintf ppf "%.0f" v
+  else Format.fprintf ppf "%.1f" v
+
+let pp ppf r =
+  Format.fprintf ppf "bound audit: n=%d D=%d eps=%g@." r.n r.d r.eps;
+  List.iter
+    (fun b ->
+      Format.fprintf ppf "  %s %s: %a %s %a (%s)@."
+        (match b.status with Pass -> "PASS" | Warn -> "WARN")
+        b.name pp_num b.observed
+        (match b.status with Pass -> "<=" | Warn -> ">")
+        pp_num b.allowed b.detail)
+    r.bounds

@@ -1,0 +1,59 @@
+(** Bound auditor: does an observed run land inside the paper's
+    envelope?
+
+    Three quantities of a skeleton run have stated bounds (Fig. 1 /
+    Theorem 2 / Lemma 6): rounds, message length in words, and spanner
+    size.  The paper's bounds carry hidden constants (and Lemma 6
+    bounds an {e expectation}), so the auditor never reports a hard
+    failure: each bound is checked against the closed form from
+    {!Bounds} times an explicit slack factor and reported PASS or
+    WARN.  A WARN is a regression signal — today's implementation sits
+    well inside every allowance — not a correctness verdict; the
+    correctness checks live in {!Certify}.
+
+    The allowances:
+
+    - {b rounds} — [64 x] {!Bounds.skeleton_time} (Theorem 2's
+      [O(t + log n)] without its hidden constant).  The factor covers
+      the implementation's per-phase handshakes and, under a fault
+      plan, the ARQ's retransmission round-trips.
+    - {b max message words} — the plan's word budget [+ 2] framing
+      words (a convergecast report is [3] words at budget [1]), plus
+      [3] more under ARQ (sequence number and piggybacked acks).
+    - {b spanner size} — [3 x] {!Bounds.skeleton_size} (Lemma 6's
+      expectation; a single run can exceed it legitimately).
+
+    Per-phase round counts, when supplied, are audited as extra rows
+    against the same rounds allowance — no single phase may dominate
+    a budget the whole run is expected to meet. *)
+
+type status = Pass | Warn
+
+type bound = {
+  name : string;
+  observed : float;
+  allowed : float;
+  status : status;  (** [Pass] iff [observed <= allowed] *)
+  detail : string;  (** how [allowed] was derived *)
+}
+
+type report = { n : int; d : int; eps : float; bounds : bound list }
+
+val ok : report -> bool
+(** No WARN rows. *)
+
+val run :
+  ?arq:bool ->
+  ?spanner_edges:int ->
+  ?phase_rounds:(string * int) list ->
+  plan:Plan.t ->
+  stats:Distnet.Sim.stats ->
+  unit ->
+  report
+(** [arq] (default false): the run went through the reliable-delivery
+    layer, which widens the message-length allowance.  The size bound
+    is checked only when [spanner_edges] is given; [phase_rounds] adds
+    one row per named phase. *)
+
+val pp : Format.formatter -> report -> unit
+(** One header line plus one [PASS]/[WARN] line per bound. *)

@@ -73,7 +73,8 @@ let bfs adj ~n ~src dist queue =
 (* ------------------------------------------------------------------ *)
 
 let run ?(sources = 8) ?(seed = 1) ?(down_edge = fun _ -> false)
-    ?(per_component = false) ~(plan : Plan.t) ~witness g spanner =
+    ?(per_component = false) ?(metrics = Obs.Metrics.disabled)
+    ~(plan : Plan.t) ~witness g spanner =
   let n = Graph.n g in
   let w = witness in
   let live v = not w.crashed.(v) in
@@ -258,16 +259,30 @@ let run ?(sources = 8) ?(seed = 1) ?(down_edge = fun _ -> false)
     close "stretch"
       (Printf.sprintf "%d pairs, max stretch %.2f <= %.2f" npairs !max_stretch bound)
   in
-  {
-    checks = [ subset; forest; contribution; stretch ];
-    live = !live_count;
-    pairs = npairs;
-    max_stretch = !max_stretch;
-    stretch_bound = bound;
-    size_ratio =
-      float_of_int size /. Bounds.skeleton_size ~n:plan.Plan.n ~d:plan.Plan.d;
-    components = !ncomp;
-  }
+  let verdict =
+    {
+      checks = [ subset; forest; contribution; stretch ];
+      live = !live_count;
+      pairs = npairs;
+      max_stretch = !max_stretch;
+      stretch_bound = bound;
+      size_ratio =
+        float_of_int size /. Bounds.skeleton_size ~n:plan.Plan.n ~d:plan.Plan.d;
+      components = !ncomp;
+    }
+  in
+  if Obs.Metrics.enabled metrics then
+    List.iter
+      (fun c ->
+        Obs.Metrics.incr
+          (Obs.Metrics.counter metrics "certify_checks"
+             ~labels:
+               [
+                 ("check", c.name);
+                 ("outcome", (if c.ok then "pass" else "fail"));
+               ]))
+      verdict.checks;
+  verdict
 
 (* ------------------------------------------------------------------ *)
 

@@ -68,6 +68,7 @@ val run :
   ?seed:int ->
   ?down_edge:(int -> bool) ->
   ?per_component:bool ->
+  ?metrics:Obs.Metrics.t ->
   plan:Plan.t ->
   witness:witness ->
   Graphlib.Graph.t ->
@@ -89,7 +90,11 @@ val run :
     of the budget on shuffled extras.  A source never audits across a
     cut (pairs unreachable in the surviving graph are skipped), so
     after a partition this is what certifies each island separately —
-    without it a small component can escape the audit entirely. *)
+    without it a small component can escape the audit entirely.
+
+    [metrics] (default {!Obs.Metrics.disabled}) counts each check's
+    outcome into a [certify_checks] counter labeled
+    [check]/[outcome] (pass or fail). *)
 
 val pp : Format.formatter -> verdict -> unit
 (** Human-readable multi-line report. *)

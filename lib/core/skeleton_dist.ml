@@ -211,8 +211,8 @@ let fresh_node id =
     rp_best_from = -1;
   }
 
-let build_with ?(faults = Fault.none) ?tracer ?phase_round_limit ~plan ~sampling
-    g =
+let build_with ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled)
+    ?phase_round_limit ~plan ~sampling g =
   let n = Graph.n g in
   let nodes = Array.init n fresh_node in
   Array.iter
@@ -279,10 +279,47 @@ let build_with ?(faults = Fault.none) ?tracer ?phase_round_limit ~plan ~sampling
   let link_idle_ref = ref (fun _ _ -> true) in
   let emit ~src ~dst m = !emit_ref ~src ~dst m in
 
+  (* Per-phase attribution: every phase's cost is the delta of the
+     engine statistics since the previous mark, so the phase rows of a
+     metrics snapshot sum exactly to the final [Sim.stats].  Peak
+     message length is not delta-able, so it comes from the engine's
+     reset-on-read window ({!Sim.take_window_max}), wired up by the
+     transport below. *)
+  let window_now = ref (fun () -> 0) in
+  let last_stats =
+    ref { Sim.rounds = 0; messages = 0; words = 0; max_message_words = 0 }
+  in
+  let scope = Obs.Scope.of_registry metrics in
+  let record_phase name =
+    if Obs.Metrics.enabled metrics then begin
+      let s = !stats_now () in
+      let prev = !last_stats in
+      last_stats := s;
+      let sc = Obs.Scope.phase scope name in
+      Obs.Metrics.add
+        (Obs.Scope.counter sc "phase_rounds")
+        (s.Sim.rounds - prev.Sim.rounds);
+      Obs.Metrics.add
+        (Obs.Scope.counter sc "phase_messages")
+        (s.Sim.messages - prev.Sim.messages);
+      Obs.Metrics.add
+        (Obs.Scope.counter sc "phase_words")
+        (s.Sim.words - prev.Sim.words);
+      Obs.Metrics.set_max
+        (Obs.Scope.gauge sc "phase_max_message_words")
+        (!window_now ())
+    end
+  in
+
   let keep ~who e =
     if not (Edge_set.mem spanner e) then begin
       Edge_set.add spanner e;
-      contributed.(who) <- contributed.(who) + 1
+      contributed.(who) <- contributed.(who) + 1;
+      if Obs.Metrics.enabled metrics then
+        Obs.Metrics.incr
+          (Obs.Scope.counter
+             (Obs.Scope.cluster scope nodes.(who).cl_center)
+             "cluster_edges_kept")
     end
   in
 
@@ -682,7 +719,8 @@ let build_with ?(faults = Fault.none) ?tracer ?phase_round_limit ~plan ~sampling
         List.iter (fun (v, w) -> emit ~src:v ~dst:w Probe) targets
       end
       else !pump_ref ()
-    done
+    done;
+    record_phase name
   in
   let no_probes () = [] in
 
@@ -1044,6 +1082,7 @@ let build_with ?(faults = Fault.none) ?tracer ?phase_round_limit ~plan ~sampling
   let run_repair ~fast_forward () =
     (* Let every scheduled churn event land before assessing damage. *)
     fast_forward (Fault.last_churn_round faults);
+    record_phase "churn-forward";
     let live v = present_now v in
     let edge_up e = !edge_up_now e in
     let start_round = !round_now () in
@@ -1338,9 +1377,10 @@ let build_with ?(faults = Fault.none) ?tracer ?phase_round_limit ~plan ~sampling
     (* Loss-free fast path: protocol messages ride the engine bare, as
        in the paper's model.  No acks, no sequence numbers — word
        accounting and the produced spanner match the original driver. *)
-    let net : msg Sim.t = Sim.create ~faults ?tracer g in
+    let net : msg Sim.t = Sim.create ~faults ?tracer ~metrics g in
     round_now := (fun () -> Sim.round net);
     stats_now := (fun () -> Sim.stats net);
+    window_now := (fun () -> Sim.take_window_max net);
     emit_ref := (fun ~src ~dst m -> Sim.send net ~src ~dst ~words:(words m) m);
     pump_ref := (fun () -> ignore (Sim.step net dispatch));
     idle_ref := (fun () -> Sim.quiescent net);
@@ -1368,10 +1408,12 @@ let build_with ?(faults = Fault.none) ?tracer ?phase_round_limit ~plan ~sampling
         (st, outs)
     end in
     let module R = Reliable.Make (P) in
-    let net : R.message Sim.t = Sim.create ~faults ?tracer g in
+    R.use_metrics metrics;
+    let net : R.message Sim.t = Sim.create ~faults ?tracer ~metrics g in
     let dynamic = Fault.has_churn faults in
     round_now := (fun () -> Sim.round net);
     stats_now := (fun () -> Sim.stats net);
+    window_now := (fun () -> Sim.take_window_max net);
     edge_up_now := Sim.edge_up net;
     let states = Array.init n (fun v -> fst (R.init g v)) in
     let inboxes : (int * R.message) list array = Array.make n [] in
@@ -1447,6 +1489,22 @@ let build_with ?(faults = Fault.none) ?tracer ?phase_round_limit ~plan ~sampling
   end;
 
   (* ---------------- result ---------------- *)
+  (* Whatever ran outside a named phase (initial flushes, kill
+     messages, repair bookkeeping) lands in a catch-all row, keeping
+     the phase table's totals equal to the engine statistics. *)
+  record_phase "post";
+  if Obs.Metrics.enabled metrics then begin
+    Obs.Metrics.add
+      (Obs.Metrics.counter metrics "skeleton_checkpoint_commits")
+      (Recovery.Checkpoints.commits ckpt);
+    Obs.Metrics.add (Obs.Metrics.counter metrics "skeleton_orphan_aborts")
+      !orphans;
+    Obs.Metrics.add (Obs.Metrics.counter metrics "skeleton_recovered_edges")
+      !recovered_edges;
+    Obs.Metrics.add (Obs.Metrics.counter metrics "skeleton_suspicion_events")
+      !suspicion_events;
+    Obs.Metrics.add (Obs.Metrics.counter metrics "skeleton_aborts") !aborts
+  end;
   let stats = !stats_now () in
   let crashed = Array.make n false in
   List.iter
@@ -1497,8 +1555,9 @@ let build_with ?(faults = Fault.none) ?tracer ?phase_round_limit ~plan ~sampling
     dead_edges = !dead_edges_ref;
   }
 
-let build ?(d = 4) ?(eps = 0.5) ?faults ?tracer ?phase_round_limit ~seed g =
+let build ?(d = 4) ?(eps = 0.5) ?faults ?tracer ?metrics ?phase_round_limit
+    ~seed g =
   let plan = Plan.make ~n:(Graph.n g) ~d ~eps () in
   let rng = Util.Prng.create ~seed in
   let sampling = Sampling.draw rng ~n:(Graph.n g) plan in
-  build_with ?faults ?tracer ?phase_round_limit ~plan ~sampling g
+  build_with ?faults ?tracer ?metrics ?phase_round_limit ~plan ~sampling g

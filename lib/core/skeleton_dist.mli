@@ -115,6 +115,7 @@ val build :
   ?eps:float ->
   ?faults:Distnet.Fault.t ->
   ?tracer:Distnet.Trace.t ->
+  ?metrics:Obs.Metrics.t ->
   ?phase_round_limit:int ->
   seed:int ->
   Graphlib.Graph.t ->
@@ -123,12 +124,27 @@ val build :
 val build_with :
   ?faults:Distnet.Fault.t ->
   ?tracer:Distnet.Trace.t ->
+  ?metrics:Obs.Metrics.t ->
   ?phase_round_limit:int ->
   plan:Plan.t ->
   sampling:Sampling.t ->
   Graphlib.Graph.t ->
   result
-(** With a churn-carrying fault plan, the run fast-forwards past the
+(** [metrics] (default {!Obs.Metrics.disabled}) attributes the run's
+    cost per phase: counters [phase_rounds] / [phase_messages] /
+    [phase_words] and a [phase_max_message_words] gauge under a
+    ["phase"] label (exchange, convergecast, wave, notify, dying,
+    final, death-notices, the repair-* phases, churn-forward, and a
+    catch-all [post]), accounted as deltas of the engine statistics so
+    the rows sum exactly to the run's [stats]; per-cluster
+    [cluster_edges_kept] counters; end-of-run recovery counters
+    ([skeleton_checkpoint_commits], [skeleton_orphan_aborts],
+    [skeleton_recovered_edges], [skeleton_suspicion_events],
+    [skeleton_aborts]); plus everything {!Distnet.Sim} and the ARQ
+    layer record.  Purely observational: enabling metrics never
+    changes the spanner, the statistics, or the trace.
+
+    With a churn-carrying fault plan, the run fast-forwards past the
     last churn event after the schedule completes and executes the
     incremental repair pass (see {!repair_report}); down links during
     the run look like loss to the ARQ and ripen into suspicions if

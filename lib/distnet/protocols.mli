@@ -41,6 +41,7 @@ val reliable_bfs :
   ?max_rounds:int ->
   ?faults:Fault.t ->
   ?tracer:Trace.t ->
+  ?metrics:Obs.Metrics.t ->
   Graphlib.Graph.t ->
   root:int ->
   Sim.stats * int array
@@ -53,6 +54,7 @@ val reliable_flood :
   ?max_rounds:int ->
   ?faults:Fault.t ->
   ?tracer:Trace.t ->
+  ?metrics:Obs.Metrics.t ->
   Graphlib.Graph.t ->
   root:int ->
   payload_words:int ->

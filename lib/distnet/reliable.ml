@@ -5,6 +5,24 @@ let max_rto = 32
 let max_retries = 12
 
 module Make (P : Sim.PROTOCOL) = struct
+  (* Instruments, shared by every node of this instantiation (the
+     counts are network-wide aggregates).  They default to no-ops;
+     [use_metrics] swaps in live ones before a run. *)
+  let m_retrans =
+    ref (Obs.Metrics.counter Obs.Metrics.disabled "arq_retransmissions")
+
+  let m_dead = ref (Obs.Metrics.counter Obs.Metrics.disabled "arq_dead_letters")
+  let m_timer = ref (Obs.Metrics.counter Obs.Metrics.disabled "arq_timer_fires")
+
+  let m_ack_latency =
+    ref (Obs.Metrics.histogram Obs.Metrics.disabled "arq_ack_latency")
+
+  let use_metrics m =
+    m_retrans := Obs.Metrics.counter m "arq_retransmissions";
+    m_dead := Obs.Metrics.counter m "arq_dead_letters";
+    m_timer := Obs.Metrics.counter m "arq_timer_fires";
+    m_ack_latency := Obs.Metrics.histogram m "arq_ack_latency"
+
   type message = { acks : int list; data : (int * P.message) option }
 
   let message_words { acks; data } =
@@ -19,6 +37,7 @@ module Make (P : Sim.PROTOCOL) = struct
     mutable rto : int;
     mutable timer : int;
     mutable retries : int;
+    mutable sent_round : int;  (** first transmission of the inflight seq *)
     mutable pending_acks : int list;  (** to piggyback on the next send *)
     received : (int, unit) Hashtbl.t;  (** seqs already delivered inward *)
   }
@@ -61,7 +80,7 @@ module Make (P : Sim.PROTOCOL) = struct
     List.iter (fun (dst, m) -> Queue.add m (peer_of st dst).queue) msgs
 
   (* Begin transmitting the next queued message, if any. *)
-  let start_next p =
+  let start_next ~round p =
     match Queue.take_opt p.queue with
     | None -> None
     | Some m ->
@@ -71,31 +90,36 @@ module Make (P : Sim.PROTOCOL) = struct
         p.rto <- initial_rto;
         p.timer <- initial_rto;
         p.retries <- 0;
+        p.sent_round <- round;
         Some (seq, m)
 
   (* One round of the sender side for [p]: tick the timer, decide what
      data (if any) goes on the wire this round. *)
-  let outgoing st p =
+  let outgoing st ~round p =
     let data =
       match p.inflight with
-      | None -> start_next p
+      | None -> start_next ~round p
       | Some (seq, m) ->
           p.timer <- p.timer - 1;
           if p.timer > 0 then None
           else if p.retries >= max_retries then begin
             (* The peer is not answering (crashed, or the link is
                hopeless): abandon, move on. *)
+            Obs.Metrics.incr !m_timer;
             p.inflight <- None;
             st.dead <- st.dead + 1;
+            Obs.Metrics.incr !m_dead;
             if not (List.mem p.nbr st.abandoned) then
               st.abandoned <- p.nbr :: st.abandoned;
-            start_next p
+            start_next ~round p
           end
           else begin
+            Obs.Metrics.incr !m_timer;
             p.retries <- p.retries + 1;
             p.rto <- Stdlib.min (2 * p.rto) max_rto;
             p.timer <- p.rto;
             st.retrans <- st.retrans + 1;
+            Obs.Metrics.incr !m_retrans;
             Some (seq, m)
           end
     in
@@ -104,9 +128,10 @@ module Make (P : Sim.PROTOCOL) = struct
     if data = None && acks = [] then None
     else Some (p.nbr, { acks; data })
 
-  let flush st =
+  let flush st ~round =
     Array.fold_left
-      (fun out p -> match outgoing st p with Some m -> m :: out | None -> out)
+      (fun out p ->
+        match outgoing st ~round p with Some m -> m :: out | None -> out)
       [] st.peers
 
   let init g v =
@@ -122,6 +147,7 @@ module Make (P : Sim.PROTOCOL) = struct
             rto = initial_rto;
             timer = 0;
             retries = 0;
+            sent_round = 0;
             pending_acks = [];
             received = Hashtbl.create 8;
           })
@@ -134,7 +160,7 @@ module Make (P : Sim.PROTOCOL) = struct
       { v; inner; peers; index; retrans = 0; dead = 0; abandoned = [] }
     in
     enqueue st msgs;
-    (st, flush st)
+    (st, flush st ~round:0)
 
   let receive g ~round v st inbox =
     let deliveries = ref [] in
@@ -145,6 +171,7 @@ module Make (P : Sim.PROTOCOL) = struct
           (fun a ->
             match p.inflight with
             | Some (seq, _) when seq = a ->
+                Obs.Metrics.observe !m_ack_latency (round - p.sent_round);
                 p.inflight <- None;
                 p.rto <- initial_rto;
                 p.retries <- 0
@@ -165,5 +192,5 @@ module Make (P : Sim.PROTOCOL) = struct
     let inner, outs = P.receive g ~round v st.inner (List.rev !deliveries) in
     st.inner <- inner;
     enqueue st outs;
-    (st, flush st)
+    (st, flush st ~round)
 end

@@ -34,6 +34,15 @@ val max_retries : int
 module Make (P : Sim.PROTOCOL) : sig
   include Sim.ACTIVE_PROTOCOL
 
+  val use_metrics : Obs.Metrics.t -> unit
+  (** Route this instantiation's instruments into the given registry
+      (network-wide aggregates): counters [arq_retransmissions] /
+      [arq_dead_letters] / [arq_timer_fires] and an [arq_ack_latency]
+      histogram (rounds from a message's first transmission to its
+      acknowledgement).  Defaults to the no-op sink; call again with
+      {!Obs.Metrics.disabled} to turn recording back off.  Purely
+      observational — never changes protocol behavior. *)
+
   val inner : state -> P.state
   (** The wrapped protocol's state at this node. *)
 

@@ -49,6 +49,19 @@ type 'msg t = {
   mutable messages : int;
   mutable words : int;
   mutable max_message_words : int;
+  (* Observability.  [metrics] defaults to the no-op sink; the
+     per-round histograms and per-link counters below are no-op
+     instruments in that case, so the disabled path costs one tag
+     check.  [window_max] tracks the longest message charged since the
+     last {!take_window_max} — it is what lets a caller attribute peak
+     message length to a phase, since a maximum (unlike the other
+     stats fields) cannot be recovered from before/after deltas. *)
+  metrics : Obs.Metrics.t;
+  h_delivered : Obs.Metrics.histogram;
+  h_dropped : Obs.Metrics.histogram;
+  h_held : Obs.Metrics.histogram;
+  link_load : Obs.Metrics.counter option array;
+  mutable window_max : int;
 }
 
 let key ~n src dst = (src * n) + dst
@@ -96,7 +109,7 @@ let apply_churn t ~round =
   in
   go t.pending_churn
 
-let create ?(faults = Fault.none) ?tracer g =
+let create ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled) g =
   let n = Graph.n g in
   let link = Hashtbl.create (4 * Graph.m g) in
   Graph.iter_edges g (fun e u v ->
@@ -121,6 +134,12 @@ let create ?(faults = Fault.none) ?tracer g =
       messages = 0;
       words = 0;
       max_message_words = 0;
+      metrics;
+      h_delivered = Obs.Metrics.histogram metrics "sim_round_delivered_words";
+      h_dropped = Obs.Metrics.histogram metrics "sim_round_dropped_words";
+      h_held = Obs.Metrics.histogram metrics "sim_round_held_words";
+      link_load = Array.make (Stdlib.max 1 (2 * Graph.m g)) None;
+      window_max = 0;
     }
   in
   (* Round-0 churn (e.g. an edge down from the start) must constrain
@@ -173,6 +192,21 @@ let send t ~src ~dst ~words payload =
                src dst);
         t.last_sent.(slot) <- t.epoch;
         trace t ~round:t.rounds Trace.Send ~src ~dst ~words;
+        if Obs.Metrics.enabled t.metrics then begin
+          let c =
+            match t.link_load.(slot) with
+            | Some c -> c
+            | None ->
+                let c =
+                  Obs.Metrics.counter t.metrics "link_words"
+                    ~labels:
+                      [ ("src", string_of_int src); ("dst", string_of_int dst) ]
+                in
+                t.link_load.(slot) <- Some c;
+                c
+          in
+          Obs.Metrics.add c words
+        end;
         t.outbox <- { src; dst; words; payload } :: t.outbox
       end
 
@@ -186,7 +220,13 @@ let quiescent t = t.outbox = [] && t.delayed_count = 0
 let charge t (e : 'msg envelope) =
   t.messages <- t.messages + 1;
   t.words <- t.words + e.words;
-  if e.words > t.max_message_words then t.max_message_words <- e.words
+  if e.words > t.max_message_words then t.max_message_words <- e.words;
+  if e.words > t.window_max then t.window_max <- e.words
+
+let take_window_max t =
+  let m = t.window_max in
+  t.window_max <- 0;
+  m
 
 let step t deliver =
   let batch = List.rev t.outbox in
@@ -204,23 +244,32 @@ let step t deliver =
   crashes t.pending_crashes;
   if t.dynamic then apply_churn t ~round;
   let count = ref 0 in
+  let delivered_w = ref 0 and dropped_w = ref 0 and held_w = ref 0 in
   let deliver_now (e : 'msg envelope) =
-    if Fault.crashed t.faults ~round e.dst then
+    if Fault.crashed t.faults ~round e.dst then begin
+      dropped_w := !dropped_w + e.words;
       trace t ~round (Trace.Drop Trace.Dst_crashed) ~src:e.src ~dst:e.dst
         ~words:e.words
-    else if t.dynamic && not t.edge_alive.(edge_of_link t e.src e.dst) then
+    end
+    else if t.dynamic && not t.edge_alive.(edge_of_link t e.src e.dst) then begin
+      dropped_w := !dropped_w + e.words;
       trace t ~round (Trace.Drop Trace.Link_down) ~src:e.src ~dst:e.dst
         ~words:e.words
-    else if t.dynamic && not (Fault.joined t.faults ~round e.dst) then
+    end
+    else if t.dynamic && not (Fault.joined t.faults ~round e.dst) then begin
+      dropped_w := !dropped_w + e.words;
       trace t ~round (Trace.Drop Trace.Not_joined) ~src:e.src ~dst:e.dst
         ~words:e.words
+    end
     else begin
       incr count;
+      delivered_w := !delivered_w + e.words;
       trace t ~round Trace.Deliver ~src:e.src ~dst:e.dst ~words:e.words;
       deliver ~dst:e.dst ~src:e.src e.payload
     end
   in
-  let hold e ~until =
+  let hold (e : 'msg envelope) ~until =
+    held_w := !held_w + e.words;
     Hashtbl.replace t.delayed until
       (e :: Option.value ~default:[] (Hashtbl.find_opt t.delayed until));
     t.delayed_count <- t.delayed_count + 1
@@ -238,6 +287,7 @@ let step t deliver =
       match Fault.fate t.faults ~round ~src:e.src ~dst:e.dst with
       | Fault.Lost ->
           charge t e;
+          dropped_w := !dropped_w + e.words;
           trace t ~round (Trace.Drop Trace.Loss) ~src:e.src ~dst:e.dst
             ~words:e.words
       | Fault.Pass { dup; delay } ->
@@ -257,6 +307,11 @@ let step t deliver =
             if dup then deliver_now e
           end)
     batch;
+  if Obs.Metrics.enabled t.metrics then begin
+    Obs.Metrics.observe t.h_delivered !delivered_w;
+    Obs.Metrics.observe t.h_dropped !dropped_w;
+    Obs.Metrics.observe t.h_held !held_w
+  end;
   !count
 
 let stats t =
@@ -322,9 +377,9 @@ module type ACTIVE_PROTOCOL = sig
 end
 
 module Run_active (P : ACTIVE_PROTOCOL) = struct
-  let run ?(max_rounds = 1_000_000) ?faults ?tracer g =
+  let run ?(max_rounds = 1_000_000) ?faults ?tracer ?metrics g =
     let n = Graph.n g in
-    let t = create ?faults ?tracer g in
+    let t = create ?faults ?tracer ?metrics g in
     let faults = t.faults in
     let states = Array.init n (fun _ -> None) in
     let state v =

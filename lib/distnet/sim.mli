@@ -49,13 +49,24 @@ type 'msg t
 exception Link_down of { round : int; src : int; dst : int }
 (** Raised by {!send} when the link is down under the churn plan. *)
 
-val create : ?faults:Fault.t -> ?tracer:Trace.t -> Graphlib.Graph.t -> 'msg t
+val create :
+  ?faults:Fault.t ->
+  ?tracer:Trace.t ->
+  ?metrics:Obs.Metrics.t ->
+  Graphlib.Graph.t ->
+  'msg t
 (** [create ?faults ?tracer g] prepares an idle network on [g].
     [faults] defaults to {!Fault.none}, under which every observable
     behavior (deliveries, statistics, errors) is identical to the
     fault-free engine; [tracer] defaults to no recording.  Churn
     actions scheduled for round 0 are applied immediately, so they
-    constrain the protocol's initial sends. *)
+    constrain the protocol's initial sends.
+
+    [metrics] (default {!Obs.Metrics.disabled}) records, per {!step},
+    histograms [sim_round_delivered_words] / [sim_round_dropped_words]
+    / [sim_round_held_words], and a [link_words] counter per directed
+    link (labels [src]/[dst], created at the link's first send).
+    Metrics never affect deliveries, statistics, or the trace. *)
 
 val graph : 'msg t -> Graphlib.Graph.t
 
@@ -110,6 +121,14 @@ val run_until_quiescent :
 
 val stats : 'msg t -> stats
 
+val take_window_max : 'msg t -> int
+(** Length of the longest single message charged since the previous
+    [take_window_max] (or since {!create}), and reset the window.
+    Unlike the additive stats fields, a maximum cannot be attributed
+    to a phase by differencing {!stats} snapshots — this is the
+    reset-on-read window the per-phase instrumentation uses.  Reading
+    it never affects {!stats}. *)
+
 val add_idle_rounds : 'msg t -> int -> unit
 (** Account for rounds that a real execution would spend idle (e.g. a
     fixed-length phase that ended early at quiescence but whose
@@ -157,6 +176,7 @@ module Run_active (P : ACTIVE_PROTOCOL) : sig
     ?max_rounds:int ->
     ?faults:Fault.t ->
     ?tracer:Trace.t ->
+    ?metrics:Obs.Metrics.t ->
     Graphlib.Graph.t ->
     stats * P.state array
   (** Run the protocol to completion.  Under a fault plan, a node that
@@ -176,6 +196,7 @@ module Run (P : PROTOCOL) : sig
     ?max_rounds:int ->
     ?faults:Fault.t ->
     ?tracer:Trace.t ->
+    ?metrics:Obs.Metrics.t ->
     Graphlib.Graph.t ->
     stats * P.state array
 end

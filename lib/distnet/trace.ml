@@ -196,12 +196,12 @@ let parse_line ~file lineno line =
           words = int "words";
         }
 
-let load file =
+let iter_file file f =
   let ic = open_in file in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let rev_events = ref [] and stats = ref None and lineno = ref 0 in
+      let stats = ref None and lineno = ref 0 in
       (try
          while true do
            let line = input_line ic in
@@ -216,8 +216,13 @@ let load file =
            in
            if String.trim line <> "" then
              match parse_line ~file !lineno line with
-             | `Event e -> rev_events := e :: !rev_events
+             | `Event e -> f e
              | `Stats s -> stats := Some s
          done
        with End_of_file -> ());
-      (List.rev !rev_events, !stats))
+      !stats)
+
+let load file =
+  let rev_events = ref [] in
+  let stats = iter_file file (fun e -> rev_events := e :: !rev_events) in
+  (List.rev !rev_events, stats)

@@ -67,9 +67,16 @@ val save : ?stats:stats -> t -> string -> unit
     the final line records the run's statistics so a replay can be
     checked against them. *)
 
-val load : string -> event list * stats option
-(** Parse a file written by {!save}.  Blank (or whitespace-only) lines
-    and CRLF line endings are tolerated, so a trace survives editor or
+val iter_file : string -> (event -> unit) -> stats option
+(** Stream a file written by {!save}: call the function on every event
+    in file order, without materializing the event list — aggregation
+    over a large trace runs in constant memory.  Returns the stats
+    line when one is present.  Blank (or whitespace-only) lines and
+    CRLF line endings are tolerated, so a trace survives editor or
     transfer round-trips.
     @raise Failure on a line that is not a trace event; the message
     names the file and the offending line. *)
+
+val load : string -> event list * stats option
+(** [iter_file] materialized: the event list in file order, plus the
+    stats line when present. *)

@@ -1,0 +1,126 @@
+type phase_row = {
+  phase : string;
+  rounds : int;
+  messages : int;
+  words : int;
+  max_words : int;
+}
+
+let empty_row phase = { phase; rounds = 0; messages = 0; words = 0; max_words = 0 }
+
+let phase_rows samples =
+  let order = ref [] in
+  let tbl = Hashtbl.create 16 in
+  let row phase =
+    match Hashtbl.find_opt tbl phase with
+    | Some r -> r
+    | None ->
+        order := phase :: !order;
+        let r = ref (empty_row phase) in
+        Hashtbl.replace tbl phase r;
+        r
+  in
+  List.iter
+    (fun (s : Metrics.sample) ->
+      match List.assoc_opt "phase" s.labels with
+      | None -> ()
+      | Some phase -> (
+          let v =
+            match s.value with
+            | Metrics.Counter v | Metrics.Gauge v -> v
+            | Metrics.Histogram h -> h.sum
+          in
+          match s.name with
+          | "phase_rounds" ->
+              let r = row phase in
+              r := { !r with rounds = !r.rounds + v }
+          | "phase_messages" ->
+              let r = row phase in
+              r := { !r with messages = !r.messages + v }
+          | "phase_words" ->
+              let r = row phase in
+              r := { !r with words = !r.words + v }
+          | "phase_max_message_words" ->
+              let r = row phase in
+              r := { !r with max_words = Stdlib.max !r.max_words v }
+          | _ -> ()))
+    samples;
+  List.rev_map (fun phase -> !(Hashtbl.find tbl phase)) !order
+
+let totals rows =
+  List.fold_left
+    (fun acc r ->
+      {
+        acc with
+        rounds = acc.rounds + r.rounds;
+        messages = acc.messages + r.messages;
+        words = acc.words + r.words;
+        max_words = Stdlib.max acc.max_words r.max_words;
+      })
+    (empty_row "total") rows
+
+let pp_phase_table ppf samples =
+  match phase_rows samples with
+  | [] -> Format.fprintf ppf "(no phase metrics recorded)@."
+  | rows ->
+      let line { phase; rounds; messages; words; max_words } =
+        Format.fprintf ppf "%-22s %8d %10d %10d %10d@." phase rounds messages
+          words max_words
+      in
+      Format.fprintf ppf "%-22s %8s %10s %10s %10s@." "phase" "rounds"
+        "messages" "words" "max_words";
+      List.iter line rows;
+      line (totals rows)
+
+let hist_percentile (h : Metrics.hist_snapshot) p =
+  if h.count = 0 then nan
+  else if Array.length h.samples > 0 then
+    Util.Stats.exact_percentile_of_sorted h.samples p
+  else begin
+    (* Nearest-rank over the bucket counts; report the bucket's upper
+       bound (the tightest value the serialized form can certify). *)
+    let rank =
+      Stdlib.max 1 (int_of_float (Float.ceil (p *. float_of_int h.count)))
+    in
+    let rec scan i seen =
+      if i >= Array.length h.buckets then float_of_int h.hmax
+      else
+        let seen = seen + h.buckets.(i) in
+        if seen >= rank then
+          if i = Metrics.num_buckets - 1 then float_of_int h.hmax
+          else float_of_int (Metrics.bucket_upper i)
+        else scan (i + 1) seen
+    in
+    scan 0 0
+  end
+
+let pp_labels ppf = function
+  | [] -> ()
+  | labels ->
+      Format.fprintf ppf "{%s}"
+        (String.concat ","
+           (List.map (fun (k, v) -> k ^ "=" ^ v) labels))
+
+let pp_num ppf v =
+  if Float.is_nan v then Format.fprintf ppf "-"
+  else if Float.is_integer v then Format.fprintf ppf "%.0f" v
+  else Format.fprintf ppf "%.2f" v
+
+let pp_summary ppf samples =
+  List.iter
+    (fun (s : Metrics.sample) ->
+      match s.value with
+      | Metrics.Counter v ->
+          Format.fprintf ppf "%s%a = %d@." s.name pp_labels s.labels v
+      | Metrics.Gauge v ->
+          Format.fprintf ppf "%s%a = %d (gauge)@." s.name pp_labels s.labels v
+      | Metrics.Histogram h ->
+          if h.count = 0 then
+            Format.fprintf ppf "%s%a: count=0@." s.name pp_labels s.labels
+          else
+            Format.fprintf ppf
+              "%s%a: count=%d sum=%d min=%d max=%d p50=%a p90=%a p99=%a@."
+              s.name pp_labels s.labels h.count h.sum h.hmin h.hmax pp_num
+              (hist_percentile h 0.5) pp_num (hist_percentile h 0.9) pp_num
+              (hist_percentile h 0.99))
+    samples

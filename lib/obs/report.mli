@@ -1,0 +1,37 @@
+(** Pretty-printers over metric snapshots.
+
+    The per-phase table is the contract between the skeleton
+    construction's instrumentation and the CLI: phases record
+    [phase_rounds] / [phase_messages] / [phase_words] counters and a
+    [phase_max_message_words] gauge under a ["phase"] label, and
+    {!pp_phase_table} renders them with a totals row whose
+    rounds/messages/words sums equal the run's [Trace.stats] (max
+    words is the max over phases). *)
+
+type phase_row = {
+  phase : string;
+  rounds : int;
+  messages : int;
+  words : int;
+  max_words : int;
+}
+
+val phase_rows : Metrics.sample list -> phase_row list
+(** Rows in first-appearance order of the ["phase"] label. *)
+
+val totals : phase_row list -> phase_row
+(** Sum of rounds/messages/words, max of max_words; phase ["total"]. *)
+
+val pp_phase_table : Format.formatter -> Metrics.sample list -> unit
+(** Fixed-width per-phase table plus totals row; prints a one-line
+    notice when the snapshot holds no phase metrics. *)
+
+val pp_summary : Format.formatter -> Metrics.sample list -> unit
+(** Every sample, one line each, in snapshot order.  Histograms show
+    count/sum/min/max and exact p50/p90/p99 (from raw samples when
+    present, else nearest-rank over the serialized buckets, reported
+    as the bucket's upper bound). *)
+
+val hist_percentile : Metrics.hist_snapshot -> float -> float
+(** Exact when raw samples are present; bucket upper bound otherwise;
+    [nan] when empty. *)

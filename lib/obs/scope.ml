@@ -1,0 +1,21 @@
+type t = { reg : Metrics.t; lbls : Metrics.labels }
+
+let disabled = { reg = Metrics.disabled; lbls = [] }
+let of_registry reg = { reg; lbls = [] }
+let registry t = t.reg
+let labels t = t.lbls
+let enabled t = Metrics.enabled t.reg
+
+let labeled t extra =
+  if not (Metrics.enabled t.reg) then t
+  else
+    (* Later bindings of a key shadow inherited ones; Metrics.canon
+       keeps the last, so append the refinement. *)
+    { t with lbls = t.lbls @ extra }
+
+let phase t p = labeled t [ ("phase", p) ]
+let node t id = labeled t [ ("node", string_of_int id) ]
+let cluster t c = labeled t [ ("cluster", string_of_int c) ]
+let counter t name = Metrics.counter t.reg ~labels:t.lbls name
+let gauge t name = Metrics.gauge t.reg ~labels:t.lbls name
+let histogram t name = Metrics.histogram t.reg ~labels:t.lbls name

@@ -1,0 +1,36 @@
+(** Attribution scopes over a {!Metrics} registry.
+
+    A scope is a registry plus a set of labels that every instrument
+    created through it carries.  Instrumented code takes a scope and
+    refines it — [Scope.phase sc "wave"], [Scope.node sc 7],
+    [Scope.cluster sc c] — so the metric names stay flat while the
+    attribution lives in labels.  Refining the no-op scope is free and
+    yields the no-op scope. *)
+
+type t
+
+val disabled : t
+(** Scope over {!Metrics.disabled}: all instruments are no-ops. *)
+
+val of_registry : Metrics.t -> t
+(** Root scope, no labels. *)
+
+val registry : t -> Metrics.t
+val labels : t -> Metrics.labels
+val enabled : t -> bool
+
+val labeled : t -> Metrics.labels -> t
+(** Add labels; a duplicate key overrides the inherited binding. *)
+
+val phase : t -> string -> t
+(** [labeled t ["phase", p]]. *)
+
+val node : t -> int -> t
+(** [labeled t ["node", string_of_int id]]. *)
+
+val cluster : t -> int -> t
+(** [labeled t ["cluster", string_of_int center]]. *)
+
+val counter : t -> string -> Metrics.counter
+val gauge : t -> string -> Metrics.gauge
+val histogram : t -> string -> Metrics.histogram

@@ -82,3 +82,17 @@ let percentile_of_sorted a p =
   end
 
 let median_of_sorted a = percentile_of_sorted a 0.5
+
+let exact_percentile_of_sorted a p =
+  let n = Array.length a in
+  if n = 0 then nan
+  else begin
+    (* nearest-rank: smallest k with k >= p*n, clamped to [1, n] *)
+    let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
+    let rank = Stdlib.max 1 (Stdlib.min n rank) in
+    a.(rank - 1)
+  end
+
+let p50_of_sorted a = exact_percentile_of_sorted a 0.5
+let p90_of_sorted a = exact_percentile_of_sorted a 0.9
+let p99_of_sorted a = exact_percentile_of_sorted a 0.99

@@ -34,3 +34,15 @@ val median_of_sorted : float array -> float
 val percentile_of_sorted : float array -> float -> float
 (** [percentile_of_sorted a p] for [p] in [\[0,1\]], nearest-rank with
     linear interpolation.  The array must be sorted ascending. *)
+
+val exact_percentile_of_sorted : float array -> float -> float
+(** Exact nearest-rank percentile: the smallest element of the sorted
+    array [a] such that at least [p * n] observations are [<=] it —
+    always an actual observation, never interpolated, so it is the
+    right quantile for integer-valued data (message lengths, round
+    counts).  [nan] on [[||]]; the single element for [n = 1]. *)
+
+val p50_of_sorted : float array -> float
+val p90_of_sorted : float array -> float
+val p99_of_sorted : float array -> float
+(** [exact_percentile_of_sorted] at 0.5 / 0.9 / 0.99. *)

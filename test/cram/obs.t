@@ -1,0 +1,177 @@
+The observability surface: --metrics writes a JSONL snapshot next to
+the trace, --metrics-summary prints the per-phase cost table, and the
+totals row must equal the network stats line (the attribution is
+exact).
+
+  $ ../../bin/spanner_cli.exe simulate --algo skeleton --kind gnp -n 48 -p 0.2 --seed 3 --metrics m.jsonl --metrics-summary
+  graph: n=48, m=231, avg deg 9.62, max deg 17
+  spanner: 70 edges, 0 aborts
+  network: rounds=35 messages=2461 words=4293 max_msg=3 words
+  per-phase cost:
+  phase                    rounds   messages      words  max_words
+  exchange                      4       1686       3372          2
+  convergecast                  9        101        183          3
+  wave                          9        101        165          3
+  notify                        3         53         53          1
+  dying                         4         42         42          1
+  final                         4         42         42          1
+  death-notices                 2        436        436          1
+  post                          0          0          0          0
+  total                        35       2461       4293          3
+  metrics written to m.jsonl (515 samples)
+
+Without any metrics flag the output is byte-identical to the
+uninstrumented CLI (the registry is the no-op sink):
+
+  $ ../../bin/spanner_cli.exe simulate --algo skeleton --kind gnp -n 48 -p 0.2 --seed 3
+  graph: n=48, m=231, avg deg 9.62, max deg 17
+  spanner: 70 edges, 0 aborts
+  network: rounds=35 messages=2461 words=4293 max_msg=3 words
+
+The metrics file leads with a meta header and holds one line per
+instrument:
+
+  $ head -c 120 m.jsonl; echo
+  {"kind":"meta","algo":"skeleton","n":48,"arq":0,"d":4,"eps":0.5,"spanner_edges":70,"rounds":35,"messages":2461,"words":4
+  $ grep -c '"kind":"metric"' m.jsonl | head -1 > /dev/null && echo "has metric lines"
+  has metric lines
+
+report aggregates a saved metrics file: run header, phase table, most
+congested links, and the remaining instruments.
+
+  $ ../../bin/spanner_cli.exe report m.jsonl --top 3
+  metrics report: m.jsonl
+    run: algo=skeleton n=48 arq=0 rounds=35 messages=2461 words=4293 max_message_words=3
+  phase                    rounds   messages      words  max_words
+  exchange                      4       1686       3372          2
+  convergecast                  9        101        183          3
+  wave                          9        101        165          3
+  notify                        3         53         53          1
+  dying                         4         42         42          1
+  final                         4         42         42          1
+  death-notices                 2        436        436          1
+  post                          0          0          0          0
+  total                        35       2461       4293          3
+    top 3 links by words:
+      3->27: 18 words
+      7->39: 18 words
+      14->37: 18 words
+    other metrics:
+  sim_round_held_words: count=35 sum=0 min=0 max=0 p50=1 p90=1 p99=1
+  sim_round_dropped_words: count=35 sum=0 min=0 max=0 p50=1 p90=1 p99=1
+  sim_round_delivered_words: count=35 sum=4293 min=1 max=924 p50=16 p90=1024 p99=1024
+  cluster_edges_kept{cluster=11} = 23
+  cluster_edges_kept{cluster=27} = 6
+  cluster_edges_kept{cluster=39} = 2
+  cluster_edges_kept{cluster=25} = 3
+  cluster_edges_kept{cluster=20} = 2
+  cluster_edges_kept{cluster=45} = 3
+  cluster_edges_kept{cluster=31} = 2
+  cluster_edges_kept{cluster=14} = 1
+  cluster_edges_kept{cluster=46} = 1
+  cluster_edges_kept{cluster=2} = 11
+  cluster_edges_kept{cluster=9} = 5
+  cluster_edges_kept{cluster=10} = 7
+  cluster_edges_kept{cluster=47} = 4
+  skeleton_checkpoint_commits = 180
+  skeleton_orphan_aborts = 0
+  skeleton_recovered_edges = 0
+  skeleton_suspicion_events = 0
+  skeleton_aborts = 0
+
+The bound auditor checks the recorded run against the paper's bounds,
+both live (simulate --audit-bounds) and offline (report --audit-bounds);
+--strict turns any WARN into a nonzero exit.
+
+  $ ../../bin/spanner_cli.exe simulate --algo skeleton --kind gnp -n 48 -p 0.2 --seed 3 --audit-bounds --strict | tail -n +4
+  bound audit: n=48 D=4 eps=0.5
+    PASS rounds: 35 <= 1787.2 (64 x Theorem 2 time bound 27.9)
+    PASS max message words: 3 <= 4 (word budget 2 + 2 framing)
+    PASS spanner size: 70 <= 751.0 (3 x Lemma 6 expectation 250.3)
+    PASS rounds[exchange]: 4 <= 1787.2 (64 x Theorem 2 time bound 27.9)
+    PASS rounds[convergecast]: 9 <= 1787.2 (64 x Theorem 2 time bound 27.9)
+    PASS rounds[wave]: 9 <= 1787.2 (64 x Theorem 2 time bound 27.9)
+    PASS rounds[notify]: 3 <= 1787.2 (64 x Theorem 2 time bound 27.9)
+    PASS rounds[dying]: 4 <= 1787.2 (64 x Theorem 2 time bound 27.9)
+    PASS rounds[final]: 4 <= 1787.2 (64 x Theorem 2 time bound 27.9)
+    PASS rounds[death-notices]: 2 <= 1787.2 (64 x Theorem 2 time bound 27.9)
+    PASS rounds[post]: 0 <= 1787.2 (64 x Theorem 2 time bound 27.9)
+
+  $ ../../bin/spanner_cli.exe report m.jsonl --audit-bounds --strict | tail -n +14
+      3->27: 18 words
+      7->39: 18 words
+      14->37: 18 words
+      15->20: 18 words
+      19->45: 18 words
+    other metrics:
+  sim_round_held_words: count=35 sum=0 min=0 max=0 p50=1 p90=1 p99=1
+  sim_round_dropped_words: count=35 sum=0 min=0 max=0 p50=1 p90=1 p99=1
+  sim_round_delivered_words: count=35 sum=4293 min=1 max=924 p50=16 p90=1024 p99=1024
+  cluster_edges_kept{cluster=11} = 23
+  cluster_edges_kept{cluster=27} = 6
+  cluster_edges_kept{cluster=39} = 2
+  cluster_edges_kept{cluster=25} = 3
+  cluster_edges_kept{cluster=20} = 2
+  cluster_edges_kept{cluster=45} = 3
+  cluster_edges_kept{cluster=31} = 2
+  cluster_edges_kept{cluster=14} = 1
+  cluster_edges_kept{cluster=46} = 1
+  cluster_edges_kept{cluster=2} = 11
+  cluster_edges_kept{cluster=9} = 5
+  cluster_edges_kept{cluster=10} = 7
+  cluster_edges_kept{cluster=47} = 4
+  skeleton_checkpoint_commits = 180
+  skeleton_orphan_aborts = 0
+  skeleton_recovered_edges = 0
+  skeleton_suspicion_events = 0
+  skeleton_aborts = 0
+  bound audit: n=48 D=4 eps=0.5
+    PASS rounds: 35 <= 1787.2 (64 x Theorem 2 time bound 27.9)
+    PASS max message words: 3 <= 4 (word budget 2 + 2 framing)
+    PASS spanner size: 70 <= 751.0 (3 x Lemma 6 expectation 250.3)
+    PASS rounds[exchange]: 4 <= 1787.2 (64 x Theorem 2 time bound 27.9)
+    PASS rounds[convergecast]: 9 <= 1787.2 (64 x Theorem 2 time bound 27.9)
+    PASS rounds[wave]: 9 <= 1787.2 (64 x Theorem 2 time bound 27.9)
+    PASS rounds[notify]: 3 <= 1787.2 (64 x Theorem 2 time bound 27.9)
+    PASS rounds[dying]: 4 <= 1787.2 (64 x Theorem 2 time bound 27.9)
+    PASS rounds[final]: 4 <= 1787.2 (64 x Theorem 2 time bound 27.9)
+    PASS rounds[death-notices]: 2 <= 1787.2 (64 x Theorem 2 time bound 27.9)
+    PASS rounds[post]: 0 <= 1787.2 (64 x Theorem 2 time bound 27.9)
+
+report also understands plain trace files, streamed without
+materializing the event list:
+
+  $ ../../bin/spanner_cli.exe simulate --algo skeleton --kind gnp -n 48 -p 0.2 --seed 3 --trace t.jsonl > /dev/null
+  $ ../../bin/spanner_cli.exe report t.jsonl --top 2
+  trace report: t.jsonl
+    sends 2461 (4293 words), delivered 2461, dropped 0, dup 0, delayed 0
+    recorded stats: rounds=35 messages=2461 words=4293 max_msg=3 words
+    top 2 nodes by sent words:
+      node 11: sent 131 msgs / 215 words, received 146 / 228
+      node 27: sent 95 msgs / 165 words, received 101 / 174
+    top 2 links by words:
+      3->27: 11 msgs, 18 words
+      7->39: 10 msgs, 18 words
+    round timeline (words sent per bin of 4 rounds):
+      r0-r3: 1802
+      r4-r7: 924
+      r8-r11: 89
+      r12-r15: 83
+      r16-r19: 856
+      r20-r23: 29
+      r24-r27: 55
+      r28-r31: 29
+      r32-r35: 426
+      r36-r39: 0
+
+Asking for a bound audit of a trace (no meta header) is an error:
+
+  $ ../../bin/spanner_cli.exe report t.jsonl --audit-bounds
+  spanner_cli: report --audit-bounds needs a metrics file, but t.jsonl is a trace
+  [1]
+
+--audit-bounds needs the skeleton protocol:
+
+  $ ../../bin/spanner_cli.exe simulate --algo bfs --kind gnp -n 16 -p 0.3 --seed 1 --audit-bounds > /dev/null
+  spanner_cli: --audit-bounds needs --protocol skeleton
+  [1]

@@ -102,6 +102,25 @@ let test_stats_percentile () =
   checkf "p100" 5. (Util.Stats.percentile_of_sorted a 1.);
   checkf "p25" 2. (Util.Stats.percentile_of_sorted a 0.25)
 
+let test_stats_exact_percentile () =
+  (* Nearest-rank: the answer is always an element of the input. *)
+  checkb "empty is nan" true
+    (Float.is_nan (Util.Stats.exact_percentile_of_sorted [||] 0.5));
+  let single = [| 7. |] in
+  checkf "single p50" 7. (Util.Stats.p50_of_sorted single);
+  checkf "single p99" 7. (Util.Stats.p99_of_sorted single);
+  let a = [| 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8.; 9.; 10. |] in
+  checkf "p50 of 1..10" 5. (Util.Stats.p50_of_sorted a);
+  checkf "p90 of 1..10" 9. (Util.Stats.p90_of_sorted a);
+  checkf "p99 of 1..10" 10. (Util.Stats.p99_of_sorted a);
+  (* Ties: rank arithmetic is over positions, values just repeat. *)
+  let tied = [| 2.; 2.; 2.; 2.; 9. |] in
+  checkf "tied p50" 2. (Util.Stats.p50_of_sorted tied);
+  checkf "tied p90" 9. (Util.Stats.p90_of_sorted tied);
+  (* p clamps into [1, n]. *)
+  checkf "p0 clamps to first" 1. (Util.Stats.exact_percentile_of_sorted a 0.);
+  checkf "p1 is last" 10. (Util.Stats.exact_percentile_of_sorted a 1.)
+
 (* ------------------------------------------------------------------ *)
 (* Fib *)
 
@@ -386,6 +405,7 @@ let suite =
         Alcotest.test_case "basic" `Quick test_stats_basic;
         Alcotest.test_case "merge" `Quick test_stats_merge;
         Alcotest.test_case "percentile" `Quick test_stats_percentile;
+        Alcotest.test_case "exact percentile" `Quick test_stats_exact_percentile;
         QCheck_alcotest.to_alcotest prop_stats_mean_bounds;
       ] );
     ( "util.fib",
