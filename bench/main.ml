@@ -9,7 +9,11 @@
            --bench-only    skip the tables
            --json          machine-readable timings only (implies --bench-only)
            --seed N        change the experiment seed (default 1)
-           --only Ei       run a single table *)
+           --only Ei       run a single table
+           --baseline F    compare timings against a saved --json file
+                           (or a repo BENCH_*.json); exit 1 on regression
+           --tolerance X   relative slowdown allowed before a bench counts
+                           as regressed (default 0.25 = 25%) *)
 
 module Graph = Graphlib.Graph
 module Gen = Graphlib.Gen
@@ -20,6 +24,8 @@ let tables = ref true
 let benches = ref true
 let json = ref false
 let only = ref None
+let baseline = ref None
+let tolerance = ref 0.25
 
 let parse_args () =
   let rec go = function
@@ -42,6 +48,12 @@ let parse_args () =
         go rest
     | "--only" :: id :: rest ->
         only := Some id;
+        go rest
+    | "--baseline" :: file :: rest ->
+        baseline := Some file;
+        go rest
+    | "--tolerance" :: v :: rest ->
+        tolerance := float_of_string v;
         go rest
     | arg :: _ ->
         Printf.eprintf "unknown argument %s\n" arg;
@@ -132,6 +144,122 @@ let bench_tests () =
     t "baseline.greedy" (fun () -> ignore (Baseline.Greedy.build ~k:3 g_small));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Baseline comparison (--baseline FILE).
+
+   A baseline is any earlier `--json` output, or one of the repo's
+   saved BENCH_*.json snapshots (a bare array of the same objects).
+   The parser scans the whole file for "name"/"ns_per_run" pairs, so
+   both shapes — and whitespace/pretty-printing differences — are
+   accepted without a JSON dependency. *)
+
+let read_file file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_baseline file =
+  let s = read_file file in
+  let len = String.length s in
+  let rec skip_ws i =
+    if i < len && (s.[i] = ' ' || s.[i] = '\t' || s.[i] = '\n' || s.[i] = '\r')
+    then skip_ws (i + 1)
+    else i
+  in
+  let find from needle =
+    let nl = String.length needle in
+    let rec at i =
+      if i + nl > len then None
+      else if String.sub s i nl = needle then Some (i + nl)
+      else at (i + 1)
+    in
+    at from
+  in
+  let rec go acc i =
+    match find i {|"name"|} with
+    | None -> List.rev acc
+    | Some j -> (
+        let j = skip_ws j in
+        if j >= len || s.[j] <> ':' then go acc j
+        else
+          let j = skip_ws (j + 1) in
+          if j >= len || s.[j] <> '"' then go acc j
+          else
+            match String.index_from_opt s (j + 1) '"' with
+            | None -> List.rev acc
+            | Some q -> (
+                let name = String.sub s (j + 1) (q - j - 1) in
+                match find q {|"ns_per_run"|} with
+                | None -> List.rev acc
+                | Some k ->
+                    let k = skip_ws k in
+                    let k = if k < len && s.[k] = ':' then skip_ws (k + 1) else k in
+                    let stop = ref k in
+                    while
+                      !stop < len
+                      &&
+                      match s.[!stop] with
+                      | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+                      | _ -> false
+                    do
+                      incr stop
+                    done;
+                    (* a "null" estimate parses as no digits -> None *)
+                    let v =
+                      if !stop > k then
+                        float_of_string_opt (String.sub s k (!stop - k))
+                      else None
+                    in
+                    go ((name, v) :: acc) !stop))
+  in
+  go [] 0
+
+let compare_baseline ~file timings =
+  (* Under --json the comparison goes to stderr so stdout stays valid
+     JSON; the exit code carries the verdict either way. *)
+  let ppf = if !json then Format.err_formatter else Format.std_formatter in
+  let base = parse_baseline file in
+  if base = [] then begin
+    Printf.eprintf "bench: no timings found in baseline %s\n" file;
+    exit 2
+  end;
+  Format.fprintf ppf "@.== baseline comparison vs %s (tolerance +%.0f%%)@." file
+    (100. *. !tolerance);
+  Format.fprintf ppf "  %-30s %12s %12s %9s@." "bench" "baseline" "current"
+    "delta";
+  let regressed = ref 0 and compared = ref 0 in
+  List.iter
+    (fun (name, cur) ->
+      match (List.assoc_opt name base, cur) with
+      | (None | Some None), _ -> ()
+      | Some (Some b), None ->
+          Format.fprintf ppf "  %-30s %12.0f %12s %9s@." name b "-" "-"
+      | Some (Some b), Some c ->
+          incr compared;
+          let delta = (c -. b) /. b in
+          let flag =
+            if delta > !tolerance then begin
+              incr regressed;
+              "  REGRESSED"
+            end
+            else ""
+          in
+          Format.fprintf ppf "  %-30s %12.0f %12.0f %+8.1f%%%s@." name b c
+            (100. *. delta) flag)
+    timings;
+  if !compared = 0 then begin
+    Format.fprintf ppf "  no bench in this run has a baseline entry@.";
+    exit 2
+  end;
+  if !regressed > 0 then begin
+    Format.fprintf ppf "  %d of %d bench(es) regressed beyond +%.0f%%@."
+      !regressed !compared
+      (100. *. !tolerance);
+    exit 1
+  end
+  else Format.fprintf ppf "  no regressions (%d bench(es) compared)@." !compared
+
 let run_benches () =
   let open Bechamel in
   let instance = Toolkit.Instance.monotonic_clock in
@@ -177,29 +305,32 @@ let run_benches () =
           ols [])
       selected
   in
-  if !json then begin
-    (* Machine-readable per-experiment timings: a header identifying
-       the run (seed, quick/full mode) plus one object per bench,
-       suitable for the BENCH_*.json perf trajectory. *)
-    Format.printf {|{"seed": %d, "mode": %S, "timings": [@.|} !seed
-      (if !quick then "quick" else "full");
-    List.iteri
-      (fun i (name, est) ->
-        let sep = if i = List.length timings - 1 then "" else "," in
-        match est with
-        | Some est ->
-            Format.printf {|  {"name": %S, "ns_per_run": %.1f}%s@.|} name est sep
-        | None -> Format.printf {|  {"name": %S, "ns_per_run": null}%s@.|} name sep)
-      timings;
-    Format.printf "]}@."
-  end
-  else
-    List.iter
-      (fun (name, est) ->
-        match est with
-        | Some est -> Format.printf "%-28s %12.0f ns/run@." name est
-        | None -> Format.printf "%-28s (no estimate)@." name)
-      timings
+  (if !json then begin
+     (* Machine-readable per-experiment timings: a header identifying
+        the run (seed, quick/full mode) plus one object per bench,
+        suitable for the BENCH_*.json perf trajectory. *)
+     Format.printf {|{"seed": %d, "mode": %S, "timings": [@.|} !seed
+       (if !quick then "quick" else "full");
+     List.iteri
+       (fun i (name, est) ->
+         let sep = if i = List.length timings - 1 then "" else "," in
+         match est with
+         | Some est ->
+             Format.printf {|  {"name": %S, "ns_per_run": %.1f}%s@.|} name est
+               sep
+         | None ->
+             Format.printf {|  {"name": %S, "ns_per_run": null}%s@.|} name sep)
+       timings;
+     Format.printf "]}@."
+   end
+   else
+     List.iter
+       (fun (name, est) ->
+         match est with
+         | Some est -> Format.printf "%-28s %12.0f ns/run@." name est
+         | None -> Format.printf "%-28s (no estimate)@." name)
+       timings);
+  timings
 
 let () =
   parse_args ();
@@ -223,4 +354,9 @@ let () =
           (Experiments.Table.print Format.std_formatter)
           (Experiments.Run.all ~quick:!quick ~seed:!seed ())
   end;
-  if !benches then run_benches ()
+  if !benches then begin
+    let timings = run_benches () in
+    match !baseline with
+    | Some file -> compare_baseline ~file timings
+    | None -> ()
+  end

@@ -530,6 +530,17 @@ let simulate_cmd =
             "Print the per-phase cost table (rounds, messages, words, max \
              words per phase; totals equal the network statistics).")
   in
+  let spans_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spans" ] ~docv:"FILE"
+          ~doc:
+            "Record causal spans (one per transmission, with Lamport \
+             timestamps, plus phase/call/cluster/ARQ parents) and write them \
+             to FILE as JSON lines, readable by report --critical-path / \
+             --perfetto.")
+  in
   let audit_bounds =
     Arg.(
       value & flag
@@ -560,7 +571,8 @@ let simulate_cmd =
   let run kind n p seed input drop dup delay max_delay crash crash_frac
       crash_max_round edge_drop edge_up partition partition_round heal_round
       join churn_trace phase_limit certify mutate trace_file replay_file
-      metrics_file metrics_summary audit_bounds strict protocol root =
+      metrics_file metrics_summary spans_file audit_bounds strict protocol
+      root =
     let g = load_graph ~kind ~n ~p ~seed ~input in
     Format.printf "graph: %a@." Graph.pp_summary g;
     let faults, recorded =
@@ -662,21 +674,26 @@ let simulate_cmd =
         Obs.Metrics.create ()
       else Obs.Metrics.disabled
     in
+    (* Same discipline for the span sink. *)
+    let spans =
+      if spans_file <> None then Obs.Span.create () else Obs.Span.disabled
+    in
     let plan_ref = ref None in
     let spanner_edges_ref = ref None in
     let stats =
       match protocol with
       | "bfs" ->
           let stats, dist =
-            Distnet.Protocols.reliable_bfs ~faults ?tracer ~metrics:reg g ~root
+            Distnet.Protocols.reliable_bfs ~faults ?tracer ~metrics:reg ~spans
+              g ~root
           in
           let expected = Graphlib.Bfs.distances g ~src:root in
           Format.printf "distances correct: %b@." (dist = expected);
           stats
       | "flood" ->
           let stats, reached =
-            Distnet.Protocols.reliable_flood ~faults ?tracer ~metrics:reg g
-              ~root ~payload_words:4
+            Distnet.Protocols.reliable_flood ~faults ?tracer ~metrics:reg
+              ~spans g ~root ~payload_words:4
           in
           let cover =
             Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 reached
@@ -685,7 +702,7 @@ let simulate_cmd =
           stats
       | "skeleton" -> (
           match
-            Spanner.Skeleton_dist.build ~faults ?tracer ~metrics:reg
+            Spanner.Skeleton_dist.build ~faults ?tracer ~metrics:reg ~spans
               ?phase_round_limit:phase_limit ~seed g
           with
           | exception
@@ -839,6 +856,20 @@ let simulate_cmd =
         Format.printf "metrics written to %s (%d samples)@." file
           (List.length (Obs.Metrics.snapshot reg))
     | None -> ());
+    (match spans_file with
+    | Some file ->
+        let meta =
+          Printf.sprintf
+            {|{"kind":"span_meta","algo":"%s","n":%d,"arq":%d,"rounds":%d,"messages":%d,"words":%d,"max_message_words":%d}|}
+            protocol (Graph.n g)
+            (if Distnet.Fault.is_none faults then 0 else 1)
+            stats.Distnet.Sim.rounds stats.Distnet.Sim.messages
+            stats.Distnet.Sim.words stats.Distnet.Sim.max_message_words
+        in
+        Obs.Span.save ~extra:[ meta ] spans file;
+        Format.printf "spans written to %s (%d spans)@." file
+          (Obs.Span.count spans)
+    | None -> ());
     if audit_bounds then begin
       match !plan_ref with
       | None ->
@@ -871,8 +902,8 @@ let simulate_cmd =
       $ delay $ max_delay $ crash $ crash_frac $ crash_max_round $ edge_drop
       $ edge_up $ partition $ partition_round $ heal_round $ join
       $ churn_trace $ phase_limit $ certify $ mutate $ trace_file
-      $ replay_file $ metrics_file $ metrics_summary $ audit_bounds $ strict
-      $ protocol $ root)
+      $ replay_file $ metrics_file $ metrics_summary $ spans_file
+      $ audit_bounds $ strict $ protocol $ root)
 
 (* ------------------------------------------------------------------ *)
 (* report *)
@@ -906,12 +937,31 @@ let report_cmd =
       & info [ "strict" ]
           ~doc:"With $(b,--audit-bounds): exit nonzero on any WARN.")
   in
+  let critical_path =
+    Arg.(
+      value & flag
+      & info [ "critical-path" ]
+          ~doc:
+            "On a spans file: extract the causal critical path ending at \
+             quiescence — the primary chain hop by hop, the per-phase slack \
+             table, and one-line summaries of the next $(b,--top) chains.")
+  in
+  let perfetto =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "perfetto" ] ~docv:"OUT"
+          ~doc:
+            "On a spans file: export Chrome trace-event JSON to $(docv), \
+             loadable in ui.perfetto.dev or chrome://tracing.")
+  in
   let rec take k = function
     | x :: tl when k > 0 -> x :: take (k - 1) tl
     | _ -> []
   in
   (* Auto-detect: metrics files start with a {"kind":"meta"|"metric"}
-     line; anything else is treated as a trace. *)
+     line, spans files with {"kind":"span_meta"|"span"}; anything else
+     is treated as a trace. *)
   let file_kind file =
     let ic = open_in file in
     Fun.protect
@@ -924,11 +974,12 @@ let report_cmd =
           | line -> (
               match Obs.Metrics.json_str line "kind" with
               | Some "metric" | Some "meta" -> `Metrics
+              | Some "span" | Some "span_meta" -> `Spans
               | _ -> `Trace)
         in
         go ())
   in
-  let read_meta file =
+  let read_meta_kind kind file =
     let ic = open_in file in
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
@@ -939,21 +990,37 @@ let report_cmd =
              let line = input_line ic in
              if
                !meta = None
-               && Obs.Metrics.json_str line "kind" = Some "meta"
+               && Obs.Metrics.json_str line "kind" = Some kind
              then meta := Some line
            done
          with End_of_file -> ());
         !meta)
   in
+  let read_meta = read_meta_kind "meta" in
+  let pp_meta_line line =
+    let get f = Option.value ~default:0 (Obs.Metrics.json_int line f) in
+    Format.printf
+      "  run: algo=%s n=%d arq=%d rounds=%d messages=%d words=%d \
+       max_message_words=%d@."
+      (Option.value ~default:"?" (Obs.Metrics.json_str line "algo"))
+      (get "n") (get "arq") (get "rounds") (get "messages") (get "words")
+      (get "max_message_words")
+  in
   let bump tbl key w =
     let m, ww = Option.value ~default:(0, 0) (Hashtbl.find_opt tbl key) in
     Hashtbl.replace tbl key (m + 1, ww + w)
   in
-  (* Sort (key, (msgs, words)) rows: words descending, key ascending. *)
+  (* Sort (key, (msgs, words)) rows for the top-k tables.  The order
+     must be a total one — words descending, then messages descending,
+     then key (node or link id) ascending — so rows that tie on the
+     measured quantities still print in a stable order and cram output
+     never depends on hash-table iteration. *)
   let ranked tbl =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
-    |> List.sort (fun (k1, (_, w1)) (k2, (_, w2)) ->
-           if w1 <> w2 then compare w2 w1 else compare k1 k2)
+    |> List.sort (fun (k1, (m1, w1)) (k2, (m2, w2)) ->
+           if w1 <> w2 then compare w2 w1
+           else if m1 <> m2 then compare m2 m1
+           else compare k1 k2)
   in
   let report_trace ~top file =
     let module T = Distnet.Trace in
@@ -1039,16 +1106,7 @@ let report_cmd =
     let samples = Obs.Metrics.load file in
     let meta = read_meta file in
     Format.printf "metrics report: %s@." file;
-    (match meta with
-    | Some line ->
-        let get f = Option.value ~default:0 (Obs.Metrics.json_int line f) in
-        Format.printf
-          "  run: algo=%s n=%d arq=%d rounds=%d messages=%d words=%d \
-           max_message_words=%d@."
-          (Option.value ~default:"?" (Obs.Metrics.json_str line "algo"))
-          (get "n") (get "arq") (get "rounds") (get "messages") (get "words")
-          (get "max_message_words")
-    | None -> ());
+    Option.iter pp_meta_line meta;
     Obs.Report.pp_phase_table Format.std_formatter samples;
     let links =
       List.filter_map
@@ -1138,34 +1196,92 @@ let report_cmd =
               exit 1)
     end
   in
-  let run files top audit_bounds strict =
+  let report_spans ~top ~critical_path ~perfetto file =
+    let records = Obs.Span.load file in
+    Format.printf "spans report: %s@." file;
+    Option.iter pp_meta_line (read_meta_kind "span_meta" file);
+    let count p = List.length (List.filter p records) in
+    let messages =
+      count (fun (s : Obs.Span.record) -> s.Obs.Span.kind = Obs.Span.Message)
+    in
+    let delivered =
+      count (fun (s : Obs.Span.record) ->
+          s.Obs.Span.kind = Obs.Span.Message
+          && s.Obs.Span.status = Obs.Span.Delivered)
+    in
+    let by_kind k = count (fun (s : Obs.Span.record) -> s.Obs.Span.kind = k) in
+    Format.printf
+      "  %d spans: %d messages (%d delivered, %d dropped), %d phases, %d \
+       calls, %d clusters, %d arq, %d retransmissions@."
+      (List.length records) messages delivered (messages - delivered)
+      (by_kind Obs.Span.Phase) (by_kind Obs.Span.Call)
+      (by_kind Obs.Span.Cluster) (by_kind Obs.Span.Arq)
+      (by_kind Obs.Span.Retransmit);
+    if critical_path then
+      Obs.Causal.pp Format.std_formatter (Obs.Causal.analyze ~k:top records);
+    match perfetto with
+    | Some out ->
+        let n = Obs.Perfetto.export records out in
+        Format.printf "perfetto trace written to %s (%d events)@." out n
+    | None -> ()
+  in
+  let run files top audit_bounds strict critical_path perfetto =
     List.iter
       (fun file ->
         if not (Sys.file_exists file) then begin
           Format.eprintf "spanner_cli: no such file %s@." file;
           exit 1
         end;
-        match file_kind file with
-        | `Metrics -> report_metrics ~top ~audit_bounds ~strict file
-        | `Trace ->
-            if audit_bounds then begin
-              Format.eprintf
-                "spanner_cli: report --audit-bounds needs a metrics file, \
-                 but %s is a trace@."
-                file;
-              exit 1
-            end;
-            report_trace ~top file
-        | `Empty -> Format.printf "%s: empty file@." file)
+        let kind = file_kind file in
+        if (critical_path || perfetto <> None) && kind <> `Spans then begin
+          Format.eprintf
+            "spanner_cli: report --critical-path/--perfetto need a spans \
+             file (simulate --spans), but %s is not one@."
+            file;
+          exit 1
+        end;
+        try
+          match kind with
+          | `Metrics -> report_metrics ~top ~audit_bounds ~strict file
+          | `Spans ->
+              if audit_bounds then begin
+                Format.eprintf
+                  "spanner_cli: report --audit-bounds needs a metrics file, \
+                   but %s is a spans file@."
+                  file;
+                exit 1
+              end;
+              report_spans ~top ~critical_path ~perfetto file
+          | `Trace ->
+              if audit_bounds then begin
+                Format.eprintf
+                  "spanner_cli: report --audit-bounds needs a metrics file, \
+                   but %s is a trace@."
+                  file;
+                exit 1
+              end;
+              report_trace ~top file
+          | `Empty -> Format.printf "%s: empty file@." file
+        with
+        (* a corrupt line is a user-facing error, not a crash *)
+        | Failure msg ->
+            Format.eprintf "spanner_cli: %s@." msg;
+            exit 1
+        | Distnet.Trace.Parse_error _ as e ->
+            Format.eprintf "spanner_cli: %s@." (Printexc.to_string e);
+            exit 1)
       files
   in
   Cmd.v
     (Cmd.info "report"
        ~doc:
-         "Aggregate a saved trace or metrics file: per-phase and per-node \
-          summaries, most congested links, a round timeline, and \
-          (optionally) the paper-bound audit.")
-    Term.(const run $ files $ top $ audit_bounds $ strict)
+         "Aggregate a saved trace, metrics, or spans file: per-phase and \
+          per-node summaries, most congested links, a round timeline, the \
+          causal critical path, and (optionally) the paper-bound audit or a \
+          Perfetto export.")
+    Term.(
+      const run $ files $ top $ audit_bounds $ strict $ critical_path
+      $ perfetto)
 
 (* ------------------------------------------------------------------ *)
 (* experiment *)

@@ -212,7 +212,7 @@ let fresh_node id =
   }
 
 let build_with ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled)
-    ?phase_round_limit ~plan ~sampling g =
+    ?(spans = Obs.Span.disabled) ?phase_round_limit ~plan ~sampling g =
   let n = Graph.n g in
   let nodes = Array.init n fresh_node in
   Array.iter
@@ -290,24 +290,37 @@ let build_with ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled)
     ref { Sim.rounds = 0; messages = 0; words = 0; max_message_words = 0 }
   in
   let scope = Obs.Scope.of_registry metrics in
+  (* Phase spans are recorded at exactly the same boundaries as the
+     stats deltas, covering (prev rounds, current rounds]; the call
+     span currently open (if any) becomes their parent, so the span
+     log nests call -> phase just like the paper's recursion. *)
+  let current_call_span = ref (-1) in
   let record_phase name =
-    if Obs.Metrics.enabled metrics then begin
+    let metrics_on = Obs.Metrics.enabled metrics in
+    let spans_on = Obs.Span.enabled spans in
+    if metrics_on || spans_on then begin
       let s = !stats_now () in
       let prev = !last_stats in
       last_stats := s;
-      let sc = Obs.Scope.phase scope name in
-      Obs.Metrics.add
-        (Obs.Scope.counter sc "phase_rounds")
-        (s.Sim.rounds - prev.Sim.rounds);
-      Obs.Metrics.add
-        (Obs.Scope.counter sc "phase_messages")
-        (s.Sim.messages - prev.Sim.messages);
-      Obs.Metrics.add
-        (Obs.Scope.counter sc "phase_words")
-        (s.Sim.words - prev.Sim.words);
-      Obs.Metrics.set_max
-        (Obs.Scope.gauge sc "phase_max_message_words")
-        (!window_now ())
+      if spans_on then
+        ignore
+          (Obs.Span.span spans ~parent:!current_call_span Obs.Span.Phase ~name
+             ~start_round:prev.Sim.rounds ~stop_round:s.Sim.rounds);
+      if metrics_on then begin
+        let sc = Obs.Scope.phase scope name in
+        Obs.Metrics.add
+          (Obs.Scope.counter sc "phase_rounds")
+          (s.Sim.rounds - prev.Sim.rounds);
+        Obs.Metrics.add
+          (Obs.Scope.counter sc "phase_messages")
+          (s.Sim.messages - prev.Sim.messages);
+        Obs.Metrics.add
+          (Obs.Scope.counter sc "phase_words")
+          (s.Sim.words - prev.Sim.words);
+        Obs.Metrics.set_max
+          (Obs.Scope.gauge sc "phase_max_message_words")
+          (!window_now ())
+      end
     end
   in
 
@@ -726,6 +739,12 @@ let build_with ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled)
 
   let run_call (call : Plan.call) =
     let k = call.Plan.index in
+    let spans_on = Obs.Span.enabled spans in
+    if spans_on then
+      current_call_span :=
+        Obs.Span.open_span spans Obs.Span.Call
+          ~name:(Printf.sprintf "call-%d" k)
+          ~round:(!round_now ());
     Array.iter
       (fun nd -> if is_live nd then calls_alive.(nd.id) <- calls_alive.(nd.id) + 1)
       nodes;
@@ -789,6 +808,10 @@ let build_with ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled)
           Recovery.Checkpoints.commit ckpt ~phase:"exchange" nd.id
             (nd.cl_center, nd.cl_fu))
       nodes;
+    (* Cluster spans share the stats-delta boundaries: they open at the
+       exchange boundary just recorded and close at the wave boundary
+       (or, for dying centers, at the final boundary). *)
+    let cluster_start = !round_now () in
     (* Phase 2: local candidates + convergecast inside unsampled
        contracted vertices. *)
     Array.iter
@@ -829,6 +852,27 @@ let build_with ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled)
                  Hashtbl.fold (fun w () acc -> (nd.id, w) :: acc) nd.cv_waiting []
                else []))
       ();
+    (* The deciding centers, snapshotted before the wave can rewrite
+       their cluster identity (a hooking center adopts the target
+       cluster): each becomes one cluster-level span. *)
+    let deciding_centers =
+      if spans_on then
+        Array.fold_left
+          (fun acc nd ->
+            if is_live nd && nd.deciding && nd.p1 < 0 then
+              (nd.id, nd.cl_center) :: acc
+            else acc)
+          [] nodes
+        |> List.rev
+      else []
+    in
+    let cluster_span ~stop (v, cl) =
+      ignore
+        (Obs.Span.span spans ~parent:!current_call_span ~src:v
+           Obs.Span.Cluster
+           ~name:(Printf.sprintf "cluster-%d" cl)
+           ~start_round:cluster_start ~stop_round:stop)
+    in
     (* Phase 3: decision waves from every deciding center. *)
     Array.iter
       (fun nd ->
@@ -855,6 +899,13 @@ let build_with ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled)
                then Some (nd.id, nd.p1)
                else None))
       ();
+    if spans_on then begin
+      let stop = !round_now () in
+      List.iter
+        (fun (v, cl) ->
+          if not nodes.(v).is_dying then cluster_span ~stop (v, cl))
+        deciding_centers
+    end;
     (* Phase 3b: deferred p2 (un)registrations. *)
     List.iter
       (fun (src, dst, m) ->
@@ -1004,6 +1055,12 @@ let build_with ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled)
                then Some (nd.id, nd.p1)
                else None))
       ();
+    if spans_on then begin
+      let stop = !round_now () in
+      List.iter
+        (fun (v, cl) -> if nodes.(v).is_dying then cluster_span ~stop (v, cl))
+        deciding_centers
+    end;
     (* Phase 6: deaths take effect; one notice per boundary link.
        Orphans exit here too — their recovery is complete, and the
        notice is what tells still-live neighbors to stop counting on
@@ -1042,7 +1099,11 @@ let build_with ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled)
       run_phase "death-notices"
         ~complete:(fun () -> !idle_ref ())
         ~probes:no_probes ()
-    done
+    done;
+    if spans_on then begin
+      Obs.Span.close spans ~round:(!round_now ()) !current_call_span;
+      current_call_span := -1
+    end
   in
 
   let contract () =
@@ -1377,7 +1438,7 @@ let build_with ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled)
     (* Loss-free fast path: protocol messages ride the engine bare, as
        in the paper's model.  No acks, no sequence numbers — word
        accounting and the produced spanner match the original driver. *)
-    let net : msg Sim.t = Sim.create ~faults ?tracer ~metrics g in
+    let net : msg Sim.t = Sim.create ~faults ?tracer ~metrics ~spans g in
     round_now := (fun () -> Sim.round net);
     stats_now := (fun () -> Sim.stats net);
     window_now := (fun () -> Sim.take_window_max net);
@@ -1409,7 +1470,8 @@ let build_with ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled)
     end in
     let module R = Reliable.Make (P) in
     R.use_metrics metrics;
-    let net : R.message Sim.t = Sim.create ~faults ?tracer ~metrics g in
+    R.use_spans spans;
+    let net : R.message Sim.t = Sim.create ~faults ?tracer ~metrics ~spans g in
     let dynamic = Fault.has_churn faults in
     round_now := (fun () -> Sim.round net);
     stats_now := (fun () -> Sim.stats net);
@@ -1555,9 +1617,10 @@ let build_with ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled)
     dead_edges = !dead_edges_ref;
   }
 
-let build ?(d = 4) ?(eps = 0.5) ?faults ?tracer ?metrics ?phase_round_limit
-    ~seed g =
+let build ?(d = 4) ?(eps = 0.5) ?faults ?tracer ?metrics ?spans
+    ?phase_round_limit ~seed g =
   let plan = Plan.make ~n:(Graph.n g) ~d ~eps () in
   let rng = Util.Prng.create ~seed in
   let sampling = Sampling.draw rng ~n:(Graph.n g) plan in
-  build_with ?faults ?tracer ?metrics ?phase_round_limit ~plan ~sampling g
+  build_with ?faults ?tracer ?metrics ?spans ?phase_round_limit ~plan ~sampling
+    g

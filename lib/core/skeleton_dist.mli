@@ -116,6 +116,7 @@ val build :
   ?faults:Distnet.Fault.t ->
   ?tracer:Distnet.Trace.t ->
   ?metrics:Obs.Metrics.t ->
+  ?spans:Obs.Span.t ->
   ?phase_round_limit:int ->
   seed:int ->
   Graphlib.Graph.t ->
@@ -125,6 +126,7 @@ val build_with :
   ?faults:Distnet.Fault.t ->
   ?tracer:Distnet.Trace.t ->
   ?metrics:Obs.Metrics.t ->
+  ?spans:Obs.Span.t ->
   ?phase_round_limit:int ->
   plan:Plan.t ->
   sampling:Sampling.t ->
@@ -143,6 +145,16 @@ val build_with :
     [skeleton_aborts]); plus everything {!Distnet.Sim} and the ARQ
     layer record.  Purely observational: enabling metrics never
     changes the spanner, the statistics, or the trace.
+
+    [spans] (default {!Obs.Span.disabled}) records the run's causal
+    structure into the sink: one [Phase] span per [record_phase]
+    boundary above — same boundaries, same names as the stats deltas,
+    so the phase spans partition [(0, stats.rounds]] — each parented
+    to a [Call] span covering its Expand call; one [Cluster] span per
+    deciding center and call (open from the exchange boundary to the
+    wave boundary, or the final boundary for a dying center); plus
+    every message and ARQ span the transport records.  Equally
+    observational: enabling spans never changes the run.
 
     With a churn-carrying fault plan, the run fast-forwards past the
     last churn event after the schedule completes and executes the

@@ -39,7 +39,7 @@ let flood ?faults ?tracer g ~root ~payload_words =
    whenever its distance improves — because under delay and
    retransmission the neat layer-by-layer arrival order is gone. *)
 
-let reliable_bfs ?max_rounds ?faults ?tracer ?metrics g ~root =
+let reliable_bfs ?max_rounds ?faults ?tracer ?metrics ?spans g ~root =
   let module N = struct
     type state = int (* distance from root; -1 = unknown *)
     type message = int (* "your distance is at most this" *)
@@ -62,11 +62,13 @@ let reliable_bfs ?max_rounds ?faults ?tracer ?metrics g ~root =
   end in
   let module R = Reliable.Make (N) in
   Option.iter R.use_metrics metrics;
+  Option.iter R.use_spans spans;
   let module Runner = Sim.Run_active (R) in
-  let stats, states = Runner.run ?max_rounds ?faults ?tracer ?metrics g in
+  let stats, states = Runner.run ?max_rounds ?faults ?tracer ?metrics ?spans g in
   (stats, Array.map R.inner states)
 
-let reliable_flood ?max_rounds ?faults ?tracer ?metrics g ~root ~payload_words =
+let reliable_flood ?max_rounds ?faults ?tracer ?metrics ?spans g ~root
+    ~payload_words =
   let module N = struct
     type state = bool
     type message = unit
@@ -87,6 +89,7 @@ let reliable_flood ?max_rounds ?faults ?tracer ?metrics g ~root ~payload_words =
   end in
   let module R = Reliable.Make (N) in
   Option.iter R.use_metrics metrics;
+  Option.iter R.use_spans spans;
   let module Runner = Sim.Run_active (R) in
-  let stats, states = Runner.run ?max_rounds ?faults ?tracer ?metrics g in
+  let stats, states = Runner.run ?max_rounds ?faults ?tracer ?metrics ?spans g in
   (stats, Array.map R.inner states)

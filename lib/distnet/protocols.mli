@@ -42,6 +42,7 @@ val reliable_bfs :
   ?faults:Fault.t ->
   ?tracer:Trace.t ->
   ?metrics:Obs.Metrics.t ->
+  ?spans:Obs.Span.t ->
   Graphlib.Graph.t ->
   root:int ->
   Sim.stats * int array
@@ -55,6 +56,7 @@ val reliable_flood :
   ?faults:Fault.t ->
   ?tracer:Trace.t ->
   ?metrics:Obs.Metrics.t ->
+  ?spans:Obs.Span.t ->
   Graphlib.Graph.t ->
   root:int ->
   payload_words:int ->

@@ -23,6 +23,13 @@ module Make (P : Sim.PROTOCOL) = struct
     m_timer := Obs.Metrics.counter m "arq_timer_fires";
     m_ack_latency := Obs.Metrics.histogram m "arq_ack_latency"
 
+  (* Causal spans, same sharing discipline as the instruments: one
+     [Arq] span per stop-and-wait exchange (first transmission →
+     acknowledgement), with each retransmission a point-event linked
+     to it, so the critical path can tell a slow hop from a lossy one. *)
+  let s_spans = ref Obs.Span.disabled
+  let use_spans s = s_spans := s
+
   type message = { acks : int list; data : (int * P.message) option }
 
   let message_words { acks; data } =
@@ -40,6 +47,7 @@ module Make (P : Sim.PROTOCOL) = struct
     mutable sent_round : int;  (** first transmission of the inflight seq *)
     mutable pending_acks : int list;  (** to piggyback on the next send *)
     received : (int, unit) Hashtbl.t;  (** seqs already delivered inward *)
+    mutable span : int;  (** open [Arq] span of the inflight seq, or -1 *)
   }
 
   type state = {
@@ -80,7 +88,7 @@ module Make (P : Sim.PROTOCOL) = struct
     List.iter (fun (dst, m) -> Queue.add m (peer_of st dst).queue) msgs
 
   (* Begin transmitting the next queued message, if any. *)
-  let start_next ~round p =
+  let start_next ~owner ~round p =
     match Queue.take_opt p.queue with
     | None -> None
     | Some m ->
@@ -91,6 +99,10 @@ module Make (P : Sim.PROTOCOL) = struct
         p.timer <- initial_rto;
         p.retries <- 0;
         p.sent_round <- round;
+        p.span <-
+          Obs.Span.open_span !s_spans ~src:owner ~dst:p.nbr Obs.Span.Arq
+            ~name:(Printf.sprintf "seq-%d" seq)
+            ~round;
         Some (seq, m)
 
   (* One round of the sender side for [p]: tick the timer, decide what
@@ -98,7 +110,7 @@ module Make (P : Sim.PROTOCOL) = struct
   let outgoing st ~round p =
     let data =
       match p.inflight with
-      | None -> start_next ~round p
+      | None -> start_next ~owner:st.v ~round p
       | Some (seq, m) ->
           p.timer <- p.timer - 1;
           if p.timer > 0 then None
@@ -111,7 +123,9 @@ module Make (P : Sim.PROTOCOL) = struct
             Obs.Metrics.incr !m_dead;
             if not (List.mem p.nbr st.abandoned) then
               st.abandoned <- p.nbr :: st.abandoned;
-            start_next ~round p
+            Obs.Span.drop !s_spans ~round ~reason:"dead-letter" p.span;
+            p.span <- -1;
+            start_next ~owner:st.v ~round p
           end
           else begin
             Obs.Metrics.incr !m_timer;
@@ -120,6 +134,11 @@ module Make (P : Sim.PROTOCOL) = struct
             p.timer <- p.rto;
             st.retrans <- st.retrans + 1;
             Obs.Metrics.incr !m_retrans;
+            ignore
+              (Obs.Span.span !s_spans ~parent:p.span ~src:st.v ~dst:p.nbr
+                 Obs.Span.Retransmit
+                 ~name:(Printf.sprintf "seq-%d" seq)
+                 ~start_round:round ~stop_round:round);
             Some (seq, m)
           end
     in
@@ -150,6 +169,7 @@ module Make (P : Sim.PROTOCOL) = struct
             sent_round = 0;
             pending_acks = [];
             received = Hashtbl.create 8;
+            span = -1;
           })
         nbrs
     in
@@ -172,6 +192,8 @@ module Make (P : Sim.PROTOCOL) = struct
             match p.inflight with
             | Some (seq, _) when seq = a ->
                 Obs.Metrics.observe !m_ack_latency (round - p.sent_round);
+                Obs.Span.close !s_spans ~round p.span;
+                p.span <- -1;
                 p.inflight <- None;
                 p.rto <- initial_rto;
                 p.retries <- 0

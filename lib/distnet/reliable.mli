@@ -43,6 +43,16 @@ module Make (P : Sim.PROTOCOL) : sig
       {!Obs.Metrics.disabled} to turn recording back off.  Purely
       observational — never changes protocol behavior. *)
 
+  val use_spans : Obs.Span.t -> unit
+  (** Route this instantiation's causal spans into the given sink: one
+      [Arq] span per stop-and-wait exchange, opened at the seq's first
+      transmission and closed at its acknowledgement (dropped with
+      reason ["dead-letter"] on abandonment), plus one [Retransmit]
+      point-event per retransmission, linked via [parent] to the
+      exchange it retried.  Defaults to the no-op sink; call again
+      with {!Obs.Span.disabled} to turn recording back off.  Purely
+      observational — never changes protocol behavior. *)
+
   val inner : state -> P.state
   (** The wrapped protocol's state at this node. *)
 

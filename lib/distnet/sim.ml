@@ -11,7 +11,16 @@ let pp_stats ppf s =
   Format.fprintf ppf "rounds=%d messages=%d words=%d max_msg=%d words" s.rounds
     s.messages s.words s.max_message_words
 
-type 'msg envelope = { src : int; dst : int; words : int; payload : 'msg }
+(* [span] is the causal span opened at send time (-1 when span
+   recording is off); a delayed or duplicated copy keeps the id of the
+   original transmission. *)
+type 'msg envelope = {
+  src : int;
+  dst : int;
+  words : int;
+  span : int;
+  payload : 'msg;
+}
 
 exception Link_down of { round : int; src : int; dst : int }
 
@@ -62,6 +71,9 @@ type 'msg t = {
   h_held : Obs.Metrics.histogram;
   link_load : Obs.Metrics.counter option array;
   mutable window_max : int;
+  (* Causal spans: one per transmission, opened at send and closed at
+     delivery (or drop).  Defaults to the no-op sink. *)
+  spans : Obs.Span.t;
 }
 
 let key ~n src dst = (src * n) + dst
@@ -109,7 +121,8 @@ let apply_churn t ~round =
   in
   go t.pending_churn
 
-let create ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled) g =
+let create ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled)
+    ?(spans = Obs.Span.disabled) g =
   let n = Graph.n g in
   let link = Hashtbl.create (4 * Graph.m g) in
   Graph.iter_edges g (fun e u v ->
@@ -140,6 +153,7 @@ let create ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled) g =
       h_held = Obs.Metrics.histogram metrics "sim_round_held_words";
       link_load = Array.make (Stdlib.max 1 (2 * Graph.m g)) None;
       window_max = 0;
+      spans;
     }
   in
   (* Round-0 churn (e.g. an edge down from the start) must constrain
@@ -207,7 +221,8 @@ let send t ~src ~dst ~words payload =
           in
           Obs.Metrics.add c words
         end;
-        t.outbox <- { src; dst; words; payload } :: t.outbox
+        let span = Obs.Span.message t.spans ~round:t.rounds ~src ~dst ~words in
+        t.outbox <- { src; dst; words; span; payload } :: t.outbox
       end
 
 let quiescent t = t.outbox = [] && t.delayed_count = 0
@@ -249,22 +264,28 @@ let step t deliver =
     if Fault.crashed t.faults ~round e.dst then begin
       dropped_w := !dropped_w + e.words;
       trace t ~round (Trace.Drop Trace.Dst_crashed) ~src:e.src ~dst:e.dst
-        ~words:e.words
+        ~words:e.words;
+      Obs.Span.drop t.spans ~round ~reason:"dst-crashed" e.span
     end
     else if t.dynamic && not t.edge_alive.(edge_of_link t e.src e.dst) then begin
       dropped_w := !dropped_w + e.words;
       trace t ~round (Trace.Drop Trace.Link_down) ~src:e.src ~dst:e.dst
-        ~words:e.words
+        ~words:e.words;
+      Obs.Span.drop t.spans ~round ~reason:"link-down" e.span
     end
     else if t.dynamic && not (Fault.joined t.faults ~round e.dst) then begin
       dropped_w := !dropped_w + e.words;
       trace t ~round (Trace.Drop Trace.Not_joined) ~src:e.src ~dst:e.dst
-        ~words:e.words
+        ~words:e.words;
+      Obs.Span.drop t.spans ~round ~reason:"not-joined" e.span
     end
     else begin
       incr count;
       delivered_w := !delivered_w + e.words;
       trace t ~round Trace.Deliver ~src:e.src ~dst:e.dst ~words:e.words;
+      (* First delivery wins: a duplicate copy of an already delivered
+         span leaves the span untouched. *)
+      Obs.Span.deliver t.spans ~round e.span;
       deliver ~dst:e.dst ~src:e.src e.payload
     end
   in
@@ -289,7 +310,8 @@ let step t deliver =
           charge t e;
           dropped_w := !dropped_w + e.words;
           trace t ~round (Trace.Drop Trace.Loss) ~src:e.src ~dst:e.dst
-            ~words:e.words
+            ~words:e.words;
+          Obs.Span.drop t.spans ~round ~reason:"loss" e.span
       | Fault.Pass { dup; delay } ->
           charge t e;
           if dup then begin
@@ -377,9 +399,9 @@ module type ACTIVE_PROTOCOL = sig
 end
 
 module Run_active (P : ACTIVE_PROTOCOL) = struct
-  let run ?(max_rounds = 1_000_000) ?faults ?tracer ?metrics g =
+  let run ?(max_rounds = 1_000_000) ?faults ?tracer ?metrics ?spans g =
     let n = Graph.n g in
-    let t = create ?faults ?tracer ?metrics g in
+    let t = create ?faults ?tracer ?metrics ?spans g in
     let faults = t.faults in
     let states = Array.init n (fun _ -> None) in
     let state v =

@@ -53,6 +53,7 @@ val create :
   ?faults:Fault.t ->
   ?tracer:Trace.t ->
   ?metrics:Obs.Metrics.t ->
+  ?spans:Obs.Span.t ->
   Graphlib.Graph.t ->
   'msg t
 (** [create ?faults ?tracer g] prepares an idle network on [g].
@@ -66,7 +67,15 @@ val create :
     histograms [sim_round_delivered_words] / [sim_round_dropped_words]
     / [sim_round_held_words], and a [link_words] counter per directed
     link (labels [src]/[dst], created at the link's first send).
-    Metrics never affect deliveries, statistics, or the trace. *)
+    Metrics never affect deliveries, statistics, or the trace.
+
+    [spans] (default {!Obs.Span.disabled}) records one causal span per
+    transmission: opened at {!send} (ticking the sender's Lamport
+    clock), closed as delivered at delivery time (first delivery wins
+    for duplicated copies) or as dropped with the drop reason (loss,
+    crashed destination, down link, unjoined destination).  A send
+    refused before reaching the wire — crashed or unjoined sender —
+    opens no span.  Like metrics, spans never affect behavior. *)
 
 val graph : 'msg t -> Graphlib.Graph.t
 
@@ -177,6 +186,7 @@ module Run_active (P : ACTIVE_PROTOCOL) : sig
     ?faults:Fault.t ->
     ?tracer:Trace.t ->
     ?metrics:Obs.Metrics.t ->
+    ?spans:Obs.Span.t ->
     Graphlib.Graph.t ->
     stats * P.state array
   (** Run the protocol to completion.  Under a fault plan, a node that
@@ -197,6 +207,7 @@ module Run (P : PROTOCOL) : sig
     ?faults:Fault.t ->
     ?tracer:Trace.t ->
     ?metrics:Obs.Metrics.t ->
+    ?spans:Obs.Span.t ->
     Graphlib.Graph.t ->
     stats * P.state array
 end

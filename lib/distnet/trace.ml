@@ -135,7 +135,9 @@ let int_field line name =
         incr stop
       done;
       if !stop = start then None
-      else Some (int_of_string (String.sub line start (!stop - start)))
+        (* [int_of_string_opt] so an overflowing or malformed run of
+           digits surfaces as a missing field, not a bare [Failure]. *)
+      else int_of_string_opt (String.sub line start (!stop - start))
 
 let str_field line name =
   match find_sub line (Printf.sprintf {|"%s":"|} name) with
@@ -145,10 +147,19 @@ let str_field line name =
       | None -> None
       | Some stop -> Some (String.sub line start (stop - start)))
 
+exception Parse_error of { file : string; line : int; msg : string }
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error { file; line; msg } ->
+        Some (Printf.sprintf "Trace.Parse_error(%s: line %d: %s)" file line msg)
+    | _ -> None)
+
 let parse_line ~file lineno line =
   let fail msg =
-    failwith
-      (Printf.sprintf "Trace.load: %s: line %d: %s: %s" file lineno msg line)
+    raise
+      (Parse_error
+         { file; line = lineno; msg = Printf.sprintf "%s: %s" msg line })
   in
   let int name =
     match int_field line name with

@@ -67,6 +67,13 @@ val save : ?stats:stats -> t -> string -> unit
     the final line records the run's statistics so a replay can be
     checked against them. *)
 
+exception Parse_error of { file : string; line : int; msg : string }
+(** A line that is not a trace event: truncated mid-record, garbage,
+    an unknown kind, or a malformed/overflowing integer field.  The
+    structured fields name the file and 1-based line number so callers
+    can report (or skip past) the exact spot; a printer is registered,
+    so an uncaught one still renders readably. *)
+
 val iter_file : string -> (event -> unit) -> stats option
 (** Stream a file written by {!save}: call the function on every event
     in file order, without materializing the event list — aggregation
@@ -74,8 +81,8 @@ val iter_file : string -> (event -> unit) -> stats option
     line when one is present.  Blank (or whitespace-only) lines and
     CRLF line endings are tolerated, so a trace survives editor or
     transfer round-trips.
-    @raise Failure on a line that is not a trace event; the message
-    names the file and the offending line. *)
+    @raise Parse_error on a line that is not a trace event, naming the
+    file and line number. *)
 
 val load : string -> event list * stats option
 (** [iter_file] materialized: the event list in file order, plus the

@@ -1,0 +1,296 @@
+(* Critical-path extraction over a span log.  Deterministic: every
+   choice (terminal, predecessor) breaks round ties by smallest span
+   id, so the same log always yields the same chains. *)
+
+type segment = {
+  span_id : int;
+  src : int;
+  dst : int;
+  send_round : int;
+  deliver_round : int;
+  words : int;
+  phase : string;
+  slack : int;
+  retransmits : int;
+}
+
+type chain = {
+  start_round : int;
+  end_round : int;
+  length_rounds : int;
+  segments : segment list;
+}
+
+type phase_slack = {
+  ps_phase : string;
+  ps_hops : int;
+  ps_rounds : int;
+  ps_transit : int;
+  ps_slack : int;
+  ps_retransmits : int;
+}
+
+type analysis = {
+  chains : chain list;
+  phase_slack : phase_slack list;
+  path_retransmits : int;
+}
+
+(* Delivered message spans, indexed by destination and sorted by
+   (deliver round, id) so "latest delivery at v no later than round s,
+   smallest id on ties" is one binary search. *)
+let deliveries_by_dst records =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Span.record) ->
+      if s.kind = Span.Message && s.status = Span.Delivered then
+        Hashtbl.replace tbl s.dst
+          (s :: (Option.value ~default:[] (Hashtbl.find_opt tbl s.dst))))
+    records;
+  let idx = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun dst l ->
+      let a = Array.of_list l in
+      Array.sort
+        (fun (a : Span.record) (b : Span.record) ->
+          if a.stop_round <> b.stop_round then compare a.stop_round b.stop_round
+          else compare a.id b.id)
+        a;
+      Hashtbl.replace idx dst a)
+    tbl;
+  idx
+
+(* Latest delivery at [v] with deliver round <= [s]; on ties the
+   smallest id, i.e. the first record of the last eligible round. *)
+let pred idx v s =
+  match Hashtbl.find_opt idx v with
+  | None -> None
+  | Some a ->
+      let n = Array.length a in
+      (* rightmost index with stop_round <= s *)
+      let lo = ref 0 and hi = ref n in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if a.(mid).Span.stop_round <= s then lo := mid + 1 else hi := mid
+      done;
+      if !lo = 0 then None
+      else begin
+        let last = !lo - 1 in
+        let r = a.(last).Span.stop_round in
+        let first = ref last in
+        while !first > 0 && a.(!first - 1).Span.stop_round = r do
+          decr first
+        done;
+        Some a.(!first)
+      end
+
+(* Phase intervals (name, start, stop], in chronological order.  They
+   partition (0, total rounds] when emitted by Skeleton_dist. *)
+let phase_intervals records =
+  List.filter_map
+    (fun (s : Span.record) ->
+      if s.kind = Span.Phase && s.stop_round > s.start_round then
+        Some (s.name, s.start_round, s.stop_round)
+      else None)
+    records
+  |> List.sort (fun (_, a, _) (_, b, _) -> compare a b)
+
+let phase_of intervals round =
+  let rec go = function
+    | [] -> ""
+    | (name, lo, hi) :: rest ->
+        if round > lo && round <= hi then name else go rest
+  in
+  go intervals
+
+(* Retransmission rounds per directed link. *)
+let retransmits_by_link records =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Span.record) ->
+      if s.kind = Span.Retransmit then
+        Hashtbl.replace tbl (s.src, s.dst)
+          (s.start_round
+          :: Option.value ~default:[] (Hashtbl.find_opt tbl (s.src, s.dst))))
+    records;
+  tbl
+
+let retransmits_in tbl ~src ~dst ~lo ~hi =
+  match Hashtbl.find_opt tbl (src, dst) with
+  | None -> 0
+  | Some rounds ->
+      List.fold_left (fun n r -> if r > lo && r <= hi then n + 1 else n) 0 rounds
+
+let walk_back idx terminal =
+  (* deliver rounds strictly decrease along the walk (a predecessor is
+     delivered no later than the send, which precedes the delivery), so
+     this terminates; the guard also stops on degenerate hand-written
+     logs where a span delivers in its send round *)
+  let rec go acc (s : Span.record) =
+    match pred idx s.src s.start_round with
+    | Some p when p.Span.stop_round < s.Span.stop_round -> go (s :: acc) p
+    | _ -> s :: acc
+  in
+  go [] terminal
+
+let build_chain ~intervals ~retr idx (terminal : Span.record) =
+  let hops = walk_back idx terminal in
+  let start_round =
+    match hops with [] -> 0 | first :: _ -> first.Span.start_round
+  in
+  let segments =
+    List.fold_left
+      (fun (prev_end, acc) (s : Span.record) ->
+        let lo = prev_end in
+        let hi = s.Span.stop_round in
+        ( hi,
+          { span_id = s.id; src = s.src; dst = s.dst;
+            send_round = s.start_round; deliver_round = hi; words = s.words;
+            phase = phase_of intervals hi; slack = s.start_round - lo;
+            retransmits = retransmits_in retr ~src:s.src ~dst:s.dst ~lo ~hi }
+          :: acc ))
+      (start_round, []) hops
+    |> snd |> List.rev
+  in
+  let end_round = match hops with [] -> 0 | _ -> terminal.Span.stop_round in
+  { start_round; end_round; length_rounds = end_round - start_round; segments }
+
+(* Split the primary chain's hop intervals across phase boundaries:
+   hop = (prev deliver, deliver], slack part = (prev deliver, send],
+   transit part = (send, deliver].  Rows aggregate by phase name in
+   order of first appearance; rounds outside any phase land in "". *)
+let slack_table intervals chain =
+  let order = ref [] in
+  let tbl = Hashtbl.create 16 in
+  let row name =
+    match Hashtbl.find_opt tbl name with
+    | Some r -> r
+    | None ->
+        let r = ref (0, 0, 0, 0, 0) in
+        Hashtbl.replace tbl name r;
+        order := name :: !order;
+        r
+  in
+  let overlap alo ahi blo bhi = max 0 (min ahi bhi - max alo blo) in
+  let add_interval lo mid hi =
+    (* distribute (lo, hi] over the phase partition *)
+    let covered = ref 0 in
+    List.iter
+      (fun (name, plo, phi) ->
+        let sl = overlap lo mid plo phi in
+        let tr = overlap mid hi plo phi in
+        if sl + tr > 0 then begin
+          covered := !covered + sl + tr;
+          let r = row name in
+          let h, rd, t, s, re = !r in
+          r := (h, rd + sl + tr, t + tr, s + sl, re)
+        end)
+      intervals;
+    let rest = hi - lo - !covered in
+    if rest > 0 then begin
+      let r = row "" in
+      let h, rd, t, s, re = !r in
+      let sl = min rest (mid - lo) in
+      r := (h, rd + rest, t + (rest - sl), s + sl, re)
+    end
+  in
+  List.iter
+    (fun seg ->
+      let lo = seg.send_round - seg.slack in
+      add_interval lo seg.send_round seg.deliver_round;
+      let r = row seg.phase in
+      let h, rd, t, s, re = !r in
+      r := (h + 1, rd, t, s, re + seg.retransmits))
+    chain.segments;
+  List.rev_map
+    (fun name ->
+      let h, rd, t, s, re = !(Hashtbl.find tbl name) in
+      { ps_phase = name; ps_hops = h; ps_rounds = rd; ps_transit = t;
+        ps_slack = s; ps_retransmits = re })
+    !order
+  |> List.sort (fun a b ->
+         let pos n =
+           let rec go i = function
+             | [] -> max_int  (* the "" row sorts last *)
+             | (m, _, _) :: rest -> if m = n then i else go (i + 1) rest
+           in
+           go 0 intervals
+         in
+         compare (pos a.ps_phase) (pos b.ps_phase))
+
+let analyze ?(k = 3) records =
+  let idx = deliveries_by_dst records in
+  let intervals = phase_intervals records in
+  let retr = retransmits_by_link records in
+  let delivered =
+    List.filter
+      (fun (s : Span.record) ->
+        s.kind = Span.Message && s.status = Span.Delivered)
+      records
+  in
+  let terminals =
+    List.sort
+      (fun (a : Span.record) (b : Span.record) ->
+        if a.stop_round <> b.stop_round then compare b.stop_round a.stop_round
+        else compare a.id b.id)
+      delivered
+    |> List.filteri (fun i _ -> i < k)
+  in
+  let chains = List.map (build_chain ~intervals ~retr idx) terminals in
+  match chains with
+  | [] -> { chains = []; phase_slack = []; path_retransmits = 0 }
+  | primary :: _ ->
+      { chains;
+        phase_slack = slack_table intervals primary;
+        path_retransmits =
+          List.fold_left (fun n s -> n + s.retransmits) 0 primary.segments }
+
+let pp ppf a =
+  match a.chains with
+  | [] -> Format.fprintf ppf "critical path: no delivered message spans@."
+  | primary :: rest ->
+      Format.fprintf ppf
+        "critical path: %d rounds (round %d -> %d), %d hops, %d \
+         retransmission(s) on path@."
+        primary.length_rounds primary.start_round primary.end_round
+        (List.length primary.segments) a.path_retransmits;
+      Format.fprintf ppf "  %3s  %12s  %5s  %5s  %5s  %5s  %4s  %s@." "hop"
+        "link" "words" "send" "dlvr" "slack" "retr" "phase";
+      List.iteri
+        (fun i s ->
+          Format.fprintf ppf "  %3d  %12s  %5d  %5d  %5d  %5d  %4d  %s@."
+            (i + 1)
+            (Printf.sprintf "%d->%d" s.src s.dst)
+            s.words s.send_round s.deliver_round s.slack s.retransmits
+            (if s.phase = "" then "-" else s.phase))
+        primary.segments;
+      if a.phase_slack <> [] then begin
+        Format.fprintf ppf "per-phase critical path:@.";
+        Format.fprintf ppf "  %-16s %5s %7s %8s %6s %5s@." "phase" "hops"
+          "rounds" "transit" "slack" "retr";
+        let th = ref 0 and trd = ref 0 and tt = ref 0 and ts = ref 0
+        and tre = ref 0 in
+        List.iter
+          (fun r ->
+            th := !th + r.ps_hops;
+            trd := !trd + r.ps_rounds;
+            tt := !tt + r.ps_transit;
+            ts := !ts + r.ps_slack;
+            tre := !tre + r.ps_retransmits;
+            Format.fprintf ppf "  %-16s %5d %7d %8d %6d %5d@."
+              (if r.ps_phase = "" then "(none)" else r.ps_phase)
+              r.ps_hops r.ps_rounds r.ps_transit r.ps_slack r.ps_retransmits)
+          a.phase_slack;
+        Format.fprintf ppf "  %-16s %5d %7d %8d %6d %5d@." "total" !th !trd
+          !tt !ts !tre
+      end;
+      List.iteri
+        (fun i c ->
+          let term =
+            match List.rev c.segments with
+            | t :: _ -> Printf.sprintf "%d->%d @ round %d" t.src t.dst t.deliver_round
+            | [] -> "-"
+          in
+          Format.fprintf ppf "  chain #%d: %d rounds, %d hops, terminal %s@."
+            (i + 2) c.length_rounds (List.length c.segments) term)
+        rest

@@ -1,0 +1,67 @@
+(** Critical-path extraction over a {!Span} log.
+
+    The happens-before DAG is induced by delivered message spans:
+    message [m'] depends on message [m] when [m] was delivered at
+    [m']'s sender no later than [m']'s send round.  The critical path
+    ending at quiescence is extracted deterministically by walking back
+    from the terminal delivery (latest deliver round, smallest span id
+    on ties) and, at each hop, choosing the predecessor delivered at
+    the sender latest before the send (again smallest id on ties).
+    The chain's length in rounds is [end_round - start_round]; on a
+    loss-free skeleton run it equals [Trace.stats.rounds], because the
+    initial sends happen at round 0 and the final round delivers the
+    last messages.
+
+    Each hop covers the half-open round interval
+    [(prev deliver, deliver]]; its [slack] is the part of that interval
+    the message spent waiting to be sent ([send - prev deliver]), the
+    rest is transit.  Hops are labeled with the phase span whose
+    interval contains the deliver round; the per-phase table splits
+    each hop's interval across phase boundaries, so per-phase rounds on
+    the path never exceed that phase's own duration and sum exactly to
+    the chain length. *)
+
+type segment = {
+  span_id : int;
+  src : int;
+  dst : int;
+  send_round : int;
+  deliver_round : int;
+  words : int;
+  phase : string;  (** phase containing [deliver_round]; [""] if none *)
+  slack : int;  (** rounds waiting at [src] since the previous hop *)
+  retransmits : int;
+      (** retransmissions recorded on this link while the hop was in
+          progress *)
+}
+
+type chain = {
+  start_round : int;  (** send round of the first hop *)
+  end_round : int;  (** deliver round of the terminal hop *)
+  length_rounds : int;  (** [end_round - start_round] *)
+  segments : segment list;  (** causal order, first hop to terminal *)
+}
+
+type phase_slack = {
+  ps_phase : string;
+  ps_hops : int;  (** hops whose deliver round falls in this phase *)
+  ps_rounds : int;  (** path rounds inside this phase (transit + slack) *)
+  ps_transit : int;
+  ps_slack : int;
+  ps_retransmits : int;
+}
+
+type analysis = {
+  chains : chain list;  (** top-k, longest (latest terminal) first *)
+  phase_slack : phase_slack list;
+      (** per-phase split of the primary chain, phase order *)
+  path_retransmits : int;  (** retransmissions on the primary chain *)
+}
+
+val analyze : ?k:int -> Span.record list -> analysis
+(** Extract the top-[k] (default 3) critical chains.  [chains] is empty
+    when the log holds no delivered message span. *)
+
+val pp : Format.formatter -> analysis -> unit
+(** Render the primary chain hop by hop, the per-phase slack table, and
+    one-line summaries of the remaining chains. *)

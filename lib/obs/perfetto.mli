@@ -1,0 +1,14 @@
+(** Chrome trace-event export of a {!Span} log, loadable in
+    [ui.perfetto.dev] or [chrome://tracing].
+
+    One simulated round is rendered as 1000 µs.  Tracks: process 0
+    holds the structural timeline (phases and Expand calls on thread 0,
+    so calls nest around their phases), process 1 one thread per
+    sending node for message spans, process 2 cluster lifetimes (one
+    thread per center), process 3 ARQ exchanges and retransmission
+    point-events.  Open spans (never delivered) are exported with zero
+    duration and their status in [args]. *)
+
+val export : Span.record list -> string -> int
+(** [export records file] writes [{"traceEvents":[...]}] and returns
+    the number of events written (spans plus track-name metadata). *)

@@ -1,0 +1,273 @@
+(* Causal span log.  Same shape as Metrics: a [t] is either the shared
+   no-op sink or a growable registry; every recording operation starts
+   with one tag check so the disabled path is free and runs without
+   span recording stay byte-identical. *)
+
+type kind = Message | Phase | Call | Cluster | Arq | Retransmit
+
+let kind_name = function
+  | Message -> "message"
+  | Phase -> "phase"
+  | Call -> "call"
+  | Cluster -> "cluster"
+  | Arq -> "arq"
+  | Retransmit -> "retransmit"
+
+let kind_of_name = function
+  | "message" -> Some Message
+  | "phase" -> Some Phase
+  | "call" -> Some Call
+  | "cluster" -> Some Cluster
+  | "arq" -> Some Arq
+  | "retransmit" -> Some Retransmit
+  | _ -> None
+
+type status = Open | Delivered | Dropped of string
+
+type record = {
+  id : int;
+  kind : kind;
+  name : string;
+  parent : int;
+  src : int;
+  dst : int;
+  words : int;
+  start_round : int;
+  mutable stop_round : int;
+  mutable ls : int;
+  mutable ld : int;
+  mutable status : status;
+}
+
+(* Spans are resolved by id at delivery time, so the registry is a
+   growable array rather than a list. *)
+type reg = {
+  mutable arr : record array;
+  mutable len : int;
+  mutable clocks : int array;  (* Lamport clock per node id *)
+}
+
+type t = Disabled | Reg of reg
+
+let disabled = Disabled
+
+let dummy =
+  { id = -1; kind = Message; name = ""; parent = -1; src = -1; dst = -1;
+    words = 0; start_round = 0; stop_round = -1; ls = 0; ld = 0;
+    status = Open }
+
+let create () = Reg { arr = Array.make 64 dummy; len = 0; clocks = Array.make 16 0 }
+
+let enabled = function Disabled -> false | Reg _ -> true
+
+let add r s =
+  if r.len = Array.length r.arr then begin
+    let arr = Array.make (2 * r.len) dummy in
+    Array.blit r.arr 0 arr 0 r.len;
+    r.arr <- arr
+  end;
+  r.arr.(r.len) <- s;
+  r.len <- r.len + 1;
+  s.id
+
+let clock r v =
+  if v >= Array.length r.clocks then begin
+    let n = max (v + 1) (2 * Array.length r.clocks) in
+    let clocks = Array.make n 0 in
+    Array.blit r.clocks 0 clocks 0 (Array.length r.clocks);
+    r.clocks <- clocks
+  end;
+  r.clocks.(v)
+
+let tick r v =
+  let l = clock r v + 1 in
+  r.clocks.(v) <- l;
+  l
+
+let merge r v ls =
+  let l = max (clock r v) ls + 1 in
+  r.clocks.(v) <- l;
+  l
+
+let message t ~round ~src ~dst ~words =
+  match t with
+  | Disabled -> -1
+  | Reg r ->
+      let ls = if src >= 0 then tick r src else 0 in
+      add r
+        { id = r.len; kind = Message; name = ""; parent = -1; src; dst; words;
+          start_round = round; stop_round = -1; ls; ld = 0; status = Open }
+
+let get r id = if id >= 0 && id < r.len then Some r.arr.(id) else None
+
+let deliver t ~round id =
+  match t with
+  | Disabled -> ()
+  | Reg r -> (
+      match get r id with
+      | Some s when s.status = Open ->
+          s.status <- Delivered;
+          s.stop_round <- round;
+          if s.dst >= 0 then s.ld <- merge r s.dst s.ls
+      | _ -> ())
+
+let drop t ~round ~reason id =
+  match t with
+  | Disabled -> ()
+  | Reg r -> (
+      match get r id with
+      | Some s when s.status = Open ->
+          s.status <- Dropped reason;
+          s.stop_round <- round
+      | _ -> ())
+
+let open_span t ?(parent = -1) ?(src = -1) ?(dst = -1) kind ~name ~round =
+  match t with
+  | Disabled -> -1
+  | Reg r ->
+      add r
+        { id = r.len; kind; name; parent; src; dst; words = 0;
+          start_round = round; stop_round = -1; ls = 0; ld = 0; status = Open }
+
+let close t ~round id =
+  match t with
+  | Disabled -> ()
+  | Reg r -> (
+      match get r id with
+      | Some s when s.status = Open ->
+          s.status <- Delivered;
+          s.stop_round <- round
+      | _ -> ())
+
+let span t ?(parent = -1) ?(src = -1) ?(dst = -1) kind ~name ~start_round
+    ~stop_round =
+  match t with
+  | Disabled -> -1
+  | Reg r ->
+      add r
+        { id = r.len; kind; name; parent; src; dst; words = 0; start_round;
+          stop_round; ls = 0; ld = 0; status = Delivered }
+
+let count = function Disabled -> 0 | Reg r -> r.len
+
+let records = function
+  | Disabled -> []
+  | Reg r -> List.init r.len (fun i -> r.arr.(i))
+
+(* ------------------------------------------------------------------ *)
+(* JSON lines                                                          *)
+
+let to_json s =
+  let b = Buffer.create 160 in
+  Buffer.add_string b
+    (Printf.sprintf {|{"kind":"span","id":%d,"sk":"%s"|} s.id
+       (kind_name s.kind));
+  if s.name <> "" then Buffer.add_string b (Printf.sprintf {|,"name":%S|} s.name);
+  if s.parent >= 0 then
+    Buffer.add_string b (Printf.sprintf {|,"parent":%d|} s.parent);
+  Buffer.add_string b
+    (Printf.sprintf {|,"src":%d,"dst":%d,"words":%d,"start":%d,"stop":%d|}
+       s.src s.dst s.words s.start_round s.stop_round);
+  if s.ls <> 0 || s.ld <> 0 then
+    Buffer.add_string b (Printf.sprintf {|,"ls":%d,"ld":%d|} s.ls s.ld);
+  (match s.status with
+  | Open -> Buffer.add_string b {|,"status":"open"|}
+  | Delivered -> Buffer.add_string b {|,"status":"delivered"|}
+  | Dropped reason ->
+      Buffer.add_string b
+        (Printf.sprintf {|,"status":"dropped","reason":%S|} reason));
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let save ?(extra = []) t file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        extra;
+      match t with
+      | Disabled -> ()
+      | Reg r ->
+          for i = 0 to r.len - 1 do
+            output_string oc (to_json r.arr.(i));
+            output_char oc '\n'
+          done)
+
+let iter_file file f =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lineno = ref 0 in
+      let fail msg line =
+        failwith
+          (Printf.sprintf "Span.load: %s: line %d: %s: %s" file !lineno msg
+             line)
+      in
+      let req msg = function Some v -> v | None -> raise (Failure msg) in
+      try
+        while true do
+          let raw = input_line ic in
+          incr lineno;
+          let line =
+            let n = String.length raw in
+            if n > 0 && raw.[n - 1] = '\r' then String.sub raw 0 (n - 1)
+            else raw
+          in
+          if String.trim line <> "" then
+            match Metrics.json_str line "kind" with
+            | Some "span" -> (
+                try
+                  let int k =
+                    req (Printf.sprintf "missing field %S" k)
+                      (Metrics.json_int line k)
+                  in
+                  let kind =
+                    match Metrics.json_str line "sk" with
+                    | Some n -> (
+                        match kind_of_name n with
+                        | Some k -> k
+                        | None ->
+                            raise
+                              (Failure (Printf.sprintf "unknown span kind %S" n)))
+                    | None -> raise (Failure {|missing field "sk"|})
+                  in
+                  let name =
+                    Option.value ~default:"" (Metrics.json_str line "name")
+                  in
+                  let parent =
+                    Option.value ~default:(-1) (Metrics.json_int line "parent")
+                  in
+                  let ls = Option.value ~default:0 (Metrics.json_int line "ls") in
+                  let ld = Option.value ~default:0 (Metrics.json_int line "ld") in
+                  let status =
+                    match Metrics.json_str line "status" with
+                    | Some "open" -> Open
+                    | Some "delivered" -> Delivered
+                    | Some "dropped" ->
+                        Dropped
+                          (Option.value ~default:""
+                             (Metrics.json_str line "reason"))
+                    | Some s ->
+                        raise (Failure (Printf.sprintf "unknown status %S" s))
+                    | None -> raise (Failure {|missing field "status"|})
+                  in
+                  f
+                    { id = int "id"; kind; name; parent; src = int "src";
+                      dst = int "dst"; words = int "words";
+                      start_round = int "start"; stop_round = int "stop";
+                      ls; ld; status }
+                with Failure msg -> fail msg line)
+            | Some _ -> ()  (* meta header or foreign line: skip *)
+            | None -> fail {|missing field "kind"|} line
+        done
+      with End_of_file -> ())
+
+let load file =
+  let acc = ref [] in
+  iter_file file (fun s -> acc := s :: !acc);
+  List.rev !acc

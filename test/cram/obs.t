@@ -151,7 +151,7 @@ materializing the event list:
       node 27: sent 95 msgs / 165 words, received 101 / 174
     top 2 links by words:
       3->27: 11 msgs, 18 words
-      7->39: 10 msgs, 18 words
+      19->45: 11 msgs, 18 words
     round timeline (words sent per bin of 4 rounds):
       r0-r3: 1802
       r4-r7: 924

@@ -1,0 +1,129 @@
+Causal tracing: --spans writes a span log (one span per message plus
+the structural phase/call/cluster spans), report mines it for the
+critical path, and --perfetto exports a Chrome trace.
+
+  $ ../../bin/spanner_cli.exe simulate --algo skeleton --kind gnp -n 48 -p 0.2 --seed 3 --spans s.jsonl
+  graph: n=48, m=231, avg deg 9.62, max deg 17
+  spanner: 70 edges, 0 aborts
+  network: rounds=35 messages=2461 words=4293 max_msg=3 words
+  spans written to s.jsonl (2548 spans)
+
+Without the flag the output is byte-identical to the uninstrumented
+CLI (the sink is the shared no-op):
+
+  $ ../../bin/spanner_cli.exe simulate --algo skeleton --kind gnp -n 48 -p 0.2 --seed 3
+  graph: n=48, m=231, avg deg 9.62, max deg 17
+  spanner: 70 edges, 0 aborts
+  network: rounds=35 messages=2461 words=4293 max_msg=3 words
+
+The span file leads with a meta header; spans are JSONL in creation
+order:
+
+  $ head -c 115 s.jsonl; echo
+  {"kind":"span_meta","algo":"skeleton","n":48,"arq":0,"rounds":35,"messages":2461,"words":4293,"max_message_words":3
+  $ head -2 s.jsonl | tail -1
+  {"kind":"span","id":0,"sk":"call","name":"call-0","src":-1,"dst":-1,"words":0,"start":0,"stop":3,"status":"delivered"}
+
+report recognizes a spans file and summarizes it:
+
+  $ ../../bin/spanner_cli.exe report s.jsonl
+  spans report: s.jsonl
+    run: algo=skeleton n=48 arq=0 rounds=35 messages=2461 words=4293 max_message_words=3
+    2548 spans: 2461 messages (2461 delivered, 0 dropped), 33 phases, 5 calls, 49 clusters, 0 arq, 0 retransmissions
+
+--critical-path walks the happens-before DAG back from quiescence; on
+this loss-free run the chain length equals the run's 35 rounds, and
+the per-phase table sums exactly to it:
+
+  $ ../../bin/spanner_cli.exe report s.jsonl --critical-path --top 2
+  spans report: s.jsonl
+    run: algo=skeleton n=48 arq=0 rounds=35 messages=2461 words=4293 max_message_words=3
+    2548 spans: 2461 messages (2461 delivered, 0 dropped), 33 phases, 5 calls, 49 clusters, 0 arq, 0 retransmissions
+  critical path: 35 rounds (round 0 -> 35), 30 hops, 0 retransmission(s) on path
+    hop          link  words   send   dlvr  slack  retr  phase
+      1        12->10      2      0      1      0     0  exchange
+      2        10->16      1      2      3      1     0  death-notices
+      3         16->7      2      3      4      0     0  exchange
+      4         7->39      3      4      5      0     0  convergecast
+      5         39->7      2      5      6      0     0  wave
+      6         7->23      2      7      8      1     0  exchange
+      7        23->45      1      8      9      0     0  convergecast
+      8        45->19      3      9     10      0     0  convergecast
+      9         19->1      3     10     11      0     0  convergecast
+     10         1->11      3     11     12      0     0  convergecast
+     11         11->4      2     12     13      0     0  wave
+     12         4->39      2     13     14      0     0  wave
+     13         39->7      2     14     15      0     0  wave
+     14         7->23      2     17     18      2     0  exchange
+     15        23->45      1     18     19      0     0  convergecast
+     16        45->19      1     19     20      0     0  convergecast
+     17         19->1      1     20     21      0     0  convergecast
+     18         1->11      1     21     22      0     0  convergecast
+     19         11->1      1     22     23      0     0  wave
+     20          1->3      1     23     24      0     0  wave
+     21         3->27      1     24     25      0     0  wave
+     22        27->22      1     25     26      0     0  wave
+     23        22->27      1     26     27      0     0  dying
+     24         27->3      1     27     28      0     0  dying
+     25          3->1      1     28     29      0     0  dying
+     26         1->11      1     29     30      0     0  dying
+     27         11->8      1     30     31      0     0  final
+     28         8->38      1     31     32      0     0  final
+     29        38->46      1     32     33      0     0  final
+     30        46->20      1     34     35      1     0  death-notices
+  per-phase critical path:
+    phase             hops  rounds  transit  slack  retr
+    exchange             4       4        4      0     0
+    notify               0       3        0      3     0
+    death-notices        2       2        2      0     0
+    convergecast         9       9        9      0     0
+    wave                 8       9        8      1     0
+    dying                4       4        4      0     0
+    final                3       4        3      1     0
+    total               30      35       30      5     0
+    chain #2: 35 rounds, 30 hops, terminal 46->33 @ round 35
+
+--perfetto writes a Chrome/Perfetto trace:
+
+  $ ../../bin/spanner_cli.exe report s.jsonl --perfetto trace.json
+  spans report: s.jsonl
+    run: algo=skeleton n=48 arq=0 rounds=35 messages=2461 words=4293 max_message_words=3
+    2548 spans: 2461 messages (2461 delivered, 0 dropped), 33 phases, 5 calls, 49 clusters, 0 arq, 0 retransmissions
+  perfetto trace written to trace.json (2551 events)
+  $ head -c 60 trace.json; echo
+  {"traceEvents":[
+  {"ph":"M","pid":0,"tid":0,"name":"process_n
+
+The critical-path flags require a spans file:
+
+  $ ../../bin/spanner_cli.exe simulate --algo skeleton --kind gnp -n 16 -p 0.3 --seed 1 --trace t.jsonl > /dev/null
+  $ ../../bin/spanner_cli.exe report t.jsonl --critical-path
+  spanner_cli: report --critical-path/--perfetto need a spans file (simulate --spans), but t.jsonl is not one
+  [1]
+
+Ties in the top-k ranking are broken by span id, so the report is
+deterministic whatever order the log lists equal terminals:
+
+  $ cat > tie.jsonl <<'EOF'
+  > {"kind":"span","id":0,"sk":"message","src":0,"dst":1,"words":1,"start":0,"stop":1,"ls":1,"ld":2,"status":"delivered"}
+  > {"kind":"span","id":1,"sk":"message","src":1,"dst":3,"words":1,"start":1,"stop":2,"ls":3,"ld":4,"status":"delivered"}
+  > {"kind":"span","id":2,"sk":"message","src":1,"dst":2,"words":1,"start":1,"stop":2,"ls":5,"ld":6,"status":"delivered"}
+  > EOF
+  $ ../../bin/spanner_cli.exe report tie.jsonl --critical-path --top 2
+  spans report: tie.jsonl
+    3 spans: 3 messages (3 delivered, 0 dropped), 0 phases, 0 calls, 0 clusters, 0 arq, 0 retransmissions
+  critical path: 2 rounds (round 0 -> 2), 2 hops, 0 retransmission(s) on path
+    hop          link  words   send   dlvr  slack  retr  phase
+      1          0->1      1      0      1      0     0  -
+      2          1->3      1      1      2      0     0  -
+  per-phase critical path:
+    phase             hops  rounds  transit  slack  retr
+    (none)               2       2        2      0     0
+    total                2       2        2      0     0
+    chain #2: 2 rounds, 2 hops, terminal 1->2 @ round 2
+
+A malformed span line is a structured error naming the line:
+
+  $ printf '%s\n%s\n' '{"kind":"span","id":0,"sk":"message","src":0,"dst":1,"words":1,"start":0,"stop":1,"status":"delivered"}' 'garbage' > bad.jsonl
+  $ ../../bin/spanner_cli.exe report bad.jsonl --critical-path 2>&1 | head -1
+  spanner_cli: Span.load: bad.jsonl: line 2: missing field "kind": garbage

@@ -346,6 +346,63 @@ let test_trace_save_load_roundtrip () =
       let st', _ = Protocols.reliable_bfs ~faults:(Fault.scripted events) g ~root:0 in
       Alcotest.check stats_testable "reloaded replay stats" st st')
 
+let test_trace_parse_error_truncated () =
+  (* A file whose last line was cut mid-record (a crashed writer, a
+     partial transfer): the error must name that exact line. *)
+  let path = Filename.temp_file "ultrasparse" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc
+        "{\"round\":0,\"kind\":\"send\",\"src\":0,\"dst\":1,\"words\":2}\n";
+      output_string oc
+        "{\"round\":1,\"kind\":\"deliver\",\"src\":0,\"dst\":1,\"words\":2}\n";
+      output_string oc "{\"round\":2,\"kind\":\"dro";
+      close_out oc;
+      let seen = ref 0 in
+      match Trace.iter_file path (fun _ -> incr seen) with
+      | _ -> Alcotest.fail "expected Parse_error on the truncated tail"
+      | exception Trace.Parse_error { file; line; msg } ->
+          checkb "file named" true (file = path);
+          checki "events before the bad line were streamed" 2 !seen;
+          checki "1-based line number" 3 line;
+          checkb "message mentions the missing field" true
+            (String.length msg > 0))
+
+let test_trace_parse_error_garbage () =
+  let path = Filename.temp_file "ultrasparse" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let check_fails ~line content =
+        let oc = open_out path in
+        output_string oc content;
+        close_out oc;
+        match Trace.iter_file path (fun _ -> ()) with
+        | _ -> Alcotest.failf "expected Parse_error for %S" content
+        | exception Trace.Parse_error e ->
+            checki "line number" line e.line
+      in
+      (* garbage line in the middle *)
+      check_fails ~line:2
+        "{\"round\":0,\"kind\":\"send\",\"src\":0,\"dst\":1,\"words\":2}\n\
+         not json at all\n";
+      (* unknown kind *)
+      check_fails ~line:1
+        "{\"round\":0,\"kind\":\"teleport\",\"src\":0,\"dst\":1,\"words\":2}\n";
+      (* overflowing integer surfaces as a missing field, not a crash *)
+      check_fails ~line:1
+        "{\"round\":99999999999999999999,\"kind\":\"send\",\"src\":0,\"dst\":1,\"words\":2}\n";
+      (* blank/CRLF lines stay tolerated: no error here *)
+      let oc = open_out path in
+      output_string oc
+        "{\"round\":0,\"kind\":\"send\",\"src\":0,\"dst\":1,\"words\":2}\r\n\n   \n";
+      close_out oc;
+      let n = ref 0 in
+      ignore (Trace.iter_file path (fun _ -> incr n));
+      checki "CRLF + blank lines tolerated" 1 !n)
+
 let test_budget_failure_reports_stats () =
   (* Two nodes ping-pong forever: the budget failure must carry the
      accumulated statistics so non-convergence is diagnosable. *)
@@ -666,6 +723,10 @@ let suite =
           test_trace_replay_reproduces_stats;
         Alcotest.test_case "save/load roundtrip" `Quick
           test_trace_save_load_roundtrip;
+        Alcotest.test_case "parse error: truncated tail" `Quick
+          test_trace_parse_error_truncated;
+        Alcotest.test_case "parse error: garbage lines" `Quick
+          test_trace_parse_error_garbage;
         QCheck_alcotest.to_alcotest prop_trace_replay_identical;
       ] );
     ( "distnet.recovery",
