@@ -72,6 +72,17 @@ let bench_tests () =
   let torus = Gen.king_torus ~width:20 ~height:20 in
   let gadget = Graphlib.Gadget.create ~tau:2 ~sigma:5 ~kappa:6 in
   let t name f = (name, Test.make ~name (Staged.stage f)) in
+  (* The serving bench's snapshot and workload are built once, outside
+     the timed region: the bench times the query hot path alone. *)
+  let serve_snap =
+    let r = Spanner.Skeleton_dist.build ~seed:!seed g_small in
+    Serve.Snapshot.build ~k:2 ~seed:!seed ~routing:true g_small
+      r.Spanner.Skeleton_dist.spanner
+  in
+  let serve_w =
+    Serve.Workload.generate ~seed:(!seed + 41) ~n:(Graph.n g_small)
+      { Serve.Workload.queries = 10_000; zipf = Some 1.2; route_frac = 0.25 }
+  in
   [
     t "e1.skeleton_dist" (fun () ->
         ignore (Spanner.Skeleton_dist.build ~seed:!seed g_small));
@@ -142,6 +153,8 @@ let bench_tests () =
         let wg = Graphlib.Weighted.random (Util.Prng.create ~seed:!seed) g_mid ~lo:1. ~hi:8. in
         ignore (Baseline.Baswana_sen_weighted.build ~k:3 ~seed:!seed wg));
     t "baseline.greedy" (fun () -> ignore (Baseline.Greedy.build ~k:3 g_small));
+    t "e25.serve_queries" (fun () ->
+        ignore (Serve.Server.run (Serve.Server.create serve_snap) serve_w));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -309,7 +322,8 @@ let run_benches () =
      (* Machine-readable per-experiment timings: a header identifying
         the run (seed, quick/full mode) plus one object per bench,
         suitable for the BENCH_*.json perf trajectory. *)
-     Format.printf {|{"seed": %d, "mode": %S, "timings": [@.|} !seed
+     Format.printf {|{"seed": %d, "workload_seed": %d, "mode": %S, "timings": [@.|}
+       !seed (!seed + 41)
        (if !quick then "quick" else "full");
      List.iteri
        (fun i (name, est) ->

@@ -342,25 +342,6 @@ let parse_links s =
                | _ -> bad ())
            | _ -> bad ())
 
-let churn_of_trace events =
-  List.filter_map
-    (fun (e : Distnet.Trace.event) ->
-      match e.Distnet.Trace.kind with
-      | Distnet.Trace.Edge_down ->
-          Some
-            (Distnet.Fault.Edge_down
-               { round = e.Distnet.Trace.round; u = e.src; v = e.dst })
-      | Distnet.Trace.Edge_up ->
-          Some
-            (Distnet.Fault.Edge_up
-               { round = e.Distnet.Trace.round; u = e.src; v = e.dst })
-      | Distnet.Trace.Join ->
-          Some
-            (Distnet.Fault.Join
-               { round = e.Distnet.Trace.round; node = e.src })
-      | _ -> None)
-    events
-
 let simulate_cmd =
   let drop =
     Arg.(
@@ -641,7 +622,7 @@ let simulate_cmd =
             | None -> []
             | Some file ->
                 let events, _ = Distnet.Trace.load file in
-                let churn = churn_of_trace events in
+                let churn = Distnet.Fault.churn_of_trace events in
                 Format.printf "churn plan: %d events from %s@."
                   (List.length churn) file;
                 churn
@@ -1135,14 +1116,23 @@ let report_cmd =
         (fun (s, d, w) -> Format.printf "    %d->%d: %d words@." s d w)
         links
     end;
-    let is_phase (s : Obs.Metrics.sample) =
-      String.length s.Obs.Metrics.name >= 6
-      && String.sub s.Obs.Metrics.name 0 6 = "phase_"
+    let prefixed prefix (s : Obs.Metrics.sample) =
+      let l = String.length prefix in
+      String.length s.Obs.Metrics.name >= l
+      && String.sub s.Obs.Metrics.name 0 l = prefix
     in
+    let is_phase = prefixed "phase_" in
+    let is_serve = prefixed "serve_" in
+    if List.exists is_serve samples then begin
+      Format.printf "  serve:@.";
+      Obs.Report.pp_serve_table Format.std_formatter samples
+    end;
     let others =
       List.filter
         (fun (s : Obs.Metrics.sample) ->
-          s.Obs.Metrics.name <> "link_words" && not (is_phase s))
+          s.Obs.Metrics.name <> "link_words"
+          && (not (is_phase s))
+          && not (is_serve s))
         samples
     in
     if others <> [] then begin
@@ -1284,6 +1274,436 @@ let report_cmd =
       $ perfetto)
 
 (* ------------------------------------------------------------------ *)
+(* serve / query: the spanner as a live distance/route service *)
+
+let oracle_k_arg =
+  Arg.(
+    value
+    & opt int 2
+    & info [ "oracle-k" ] ~docv:"K"
+        ~doc:"Thorup-Zwick parameter of the snapshot oracle (stretch 2K-1).")
+
+let snapshot_in_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshot-in" ] ~docv:"FILE"
+        ~doc:"Serve from a saved snapshot instead of building one.")
+
+let serve_cmd =
+  let queries =
+    Arg.(
+      value
+      & opt int 10000
+      & info [ "queries" ] ~docv:"Q" ~doc:"Generated workload size.")
+  in
+  let zipf =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "zipf" ] ~docv:"S"
+          ~doc:
+            "Zipf exponent for source popularity (heavier tail with larger \
+             $(docv); uniform sources when absent).")
+  in
+  let route_frac =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "route-frac" ] ~docv:"F"
+          ~doc:
+            "Fraction of point-to-point route queries (answered by compact \
+             routing; the rest are distance queries).")
+  in
+  let workload_in =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "workload" ] ~docv:"FILE"
+          ~doc:"Load the query workload from FILE instead of generating it.")
+  in
+  let workload_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "workload-out" ] ~docv:"FILE"
+          ~doc:"Save the generated workload to FILE.")
+  in
+  let workload_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workload-seed" ] ~docv:"SEED"
+          ~doc:
+            "Seed of the query generator, independent of the graph seed \
+             (default: --seed + 41).")
+  in
+  let snapshot_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot-out" ] ~docv:"FILE"
+          ~doc:"Save the serving snapshot (edge list + build parameters).")
+  in
+  let routing_flag =
+    Arg.(
+      value & flag
+      & info [ "routing" ]
+          ~doc:
+            "Build compact-routing tables even for a pure distance workload \
+             (they are built automatically when the workload has routes).")
+  in
+  let edge_drop =
+    Arg.(
+      value
+      & opt string ""
+      & info [ "edge-drop" ] ~docv:"SPEC"
+          ~doc:
+            "Churn while serving: edges going down, e.g. 3-7@10,5-9@20.  Any \
+             churn flag switches serve into the swap flow: serve fresh, mark \
+             the snapshot stale, rebuild under the churn plan in the \
+             background, publish the next generation atomically, keep \
+             serving.")
+  in
+  let edge_up =
+    Arg.(
+      value
+      & opt string ""
+      & info [ "edge-up" ] ~docv:"SPEC"
+          ~doc:"Churn: edges coming (back) up, same U-V@ROUND syntax.")
+  in
+  let partition =
+    Arg.(
+      value
+      & opt string ""
+      & info [ "partition" ] ~docv:"LINKS"
+          ~doc:"Churn: cut all listed links at once, e.g. 3-7,5-9.")
+  in
+  let partition_round =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "partition-round" ] ~docv:"R"
+          ~doc:"Round at which the --partition cut happens.")
+  in
+  let heal_round =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "heal-round" ] ~docv:"R"
+          ~doc:"Heal the --partition at round R (0: never heals).")
+  in
+  let join =
+    Arg.(
+      value
+      & opt string ""
+      & info [ "join" ] ~docv:"SPEC"
+          ~doc:"Churn: late node joins, e.g. 4@25.")
+  in
+  let audit_samples =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "audit-samples" ] ~docv:"N"
+          ~doc:
+            "Audit N sampled answers against BFS ground truth and the \
+             stretch bound; exit nonzero on a violation (0 disables).")
+  in
+  let metrics_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Record serve metrics (per-generation answer counters, latency \
+             histograms, staleness) and write the snapshot to FILE as JSON \
+             lines.")
+  in
+  let metrics_summary =
+    Arg.(
+      value & flag
+      & info [ "metrics-summary" ]
+          ~doc:"Print the per-generation serve table from the metrics sink.")
+  in
+  let run kind n p seed input d eps k queries zipf route_frac workload_in
+      workload_out workload_seed snapshot_in snapshot_out routing_flag
+      edge_drop edge_up partition partition_round heal_round join
+      audit_samples metrics_file metrics_summary =
+    let churn =
+      List.map
+        (fun (r, u, v) -> Distnet.Fault.Edge_down { round = r; u; v })
+        (parse_edge_events "edge-drop" edge_drop)
+      @ List.map
+          (fun (r, u, v) -> Distnet.Fault.Edge_up { round = r; u; v })
+          (parse_edge_events "edge-up" edge_up)
+      @ (match parse_links partition with
+        | [] -> []
+        | links ->
+            [
+              Distnet.Fault.Partition
+                {
+                  round = partition_round;
+                  edges = links;
+                  heal = (if heal_round > 0 then Some heal_round else None);
+                };
+            ])
+      @ List.map
+          (fun (v, r) -> Distnet.Fault.Join { round = r; node = v })
+          (parse_crashes join)
+    in
+    let reg =
+      if metrics_file <> None || metrics_summary then Obs.Metrics.create ()
+      else Obs.Metrics.disabled
+    in
+    (* The serving graph and the gen-0 snapshot: either a saved snapshot
+       (no rebuild possible — the full graph is gone) or a fresh
+       skeleton build. *)
+    let g, plan_opt, build_snap0 =
+      match snapshot_in with
+      | Some file ->
+          if churn <> [] then begin
+            Format.eprintf
+              "spanner_cli: serve --snapshot-in cannot take churn flags (a \
+               rebuild needs the full input graph)@.";
+            exit 1
+          end;
+          let snap = Serve.Snapshot.load file in
+          Format.printf "snapshot loaded from %s@." file;
+          (Serve.Snapshot.graph snap, None, fun ~routing:_ -> snap)
+      | None ->
+          let g = load_graph ~kind ~n ~p ~seed ~input in
+          Format.printf "graph: %a@." Graph.pp_summary g;
+          let r = Spanner.Skeleton_dist.build ~d ~eps ~seed g in
+          Format.printf "spanner: %d edges@."
+            (Edge_set.cardinal r.Spanner.Skeleton_dist.spanner);
+          ( g,
+            Some r.Spanner.Skeleton_dist.plan,
+            fun ~routing ->
+              Serve.Snapshot.build ~generation:0 ~k ~seed ~routing g
+                r.Spanner.Skeleton_dist.spanner )
+    in
+    let wseed = Option.value ~default:(seed + 41) workload_seed in
+    let w =
+      match workload_in with
+      | Some file ->
+          let w = Serve.Workload.load ~n:(Graph.n g) file in
+          Format.printf "workload: %d queries (%d routes) from %s@."
+            (Array.length w)
+            (Serve.Workload.route_count w)
+            file;
+          w
+      | None ->
+          let w =
+            Serve.Workload.generate ~seed:wseed ~n:(Graph.n g)
+              { Serve.Workload.queries; zipf; route_frac }
+          in
+          Format.printf "workload: %d queries (%d routes), seed %d@."
+            (Array.length w)
+            (Serve.Workload.route_count w)
+            wseed;
+          w
+    in
+    (match workload_out with
+    | Some file ->
+        Serve.Workload.save w file;
+        Format.printf "workload written to %s@." file
+    | None -> ());
+    let routing = routing_flag || Serve.Workload.route_count w > 0 in
+    let snap0 = build_snap0 ~routing in
+    if Serve.Workload.route_count w > 0 && not (Serve.Snapshot.has_routing snap0)
+    then begin
+      Format.eprintf
+        "spanner_cli: the workload has route queries but the snapshot has no \
+         routing tables@.";
+      exit 1
+    end;
+    Format.printf "snapshot: %a@." Serve.Snapshot.pp snap0;
+    (match snapshot_out with
+    | Some file ->
+        Serve.Snapshot.save snap0 file;
+        Format.printf "snapshot written to %s@." file
+    | None -> ());
+    let server = Serve.Server.create ~metrics:reg snap0 in
+    let reports =
+      if churn = [] then [ Serve.Server.run server w ]
+      else begin
+        (* Swap flow: a third of the workload against gen 0, a third
+           stale while the background rebuild runs, the rest against
+           the published next generation. *)
+        let total = Array.length w in
+        let s1 = total / 3 and s2 = total / 3 in
+        let r1 = Serve.Server.run ~first:0 ~count:s1 server w in
+        Serve.Server.mark_dirty server;
+        Format.printf "churn landed: epoch %d, serving stale from gen %d@."
+          (Serve.Server.epoch server)
+          (Serve.Server.generation server);
+        let r2 = Serve.Server.run ~first:s1 ~count:s2 server w in
+        let faults =
+          try
+            Distnet.Fault.make ~seed:(seed + 31) ~graph:g
+              { Distnet.Fault.default_spec with churn }
+          with Invalid_argument msg ->
+            Format.eprintf "spanner_cli: %s@." msg;
+            exit 1
+        in
+        let rr = Spanner.Skeleton_dist.build ~faults ~d ~eps ~seed g in
+        let snap1 =
+          Serve.Snapshot.build ~generation:1 ~k ~seed ~routing
+            ~exclude:rr.Spanner.Skeleton_dist.dead_edges g
+            rr.Spanner.Skeleton_dist.spanner
+        in
+        Serve.Server.publish server snap1;
+        Format.printf "swap: published %a (%d swap)@." Serve.Snapshot.pp snap1
+          (Serve.Server.swaps server);
+        let r3 =
+          Serve.Server.run ~first:(s1 + s2) ~count:(total - s1 - s2) server w
+        in
+        [ r1; r2; r3 ]
+      end
+    in
+    let rep = Serve.Server.merge reports in
+    Format.printf "%a" Serve.Server.pp_report rep;
+    (* The one wall-clock-dependent line, kept alone so pinned output
+       can filter it. *)
+    if rep.Serve.Server.answered > 0 then begin
+      let lat = rep.Serve.Server.latency_sorted in
+      Format.printf
+        "latency: p50=%.0fns p90=%.0fns p99=%.0fns, throughput %.0f q/s@."
+        (Util.Stats.p50_of_sorted lat)
+        (Util.Stats.p90_of_sorted lat)
+        (Util.Stats.p99_of_sorted lat)
+        (float_of_int rep.Serve.Server.answered
+        *. 1e9
+        /. float_of_int (Stdlib.max 1 rep.Serve.Server.elapsed_ns))
+    end;
+    if audit_samples > 0 then begin
+      let a =
+        Serve.Server.audit ~samples:audit_samples ~seed:(seed + 53)
+          (Serve.Server.snapshot server)
+          w
+      in
+      Format.printf "%a@." Serve.Server.pp_audit a;
+      (match plan_opt with
+      | Some plan ->
+          Format.printf
+            "bounds: skeleton distortion <= %.2f (Theorem 2), oracle stretch \
+             <= %d@."
+            (Spanner.Certify.stretch_bound plan)
+            ((2 * k) - 1)
+      | None -> ());
+      if not (Serve.Server.audit_ok a) then exit 1
+    end;
+    if metrics_summary then begin
+      Format.printf "per-generation serve table:@.";
+      Obs.Report.pp_serve_table Format.std_formatter (Obs.Metrics.snapshot reg)
+    end;
+    match metrics_file with
+    | Some file ->
+        let meta =
+          Printf.sprintf
+            {|{"kind":"meta","algo":"serve","n":%d,"queries":%d,"workload_seed":%d,"generations":%d,"swaps":%d}|}
+            (Graph.n g) (Array.length w) wseed
+            (Serve.Server.generation server + 1)
+            (Serve.Server.swaps server)
+        in
+        Obs.Metrics.save ~extra:[ meta ] reg file;
+        Format.printf "metrics written to %s (%d samples)@." file
+          (List.length (Obs.Metrics.snapshot reg))
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Freeze the skeleton into a read-optimized snapshot and answer a \
+          query workload against it: distance and route queries, exact \
+          latency percentiles, staleness accounting, and atomic snapshot \
+          swaps under churn.")
+    Term.(
+      const run $ kind_arg $ n_arg $ p_arg $ seed_arg $ input_arg $ d_arg
+      $ eps_arg $ oracle_k_arg $ queries $ zipf $ route_frac $ workload_in
+      $ workload_out $ workload_seed $ snapshot_in_arg $ snapshot_out
+      $ routing_flag $ edge_drop $ edge_up $ partition $ partition_round
+      $ heal_round $ join $ audit_samples $ metrics_file $ metrics_summary)
+
+let query_cmd =
+  let snapshot_in =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "snapshot-in" ] ~docv:"FILE"
+          ~doc:"Snapshot to answer from (written by serve --snapshot-out).")
+  in
+  let pairs =
+    Arg.(
+      value
+      & pos_all string []
+      & info [] ~docv:"U,V"
+          ~doc:"Query pairs, e.g. 3,17; seeded samples when omitted.")
+  in
+  let route =
+    Arg.(
+      value & flag
+      & info [ "route" ]
+          ~doc:"Answer with compact-routing hop counts instead of distances.")
+  in
+  let count =
+    Arg.(
+      value
+      & opt int 10
+      & info [ "queries" ] ~docv:"Q"
+          ~doc:"Sampled queries when no pairs are given.")
+  in
+  let run snapshot_in pairs route count seed =
+    let snap = Serve.Snapshot.load snapshot_in in
+    Format.printf "snapshot: %a@." Serve.Snapshot.pp snap;
+    if route && not (Serve.Snapshot.has_routing snap) then begin
+      Format.eprintf
+        "spanner_cli: %s has no routing tables (serve --routing when saving \
+         it)@."
+        snapshot_in;
+      exit 1
+    end;
+    let n = Serve.Snapshot.n snap in
+    let answer u v =
+      if u < 0 || u >= n || v < 0 || v >= n then begin
+        Format.eprintf "spanner_cli: vertex out of range (n=%d)@." n;
+        exit 1
+      end;
+      let label = if route then "hops" else "d" in
+      let value =
+        if route then Serve.Snapshot.route_hops snap u v
+        else Serve.Snapshot.distance snap u v
+      in
+      if value < 0 then
+        Format.printf "  %s(%d,%d) = unreachable [gen %d]@." label u v
+          (Serve.Snapshot.generation snap)
+      else
+        Format.printf "  %s(%d,%d) = %d [gen %d]@." label u v value
+          (Serve.Snapshot.generation snap)
+    in
+    if pairs = [] then begin
+      let rng = Util.Prng.create ~seed in
+      for _ = 1 to count do
+        answer (Util.Prng.int rng n) (Util.Prng.int rng n)
+      done
+    end
+    else
+      List.iter
+        (fun pair ->
+          match String.split_on_char ',' pair with
+          | [ u; v ] -> (
+              match (int_of_string_opt u, int_of_string_opt v) with
+              | Some u, Some v -> answer u v
+              | _ -> failwith (Printf.sprintf "bad query pair %S" pair))
+          | _ -> failwith (Printf.sprintf "bad query pair %S (want U,V)" pair))
+        pairs
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Answer ad-hoc distance/route queries from a saved snapshot.")
+    Term.(const run $ snapshot_in $ pairs $ route $ count $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
 (* experiment *)
 
 let experiment_cmd =
@@ -1291,7 +1711,7 @@ let experiment_cmd =
     Arg.(
       value
       & pos_all string []
-      & info [] ~docv:"ID" ~doc:"Experiment ids (E1..E24); all when omitted.")
+      & info [] ~docv:"ID" ~doc:"Experiment ids (E1..E25); all when omitted.")
   in
   let full = Arg.(value & flag & info [ "full" ] ~doc:"Full-size workloads.") in
   let run ids full seed =
@@ -1320,6 +1740,6 @@ let main =
     (Cmd.info "spanner_cli" ~version:"1.0.0"
        ~doc:"Ultrasparse spanners and linear-size skeletons (Pettie, PODC 2008).")
     [ gen_cmd; build_cmd; eval_cmd; trace_cmd; oracle_cmd; simulate_cmd;
-      report_cmd; experiment_cmd ]
+      serve_cmd; query_cmd; report_cmd; experiment_cmd ]
 
 let () = exit (Cmd.eval main)

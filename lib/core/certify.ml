@@ -25,6 +25,9 @@ type verdict = {
 
 let ok v = List.for_all (fun c -> c.ok) v.checks
 
+let stretch_bound plan =
+  Bounds.skeleton_distortion ~n:plan.Plan.n ~d:plan.Plan.d ~eps:plan.Plan.eps
+
 (* ------------------------------------------------------------------ *)
 (* BFS over a vertex-filtered adjacency (crashed vertices removed). *)
 

@@ -63,6 +63,12 @@ type verdict = {
 val ok : verdict -> bool
 (** Every check passed. *)
 
+val stretch_bound : Plan.t -> float
+(** Theorem 2's multiplicative distortion bound for the plan's
+    [(n, D, eps)] — the same value the stretch audit checks against,
+    exposed so downstream consumers (the serving layer, experiment
+    tables) can report end-to-end bounds without re-deriving them. *)
+
 val run :
   ?sources:int ->
   ?seed:int ->

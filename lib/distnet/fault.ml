@@ -242,6 +242,18 @@ let scripted events =
       dyn = dynamics_of_churn (List.rev !rev_churn);
     }
 
+let churn_of_trace events =
+  List.filter_map
+    (fun (e : Trace.event) ->
+      match e.Trace.kind with
+      | Trace.Edge_down ->
+          Some (Edge_down { round = e.Trace.round; u = e.Trace.src; v = e.Trace.dst })
+      | Trace.Edge_up ->
+          Some (Edge_up { round = e.Trace.round; u = e.Trace.src; v = e.Trace.dst })
+      | Trace.Join -> Some (Join { round = e.Trace.round; node = e.Trace.src })
+      | _ -> None)
+    events
+
 let fate t ~round ~src ~dst =
   match t with
   | None_ -> pass

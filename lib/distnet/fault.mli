@@ -84,6 +84,12 @@ val scripted : Trace.event list -> t
     untouched, so replaying a trace on the same graph and protocol
     reproduces the original run bit-for-bit. *)
 
+val churn_of_trace : Trace.event list -> churn_event list
+(** The churn events a recorded trace contains
+    ([Edge_down]/[Edge_up]/[Join], in trace order) — for feeding one
+    run's topology history into another run's churn plan
+    (the CLI's [--churn-trace]). *)
+
 val is_none : t -> bool
 (** [true] only for {!none} — lets the engine skip fault bookkeeping
     entirely on the loss-free fast path. *)

@@ -108,3 +108,16 @@ val e23_churn : ?quick:bool -> seed:int -> unit -> Table.t
     damage counters, and rounds, against a from-scratch distributed
     rebuild on the surviving graph — with per-component certification
     of every churned output. *)
+
+val e24_phase_breakdown : ?quick:bool -> seed:int -> unit -> Table.t
+(** Observability: Theorem 2's round/word budget attributed per phase
+    by the metrics registry, across E22/E23's fault scenarios; each
+    scenario's totals row equals its network statistics. *)
+
+val e25_serving : ?quick:bool -> seed:int -> unit -> Table.t
+(** The serving subsystem: query throughput and exact tail-latency
+    percentiles against a frozen snapshot (Thorup-Zwick distances,
+    compact routes), steady-state and across an atomic snapshot swap
+    under churn, with answers audited against sampled BFS ground
+    truth.  Latency columns are wall-clock measurements; everything
+    else is deterministic in the seed. *)

@@ -72,6 +72,45 @@ let pp_phase_table ppf samples =
       List.iter line rows;
       line (totals rows)
 
+type serve_row = {
+  generation : int;
+  fresh : int;
+  stale : int;
+  latency : Metrics.hist_snapshot option;
+}
+
+let serve_rows samples =
+  let tbl = Hashtbl.create 4 in
+  let row gen =
+    match Hashtbl.find_opt tbl gen with
+    | Some r -> r
+    | None ->
+        let r = ref { generation = gen; fresh = 0; stale = 0; latency = None } in
+        Hashtbl.replace tbl gen r;
+        r
+  in
+  List.iter
+    (fun (s : Metrics.sample) ->
+      match List.assoc_opt "generation" s.labels with
+      | None -> ()
+      | Some gen -> (
+          match int_of_string_opt gen with
+          | None -> ()
+          | Some gen -> (
+              match (s.name, s.value) with
+              | "serve_answers", (Metrics.Counter v | Metrics.Gauge v) -> (
+                  let r = row gen in
+                  match List.assoc_opt "freshness" s.labels with
+                  | Some "stale" -> r := { !r with stale = !r.stale + v }
+                  | _ -> r := { !r with fresh = !r.fresh + v })
+              | "serve_latency_ns", Metrics.Histogram h ->
+                  let r = row gen in
+                  r := { !r with latency = Some h }
+              | _ -> ())))
+    samples;
+  Hashtbl.fold (fun _ r acc -> !r :: acc) tbl []
+  |> List.sort (fun a b -> compare a.generation b.generation)
+
 let hist_percentile (h : Metrics.hist_snapshot) p =
   if h.count = 0 then nan
   else if Array.length h.samples > 0 then
@@ -105,6 +144,40 @@ let pp_num ppf v =
   if Float.is_nan v then Format.fprintf ppf "-"
   else if Float.is_integer v then Format.fprintf ppf "%.0f" v
   else Format.fprintf ppf "%.2f" v
+
+let pp_serve_table ppf samples =
+  match serve_rows samples with
+  | [] -> Format.fprintf ppf "(no serve metrics recorded)@."
+  | rows ->
+      let scalar name =
+        List.fold_left
+          (fun acc (s : Metrics.sample) ->
+            match s.value with
+            | (Metrics.Counter v | Metrics.Gauge v) when s.name = name ->
+                acc + v
+            | _ -> acc)
+          0 samples
+      in
+      Format.fprintf ppf "%-10s %10s %10s %10s %10s %10s@." "generation"
+        "answers" "stale" "p50_ns" "p90_ns" "p99_ns";
+      let num v =
+        if Float.is_nan v then "-"
+        else if Float.is_integer v then Printf.sprintf "%.0f" v
+        else Printf.sprintf "%.2f" v
+      in
+      List.iter
+        (fun r ->
+          let pct p =
+            match r.latency with
+            | Some h -> hist_percentile h p
+            | None -> nan
+          in
+          Format.fprintf ppf "%-10d %10d %10d %10s %10s %10s@." r.generation
+            (r.fresh + r.stale) r.stale
+            (num (pct 0.5)) (num (pct 0.9)) (num (pct 0.99)))
+        rows;
+      Format.fprintf ppf "failed=%d swaps=%d@." (scalar "serve_failed")
+        (scalar "serve_swaps")
 
 let pp_summary ppf samples =
   List.iter

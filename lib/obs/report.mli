@@ -26,6 +26,28 @@ val pp_phase_table : Format.formatter -> Metrics.sample list -> unit
 (** Fixed-width per-phase table plus totals row; prints a one-line
     notice when the snapshot holds no phase metrics. *)
 
+(** {1 Serve tables}
+
+    The serving subsystem records [serve_answers] counters (labels
+    ["generation"] and ["freshness" = "fresh"|"stale"]) and a
+    [serve_latency_ns] histogram per ["generation"], plus flat
+    [serve_failed] / [serve_swaps] counters. *)
+
+type serve_row = {
+  generation : int;
+  fresh : int;
+  stale : int;
+  latency : Metrics.hist_snapshot option;
+}
+
+val serve_rows : Metrics.sample list -> serve_row list
+(** Per-generation serve rows, ascending generation. *)
+
+val pp_serve_table : Format.formatter -> Metrics.sample list -> unit
+(** Per-generation answers/staleness plus latency p50/p90/p99 (ns) and
+    the failed/swaps totals; one-line notice when the snapshot holds no
+    serve metrics. *)
+
 val pp_summary : Format.formatter -> Metrics.sample list -> unit
 (** Every sample, one line each, in snapshot order.  Histograms show
     count/sum/min/max and exact p50/p90/p99 (from raw samples when

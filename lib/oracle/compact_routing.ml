@@ -98,6 +98,27 @@ let route t ~src ~dst =
     walk src [] 0
   end
 
+let route_hops t ~src ~dst =
+  if src = dst then 0
+  else begin
+    let n = Graph.n t.g in
+    let l = t.home.(dst) in
+    let rec walk x hops =
+      if hops > 4 * n then -1
+      else if x = dst then hops
+      else
+        match Hashtbl.find_opt t.direct_next.(x) dst with
+        | Some next -> walk next (hops + 1)
+        | None -> (
+            if l < 0 then -1
+            else
+              match Hashtbl.find_opt t.landmark_next.(x) l with
+              | Some next -> walk next (hops + 1)
+              | None -> -1)
+    in
+    walk src 0
+  end
+
 let table_size t v = Hashtbl.length t.landmark_next.(v) + Hashtbl.length t.direct_next.(v)
 
 let total_state t =

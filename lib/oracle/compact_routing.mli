@@ -28,6 +28,12 @@ val route : t -> src:int -> dst:int -> int list option
     [None] if the pair is disconnected (or routing failed, which the
     tests rule out for connected pairs). *)
 
+val route_hops : t -> src:int -> dst:int -> int
+(** Hop count of the walk {!route} would take, without materializing
+    the node list: [-1] if the pair is disconnected (or routing
+    failed), [0] for [src = dst].  The serving hot path answers route
+    queries with this form. *)
+
 val table_size : t -> int -> int
 (** Routing entries stored at one node (landmark + ball + write set). *)
 

@@ -91,6 +91,23 @@ let query t u v =
     loop 0 u v
   end
 
+let query_est t u v =
+  if u = v then 0
+  else begin
+    let rec loop i u v =
+      if i >= t.k then -1
+      else begin
+        let w = t.pivots.(i).(u) in
+        if w < 0 then -1
+        else
+          match Hashtbl.find_opt t.bunches.(v) w with
+          | Some dwv -> t.pivot_dist.(i).(u) + dwv
+          | None -> loop (i + 1) v u
+      end
+    in
+    loop 0 u v
+  end
+
 let k t = t.k
 
 let size t =

@@ -25,6 +25,11 @@ val query : t -> int -> int -> int option
     [delta(u,v) <= d' <= (2k-1) delta(u,v)], or [None] when [u] and
     [v] are disconnected. *)
 
+val query_est : t -> int -> int -> int
+(** [query t u v] without the option wrapper: [-1] when disconnected.
+    The serving hot path — answering millions of queries against a
+    snapshot — uses this form to avoid one allocation per query. *)
+
 val k : t -> int
 val size : t -> int
 (** Total stored entries (bunches + pivot tables) — the oracle's

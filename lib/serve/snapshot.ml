@@ -1,0 +1,118 @@
+module Graph = Graphlib.Graph
+module Edge_set = Graphlib.Edge_set
+
+type t = {
+  generation : int;
+  k : int;
+  seed : int;
+  graph : Graph.t;  (** the spanner, re-indexed as its own CSR graph *)
+  oracle : Oracle.Distance_oracle.t;
+  routing : Oracle.Compact_routing.t option;
+}
+
+let of_graph ?(generation = 0) ?(k = 2) ?(seed = 1) ?(routing = false) g =
+  if k < 1 then invalid_arg "Snapshot.of_graph: k must be >= 1";
+  {
+    generation;
+    k;
+    seed;
+    graph = g;
+    oracle = Oracle.Distance_oracle.build ~k ~seed g;
+    routing = (if routing then Some (Oracle.Compact_routing.build ~seed g) else None);
+  }
+
+let build ?generation ?k ?seed ?routing ?(exclude = []) g spanner =
+  let dead = Hashtbl.create (List.length exclude + 1) in
+  List.iter (fun e -> Hashtbl.replace dead e ()) exclude;
+  (* Collect surviving spanner edges in ascending edge-id order so the
+     frozen graph's vertex adjacency (and thus every query structure)
+     is deterministic in the input. *)
+  let ids = ref [] in
+  Edge_set.iter spanner (fun e -> if not (Hashtbl.mem dead e) then ids := e :: !ids);
+  let ids = List.sort compare !ids in
+  let b = Graph.Builder.create ~n:(Graph.n g) in
+  List.iter
+    (fun e ->
+      let u, v = Graph.edge_endpoints g e in
+      Graph.Builder.add_edge b u v)
+    ids;
+  of_graph ?generation ?k ?seed ?routing (Graph.Builder.build b)
+
+let distance t u v = Oracle.Distance_oracle.query_est t.oracle u v
+
+let route_hops t u v =
+  match t.routing with
+  | Some r -> Oracle.Compact_routing.route_hops r ~src:u ~dst:v
+  | None -> -1
+
+let has_routing t = t.routing <> None
+let generation t = t.generation
+let n t = Graph.n t.graph
+let edges t = Graph.m t.graph
+let oracle_k t = t.k
+let oracle_entries t = Oracle.Distance_oracle.size t.oracle
+let graph t = t.graph
+
+let pp ppf t =
+  Format.fprintf ppf "gen=%d edges=%d oracle k=%d entries=%d routing=%s"
+    t.generation (edges t) t.k (oracle_entries t)
+    (if has_routing t then "on" else "off")
+
+(* Persistence: one header comment with the build parameters, then the
+   standard edge-list body.  Io skips '#' lines, so the body also reads
+   as a plain graph file. *)
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "#snapshot gen=%d k=%d seed=%d routing=%d\n"
+        t.generation t.k t.seed
+        (if has_routing t then 1 else 0);
+      Graphlib.Io.to_channel t.graph oc)
+
+let load ?generation path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let header =
+        match input_line ic with
+        | line -> line
+        | exception End_of_file ->
+            failwith (Printf.sprintf "%s: empty snapshot file" path)
+      in
+      let field name =
+        let marker = name ^ "=" in
+        let ml = String.length marker in
+        let rec scan i =
+          if i + ml > String.length header then
+            failwith
+              (Printf.sprintf "%s: snapshot header missing %s" path name)
+          else if String.sub header i ml = marker then begin
+            let stop = ref (i + ml) in
+            while
+              !stop < String.length header
+              && header.[!stop] <> ' '
+            do
+              incr stop
+            done;
+            match int_of_string_opt (String.sub header (i + ml) (!stop - i - ml)) with
+            | Some v -> v
+            | None ->
+                failwith
+                  (Printf.sprintf "%s: bad snapshot header field %s" path name)
+          end
+          else scan (i + 1)
+        in
+        if String.length header < 9 || String.sub header 0 9 <> "#snapshot" then
+          failwith (Printf.sprintf "%s: not a snapshot file" path)
+        else scan 9
+      in
+      let gen = field "gen" and k = field "k" and seed = field "seed" in
+      let routing = field "routing" <> 0 in
+      let g = Graphlib.Io.of_channel ic in
+      of_graph
+        ~generation:(Option.value ~default:gen generation)
+        ~k ~seed ~routing g)

@@ -1,0 +1,92 @@
+type query = { src : int; dst : int; route : bool }
+type spec = { queries : int; zipf : float option; route_frac : float }
+
+let default_spec = { queries = 1000; zipf = None; route_frac = 0. }
+
+let generate ~seed ~n spec =
+  if n <= 0 then invalid_arg "Workload.generate: n must be positive";
+  if spec.queries < 0 then invalid_arg "Workload.generate: negative queries";
+  if spec.route_frac < 0. || spec.route_frac > 1. then
+    invalid_arg "Workload.generate: route_frac outside [0,1]";
+  let rng = Util.Prng.create ~seed in
+  let draw_src =
+    match spec.zipf with
+    | None -> fun () -> Util.Prng.int rng n
+    | Some s ->
+        let sampler = Util.Dist.zipf ~n ~s in
+        (* Spread the popularity ranks over the vertex set: rank r is
+           vertex [rank_of.(r)], fixed by the workload seed. *)
+        let rank_of = Array.init n (fun i -> i) in
+        Util.Prng.shuffle rng rank_of;
+        fun () -> rank_of.(Util.Dist.sample sampler rng)
+  in
+  Array.init spec.queries (fun _ ->
+      let src = draw_src () in
+      let dst = Util.Prng.int rng n in
+      let route = Util.Prng.bernoulli rng spec.route_frac in
+      { src; dst; route })
+
+let save queries path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "#workload queries=%d\n" (Array.length queries);
+      Array.iter
+        (fun q ->
+          Printf.fprintf oc "%c %d %d\n" (if q.route then 'r' else 'd') q.src
+            q.dst)
+        queries)
+
+let load ~n path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let acc = ref [] and count = ref 0 and lineno = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr lineno;
+           let line = String.trim line in
+           if line <> "" && line.[0] <> '#' then begin
+             match String.split_on_char ' ' line with
+             | [ kind; u; v ] -> (
+                 let route =
+                   match kind with
+                   | "d" -> false
+                   | "r" -> true
+                   | _ ->
+                       failwith
+                         (Printf.sprintf "%s:%d: bad query kind %S" path
+                            !lineno kind)
+                 in
+                 match (int_of_string_opt u, int_of_string_opt v) with
+                 | Some src, Some dst ->
+                     if src < 0 || src >= n || dst < 0 || dst >= n then
+                       failwith
+                         (Printf.sprintf
+                            "%s:%d: vertex out of range (n=%d)" path !lineno n);
+                     acc := { src; dst; route } :: !acc;
+                     incr count
+                 | _ ->
+                     failwith
+                       (Printf.sprintf "%s:%d: bad query line %S" path !lineno
+                          line))
+             | _ ->
+                 failwith
+                   (Printf.sprintf "%s:%d: bad query line %S" path !lineno line)
+           end
+         done
+       with End_of_file -> ());
+      let arr = Array.make !count { src = 0; dst = 0; route = false } in
+      let i = ref (!count - 1) in
+      List.iter
+        (fun q ->
+          arr.(!i) <- q;
+          decr i)
+        !acc;
+      arr)
+
+let route_count queries =
+  Array.fold_left (fun acc q -> if q.route then acc + 1 else acc) 0 queries

@@ -1,0 +1,46 @@
+type sampler = { cdf : float array }
+(* cdf.(i) = P(outcome <= i); cdf.(n-1) = 1. by construction. *)
+
+let support t = Array.length t.cdf
+
+let categorical ~weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Dist.categorical: empty weights";
+  let total = ref 0. in
+  Array.iter
+    (fun w ->
+      if w < 0. || Float.is_nan w then
+        invalid_arg "Dist.categorical: negative weight";
+      total := !total +. w)
+    weights;
+  if !total <= 0. then invalid_arg "Dist.categorical: zero total weight";
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. (weights.(i) /. !total);
+    cdf.(i) <- !acc
+  done;
+  (* Pin the last entry so float rounding can never leave a draw
+     above the whole table. *)
+  cdf.(n - 1) <- 1.;
+  { cdf }
+
+let zipf ~n ~s =
+  if n <= 0 then invalid_arg "Dist.zipf: n must be positive";
+  if s < 0. || Float.is_nan s then invalid_arg "Dist.zipf: s must be >= 0";
+  categorical ~weights:(Array.init n (fun i -> float_of_int (i + 1) ** -.s))
+
+let sample t rng =
+  let u = Prng.float rng 1. in
+  (* Smallest i with cdf.(i) > u. *)
+  let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) > u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let probability t i =
+  if i < 0 || i >= Array.length t.cdf then
+    invalid_arg "Dist.probability: outcome out of range";
+  if i = 0 then t.cdf.(0) else t.cdf.(i) -. t.cdf.(i - 1)

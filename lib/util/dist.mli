@@ -1,0 +1,33 @@
+(** Named discrete distributions over the seeded {!Prng} — the first
+    brick of the distribution-driven workload layer.
+
+    A {!sampler} is a frozen distribution: all normalization work
+    (cumulative weights) happens once at construction, and each draw
+    costs one PRNG call plus a binary search.  Samplers hold no PRNG
+    state of their own — the caller threads an explicit {!Prng.t}, so
+    two workloads built from the same sampler and seed are identical
+    draw for draw. *)
+
+type sampler
+(** A frozen discrete distribution over [0 .. n-1]. *)
+
+val support : sampler -> int
+(** Number of outcomes [n]. *)
+
+val categorical : weights:float array -> sampler
+(** Distribution proportional to [weights] (not necessarily
+    normalized).  @raise Invalid_argument if [weights] is empty, has a
+    negative entry, or sums to zero. *)
+
+val zipf : n:int -> s:float -> sampler
+(** The Zipf distribution on ranks [0 .. n-1]:
+    [P(rank = i) ∝ (i + 1)^(-s)].  [s = 0] is uniform; larger [s]
+    concentrates mass on the low ranks (heavy-tailed popularity — the
+    classic model for query/content popularity in serving workloads).
+    @raise Invalid_argument if [n <= 0] or [s < 0]. *)
+
+val sample : sampler -> Prng.t -> int
+(** One draw.  O(log n). *)
+
+val probability : sampler -> int -> float
+(** The normalized probability of one outcome (for tests and reports). *)

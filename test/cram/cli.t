@@ -25,7 +25,7 @@ A cycle has girth 12 > 2k, so greedy k=2 keeps all 12 edges:
 The experiment registry rejects unknown ids:
 
   $ ../../bin/spanner_cli.exe experiment E99 2>&1 | head -1
-  unknown experiment E99 (have: E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13, E14, E15, E16, E17, E18, E19, E20, E21, E22, E23, E24)
+  unknown experiment E99 (have: E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13, E14, E15, E16, E17, E18, E19, E20, E21, E22, E23, E24, E25)
 
 E9 is pure computation and deterministic:
 

@@ -1,0 +1,70 @@
+The query-serving subsystem end-to-end: freeze a spanner snapshot,
+answer a seeded workload, survive a mid-run churn swap, and audit the
+answers against BFS ground truth.  Latency/throughput lives on a single
+`latency:`-prefixed line, which we filter; everything else is pinned.
+
+  $ ../../bin/spanner_cli.exe serve --kind gnp -n 200 -p 0.04 --seed 2 --queries 3000 --zipf 1.1 --route-frac 0.3 --edge-drop 0-60@10,0-141@12 | grep -v '^latency:'
+  graph: n=200, m=767, avg deg 7.67, max deg 16
+  spanner: 278 edges
+  workload: 3000 queries (914 routes), seed 43
+  snapshot: gen=0 edges=278 oracle k=2 entries=4559 routing=on
+  churn landed: epoch 1, serving stale from gen 0
+  swap: published gen=1 edges=280 oracle k=2 entries=4665 routing=on (1 swap)
+  served 3000 queries, 0 failed, 1000 stale
+  generations: gen0=2000 (stale 1000) gen1=1000
+  audit: 64 sampled answers vs BFS ground truth, 0 violations (max stretch 2.33, bound 3.0): PASS
+  bounds: skeleton distortion <= 3913.65 (Theorem 2), oracle stretch <= 3
+
+A snapshot persists and serves again without the input graph:
+
+  $ ../../bin/spanner_cli.exe serve --kind gnp -n 120 -p 0.05 --seed 3 --queries 500 --routing --snapshot-out snap.txt | grep -v '^latency:'
+  graph: n=120, m=357, avg deg 5.95, max deg 12
+  spanner: 180 edges
+  workload: 500 queries (0 routes), seed 44
+  snapshot: gen=0 edges=180 oracle k=2 entries=2347 routing=on
+  snapshot written to snap.txt
+  served 500 queries, 0 failed, 0 stale
+  generations: gen0=500
+  audit: 64 sampled answers vs BFS ground truth, 0 violations (max stretch 2.50, bound 3.0): PASS
+  bounds: skeleton distortion <= 3536.33 (Theorem 2), oracle stretch <= 3
+
+  $ head -1 snap.txt
+  #snapshot gen=0 k=2 seed=3 routing=1
+
+  $ ../../bin/spanner_cli.exe serve --snapshot-in snap.txt --queries 200 | grep -v '^latency:'
+  snapshot loaded from snap.txt
+  workload: 200 queries (0 routes), seed 42
+  snapshot: gen=0 edges=180 oracle k=2 entries=2347 routing=on
+  served 200 queries, 0 failed, 0 stale
+  generations: gen0=200
+  audit: 64 sampled answers vs BFS ground truth, 0 violations (max stretch 3.00, bound 3.0): PASS
+
+A loaded snapshot cannot be rebuilt, so churn flags are rejected:
+
+  $ ../../bin/spanner_cli.exe serve --snapshot-in snap.txt --edge-drop 0-5@10
+  spanner_cli: serve --snapshot-in cannot take churn flags (a rebuild needs the full input graph)
+  [1]
+
+One-off queries against the saved snapshot, distances and routes:
+
+  $ ../../bin/spanner_cli.exe query --snapshot-in snap.txt --queries 5
+  snapshot: gen=0 edges=180 oracle k=2 entries=2347 routing=on
+    d(60,47) = 6 [gen 0]
+    d(57,48) = 6 [gen 0]
+    d(63,86) = 1 [gen 0]
+    d(13,58) = 7 [gen 0]
+    d(116,26) = 6 [gen 0]
+
+  $ ../../bin/spanner_cli.exe query --snapshot-in snap.txt --route 5,17 0,119
+  snapshot: gen=0 edges=180 oracle k=2 entries=2347 routing=on
+    hops(5,17) = 5 [gen 0]
+    hops(0,119) = 5 [gen 0]
+
+Workloads round-trip through files, preserving every query:
+
+  $ ../../bin/spanner_cli.exe serve --kind gnp -n 120 -p 0.05 --seed 3 --queries 200 --workload-out w.txt | grep '^workload'
+  workload: 200 queries (0 routes), seed 44
+  workload written to w.txt
+
+  $ ../../bin/spanner_cli.exe serve --kind gnp -n 120 -p 0.05 --seed 3 --workload w.txt | grep '^workload'
+  workload: 200 queries (0 routes) from w.txt

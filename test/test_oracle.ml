@@ -92,6 +92,34 @@ let test_oracle_levels_shape () =
   checkb "A_1 near n^{2/3}" true
     (float_of_int (count 1) > 0.6 *. q && float_of_int (count 1) < 1.5 *. q)
 
+let test_query_est_agrees () =
+  (* The serving fast path: query_est is query with -1 for None. *)
+  let g = G.of_edges ~n:8 [ (0, 1); (1, 2); (2, 3); (3, 4); (6, 7) ] in
+  let o = Oracle.build ~k:2 ~seed:3 g in
+  for u = 0 to 7 do
+    for v = 0 to 7 do
+      let expected = match Oracle.query o u v with Some d -> d | None -> -1 in
+      checki (Printf.sprintf "est %d-%d" u v) expected (Oracle.query_est o u v)
+    done
+  done
+
+let prop_query_est_agrees =
+  QCheck.Test.make ~name:"oracle: query_est = query (-1 for None)" ~count:10
+    QCheck.(pair (int_range 15 50) (int_range 1 3))
+    (fun (n, k) ->
+      let g = Gen.connected_gnp (Util.Prng.create ~seed:(n + (7 * k))) ~n ~p:0.12 in
+      let o = Oracle.build ~k ~seed:(n - k) g in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          let expected =
+            match Oracle.query o u v with Some d -> d | None -> -1
+          in
+          if Oracle.query_est o u v <> expected then ok := false
+        done
+      done;
+      !ok)
+
 let prop_oracle_stretch =
   QCheck.Test.make ~name:"oracle: stretch <= 2k-1 on random graphs" ~count:10
     QCheck.(pair (int_range 15 50) (int_range 2 3))
@@ -121,6 +149,8 @@ let suite =
         Alcotest.test_case "king torus" `Quick test_oracle_symmetry_bound;
         Alcotest.test_case "space tradeoff" `Quick test_oracle_space_tradeoff;
         Alcotest.test_case "level sizes" `Quick test_oracle_levels_shape;
+        Alcotest.test_case "query_est agrees" `Quick test_query_est_agrees;
+        QCheck_alcotest.to_alcotest prop_query_est_agrees;
         QCheck_alcotest.to_alcotest prop_oracle_stretch;
       ] );
   ]

@@ -101,6 +101,44 @@ let test_routing_measured_stretch_low () =
     true
     (Util.Stats.mean stats < 2.)
 
+let test_route_hops_matches_route () =
+  (* The serving fast path: route_hops must agree exactly with the
+     materialized route, including the failure cases. *)
+  let g = G.of_edges ~n:7 [ (0, 1); (1, 2); (2, 3); (5, 6) ] in
+  let r = Routing.build ~seed:4 g in
+  let check_pair u v =
+    match Routing.route r ~src:u ~dst:v with
+    | Some path ->
+        checki
+          (Printf.sprintf "hops %d->%d" u v)
+          (List.length path - 1)
+          (Routing.route_hops r ~src:u ~dst:v)
+    | None -> checki "failure is -1" (-1) (Routing.route_hops r ~src:u ~dst:v)
+  in
+  for u = 0 to 6 do
+    for v = 0 to 6 do
+      check_pair u v
+    done
+  done
+
+let prop_route_hops_agree =
+  QCheck.Test.make ~name:"routing: route_hops = |route| - 1 on random graphs"
+    ~count:10
+    QCheck.(int_range 15 60)
+    (fun n ->
+      let g = Gen.connected_gnp (Util.Prng.create ~seed:n) ~n ~p:0.1 in
+      let r = Routing.build ~seed:(n + 1) g in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          let hops = Routing.route_hops r ~src:u ~dst:v in
+          (match Routing.route r ~src:u ~dst:v with
+          | Some path -> if hops <> List.length path - 1 then ok := false
+          | None -> if hops <> -1 then ok := false)
+        done
+      done;
+      !ok)
+
 let test_home_landmark_is_nearest () =
   let g = Gen.connected_gnp (rng ()) ~n:200 ~p:0.04 in
   let r = Routing.build ~seed:9 g in
@@ -121,5 +159,8 @@ let suite =
         Alcotest.test_case "state compact" `Quick test_routing_state_compact;
         Alcotest.test_case "measured stretch low" `Quick test_routing_measured_stretch_low;
         Alcotest.test_case "home landmark nearest" `Quick test_home_landmark_is_nearest;
+        Alcotest.test_case "route_hops matches route" `Quick
+          test_route_hops_matches_route;
+        QCheck_alcotest.to_alcotest prop_route_hops_agree;
       ] );
   ]

@@ -386,6 +386,91 @@ let prop_sample_without_replacement_distinct =
       && List.for_all (fun x -> x >= 0 && x < n) l
       && List.length (List.sort_uniq compare l) = List.length l)
 
+(* ------------------------------------------------------------------ *)
+(* Dist *)
+
+let test_dist_categorical_probabilities () =
+  let s = Util.Dist.categorical ~weights:[| 1.; 3.; 0.; 4. |] in
+  checki "support" 4 (Util.Dist.support s);
+  checkf "p0" 0.125 (Util.Dist.probability s 0);
+  checkf "p1" 0.375 (Util.Dist.probability s 1);
+  checkf "p2" 0. (Util.Dist.probability s 2);
+  checkf "p3" 0.5 (Util.Dist.probability s 3)
+
+let test_dist_categorical_invalid () =
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  checkb "empty" true (raises (fun () -> Util.Dist.categorical ~weights:[||]));
+  checkb "negative" true
+    (raises (fun () -> Util.Dist.categorical ~weights:[| 1.; -2. |]));
+  checkb "zero sum" true
+    (raises (fun () -> Util.Dist.categorical ~weights:[| 0.; 0. |]));
+  checkb "zipf n=0" true (raises (fun () -> Util.Dist.zipf ~n:0 ~s:1.));
+  checkb "zipf s<0" true (raises (fun () -> Util.Dist.zipf ~n:5 ~s:(-1.)))
+
+let test_dist_zero_weight_never_drawn () =
+  let s = Util.Dist.categorical ~weights:[| 1.; 0.; 1. |] in
+  let rng = Util.Prng.create ~seed:11 in
+  for _ = 1 to 2000 do
+    checkb "zero-weight outcome never drawn" true (Util.Dist.sample s rng <> 1)
+  done
+
+let test_dist_deterministic () =
+  let s = Util.Dist.zipf ~n:64 ~s:1.2 in
+  let draw seed =
+    let rng = Util.Prng.create ~seed in
+    Array.init 500 (fun _ -> Util.Dist.sample s rng)
+  in
+  check (Alcotest.array Alcotest.int) "same seed, same draws" (draw 9) (draw 9);
+  checkb "different seed differs" true (draw 9 <> draw 10)
+
+let test_dist_zipf_uniform_at_s0 () =
+  let n = 10 in
+  let s = Util.Dist.zipf ~n ~s:0. in
+  for i = 0 to n - 1 do
+    checkf "uniform" 0.1 (Util.Dist.probability s i)
+  done
+
+let test_dist_zipf_tail_shape () =
+  (* P(i) ∝ (i+1)^-s: probabilities decay by exactly (i+1/i+2)^s, and
+     empirical head frequency matches the analytic mass. *)
+  let n = 50 and sexp = 1.5 in
+  let s = Util.Dist.zipf ~n ~s:sexp in
+  for i = 0 to n - 2 do
+    let ratio = Util.Dist.probability s i /. Util.Dist.probability s (i + 1) in
+    let expected =
+      (float_of_int (i + 2) /. float_of_int (i + 1)) ** sexp
+    in
+    checkb "monotone decay at the analytic rate" true
+      (Float.abs (ratio -. expected) < 1e-9)
+  done;
+  let rng = Util.Prng.create ~seed:3 in
+  let trials = 20_000 in
+  let head = ref 0 in
+  for _ = 1 to trials do
+    let x = Util.Dist.sample s rng in
+    checkb "in support" true (x >= 0 && x < n);
+    if x = 0 then incr head
+  done;
+  let rate = float_of_int !head /. float_of_int trials in
+  let p0 = Util.Dist.probability s 0 in
+  checkb
+    (Printf.sprintf "head rate %.3f near analytic %.3f" rate p0)
+    true
+    (Float.abs (rate -. p0) < 0.02)
+
+let prop_dist_sample_in_support =
+  QCheck.Test.make ~name:"dist: zipf samples stay in [0,n)" ~count:50
+    QCheck.(pair (int_range 1 40) (int_range 0 30))
+    (fun (n, s10) ->
+      let s = Util.Dist.zipf ~n ~s:(float_of_int s10 /. 10.) in
+      let rng = Util.Prng.create ~seed:(n + s10) in
+      let ok = ref true in
+      for _ = 1 to 200 do
+        let x = Util.Dist.sample s rng in
+        if x < 0 || x >= n then ok := false
+      done;
+      !ok)
+
 let suite =
   [
     ( "util.prng",
@@ -444,5 +529,17 @@ let suite =
       [
         Alcotest.test_case "basic" `Quick test_bitset_basic;
         Alcotest.test_case "iter order" `Quick test_bitset_iter_order;
+      ] );
+    ( "util.dist",
+      [
+        Alcotest.test_case "categorical probabilities" `Quick
+          test_dist_categorical_probabilities;
+        Alcotest.test_case "invalid arguments" `Quick test_dist_categorical_invalid;
+        Alcotest.test_case "zero weight never drawn" `Quick
+          test_dist_zero_weight_never_drawn;
+        Alcotest.test_case "deterministic in the seed" `Quick test_dist_deterministic;
+        Alcotest.test_case "zipf s=0 is uniform" `Quick test_dist_zipf_uniform_at_s0;
+        Alcotest.test_case "zipf tail shape" `Quick test_dist_zipf_tail_shape;
+        QCheck_alcotest.to_alcotest prop_dist_sample_in_support;
       ] );
   ]
