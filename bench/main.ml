@@ -83,6 +83,16 @@ let bench_tests () =
     Serve.Workload.generate ~seed:(!seed + 41) ~n:(Graph.n g_small)
       { Serve.Workload.queries = 10_000; zipf = Some 1.2; route_frac = 0.25 }
   in
+  (* The sweep bench times one sample end to end (compile is outside:
+     it is cheap and deterministic, the run is the cost). *)
+  let sweep_plan =
+    let spec =
+      match Scenario.Spec.builtin "mixed" with
+      | Some s -> s
+      | None -> assert false
+    in
+    Scenario.Compile.compile spec ~sample:!seed
+  in
   [
     t "e1.skeleton_dist" (fun () ->
         ignore (Spanner.Skeleton_dist.build ~seed:!seed g_small));
@@ -155,6 +165,8 @@ let bench_tests () =
     t "baseline.greedy" (fun () -> ignore (Baseline.Greedy.build ~k:3 g_small));
     t "e25.serve_queries" (fun () ->
         ignore (Serve.Server.run (Serve.Server.create serve_snap) serve_w));
+    t "e26.scenario_sweep" (fun () ->
+        ignore (Scenario.Sweep.run_plan sweep_plan));
   ]
 
 (* ------------------------------------------------------------------ *)

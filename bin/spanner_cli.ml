@@ -549,11 +549,30 @@ let simulate_cmd =
   let root =
     Arg.(value & opt int 0 & info [ "root" ] ~docv:"V" ~doc:"Protocol root node.")
   in
+  let arq_backoff =
+    Arg.(
+      value
+      & opt float Distnet.Reliable.default_config.Distnet.Reliable.backoff
+      & info [ "arq-backoff" ] ~docv:"F"
+          ~doc:
+            "ARQ retransmit-timer growth factor per timeout (1 = fixed \
+             interval; default 2 = classic doubling, byte-identical to \
+             historical behavior).")
+  in
   let run kind n p seed input drop dup delay max_delay crash crash_frac
       crash_max_round edge_drop edge_up partition partition_round heal_round
       join churn_trace phase_limit certify mutate trace_file replay_file
       metrics_file metrics_summary spans_file audit_bounds strict protocol
-      root =
+      root arq_backoff =
+    if arq_backoff <> Distnet.Reliable.default_config.Distnet.Reliable.backoff
+    then begin
+      try
+        Distnet.Reliable.set_config
+          { Distnet.Reliable.default_config with backoff = arq_backoff }
+      with Invalid_argument msg ->
+        Format.eprintf "spanner_cli: %s@." msg;
+        exit 1
+    end;
     let g = load_graph ~kind ~n ~p ~seed ~input in
     Format.printf "graph: %a@." Graph.pp_summary g;
     let faults, recorded =
@@ -628,7 +647,15 @@ let simulate_cmd =
                 churn
           in
           let spec =
-            { Distnet.Fault.drop; dup; delay; max_delay; crashes; churn }
+            {
+              Distnet.Fault.drop;
+              dup;
+              delay;
+              max_delay;
+              crashes;
+              churn;
+              drop_profile = [];
+            }
           in
           let plan =
             if spec = { Distnet.Fault.default_spec with max_delay } then
@@ -884,7 +911,7 @@ let simulate_cmd =
       $ edge_up $ partition $ partition_round $ heal_round $ join
       $ churn_trace $ phase_limit $ certify $ mutate $ trace_file
       $ replay_file $ metrics_file $ metrics_summary $ spans_file
-      $ audit_bounds $ strict $ protocol $ root)
+      $ audit_bounds $ strict $ protocol $ root $ arq_backoff)
 
 (* ------------------------------------------------------------------ *)
 (* report *)
@@ -1704,6 +1731,206 @@ let query_cmd =
     Term.(const run $ snapshot_in $ pairs $ route $ count $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
+(* sweep: resilience sweeps over scenario families, with shrinking *)
+
+let sweep_cmd =
+  let specs =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "spec" ] ~docv:"NAME|FILE"
+          ~doc:
+            "Scenario families to sweep: a built-in name (crash-storm, \
+             bursty-loss, churn-heavy, mixed, tight-budget) or a scenario \
+             spec file.  Repeatable; defaults to the four fault staples.")
+  in
+  let samples =
+    Arg.(
+      value
+      & opt int 25
+      & info [ "samples" ] ~docv:"N"
+          ~doc:"Scenarios sampled per family (sample k reseeds with seed+k).")
+  in
+  let out_dir =
+    Arg.(
+      value
+      & opt string "sweep-out"
+      & info [ "out-dir" ] ~docv:"DIR"
+          ~doc:"Where shrunk reproducer plan files are written.")
+  in
+  let json_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the aggregate report as JSON lines, one per family.")
+  in
+  let metrics_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Record sweep metrics (per-scenario/outcome run counts, \
+             per-ingredient failure attribution, certifier outcomes) to FILE \
+             as JSON lines.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay one plan file (e.g. a shrunk reproducer) instead of \
+             sweeping; exits 3 when the plan still FAILs.")
+  in
+  let shrink_evals =
+    Arg.(
+      value
+      & opt int 80
+      & info [ "shrink-evals" ] ~docv:"N"
+          ~doc:"Candidate-run budget per shrink.")
+  in
+  let arq_backoff =
+    Arg.(
+      value
+      & opt float Distnet.Reliable.default_config.Distnet.Reliable.backoff
+      & info [ "arq-backoff" ] ~docv:"F"
+          ~doc:"ARQ retransmit-timer growth factor, as in simulate.")
+  in
+  let pp_outcome ppf (r : Scenario.Sweep.report) =
+    match r.Scenario.Sweep.outcome with
+    | Scenario.Sweep.Certified o ->
+        Format.fprintf ppf "certified %a" Spanner.Skeleton_dist.pp_outcome o
+    | Scenario.Sweep.Failed f ->
+        Format.fprintf ppf "FAIL (%s)" (Scenario.Sweep.failure_tag f)
+  in
+  let run specs samples out_dir json_file metrics_file replay shrink_evals
+      arq_backoff =
+    if arq_backoff <> Distnet.Reliable.default_config.Distnet.Reliable.backoff
+    then
+      Distnet.Reliable.set_config
+        { Distnet.Reliable.default_config with backoff = arq_backoff };
+    match replay with
+    | Some file -> (
+        match Scenario.Compile.load file with
+        | Error msg ->
+            Format.eprintf "spanner_cli: %s@." msg;
+            exit 1
+        | Ok plan ->
+            let r = Scenario.Sweep.run_plan plan in
+            Format.printf "plan %s sample %d: %a@." plan.Scenario.Compile.scenario
+              plan.Scenario.Compile.sample pp_outcome r;
+            Format.printf
+              "rounds %d, messages %d, words %d, spanner %d edges@."
+              r.Scenario.Sweep.rounds r.Scenario.Sweep.messages
+              r.Scenario.Sweep.words r.Scenario.Sweep.spanner_edges;
+            exit
+              (match r.Scenario.Sweep.outcome with
+              | Scenario.Sweep.Failed _ -> 3
+              | Scenario.Sweep.Certified _ -> 0))
+    | None ->
+        let resolve name =
+          match Scenario.Spec.builtin name with
+          | Some spec -> spec
+          | None -> (
+              match Scenario.Spec.load name with
+              | Ok spec -> spec
+              | Error msg ->
+                  Format.eprintf "spanner_cli: %s@." msg;
+                  exit 1)
+        in
+        let names =
+          match specs with
+          | [] -> [ "crash-storm"; "bursty-loss"; "churn-heavy"; "mixed" ]
+          | names -> names
+        in
+        let families = List.map resolve names in
+        let reg =
+          if metrics_file <> None then Obs.Metrics.create ()
+          else Obs.Metrics.disabled
+        in
+        let json_lines = ref [] in
+        let unshrunk = ref 0 in
+        List.iter
+          (fun spec ->
+            let agg = Scenario.Sweep.run ~metrics:reg spec ~samples in
+            Format.printf "%a@." Scenario.Sweep.pp agg;
+            (* Every FAIL gets shrunk to a minimal reproducer that
+               fails the same way, written as a replayable plan. *)
+            List.iter
+              (fun (r : Scenario.Sweep.report) ->
+                match r.Scenario.Sweep.outcome with
+                | Scenario.Sweep.Certified _ -> ()
+                | Scenario.Sweep.Failed f ->
+                    let tag = Scenario.Sweep.failure_tag f in
+                    let fails p =
+                      match
+                        (Scenario.Sweep.run_plan p).Scenario.Sweep.outcome
+                      with
+                      | Scenario.Sweep.Failed f' ->
+                          Scenario.Sweep.failure_tag f' = tag
+                      | Scenario.Sweep.Certified _ -> false
+                    in
+                    let plan = r.Scenario.Sweep.plan in
+                    let shrunk =
+                      Scenario.Shrink.shrink ~max_evals:shrink_evals ~fails
+                        plan
+                    in
+                    if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+                    let path =
+                      Filename.concat out_dir
+                        (Printf.sprintf "%s-s%d.plan"
+                           plan.Scenario.Compile.scenario
+                           plan.Scenario.Compile.sample)
+                    in
+                    Scenario.Compile.save shrunk.Scenario.Shrink.plan path;
+                    Format.printf
+                      "  reproducer: %s (%s, weight %d -> %d, %d evals, \
+                       verified %b)@."
+                      path tag
+                      (Scenario.Shrink.weight plan)
+                      (Scenario.Shrink.weight shrunk.Scenario.Shrink.plan)
+                      shrunk.Scenario.Shrink.evals
+                      shrunk.Scenario.Shrink.verified;
+                    if not shrunk.Scenario.Shrink.verified then incr unshrunk)
+              agg.Scenario.Sweep.failures;
+            json_lines := Scenario.Sweep.to_json agg :: !json_lines)
+          families;
+        (match json_file with
+        | None -> ()
+        | Some file ->
+            Out_channel.with_open_text file (fun oc ->
+                List.iter
+                  (fun l -> Out_channel.output_string oc (l ^ "\n"))
+                  (List.rev !json_lines));
+            Format.printf "report written to %s@." file);
+        (match metrics_file with
+        | None -> ()
+        | Some file ->
+            Obs.Metrics.save reg file;
+            Format.printf "metrics written to %s (%d samples)@." file
+              (List.length (Obs.Metrics.snapshot reg)));
+        if !unshrunk > 0 then begin
+          Format.eprintf
+            "spanner_cli: %d failing scenario(s) could not be shrunk to a \
+             verified reproducer@."
+            !unshrunk;
+          exit 1
+        end
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Sample probabilistic failure scenarios (crash storms, bursty loss, \
+          heavy-tailed churn), run each through build + certify + serve, \
+          aggregate a resilience report, and shrink any failure to a minimal \
+          replayable plan file.")
+    Term.(
+      const run $ specs $ samples $ out_dir $ json_file $ metrics_file
+      $ replay $ shrink_evals $ arq_backoff)
+
+(* ------------------------------------------------------------------ *)
 (* experiment *)
 
 let experiment_cmd =
@@ -1740,6 +1967,6 @@ let main =
     (Cmd.info "spanner_cli" ~version:"1.0.0"
        ~doc:"Ultrasparse spanners and linear-size skeletons (Pettie, PODC 2008).")
     [ gen_cmd; build_cmd; eval_cmd; trace_cmd; oracle_cmd; simulate_cmd;
-      serve_cmd; query_cmd; report_cmd; experiment_cmd ]
+      sweep_cmd; serve_cmd; query_cmd; report_cmd; experiment_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -472,6 +472,7 @@ let build_with ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled)
     let nd = nodes.(by) in
     Hashtbl.replace nd.nb_dead w ();
     Hashtbl.remove nd.ex_waiting w;
+    Hashtbl.remove nd.nb_cl w;
     if Hashtbl.mem nd.cv_waiting w then begin
       Hashtbl.remove nd.cv_waiting w;
       cv_maybe_forward nd
@@ -514,23 +515,32 @@ let build_with ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled)
     match nd.best with
     | None -> assert false
     | Some (edge, new_cl, new_fu) ->
-        adopt_cluster nd ~cl:new_cl ~fu:new_fu;
-        if nd.best_from < 0 then begin
-          (* I proposed the winning edge: hook onto the sampled cluster. *)
-          keep ~who:nd.id edge;
-          set_p2 nd nd.best_peer;
-          List.iter
-            (fun c -> emit ~src:nd.id ~dst:c (Off_path { new_cl; new_fu }))
-            nd.p1_children
-        end
+        (* The wave may arrive after the node it would adopt as parent
+           (the hook peer, or the reporting child) has been found dead:
+           hooking there would wedge the next call's wave behind a
+           parent that can never answer.  Fall back to the orphan abort
+           — the path to the new cluster root is gone. *)
+        let adoptee = if nd.best_from < 0 then nd.best_peer else nd.best_from in
+        if Hashtbl.mem nd.nb_dead adoptee then do_orphan nd
         else begin
-          set_p2 nd nd.best_from;
-          List.iter
-            (fun c ->
-              if c = nd.best_from then
-                emit ~src:nd.id ~dst:c (On_path { edge; new_cl; new_fu })
-              else emit ~src:nd.id ~dst:c (Off_path { new_cl; new_fu }))
-            nd.p1_children
+          adopt_cluster nd ~cl:new_cl ~fu:new_fu;
+          if nd.best_from < 0 then begin
+            (* I proposed the winning edge: hook onto the sampled cluster. *)
+            keep ~who:nd.id edge;
+            set_p2 nd nd.best_peer;
+            List.iter
+              (fun c -> emit ~src:nd.id ~dst:c (Off_path { new_cl; new_fu }))
+              nd.p1_children
+          end
+          else begin
+            set_p2 nd nd.best_from;
+            List.iter
+              (fun c ->
+                if c = nd.best_from then
+                  emit ~src:nd.id ~dst:c (On_path { edge; new_cl; new_fu })
+                else emit ~src:nd.id ~dst:c (Off_path { new_cl; new_fu }))
+              nd.p1_children
+          end
         end
   in
 
@@ -630,6 +640,9 @@ let build_with ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled)
         Recovery.Detector.note_death det src;
         Hashtbl.replace nd.nb_dead src ();
         Hashtbl.remove nd.ex_waiting src;
+        (* Forget its advertised cluster too: a pre-crash Exchange must
+           not leave a dead edge looking like a viable hook candidate. *)
+        Hashtbl.remove nd.nb_cl src;
         nd.p2_children <- List.filter (fun c -> c <> src) nd.p2_children;
         nd.p1_children <- List.filter (fun c -> c <> src) nd.p1_children;
         if nd.alive && not nd.orphaned then begin

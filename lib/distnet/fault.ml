@@ -11,10 +11,19 @@ type spec = {
   max_delay : int;
   crashes : (int * int) list;
   churn : churn_event list;
+  drop_profile : (int * float) list;
 }
 
 let default_spec =
-  { drop = 0.; dup = 0.; delay = 0.; max_delay = 1; crashes = []; churn = [] }
+  {
+    drop = 0.;
+    dup = 0.;
+    delay = 0.;
+    max_delay = 1;
+    crashes = [];
+    churn = [];
+    drop_profile = [];
+  }
 
 type fate = Lost | Pass of { dup : bool; delay : int }
 
@@ -73,6 +82,7 @@ type t =
   | Random of {
       rng : Util.Prng.t;
       spec : spec;
+      profile : (int * float) array;  (* sorted drop_profile, for search *)
       crashed_at : (int, int) Hashtbl.t;
       dyn : dynamics;
     }
@@ -95,66 +105,99 @@ let crash_table crashes =
     crashes;
   tbl
 
+(* Every churn rejection names the offending event — its index in the
+   listed plan, its constructor, and the field at fault — so a plan
+   sampled from a hundred-event scenario spec points straight at the
+   bad entry instead of making the user bisect the list. *)
 let validate_churn ?graph churn =
-  let check_vertex v =
-    match graph with
-    | Some g when v < 0 || v >= Graphlib.Graph.n g ->
-        invalid_arg
-          (Printf.sprintf
-             "Fault.make: churn references vertex %d outside this %d-vertex \
-              graph"
-             v (Graphlib.Graph.n g))
-    | _ ->
-        if v < 0 then
-          invalid_arg
-            (Printf.sprintf "Fault.make: churn references vertex %d" v)
-  in
-  let check_edge (u, v) =
-    check_vertex u;
-    check_vertex v;
-    match graph with
-    | Some g when Graphlib.Graph.find_edge g u v = None ->
-        invalid_arg
-          (Printf.sprintf "Fault.make: churn references edge %d-%d not in the \
-                           graph" u v)
-    | _ -> ()
-  in
-  let check_round r =
-    if r < 0 then
-      invalid_arg (Printf.sprintf "Fault.make: churn round %d < 0" r)
+  let kind_name = function
+    | Edge_down _ -> "edge_down"
+    | Edge_up _ -> "edge_up"
+    | Partition _ -> "partition"
+    | Join _ -> "join"
   in
   let seen_join = Hashtbl.create 8 in
-  List.iter
-    (function
+  List.iteri
+    (fun i ev ->
+      let reject fmt =
+        Printf.ksprintf
+          (fun detail ->
+            invalid_arg
+              (Printf.sprintf "Fault.make: churn event #%d (%s): %s" i
+                 (kind_name ev) detail))
+          fmt
+      in
+      let check_vertex field v =
+        match graph with
+        | Some g when v < 0 || v >= Graphlib.Graph.n g ->
+            reject "%s references vertex %d outside this %d-vertex graph"
+              field v (Graphlib.Graph.n g)
+        | _ -> if v < 0 then reject "%s references vertex %d" field v
+      in
+      let check_edge field (u, v) =
+        check_vertex field u;
+        check_vertex field v;
+        match graph with
+        | Some g when Graphlib.Graph.find_edge g u v = None ->
+            reject "%s references edge %d-%d not in the graph" field u v
+        | _ -> ()
+      in
+      let check_round field r =
+        if r < 0 then reject "%s %d < 0" field r
+      in
+      match ev with
       | Edge_down { round; u; v } | Edge_up { round; u; v } ->
-          check_round round;
-          check_edge (u, v)
+          check_round "round" round;
+          check_edge "edge" (u, v)
       | Partition { round; edges; heal } -> (
-          check_round round;
-          if edges = [] then
-            invalid_arg "Fault.make: partition with no links";
-          List.iter check_edge edges;
+          check_round "round" round;
+          if edges = [] then reject "edges list is empty";
+          List.iter (check_edge "edges") edges;
           match heal with
           | Some h when h <= round ->
-              invalid_arg
-                (Printf.sprintf
-                   "Fault.make: partition heal round %d <= partition round %d"
-                   h round)
+              reject "heal round %d <= partition round %d" h round
           | _ -> ())
       | Join { round; node } ->
-          check_vertex node;
+          check_vertex "node" node;
           if round < 1 then
-            invalid_arg
-              (Printf.sprintf
-                 "Fault.make: node %d join round %d < 1 (nodes present from \
-                  the start need no join event)"
-                 node round);
+            reject
+              "round %d < 1 (nodes present from the start need no join event)"
+              round;
           if Hashtbl.mem seen_join node then
-            invalid_arg
-              (Printf.sprintf "Fault.make: duplicate join entry for node %d"
-                 node);
+            reject "duplicate join entry for node %d" node;
           Hashtbl.replace seen_join node ())
     churn
+
+(* The profile is a piecewise-constant override of [spec.drop]: entry
+   [(r, p)] sets the per-message loss rate to [p] from round [r] until
+   the next entry.  Rejections name the offending segment index and
+   field, same discipline as churn. *)
+let validate_drop_profile profile =
+  List.iteri
+    (fun i (r, p) ->
+      let reject fmt =
+        Printf.ksprintf
+          (fun detail ->
+            invalid_arg
+              (Printf.sprintf "Fault.make: drop_profile segment #%d: %s" i
+                 detail))
+          fmt
+      in
+      if r < 0 then reject "round %d < 0" r;
+      if not (p >= 0. && p <= 1.) then reject "rate %g not in [0,1]" p)
+    profile;
+  let rec sorted = function
+    | (r1, _) :: ((r2, _) :: _ as tl) ->
+        if r2 <= r1 then
+          invalid_arg
+            (Printf.sprintf
+               "Fault.make: drop_profile segment rounds must be strictly \
+                increasing (round %d after round %d)"
+               r2 r1);
+        sorted tl
+    | _ -> ()
+  in
+  sorted profile
 
 let make ~seed ?graph spec =
   let check_rate name p =
@@ -185,10 +228,12 @@ let make ~seed ?graph spec =
       Hashtbl.replace seen_crash v ())
     spec.crashes;
   validate_churn ?graph spec.churn;
+  validate_drop_profile spec.drop_profile;
   Random
     {
       rng = Util.Prng.create ~seed;
       spec;
+      profile = Array.of_list spec.drop_profile;
       crashed_at = crash_table spec.crashes;
       dyn = dynamics_of_churn spec.churn;
     }
@@ -261,11 +306,24 @@ let fate t ~round ~src ~dst =
       match Hashtbl.find_opt script.fates (round, src, dst) with
       | Some f -> f
       | None -> pass)
-  | Random { rng; spec; _ } ->
+  | Random { rng; spec; profile; _ } ->
       (* Fixed draw order, one decision chain per message: the engine
          calls this exactly once per processed message in deterministic
          order, which keeps randomized runs reproducible from the seed. *)
-      if spec.drop > 0. && Util.Prng.bernoulli rng spec.drop then Lost
+      let drop_rate =
+        (* Last profile segment starting at or before [round]; the base
+           rate before the first segment (and with no profile at all). *)
+        if Array.length profile = 0 || fst profile.(0) > round then spec.drop
+        else begin
+          let lo = ref 0 and hi = ref (Array.length profile - 1) in
+          while !lo < !hi do
+            let mid = (!lo + !hi + 1) / 2 in
+            if fst profile.(mid) <= round then lo := mid else hi := mid - 1
+          done;
+          snd profile.(!lo)
+        end
+      in
+      if drop_rate > 0. && Util.Prng.bernoulli rng drop_rate then Lost
       else
         let dup = spec.dup > 0. && Util.Prng.bernoulli rng spec.dup in
         let delay =

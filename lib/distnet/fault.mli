@@ -45,6 +45,14 @@ type spec = {
   max_delay : int;  (** held-back messages wait uniform [1..max_delay] rounds *)
   crashes : (int * int) list;  (** [(node, round)] crash-stop schedule *)
   churn : churn_event list;  (** topology changes, applied between rounds *)
+  drop_profile : (int * float) list;
+      (** piecewise-constant loss-rate schedule overriding [drop]:
+          segment [(r, p)] makes the per-message loss probability [p]
+          from round [r] until the next segment's round.  Rounds before
+          the first segment use [drop]; the empty list means [drop]
+          throughout.  This is how bursty (Gilbert–Elliott) loss
+          compiles down to a plan: one segment per channel state
+          change. *)
 }
 
 val default_spec : spec
@@ -70,8 +78,11 @@ val make : seed:int -> ?graph:Graphlib.Graph.t -> spec -> t
     while [delay > 0], a crash round is negative, the same node has two
     crash entries, a churn event references a negative round or (given
     [graph]) a vertex or edge the graph does not have, a partition is
-    empty or heals no later than it starts, or a node has two join
-    entries or a join round [< 1]. *)
+    empty or heals no later than it starts, a node has two join
+    entries or a join round [< 1], or a [drop_profile] segment has a
+    negative round, a rate outside [0,1], or a round not strictly
+    after its predecessor's.  Churn and profile rejections name the
+    offending event/segment index and field. *)
 
 val scripted : Trace.event list -> t
 (** A plan that replays the decisions recorded in a trace: the fate of

@@ -1,8 +1,44 @@
 module Graph = Graphlib.Graph
 
-let initial_rto = 3
-let max_rto = 32
-let max_retries = 12
+type config = {
+  initial_rto : int;
+  max_rto : int;
+  max_retries : int;
+  backoff : float;
+}
+
+let default_config =
+  { initial_rto = 3; max_rto = 32; max_retries = 12; backoff = 2. }
+
+let initial_rto = default_config.initial_rto
+let max_rto = default_config.max_rto
+let max_retries = default_config.max_retries
+
+(* One policy for every instantiation: the ARQ is a transport knob of
+   the whole network, not of one protocol functor.  The default IS the
+   historical constants, so runs that never touch the config stay
+   byte-identical to every pinned trace. *)
+let current_config = ref default_config
+
+let config () = !current_config
+
+let set_config c =
+  if c.initial_rto < 1 then
+    invalid_arg
+      (Printf.sprintf "Reliable.set_config: initial_rto %d < 1" c.initial_rto);
+  if c.max_rto < c.initial_rto then
+    invalid_arg
+      (Printf.sprintf "Reliable.set_config: max_rto %d < initial_rto %d"
+         c.max_rto c.initial_rto);
+  if c.max_retries < 1 then
+    invalid_arg
+      (Printf.sprintf "Reliable.set_config: max_retries %d < 1" c.max_retries);
+  if not (c.backoff >= 1.) then
+    invalid_arg
+      (Printf.sprintf
+         "Reliable.set_config: backoff %g < 1 (1 = fixed retransmit interval)"
+         c.backoff);
+  current_config := c
 
 module Make (P : Sim.PROTOCOL) = struct
   (* Instruments, shared by every node of this instantiation (the
@@ -17,11 +53,15 @@ module Make (P : Sim.PROTOCOL) = struct
   let m_ack_latency =
     ref (Obs.Metrics.histogram Obs.Metrics.disabled "arq_ack_latency")
 
+  let m_backoff =
+    ref (Obs.Metrics.counter Obs.Metrics.disabled "arq_backoff_escalations")
+
   let use_metrics m =
     m_retrans := Obs.Metrics.counter m "arq_retransmissions";
     m_dead := Obs.Metrics.counter m "arq_dead_letters";
     m_timer := Obs.Metrics.counter m "arq_timer_fires";
-    m_ack_latency := Obs.Metrics.histogram m "arq_ack_latency"
+    m_ack_latency := Obs.Metrics.histogram m "arq_ack_latency";
+    m_backoff := Obs.Metrics.counter m "arq_backoff_escalations"
 
   (* Causal spans, same sharing discipline as the instruments: one
      [Arq] span per stop-and-wait exchange (first transmission →
@@ -93,10 +133,11 @@ module Make (P : Sim.PROTOCOL) = struct
     | None -> None
     | Some m ->
         let seq = p.next_seq in
+        let rto0 = !current_config.initial_rto in
         p.next_seq <- seq + 1;
         p.inflight <- Some (seq, m);
-        p.rto <- initial_rto;
-        p.timer <- initial_rto;
+        p.rto <- rto0;
+        p.timer <- rto0;
         p.retries <- 0;
         p.sent_round <- round;
         p.span <-
@@ -114,7 +155,7 @@ module Make (P : Sim.PROTOCOL) = struct
       | Some (seq, m) ->
           p.timer <- p.timer - 1;
           if p.timer > 0 then None
-          else if p.retries >= max_retries then begin
+          else if p.retries >= !current_config.max_retries then begin
             (* The peer is not answering (crashed, or the link is
                hopeless): abandon, move on. *)
             Obs.Metrics.incr !m_timer;
@@ -130,8 +171,19 @@ module Make (P : Sim.PROTOCOL) = struct
           else begin
             Obs.Metrics.incr !m_timer;
             p.retries <- p.retries + 1;
-            p.rto <- Stdlib.min (2 * p.rto) max_rto;
-            p.timer <- p.rto;
+            let c = !current_config in
+            (* Truncated multiplicative backoff; [backoff = 1] is a
+               fixed retransmit interval, the default [2] the classic
+               doubling.  An escalation is a timeout that actually grew
+               the window. *)
+            let next =
+              Stdlib.min c.max_rto
+                (Stdlib.max p.rto
+                   (int_of_float (float_of_int p.rto *. c.backoff)))
+            in
+            if next > p.rto then Obs.Metrics.incr !m_backoff;
+            p.rto <- next;
+            p.timer <- next;
             st.retrans <- st.retrans + 1;
             Obs.Metrics.incr !m_retrans;
             ignore
@@ -163,7 +215,7 @@ module Make (P : Sim.PROTOCOL) = struct
             next_seq = 0;
             queue = Queue.create ();
             inflight = None;
-            rto = initial_rto;
+            rto = !current_config.initial_rto;
             timer = 0;
             retries = 0;
             sent_round = 0;
@@ -195,7 +247,7 @@ module Make (P : Sim.PROTOCOL) = struct
                 Obs.Span.close !s_spans ~round p.span;
                 p.span <- -1;
                 p.inflight <- None;
-                p.rto <- initial_rto;
+                p.rto <- !current_config.initial_rto;
                 p.retries <- 0
             | _ -> () (* stale ack from an earlier retransmission *))
           acks;

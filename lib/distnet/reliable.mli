@@ -22,14 +22,44 @@
 
 (** Retransmission policy (rounds are the time unit). *)
 
+(** The retransmit-timer policy, shared by every instantiation of
+    {!Make} (the ARQ is a property of the network, not of one
+    protocol).  On each timeout the timer grows by the [backoff]
+    factor (truncated), capped at [max_rto]; [backoff = 1.] is a fixed
+    retransmit interval.  Timeouts that actually grow the window are
+    counted in the [arq_backoff_escalations] metric. *)
+type config = {
+  initial_rto : int;  (** first timeout, rounds; must be [>= 1] *)
+  max_rto : int;  (** backoff ceiling; must be [>= initial_rto] *)
+  max_retries : int;  (** tries before a dead letter; must be [>= 1] *)
+  backoff : float;  (** timer growth per timeout; must be [>= 1.] *)
+}
+
+val default_config : config
+(** [{initial_rto = 3; max_rto = 32; max_retries = 12; backoff = 2.}] —
+    the historical constants: first timeout one round past the
+    loss-free ack round trip, classic doubling.  Runs that never call
+    {!set_config} are byte-identical to runs before the policy became
+    configurable. *)
+
+val config : unit -> config
+(** The policy currently in force. *)
+
+val set_config : config -> unit
+(** Install a policy for subsequent runs.  Affects every {!Make}
+    instantiation; call before [Sim.create]/[run], not mid-run (nodes
+    cache nothing, but an in-flight exchange would mix policies).
+    @raise Invalid_argument naming the offending field if the config
+    violates the bounds above. *)
+
 val initial_rto : int
-(** First timeout: [3] rounds — the loss-free ack round trip plus one. *)
+(** First timeout of {!default_config}: [3] rounds. *)
 
 val max_rto : int
-(** Backoff ceiling: [32] rounds. *)
+(** Backoff ceiling of {!default_config}: [32] rounds. *)
 
 val max_retries : int
-(** Retransmissions before a message is abandoned: [12]. *)
+(** Retransmissions before a message is abandoned, by default: [12]. *)
 
 module Make (P : Sim.PROTOCOL) : sig
   include Sim.ACTIVE_PROTOCOL

@@ -1436,6 +1436,76 @@ let e25_serving ?(quick = true) ~seed () =
       ];
   }
 
+let e26_resilience_sweep ?(quick = true) ~seed:_ () =
+  (* Scenario families are self-seeded: a sweep's whole point is that
+     the spec text alone reproduces it. *)
+  let samples = if quick then 8 else 40 in
+  let row spec =
+    let agg = Scenario.Sweep.run spec ~samples in
+    let shrunk =
+      (* Shrink the first failure (if any) and report how small the
+         reproducer got — the deliberately failing family demonstrates
+         the ladder end to end. *)
+      match agg.Scenario.Sweep.failures with
+      | [] -> "-"
+      | r :: _ ->
+          let tag =
+            match r.Scenario.Sweep.outcome with
+            | Scenario.Sweep.Failed f -> Scenario.Sweep.failure_tag f
+            | Scenario.Sweep.Certified _ -> "?"
+          in
+          let fails p =
+            match (Scenario.Sweep.run_plan p).Scenario.Sweep.outcome with
+            | Scenario.Sweep.Failed f' -> Scenario.Sweep.failure_tag f' = tag
+            | Scenario.Sweep.Certified _ -> false
+          in
+          let plan = r.Scenario.Sweep.plan in
+          let s = Scenario.Shrink.shrink ~max_evals:80 ~fails plan in
+          Printf.sprintf "%d->%d%s"
+            (Scenario.Shrink.weight plan)
+            (Scenario.Shrink.weight s.Scenario.Shrink.plan)
+            (if s.Scenario.Shrink.verified then "" else "?")
+    in
+    [
+      agg.Scenario.Sweep.scenario;
+      ci agg.Scenario.Sweep.samples;
+      ci agg.Scenario.Sweep.intact;
+      ci agg.Scenario.Sweep.patched;
+      ci agg.Scenario.Sweep.degraded;
+      ci agg.Scenario.Sweep.partitioned;
+      ci (Scenario.Sweep.failed agg);
+      ci agg.Scenario.Sweep.worst_rounds;
+      ci agg.Scenario.Sweep.worst_size;
+      cf agg.Scenario.Sweep.worst_stretch;
+      shrunk;
+    ]
+  in
+  let rows = List.map (fun (_, spec) -> row spec) Scenario.Spec.builtins in
+  {
+    Table.id = "E26";
+    title =
+      Printf.sprintf "resilience sweep: %d sampled scenarios per family"
+        samples;
+    reproduces =
+      "survival of the construction under probabilistic fault scenarios";
+    columns =
+      [
+        "scenario"; "N"; "intact"; "patched"; "degr"; "part"; "FAIL";
+        "w-rounds"; "w-size"; "x-max"; "shrink";
+      ];
+    rows;
+    notes =
+      [
+        "each sample compiles the scenario family (Gilbert-Elliott bursty";
+        "loss, correlated crash storms, heavy-tailed churn) to a concrete";
+        "fault plan, runs the distributed construction over it, certifies";
+        "the output, and lands on the repair ladder; FAILed samples are";
+        "delta-debugged to a minimal replayable plan (shrink = reproducer";
+        "weight before->after).  tight-budget fails by design: its round";
+        "budget sits below its churn tax, exercising the shrinker";
+      ];
+  }
+
 let all ?(quick = true) ~seed () =
   [
     e1_fig1 ~quick ~seed ();
@@ -1463,6 +1533,7 @@ let all ?(quick = true) ~seed () =
     e23_churn ~quick ~seed ();
     e24_phase_breakdown ~quick ~seed ();
     e25_serving ~quick ~seed ();
+    e26_resilience_sweep ~quick ~seed ();
   ]
 
 let table_ids =
@@ -1492,6 +1563,7 @@ let table_ids =
     ("E23", e23_churn);
     ("E24", e24_phase_breakdown);
     ("E25", e25_serving);
+    ("E26", e26_resilience_sweep);
   ]
 
 let by_id id = List.assoc_opt (String.uppercase_ascii id) table_ids

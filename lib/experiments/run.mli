@@ -121,3 +121,11 @@ val e25_serving : ?quick:bool -> seed:int -> unit -> Table.t
     under churn, with answers audited against sampled BFS ground
     truth.  Latency columns are wall-clock measurements; everything
     else is deterministic in the seed. *)
+
+val e26_resilience_sweep : ?quick:bool -> seed:int -> unit -> Table.t
+(** The resilience sweep: every built-in scenario family
+    (crash-storm, bursty-loss, churn-heavy, mixed, tight-budget)
+    sampled and run through build + certify + serve, with the repair
+    ladder tallied and every FAIL delta-debugged to a minimal
+    replayable plan.  Fully deterministic: families are self-seeded,
+    so [seed] is ignored. *)

@@ -1,0 +1,478 @@
+module Graph = Graphlib.Graph
+module Gen = Graphlib.Gen
+
+type plan = {
+  scenario : string;
+  sample : int;
+  kind : string;
+  n : int;
+  p : float;
+  graph_seed : int;
+  fault_seed : int;
+  fspec : Distnet.Fault.spec;
+  budget_rounds : int option;
+  workload : Serve.Workload.spec option;
+  workload_seed : int;
+}
+
+(* Same generator dispatch as the CLI's --kind, minus --input: a plan
+   must be reproducible from its own lines alone. *)
+let generate ~kind ~n ~p ~seed =
+  let rng = Util.Prng.create ~seed in
+  match kind with
+  | "gnp" -> Gen.connected_gnp rng ~n ~p
+  | "gnp-raw" -> Gen.gnp rng ~n ~p
+  | "torus" ->
+      let side = int_of_float (Float.round (sqrt (float_of_int n))) in
+      Gen.torus ~width:side ~height:side
+  | "king" ->
+      let side = int_of_float (Float.round (sqrt (float_of_int n))) in
+      Gen.king_torus ~width:side ~height:side
+  | "hypercube" ->
+      let dims = int_of_float (Float.round (Util.Tower.log2 (float_of_int n))) in
+      Gen.hypercube ~dims
+  | "pa" -> Gen.ensure_connected rng (Gen.preferential_attachment rng ~n ~k:3)
+  | "path" -> Gen.path n
+  | "cycle" -> Gen.cycle n
+  | other -> failwith (Printf.sprintf "unknown graph kind %s" other)
+
+let graph_of plan =
+  generate ~kind:plan.kind ~n:plan.n ~p:plan.p ~seed:plan.graph_seed
+
+let faults ~graph plan =
+  Distnet.Fault.make ~seed:plan.fault_seed ~graph plan.fspec
+
+(* ------------------------------------------------------------------ *)
+(* Sampling *)
+
+let storm_crashes rng g (st : Spec.storm) =
+  let n = Graph.n g in
+  let crash_round = Array.make n (-1) in
+  let crashed = ref 0 in
+  (* Never let the contagion eat the whole network: a resilience
+     scenario is about surviving a storm, not about an empty graph. *)
+  let cap = Stdlib.max 1 (n / 2) in
+  let q = Queue.create () in
+  let mark v r =
+    if crash_round.(v) < 0 && !crashed < cap then begin
+      crash_round.(v) <- r;
+      incr crashed;
+      Queue.add v q
+    end
+  in
+  for v = 0 to n - 1 do
+    if Util.Prng.bernoulli rng st.Spec.frac then
+      mark v
+        (st.Spec.round_lo
+        + Util.Prng.int rng (st.Spec.round_hi - st.Spec.round_lo + 1))
+  done;
+  while not (Queue.is_empty q) do
+    let v = Queue.take q in
+    List.iter
+      (fun w ->
+        if crash_round.(w) < 0 && Util.Prng.bernoulli rng st.Spec.spread then
+          mark w
+            (Stdlib.min st.Spec.round_hi (crash_round.(v) + 1 + Util.Prng.int rng 3)))
+      (Graph.neighbors g v)
+  done;
+  let out = ref [] in
+  for v = n - 1 downto 0 do
+    if crash_round.(v) >= 0 then out := (v, crash_round.(v)) :: !out
+  done;
+  !out
+
+let churn_events rng g (c : Spec.churn) =
+  let m = Graph.m g in
+  if m = 0 then []
+  else begin
+    (* Rank links by endpoint-degree sum, heaviest first (stable by
+       id): the Zipf skew then aims flaps at the busiest links. *)
+    let ranked = Array.init m (fun e -> e) in
+    let weight e =
+      let u, v = Graph.edge_endpoints g e in
+      Graph.degree g u + Graph.degree g v
+    in
+    Array.sort
+      (fun a b ->
+        match compare (weight b) (weight a) with 0 -> compare a b | c -> c)
+      ranked;
+    let sampler = Util.Dist.zipf ~n:m ~s:c.Spec.skew in
+    let busy_until = Array.make m (-1) in
+    let count = Dsl.draw_int rng c.Spec.events in
+    let t = ref 0 in
+    let events = ref [] in
+    for _ = 1 to count do
+      t := !t + Stdlib.max 1 (Dsl.draw_int rng c.Spec.gap);
+      (* A link already down at [t] would double-fault; re-draw a few
+         times, then let this flap fizzle. *)
+      let rec pick tries =
+        if tries = 0 then None
+        else
+          let e = ranked.(Util.Dist.sample sampler rng) in
+          if busy_until.(e) >= !t then pick (tries - 1) else Some e
+      in
+      match pick 8 with
+      | None -> ()
+      | Some e ->
+          let dur = Stdlib.max 1 (Dsl.draw_int rng c.Spec.down_for) in
+          busy_until.(e) <- !t + dur;
+          let u, v = Graph.edge_endpoints g e in
+          events :=
+            Distnet.Fault.Edge_up { round = !t + dur; u; v }
+            :: Distnet.Fault.Edge_down { round = !t; u; v }
+            :: !events
+    done;
+    List.rev !events
+  end
+
+let compile (spec : Spec.t) ~sample =
+  (match Spec.validate spec with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Scenario.Compile: " ^ msg));
+  if sample < 0 then
+    invalid_arg (Printf.sprintf "Scenario.Compile: sample %d negative" sample);
+  let graph_seed = spec.Spec.graph_seed + sample in
+  let g = generate ~kind:spec.Spec.kind ~n:spec.Spec.n ~p:spec.Spec.p ~seed:graph_seed in
+  let rng = Util.Prng.create ~seed:((graph_seed * 1_000_003) + (7919 * sample) + 5) in
+  let fault_seed = Util.Prng.int rng 1_000_000_000 in
+  let drop, drop_profile =
+    match spec.Spec.loss with
+    | Spec.No_loss -> (0., [])
+    | Spec.Iid r -> (r, [])
+    | Spec.Bursty { ge; horizon } -> (0., Dsl.ge_profile rng ge ~horizon)
+  in
+  let crashes =
+    match spec.Spec.storm with
+    | None -> []
+    | Some st -> storm_crashes rng g st
+  in
+  let churn =
+    match spec.Spec.churn with
+    | None -> []
+    | Some c -> churn_events rng g c
+  in
+  let workload_seed =
+    match spec.Spec.workload with
+    | None -> 0
+    | Some _ -> Util.Prng.int rng 1_000_000_000
+  in
+  {
+    scenario = spec.Spec.name;
+    sample;
+    kind = spec.Spec.kind;
+    n = spec.Spec.n;
+    p = spec.Spec.p;
+    graph_seed;
+    fault_seed;
+    fspec =
+      {
+        Distnet.Fault.drop;
+        dup = spec.Spec.dup;
+        delay = spec.Spec.delay;
+        max_delay = spec.Spec.max_delay;
+        crashes;
+        churn;
+        drop_profile;
+      };
+    budget_rounds = spec.Spec.budget_rounds;
+    workload = spec.Spec.workload;
+    workload_seed;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Plan files *)
+
+let fstr = Dsl.fstr
+
+let to_string plan =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b (l ^ "\n")) fmt in
+  line "#plan v1";
+  line "scenario %s" plan.scenario;
+  line "sample %d" plan.sample;
+  line "graph kind=%s n=%d p=%s seed=%d" plan.kind plan.n (fstr plan.p)
+    plan.graph_seed;
+  line "fault_seed %d" plan.fault_seed;
+  let f = plan.fspec in
+  if f.Distnet.Fault.drop > 0. then line "drop %s" (fstr f.Distnet.Fault.drop);
+  if f.Distnet.Fault.dup > 0. then line "dup %s" (fstr f.Distnet.Fault.dup);
+  if f.Distnet.Fault.delay > 0. then
+    line "delay p=%s max=%d" (fstr f.Distnet.Fault.delay)
+      f.Distnet.Fault.max_delay;
+  (match f.Distnet.Fault.drop_profile with
+  | [] -> ()
+  | segments ->
+      line "profile %s"
+        (String.concat " "
+           (List.map
+              (fun (r, rate) -> Printf.sprintf "%d:%s" r (fstr rate))
+              segments)));
+  List.iter
+    (fun (v, r) -> line "crash %d@%d" v r)
+    f.Distnet.Fault.crashes;
+  List.iter
+    (fun ev ->
+      match ev with
+      | Distnet.Fault.Edge_down { round; u; v } -> line "down %d-%d@%d" u v round
+      | Distnet.Fault.Edge_up { round; u; v } -> line "up %d-%d@%d" u v round
+      | Distnet.Fault.Partition _ | Distnet.Fault.Join _ ->
+          invalid_arg
+            "Scenario.Compile.to_string: plan files carry only edge churn")
+    f.Distnet.Fault.churn;
+  (match plan.budget_rounds with
+  | None -> ()
+  | Some r -> line "budget rounds=%d" r);
+  (match plan.workload with
+  | None -> ()
+  | Some w ->
+      let zipf =
+        match w.Serve.Workload.zipf with
+        | None -> ""
+        | Some z -> Printf.sprintf " zipf=%s" (fstr z)
+      in
+      line "workload queries=%d%s route=%s seed=%d" w.Serve.Workload.queries
+        zipf
+        (fstr w.Serve.Workload.route_frac)
+        plan.workload_seed);
+  Buffer.contents b
+
+let parse text =
+  let err line msg = Error (Printf.sprintf "plan file line %d: %s" line msg) in
+  let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v in
+  let plan =
+    ref
+      {
+        scenario = "?";
+        sample = 0;
+        kind = "gnp";
+        n = 0;
+        p = 0.;
+        graph_seed = 0;
+        fault_seed = 0;
+        fspec = { Distnet.Fault.default_spec with max_delay = 3 };
+        budget_rounds = None;
+        workload = None;
+        workload_seed = 0;
+      }
+  in
+  let crashes = ref [] in
+  let churn = ref [] in
+  let seen_graph = ref false in
+  let at_round what s =
+    (* "V@R" or "U-V@R" *)
+    match String.split_on_char '@' s with
+    | [ head; r ] -> (
+        match int_of_string_opt r with
+        | None -> Error (Printf.sprintf "bad %s %S" what s)
+        | Some round -> Ok (head, round))
+    | _ -> Error (Printf.sprintf "bad %s %S (want ...@ROUND)" what s)
+  in
+  let edge head =
+    match String.split_on_char '-' head with
+    | [ u; v ] -> (
+        match (int_of_string_opt u, int_of_string_opt v) with
+        | Some u, Some v -> Ok (u, v)
+        | _ -> Error (Printf.sprintf "bad edge %S" head))
+    | _ -> Error (Printf.sprintf "bad edge %S (want U-V)" head)
+  in
+  let kvs tokens =
+    List.map
+      (fun tok ->
+        match String.index_opt tok '=' with
+        | None -> (tok, "")
+        | Some i ->
+            ( String.sub tok 0 i,
+              String.sub tok (i + 1) (String.length tok - i - 1) ))
+      tokens
+  in
+  let result =
+    List.fold_left
+      (fun (lineno, acc) raw ->
+        let next r = (lineno + 1, r) in
+        match acc with
+        | Error _ -> next acc
+        | Ok () -> (
+            let l = String.trim raw in
+            if l = "" || l.[0] = '#' then next acc
+            else
+              let tokens =
+                String.split_on_char ' ' l |> List.filter (fun t -> t <> "")
+              in
+              match tokens with
+              | [] -> next acc
+              | key :: rest -> (
+                  let kv = kvs rest in
+                  let str k = List.assoc_opt k kv in
+                  let fld k parse_v =
+                    match str k with
+                    | None -> Error (Printf.sprintf "missing %s=" k)
+                    | Some v -> (
+                        match parse_v v with
+                        | Some x -> Ok x
+                        | None -> Error (Printf.sprintf "bad %s=%S" k v))
+                  in
+                  let set f = plan := f !plan in
+                  let r =
+                    match (key, rest) with
+                    | "scenario", [ name ] ->
+                        set (fun p -> { p with scenario = name });
+                        Ok ()
+                    | "sample", [ k ] -> (
+                        match int_of_string_opt k with
+                        | Some sample ->
+                            set (fun p -> { p with sample });
+                            Ok ()
+                        | None -> Error (Printf.sprintf "bad sample %S" k))
+                    | "graph", _ ->
+                        let* kind = fld "kind" Option.some in
+                        let* n = fld "n" int_of_string_opt in
+                        let* p =
+                          match str "p" with
+                          | None -> Ok 0.
+                          | Some _ -> fld "p" float_of_string_opt
+                        in
+                        let* graph_seed = fld "seed" int_of_string_opt in
+                        seen_graph := true;
+                        set (fun pl -> { pl with kind; n; p; graph_seed });
+                        Ok ()
+                    | "fault_seed", [ s ] -> (
+                        match int_of_string_opt s with
+                        | Some fault_seed ->
+                            set (fun p -> { p with fault_seed });
+                            Ok ()
+                        | None -> Error (Printf.sprintf "bad fault_seed %S" s))
+                    | "drop", [ v ] -> (
+                        match float_of_string_opt v with
+                        | Some d ->
+                            set (fun p ->
+                                { p with fspec = { p.fspec with drop = d } });
+                            Ok ()
+                        | None -> Error (Printf.sprintf "bad drop %S" v))
+                    | "dup", [ v ] -> (
+                        match float_of_string_opt v with
+                        | Some d ->
+                            set (fun p ->
+                                { p with fspec = { p.fspec with dup = d } });
+                            Ok ()
+                        | None -> Error (Printf.sprintf "bad dup %S" v))
+                    | "delay", _ ->
+                        let* d = fld "p" float_of_string_opt in
+                        let* max_delay =
+                          match str "max" with
+                          | None -> Ok 3
+                          | Some _ -> fld "max" int_of_string_opt
+                        in
+                        set (fun p ->
+                            {
+                              p with
+                              fspec = { p.fspec with delay = d; max_delay };
+                            });
+                        Ok ()
+                    | "profile", segs ->
+                        let* segments =
+                          List.fold_left
+                            (fun acc seg ->
+                              let* acc = acc in
+                              match String.split_on_char ':' seg with
+                              | [ r; rate ] -> (
+                                  match
+                                    ( int_of_string_opt r,
+                                      float_of_string_opt rate )
+                                  with
+                                  | Some r, Some rate -> Ok ((r, rate) :: acc)
+                                  | _ ->
+                                      Error
+                                        (Printf.sprintf
+                                           "bad profile segment %S" seg))
+                              | _ ->
+                                  Error
+                                    (Printf.sprintf "bad profile segment %S"
+                                       seg))
+                            (Ok []) segs
+                        in
+                        set (fun p ->
+                            {
+                              p with
+                              fspec =
+                                {
+                                  p.fspec with
+                                  drop_profile = List.rev segments;
+                                };
+                            });
+                        Ok ()
+                    | "crash", [ s ] ->
+                        let* v, round = at_round "crash" s in
+                        let* v =
+                          match int_of_string_opt v with
+                          | Some v -> Ok v
+                          | None -> Error (Printf.sprintf "bad crash %S" s)
+                        in
+                        crashes := (v, round) :: !crashes;
+                        Ok ()
+                    | "down", [ s ] ->
+                        let* head, round = at_round "down" s in
+                        let* u, v = edge head in
+                        churn :=
+                          Distnet.Fault.Edge_down { round; u; v } :: !churn;
+                        Ok ()
+                    | "up", [ s ] ->
+                        let* head, round = at_round "up" s in
+                        let* u, v = edge head in
+                        churn := Distnet.Fault.Edge_up { round; u; v } :: !churn;
+                        Ok ()
+                    | "budget", _ ->
+                        let* r = fld "rounds" int_of_string_opt in
+                        set (fun p -> { p with budget_rounds = Some r });
+                        Ok ()
+                    | "workload", _ ->
+                        let* queries = fld "queries" int_of_string_opt in
+                        let* route_frac = fld "route" float_of_string_opt in
+                        let* workload_seed = fld "seed" int_of_string_opt in
+                        let* zipf =
+                          match str "zipf" with
+                          | None -> Ok None
+                          | Some _ ->
+                              let* z = fld "zipf" float_of_string_opt in
+                              Ok (Some z)
+                        in
+                        set (fun p ->
+                            {
+                              p with
+                              workload =
+                                Some
+                                  { Serve.Workload.queries; zipf; route_frac };
+                              workload_seed;
+                            });
+                        Ok ()
+                    | other, _ ->
+                        Error (Printf.sprintf "unknown directive %S" other)
+                  in
+                  match r with Ok () -> next acc | Error m -> next (err lineno m))))
+      (1, Ok ())
+      (String.split_on_char '\n' text)
+    |> snd
+  in
+  let* () = result in
+  let* () =
+    if !seen_graph then Ok () else Error "plan file: missing 'graph' line"
+  in
+  let p = !plan in
+  Ok
+    {
+      p with
+      fspec =
+        {
+          p.fspec with
+          crashes = List.rev !crashes;
+          churn = List.rev !churn;
+        };
+    }
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error msg -> Error msg
+
+let save plan path =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string plan))

@@ -1,0 +1,187 @@
+type t =
+  | Const of float
+  | Uniform of { lo : float; hi : float }
+  | Geometric of float
+  | Pareto of { alpha : float; xm : float }
+  | Zipf of { n : int; s : float }
+
+let validate = function
+  | Const c ->
+      if Float.is_nan c then Error "const: value is NaN" else Ok ()
+  | Uniform { lo; hi } ->
+      if not (lo <= hi) then
+        Error (Printf.sprintf "uniform: lo %g > hi %g" lo hi)
+      else Ok ()
+  | Geometric p ->
+      if not (p > 0. && p <= 1.) then
+        Error (Printf.sprintf "geometric: p %g not in (0,1]" p)
+      else Ok ()
+  | Pareto { alpha; xm } ->
+      if not (alpha > 0.) then
+        Error (Printf.sprintf "pareto: alpha %g not positive" alpha)
+      else if not (xm > 0.) then
+        Error (Printf.sprintf "pareto: xm %g not positive" xm)
+      else Ok ()
+  | Zipf { n; s } ->
+      if n <= 0 then Error (Printf.sprintf "zipf: n %d not positive" n)
+      else if not (s >= 0.) then
+        Error (Printf.sprintf "zipf: s %g negative" s)
+      else Ok ()
+
+let checked d =
+  match validate d with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Scenario.Dsl: " ^ msg)
+
+let draw rng d =
+  checked d;
+  match d with
+  | Const c -> c
+  | Uniform { lo; hi } -> lo +. Util.Prng.float rng (hi -. lo)
+  | Geometric p -> float_of_int (Util.Dist.geometric rng ~p)
+  | Pareto { alpha; xm } ->
+      (* Inversion of the survival function: x = xm (1-u)^(-1/alpha). *)
+      let u = Util.Prng.float rng 1. in
+      xm /. ((1. -. u) ** (1. /. alpha))
+  | Zipf { n; s } ->
+      float_of_int (Util.Dist.sample (Util.Dist.zipf ~n ~s) rng)
+
+let draw_int rng d =
+  let x = Float.round (draw rng d) in
+  if x <= 0. then 0 else int_of_float x
+
+let mean = function
+  | Const c -> c
+  | Uniform { lo; hi } -> (lo +. hi) /. 2.
+  | Geometric p -> (1. -. p) /. p
+  | Pareto { alpha; xm } ->
+      if alpha <= 1. then Float.infinity else alpha *. xm /. (alpha -. 1.)
+  | Zipf { n; s } ->
+      let sampler = Util.Dist.zipf ~n ~s in
+      let m = ref 0. in
+      for i = 0 to n - 1 do
+        m := !m +. (float_of_int i *. Util.Dist.probability sampler i)
+      done;
+      !m
+
+(* Shortest float literal that parses back to the same double: %g when
+   it round-trips, full precision otherwise — spec and plan files must
+   be byte-deterministic AND reload to the exact same scenario. *)
+let fstr f =
+  let s = Printf.sprintf "%g" f in
+  if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let to_string = function
+  | Const c -> Printf.sprintf "const:%s" (fstr c)
+  | Uniform { lo; hi } -> Printf.sprintf "uniform:%s..%s" (fstr lo) (fstr hi)
+  | Geometric p -> Printf.sprintf "geometric:%s" (fstr p)
+  | Pareto { alpha; xm } ->
+      Printf.sprintf "pareto:%s,%s" (fstr alpha) (fstr xm)
+  | Zipf { n; s } -> Printf.sprintf "zipf:%d,%s" n (fstr s)
+
+let parse str =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "bad distribution %S (want const:C, uniform:LO..HI, geometric:P, \
+          pareto:ALPHA,XM, or zipf:N,S)"
+         str)
+  in
+  let num s = float_of_string_opt (String.trim s) in
+  match String.index_opt str ':' with
+  | None -> fail ()
+  | Some i -> (
+      let kind = String.sub str 0 i in
+      let arg = String.sub str (i + 1) (String.length str - i - 1) in
+      let built =
+        match kind with
+        | "const" -> Option.map (fun c -> Const c) (num arg)
+        | "uniform" ->
+            (* split on the first "..": negative bounds keep their '-'. *)
+            let rec dots i =
+              if i + 1 >= String.length arg then None
+              else if arg.[i] = '.' && arg.[i + 1] = '.' then Some i
+              else dots (i + 1)
+            in
+            Option.bind (dots 0) (fun i ->
+                let lo = String.sub arg 0 i in
+                let hi = String.sub arg (i + 2) (String.length arg - i - 2) in
+                match (num lo, num hi) with
+                | Some lo, Some hi -> Some (Uniform { lo; hi })
+                | _ -> None)
+        | "geometric" -> Option.map (fun p -> Geometric p) (num arg)
+        | "pareto" -> (
+            match String.split_on_char ',' arg with
+            | [ a; x ] -> (
+                match (num a, num x) with
+                | Some alpha, Some xm -> Some (Pareto { alpha; xm })
+                | _ -> None)
+            | _ -> None)
+        | "zipf" -> (
+            match String.split_on_char ',' arg with
+            | [ n; s ] -> (
+                match (int_of_string_opt (String.trim n), num s) with
+                | Some n, Some s -> Some (Zipf { n; s })
+                | _ -> None)
+            | _ -> None)
+        | _ -> None
+      in
+      match built with
+      | None -> fail ()
+      | Some d -> (
+          match validate d with
+          | Ok () -> Ok d
+          | Error msg -> Error (Printf.sprintf "bad distribution %S: %s" str msg)))
+
+(* ------------------------------------------------------------------ *)
+(* Gilbert–Elliott *)
+
+type ge = {
+  p_gb : float;
+  p_bg : float;
+  loss_good : float;
+  loss_bad : float;
+}
+
+let ge_validate { p_gb; p_bg; loss_good; loss_bad } =
+  let prob name v lo =
+    if not (v >= lo && v <= 1.) then
+      Error
+        (Printf.sprintf "gilbert-elliott: %s %g not in %s" name v
+           (if lo > 0. then "(0,1]" else "[0,1]"))
+    else Ok ()
+  in
+  let ( let* ) r f = match r with Error _ as e -> e | Ok () -> f () in
+  let* () = prob "p_gb" p_gb Float.min_float in
+  let* () = prob "p_bg" p_bg Float.min_float in
+  let* () = prob "loss_good" loss_good 0. in
+  let* () = prob "loss_bad" loss_bad 0. in
+  Ok ()
+
+let ge_stationary_loss g =
+  let pi_bad = g.p_gb /. (g.p_gb +. g.p_bg) in
+  (pi_bad *. g.loss_bad) +. ((1. -. pi_bad) *. g.loss_good)
+
+let ge_profile rng g ~horizon =
+  (match ge_validate g with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Scenario.Dsl: " ^ msg));
+  if horizon < 1 then
+    invalid_arg
+      (Printf.sprintf "Scenario.Dsl: gilbert-elliott horizon %d < 1" horizon);
+  let segments = ref [] in
+  let push round rate =
+    match !segments with
+    | (_, r) :: _ when r = rate -> ()
+    | _ -> segments := (round, rate) :: !segments
+  in
+  let bad = ref false in
+  for round = 0 to horizon - 1 do
+    (if !bad then begin
+       if Util.Prng.bernoulli rng g.p_bg then bad := false
+     end
+     else if Util.Prng.bernoulli rng g.p_gb then bad := true);
+    push round (if !bad then g.loss_bad else g.loss_good)
+  done;
+  push horizon 0.;
+  List.rev !segments

@@ -1,0 +1,85 @@
+(** Named distributions for scenario specs: the vocabulary in which a
+    resilience scenario describes {e how much} and {e when} things go
+    wrong, each drawn from the caller's seeded {!Util.Prng} stream so
+    a scenario sample is a pure function of [(spec, seed)].
+
+    The closed-form draws ([Const], [Uniform], [Geometric], [Pareto])
+    cost one PRNG call; [Zipf] freezes a {!Util.Dist.zipf} table per
+    draw and is meant for the small compile-time draws scenarios make
+    (picking a flapping edge, skewing query popularity), not for hot
+    loops.
+
+    Every distribution has a one-token text form — [const:5],
+    [uniform:1..40], [geometric:0.25], [pareto:1.5,3], [zipf:100,1.2]
+    — used verbatim inside scenario spec files; {!parse} and
+    {!to_string} round-trip. *)
+
+type t =
+  | Const of float
+  | Uniform of { lo : float; hi : float }  (** uniform on [[lo, hi]] *)
+  | Geometric of float
+      (** failures before first success, [P(X=k) = (1-p)^k p] *)
+  | Pareto of { alpha : float; xm : float }
+      (** heavy-tailed: [P(X > x) = (xm/x)^alpha] on [x >= xm] — the
+          classic model for churn inter-arrival times *)
+  | Zipf of { n : int; s : float }
+      (** rank [0 .. n-1] with [P(i) ∝ (i+1)^-s] *)
+
+val validate : t -> (unit, string) result
+(** [Error msg] names the offending parameter: [Uniform] needs
+    [lo <= hi], [Geometric] [0 < p <= 1], [Pareto] positive [alpha]
+    and [xm], [Zipf] [n > 0] and [s >= 0]. *)
+
+val draw : Util.Prng.t -> t -> float
+(** One sample.  @raise Invalid_argument on a spec {!validate}
+    rejects. *)
+
+val draw_int : Util.Prng.t -> t -> int
+(** {!draw} rounded to the nearest integer, clamped at [0]. *)
+
+val mean : t -> float
+(** Analytic mean ([infinity] for a Pareto with [alpha <= 1]) — used
+    by spec validation to sanity-bound event counts. *)
+
+val fstr : float -> string
+(** Shortest float literal that reparses to the same double: ["%g"]
+    when that round-trips, full [%.17g] precision otherwise.  All
+    scenario/plan serialization uses this so files are both
+    byte-deterministic and exact. *)
+
+val to_string : t -> string
+val parse : string -> (t, string) result
+(** [parse (to_string d) = Ok d]; [Error] explains the expected
+    syntax. *)
+
+(** {1 Bursty loss: the Gilbert–Elliott channel}
+
+    A two-state Markov chain — a Good state losing [loss_good] of
+    messages and a Bad state losing [loss_bad] — with per-round
+    transition probabilities [p_gb] (Good→Bad) and [p_bg] (Bad→Good).
+    Scenarios compile it to a piecewise-constant
+    {!Distnet.Fault.spec.drop_profile}, one segment per state
+    change, so the engine itself stays memoryless. *)
+
+type ge = {
+  p_gb : float;  (** P(Good → Bad) per round, in [(0,1]] *)
+  p_bg : float;  (** P(Bad → Good) per round, in [(0,1]] *)
+  loss_good : float;  (** loss rate while Good, in [[0,1]] *)
+  loss_bad : float;  (** loss rate while Bad, in [[0,1]] *)
+}
+
+val ge_validate : ge -> (unit, string) result
+
+val ge_stationary_loss : ge -> float
+(** The chain's long-run loss rate:
+    [π_bad·loss_bad + (1-π_bad)·loss_good] with
+    [π_bad = p_gb / (p_gb + p_bg)]. *)
+
+val ge_profile : Util.Prng.t -> ge -> horizon:int -> (int * float) list
+(** Simulate the chain from the Good state for [horizon] rounds and
+    emit the loss-rate segments, coalescing consecutive equal rates;
+    a final [(horizon, 0.)] segment closes the burst process so rounds
+    beyond the modeled horizon are loss-free.  Valid input to
+    {!Distnet.Fault.make} as a [drop_profile].
+    @raise Invalid_argument on a [ge] {!ge_validate} rejects or
+    [horizon < 1]. *)

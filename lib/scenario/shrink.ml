@@ -1,0 +1,120 @@
+type result = {
+  plan : Compile.plan;
+  evals : int;
+  verified : bool;
+}
+
+let weight (plan : Compile.plan) =
+  let f = plan.Compile.fspec in
+  List.length f.Distnet.Fault.crashes
+  + List.length f.Distnet.Fault.churn
+  + List.length f.Distnet.Fault.drop_profile
+  + (if f.Distnet.Fault.drop > 0. then 1 else 0)
+  + (if f.Distnet.Fault.dup > 0. then 1 else 0)
+  + (if f.Distnet.Fault.delay > 0. then 1 else 0)
+  + match plan.Compile.workload with Some _ -> 1 | None -> 0
+
+(* ddmin-lite on a list: repeatedly try dropping a contiguous chunk
+   (largest chunks first); every successful drop restarts at a chunk
+   half the remaining length.  [test] answers "does this smaller list
+   still fail?" and is in charge of the eval budget — once the budget
+   is dry it answers false and the recursion unwinds. *)
+let ddmin test lst =
+  let rec go lst chunk =
+    let n = List.length lst in
+    if n = 0 || chunk < 1 then lst
+    else
+      let arr = Array.of_list lst in
+      let without i =
+        let keep = ref [] in
+        Array.iteri
+          (fun j x ->
+            if j < i * chunk || j >= (i + 1) * chunk then keep := x :: !keep)
+          arr;
+        List.rev !keep
+      in
+      let rec scan i =
+        if i * chunk >= n then None
+        else
+          let cand = without i in
+          if List.length cand < n && test cand then Some cand else scan (i + 1)
+      in
+      match scan 0 with
+      | Some cand -> go cand (Stdlib.max 1 (List.length cand / 2))
+      | None -> if chunk = 1 then lst else go lst (chunk / 2)
+  in
+  go lst (Stdlib.max 1 (List.length lst / 2))
+
+let shrink ?(max_evals = 200) ~fails plan =
+  let evals = ref 0 in
+  let try_fails p =
+    if !evals >= max_evals then false
+    else begin
+      incr evals;
+      fails p
+    end
+  in
+  let cur = ref plan in
+  let commit p = cur := p in
+  let with_fspec p fspec = { p with Compile.fspec } in
+  (* Workload first: when the failure isn't the serve audit's, the
+     reproducer shouldn't carry a workload at all. *)
+  (match (!cur).Compile.workload with
+  | Some _ ->
+      let cand = { !cur with Compile.workload = None; workload_seed = 0 } in
+      if try_fails cand then commit cand
+  | None -> ());
+  (* Event lists, biggest contributors first. *)
+  let minimize_list get set =
+    let lst = get !cur in
+    if lst <> [] then begin
+      let test cand = try_fails (set !cur cand) in
+      let min_lst = ddmin test lst in
+      if List.length min_lst < List.length lst then commit (set !cur min_lst)
+    end
+  in
+  minimize_list
+    (fun p -> p.Compile.fspec.Distnet.Fault.churn)
+    (fun p churn ->
+      with_fspec p { p.Compile.fspec with Distnet.Fault.churn });
+  minimize_list
+    (fun p -> p.Compile.fspec.Distnet.Fault.crashes)
+    (fun p crashes ->
+      with_fspec p { p.Compile.fspec with Distnet.Fault.crashes });
+  minimize_list
+    (fun p -> p.Compile.fspec.Distnet.Fault.drop_profile)
+    (fun p drop_profile ->
+      with_fspec p { p.Compile.fspec with Distnet.Fault.drop_profile });
+  (* Rates: zero if possible, else halve while the failure holds. *)
+  let shrink_rate get set =
+    if get !cur > 0. then begin
+      let zero = set !cur 0. in
+      if try_fails zero then commit zero
+      else
+        let rec halve () =
+          let v = get !cur in
+          if v > 0.001 && !evals < max_evals then begin
+            let cand = set !cur (v /. 2.) in
+            if try_fails cand then begin
+              commit cand;
+              halve ()
+            end
+          end
+        in
+        halve ()
+    end
+  in
+  shrink_rate
+    (fun p -> p.Compile.fspec.Distnet.Fault.drop)
+    (fun p drop -> with_fspec p { p.Compile.fspec with Distnet.Fault.drop });
+  shrink_rate
+    (fun p -> p.Compile.fspec.Distnet.Fault.dup)
+    (fun p dup -> with_fspec p { p.Compile.fspec with Distnet.Fault.dup });
+  shrink_rate
+    (fun p -> p.Compile.fspec.Distnet.Fault.delay)
+    (fun p delay -> with_fspec p { p.Compile.fspec with Distnet.Fault.delay });
+  (* Final verification is unconditional: even if the eval budget ran
+     dry mid-pass, the plan we hand back is re-checked. *)
+  incr evals;
+  let verified = fails !cur in
+  { plan = !cur; evals = !evals; verified }

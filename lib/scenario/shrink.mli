@@ -1,0 +1,35 @@
+(** Delta-debugging for failing plans: reduce a FAIL to the smallest
+    plan that still fails, so the reproducer a sweep hands back is
+    readable rather than a hundred-event fault storm.
+
+    The shrinker is generic over the failure predicate [fails] — the
+    sweep passes "running this plan yields the same class of FAIL" —
+    and shrinks along every axis a plan has:
+
+    - {b events} — crash entries, churn events, and bursty-loss
+      profile segments are minimized ddmin-style (drop contiguous
+      chunks, halve the chunk size on failure to make progress);
+    - {b rates} — each of drop/dup/delay is zeroed if possible,
+      otherwise repeatedly halved while the failure persists;
+    - {b workload} — dropped entirely when the failure isn't its
+      fault.
+
+    The plan's round budget is never shrunk: it is the failure's
+    definition, not its cause.  All candidate evaluations are counted
+    and capped, and the final plan is re-verified, so a caller can
+    trust [verified] even when the eval budget ran dry. *)
+
+type result = {
+  plan : Compile.plan;  (** the minimized plan *)
+  evals : int;  (** candidate runs spent (including verification) *)
+  verified : bool;  (** the minimized plan still fails *)
+}
+
+val weight : Compile.plan -> int
+(** Shrink-progress measure: events + profile segments + active rates
+    + workload presence.  Monotonically non-increasing over a shrink. *)
+
+val shrink :
+  ?max_evals:int -> fails:(Compile.plan -> bool) -> Compile.plan -> result
+(** [max_evals] defaults to 200.  [fails] must be deterministic (plans
+    are). *)

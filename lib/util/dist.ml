@@ -40,6 +40,17 @@ let sample t rng =
   done;
   !lo
 
+let geometric rng ~p =
+  if not (p > 0. && p <= 1.) then
+    invalid_arg (Printf.sprintf "Dist.geometric: p %g not in (0,1]" p);
+  if p >= 1. then 0
+  else
+    (* Inversion: X = floor(ln U / ln(1-p)), U uniform in (0,1].
+       [Prng.float] draws from [0,1); 1-u is in (0,1] so the log is
+       finite and the draw never overflows. *)
+    let u = Prng.float rng 1. in
+    int_of_float (Float.log (1. -. u) /. Float.log (1. -. p))
+
 let probability t i =
   if i < 0 || i >= Array.length t.cdf then
     invalid_arg "Dist.probability: outcome out of range";

@@ -31,3 +31,16 @@ val sample : sampler -> Prng.t -> int
 
 val probability : sampler -> int -> float
 (** The normalized probability of one outcome (for tests and reports). *)
+
+(** {1 Closed-form draws}
+
+    Unbounded-support distributions that need no frozen table; used by
+    the scenario DSL for inter-arrival gaps and failure onsets.  Like
+    samplers, they thread the caller's {!Prng.t} and cost one PRNG
+    call. *)
+
+val geometric : Prng.t -> p:float -> int
+(** The number of failures before the first success of a Bernoulli([p])
+    sequence: [P(X = k) = (1-p)^k p] on [k >= 0] (mean [(1-p)/p]) —
+    the memoryless discrete waiting time.  Drawn by inversion, one
+    uniform per call.  @raise Invalid_argument unless [0 < p <= 1]. *)

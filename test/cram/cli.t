@@ -25,7 +25,7 @@ A cycle has girth 12 > 2k, so greedy k=2 keeps all 12 edges:
 The experiment registry rejects unknown ids:
 
   $ ../../bin/spanner_cli.exe experiment E99 2>&1 | head -1
-  unknown experiment E99 (have: E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13, E14, E15, E16, E17, E18, E19, E20, E21, E22, E23, E24, E25)
+  unknown experiment E99 (have: E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13, E14, E15, E16, E17, E18, E19, E20, E21, E22, E23, E24, E25, E26)
 
 E9 is pure computation and deterministic:
 
@@ -130,7 +130,7 @@ A churn plan referencing a non-existent edge is rejected up front:
 
   $ ../../bin/spanner_cli.exe simulate --algo skeleton --kind gnp -n 48 -p 0.15 --seed 5 --edge-drop 0-99@60
   graph: n=48, m=167, avg deg 6.96, max deg 13
-  spanner_cli: Fault.make: churn references vertex 99 outside this 48-vertex graph
+  spanner_cli: Fault.make: churn event #0 (edge_down): edge references vertex 99 outside this 48-vertex graph
   [1]
 
 A partition that never heals is outside the recoverable envelope once

@@ -1,0 +1,60 @@
+The resilience sweep: sample scenario families, judge every run, and
+shrink failures to minimal replayable plan files.
+
+The tight-budget family is built to fail: its round budget sits below
+what its churn costs.  Every sample must FAIL over-budget, and every
+failure must shrink to a small verified reproducer (exit stays 0
+because the reproducers verify; unshrunk failures would exit 1):
+
+  $ ../../bin/spanner_cli.exe sweep --spec tight-budget --samples 2 \
+  >   --out-dir out --shrink-evals 60 --json sweep.json
+  scenario tight-budget: 2 samples: 0 intact, 0 patched, 0 degraded, 0 partitioned, 2 FAIL
+  worst: 175 rounds, 9598 words, 60 spanner edges, stretch 9.00 (bound 2859.50)
+    sample 0: FAIL, over budget: 154 rounds > 100
+    sample 1: FAIL, over budget: 175 rounds > 100
+    reproducer: out/tight-budget-s0.plan (over-budget, weight 12 -> 1, 6 evals, verified true)
+    reproducer: out/tight-budget-s1.plan (over-budget, weight 12 -> 1, 6 evals, verified true)
+  report written to sweep.json
+
+The shrunk reproducer is a minimal, fully explicit plan — here a
+single late link-heal is all it takes to push the run past its budget:
+
+  $ cat out/tight-budget-s0.plan
+  #plan v1
+  scenario tight-budget
+  sample 0
+  graph kind=gnp n=48 p=0.15 seed=5
+  fault_seed 256194846
+  up 25-45@102
+  budget rounds=100
+
+Replaying the reproducer reproduces the failure, and says so via the
+exit code:
+
+  $ ../../bin/spanner_cli.exe sweep --replay out/tight-budget-s0.plan
+  plan tight-budget sample 0: FAIL (over-budget)
+  rounds 102, messages 3934, words 7353, spanner 53 edges
+  [3]
+
+The JSON report is one line per family with the failures inlined:
+
+  $ cat sweep.json
+  {"kind":"sweep","scenario":"tight-budget","samples":2,"intact":0,"patched":0,"degraded":0,"partitioned":0,"failed":2,"worst_rounds":175,"worst_words":9598,"worst_size":60,"worst_stretch":9,"stretch_bound":2859.5,"failures":[{"sample":0,"reason":"over-budget","rounds":154},{"sample":1,"reason":"over-budget","rounds":175}]}
+
+Scenario specs are plain text, so a family can live in a file:
+
+  $ cat > demo.scenario <<'EOF'
+  > #scenario v1
+  > name demo
+  > graph kind=gnp n=32 p=0.2 seed=11
+  > loss iid rate=0.05
+  > EOF
+  $ ../../bin/spanner_cli.exe sweep --spec demo.scenario --samples 3 --out-dir out2
+  scenario demo: 3 samples: 3 intact, 0 patched, 0 degraded, 0 partitioned, 0 FAIL
+  worst: 140 rounds, 5847 words, 47 spanner edges, stretch 12.00 (bound 2560.00)
+
+A misspelled family name is rejected with the spec-file error:
+
+  $ ../../bin/spanner_cli.exe sweep --spec no-such-family --samples 1
+  spanner_cli: no-such-family: No such file or directory
+  [1]

@@ -309,6 +309,7 @@ let test_trace_replay_reproduces_stats () =
       max_delay = 2;
       crashes = [ (7, 9) ];
       churn = [];
+      drop_profile = [];
     }
   in
   let tracer = Trace.create () in
@@ -542,9 +543,11 @@ let test_reliable_link_idle () =
 
 let test_fault_make_rejects_invalid_plans () =
   let g = Gen.path 4 in
-  let expect msg spec =
+  let expect ?(with_graph = true) msg spec =
     Alcotest.check_raises msg (Invalid_argument msg) (fun () ->
-        ignore (Fault.make ~seed:1 ~graph:g spec))
+        ignore
+          (if with_graph then Fault.make ~seed:1 ~graph:g spec
+           else Fault.make ~seed:1 spec))
   in
   let with_churn churn = { Fault.default_spec with Fault.churn } in
   expect "Fault.make: duplicate crash entry for node 1"
@@ -553,24 +556,51 @@ let test_fault_make_rejects_invalid_plans () =
     { Fault.default_spec with Fault.crashes = [ (1, -2) ] };
   expect "Fault.make: crash references vertex 99 outside this 4-vertex graph"
     { Fault.default_spec with Fault.crashes = [ (99, 5) ] };
-  expect "Fault.make: churn references vertex 99 outside this 4-vertex graph"
+  (* Churn rejections name the offending event index, constructor and
+     field, so a long sampled plan points at its own bad entry. *)
+  expect
+    "Fault.make: churn event #0 (edge_down): edge references vertex 99 \
+     outside this 4-vertex graph"
     (with_churn [ Fault.Edge_down { round = 1; u = 0; v = 99 } ]);
-  expect "Fault.make: churn references edge 0-2 not in the graph"
+  expect "Fault.make: churn event #0 (edge_down): edge references edge 0-2 \
+          not in the graph"
     (with_churn [ Fault.Edge_down { round = 1; u = 0; v = 2 } ]);
-  expect "Fault.make: churn round -1 < 0"
-    (with_churn [ Fault.Edge_down { round = -1; u = 0; v = 1 } ]);
-  expect "Fault.make: partition with no links"
+  expect "Fault.make: churn event #1 (edge_up): round -1 < 0"
+    (with_churn
+       [
+         Fault.Edge_down { round = 1; u = 0; v = 1 };
+         Fault.Edge_up { round = -1; u = 0; v = 1 };
+       ]);
+  expect "Fault.make: churn event #0 (partition): edges list is empty"
     (with_churn [ Fault.Partition { round = 1; edges = []; heal = None } ]);
-  expect "Fault.make: partition heal round 5 <= partition round 5"
+  expect
+    "Fault.make: churn event #0 (partition): edges references edge 0-3 not \
+     in the graph"
+    (with_churn
+       [ Fault.Partition { round = 1; edges = [ (0, 1); (0, 3) ]; heal = None } ]);
+  expect
+    "Fault.make: churn event #0 (partition): heal round 5 <= partition round 5"
     (with_churn
        [ Fault.Partition { round = 5; edges = [ (0, 1) ]; heal = Some 5 } ]);
   expect
-    "Fault.make: node 1 join round 0 < 1 (nodes present from the start need \
-     no join event)"
+    "Fault.make: churn event #0 (join): round 0 < 1 (nodes present from the \
+     start need no join event)"
     (with_churn [ Fault.Join { round = 0; node = 1 } ]);
-  expect "Fault.make: duplicate join entry for node 2"
+  expect ~with_graph:false
+    "Fault.make: churn event #0 (join): node references vertex -3"
+    { Fault.default_spec with Fault.churn = [ Fault.Join { round = 2; node = -3 } ] };
+  expect "Fault.make: churn event #1 (join): duplicate join entry for node 2"
     (with_churn
-       [ Fault.Join { round = 3; node = 2 }; Fault.Join { round = 7; node = 2 } ])
+       [ Fault.Join { round = 3; node = 2 }; Fault.Join { round = 7; node = 2 } ]);
+  (* Same discipline for the drop-rate profile. *)
+  expect "Fault.make: drop_profile segment #0: round -4 < 0"
+    { Fault.default_spec with Fault.drop_profile = [ (-4, 0.5) ] };
+  expect "Fault.make: drop_profile segment #1: rate 1.5 not in [0,1]"
+    { Fault.default_spec with Fault.drop_profile = [ (0, 0.1); (5, 1.5) ] };
+  expect
+    "Fault.make: drop_profile segment rounds must be strictly increasing \
+     (round 5 after round 5)"
+    { Fault.default_spec with Fault.drop_profile = [ (5, 0.1); (5, 0.2) ] }
 
 let test_churn_link_down_and_heal () =
   (* A down link refuses raw sends (structured error), reports itself
@@ -668,6 +698,62 @@ let test_churn_late_join_flood_reaches_all () =
     (fun v b -> checkb (Printf.sprintf "node %d reached" v) true b)
     reached
 
+(* ------------------------------------------------------------------ *)
+(* ARQ retransmission policy: the config knob and its metric *)
+
+let test_arq_config_default_is_historical () =
+  let c = Reliable.config () in
+  checkb "default config in force" true (c = Reliable.default_config);
+  checki "initial_rto" 3 c.Reliable.initial_rto;
+  checki "max_rto" 32 c.Reliable.max_rto;
+  checki "max_retries" 12 c.Reliable.max_retries;
+  checkb "backoff doubles" true (c.Reliable.backoff = 2.);
+  (* The legacy constants alias the default, so pinned traces that
+     were recorded against them stay honest. *)
+  checki "alias initial_rto" c.Reliable.initial_rto Reliable.initial_rto;
+  checki "alias max_rto" c.Reliable.max_rto Reliable.max_rto;
+  checki "alias max_retries" c.Reliable.max_retries Reliable.max_retries
+
+let test_arq_set_config_rejects_invalid () =
+  let expect msg c =
+    Alcotest.check_raises msg (Invalid_argument msg) (fun () ->
+        Reliable.set_config c)
+  in
+  expect "Reliable.set_config: initial_rto 0 < 1"
+    { Reliable.default_config with Reliable.initial_rto = 0 };
+  expect "Reliable.set_config: max_rto 2 < initial_rto 3"
+    { Reliable.default_config with Reliable.max_rto = 2 };
+  expect "Reliable.set_config: max_retries 0 < 1"
+    { Reliable.default_config with Reliable.max_retries = 0 };
+  expect "Reliable.set_config: backoff 0.5 < 1 (1 = fixed retransmit interval)"
+    { Reliable.default_config with Reliable.backoff = 0.5 };
+  expect "Reliable.set_config: backoff nan < 1 (1 = fixed retransmit interval)"
+    { Reliable.default_config with Reliable.backoff = Float.nan };
+  checkb "config untouched by rejections" true
+    (Reliable.config () = Reliable.default_config)
+
+let test_arq_backoff_escalation_metric () =
+  (* The escalation counter moves exactly when the RTO grows: never at
+     backoff 1 (fixed interval), and under real loss at the default 2.
+     Either way the protocol still converges to the exact answer. *)
+  Fun.protect ~finally:(fun () -> Reliable.set_config Reliable.default_config)
+  @@ fun () ->
+  let run backoff =
+    Reliable.set_config { Reliable.default_config with Reliable.backoff };
+    let r = Util.Prng.create ~seed:5 in
+    let g = Gen.connected_gnp r ~n:60 ~p:0.08 in
+    let faults =
+      Fault.make ~seed:2 { Fault.default_spec with Fault.drop = 0.3 }
+    in
+    let m = Obs.Metrics.create () in
+    let _, dist = Protocols.reliable_bfs ~faults ~metrics:m g ~root:0 in
+    let _, expected = Protocols.bfs g ~root:0 in
+    Alcotest.check (Alcotest.array Alcotest.int) "distances exact" expected dist;
+    Obs.Metrics.counter_value (Obs.Metrics.counter m "arq_backoff_escalations")
+  in
+  checki "backoff 1 never escalates" 0 (run 1.);
+  checkb "backoff 2 escalates under 30% loss" true (run 2. > 0)
+
 let suite =
   [
     ( "distnet.engine",
@@ -735,6 +821,15 @@ let suite =
           test_recovery_checkpoints;
         Alcotest.test_case "detector precedence" `Quick test_recovery_detector;
         Alcotest.test_case "ARQ link idleness" `Quick test_reliable_link_idle;
+      ] );
+    ( "distnet.arq_config",
+      [
+        Alcotest.test_case "default is the historical constants" `Quick
+          test_arq_config_default_is_historical;
+        Alcotest.test_case "set_config names the offending field" `Quick
+          test_arq_set_config_rejects_invalid;
+        Alcotest.test_case "backoff escalation metric" `Quick
+          test_arq_backoff_escalation_metric;
       ] );
     ( "distnet.churn",
       [
