@@ -375,6 +375,17 @@ let simulate_cmd =
       & info [ "crash" ] ~docv:"SPEC"
           ~doc:"Crash-stop schedule, e.g. 3@5,9@12 (node 3 dies at round 5).")
   in
+  let restart =
+    Arg.(
+      value
+      & opt string ""
+      & info [ "restart" ] ~docv:"SPEC"
+          ~doc:
+            "Crash-recovery schedule, e.g. 3@40 (node 3 restarts at round 40 \
+             with a fresh incarnation).  Every restarted node must also \
+             appear in --crash, with an earlier round; the repair pass \
+             reintegrates it after the last restart lands.")
+  in
   let trace_file =
     Arg.(
       value
@@ -559,11 +570,11 @@ let simulate_cmd =
              interval; default 2 = classic doubling, byte-identical to \
              historical behavior).")
   in
-  let run kind n p seed input drop dup delay max_delay crash crash_frac
-      crash_max_round edge_drop edge_up partition partition_round heal_round
-      join churn_trace phase_limit certify mutate trace_file replay_file
-      metrics_file metrics_summary spans_file audit_bounds strict protocol
-      root arq_backoff =
+  let run kind n p seed input drop dup delay max_delay crash restart
+      crash_frac crash_max_round edge_drop edge_up partition partition_round
+      heal_round join churn_trace phase_limit certify mutate trace_file
+      replay_file metrics_file metrics_summary spans_file audit_bounds strict
+      protocol root arq_backoff =
     if arq_backoff <> Distnet.Reliable.default_config.Distnet.Reliable.backoff
     then begin
       try
@@ -653,6 +664,7 @@ let simulate_cmd =
               delay;
               max_delay;
               crashes;
+              restarts = parse_crashes restart;
               churn;
               drop_profile = [];
             }
@@ -751,18 +763,23 @@ let simulate_cmd =
                   rc.Spanner.Skeleton_dist.checkpoints
                   rc.Spanner.Skeleton_dist.retransmissions
                   rc.Spanner.Skeleton_dist.dead_letters;
-              let churned = Distnet.Fault.has_churn faults in
-              if churned then begin
+              let repaired =
+                Distnet.Fault.has_churn faults
+                || Distnet.Fault.has_restarts faults
+              in
+              if repaired then begin
                 let rp = r.Spanner.Skeleton_dist.repair in
                 Format.printf
                   "repair: %a (%d dead spanner edges, %d rehooked, %d \
-                   replaced, %d keep-all, %d rounds, %d components)@."
+                   replaced, %d keep-all, %d rejoined, %d rounds, %d \
+                   components)@."
                   Spanner.Skeleton_dist.pp_outcome
                   rp.Spanner.Skeleton_dist.outcome
                   rp.Spanner.Skeleton_dist.dead_spanner_edges
                   rp.Spanner.Skeleton_dist.rehooked
                   rp.Spanner.Skeleton_dist.replaced_edges
                   rp.Spanner.Skeleton_dist.keep_all_fallbacks
+                  rp.Spanner.Skeleton_dist.rejoined
                   rp.Spanner.Skeleton_dist.repair_rounds
                   rp.Spanner.Skeleton_dist.components
               end;
@@ -797,8 +814,8 @@ let simulate_cmd =
                   r.Spanner.Skeleton_dist.dead_edges;
                 let verdict =
                   Spanner.Certify.run
-                    ~down_edge:(fun e -> churned && down.(e))
-                    ~per_component:churned ~metrics:reg
+                    ~down_edge:(fun e -> repaired && down.(e))
+                    ~per_component:repaired ~metrics:reg
                     ~plan:r.Spanner.Skeleton_dist.plan ~witness:w g spanner
                 in
                 Format.printf "%a@." Spanner.Certify.pp verdict;
@@ -907,8 +924,8 @@ let simulate_cmd =
           crashes), optionally tracing every event for deterministic replay.")
     Term.(
       const run $ kind_arg $ n_arg $ p_arg $ seed_arg $ input_arg $ drop $ dup
-      $ delay $ max_delay $ crash $ crash_frac $ crash_max_round $ edge_drop
-      $ edge_up $ partition $ partition_round $ heal_round $ join
+      $ delay $ max_delay $ crash $ restart $ crash_frac $ crash_max_round
+      $ edge_drop $ edge_up $ partition $ partition_round $ heal_round $ join
       $ churn_trace $ phase_limit $ certify $ mutate $ trace_file
       $ replay_file $ metrics_file $ metrics_summary $ spans_file
       $ audit_bounds $ strict $ protocol $ root $ arq_backoff)
@@ -1741,8 +1758,9 @@ let sweep_cmd =
       & info [ "spec" ] ~docv:"NAME|FILE"
           ~doc:
             "Scenario families to sweep: a built-in name (crash-storm, \
-             bursty-loss, churn-heavy, mixed, tight-budget) or a scenario \
-             spec file.  Repeatable; defaults to the four fault staples.")
+             bursty-loss, churn-heavy, mixed, restart-storm, tight-budget) \
+             or a scenario spec file.  Repeatable; defaults to the four \
+             fault staples.")
   in
   let samples =
     Arg.(

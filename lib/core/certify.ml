@@ -8,6 +8,9 @@ type witness = {
   calls_alive : int array;
   kept_all : bool array;
   crashed : bool array;
+  rejoined : bool array;
+      (** crashed, restarted, and reintegrated by the repair pass —
+          audited like any live vertex, and counted in the verdict *)
   max_abort_q : int;
 }
 
@@ -21,6 +24,7 @@ type verdict = {
   stretch_bound : float;
   size_ratio : float;
   components : int;
+  rejoined : int;
 }
 
 let ok v = List.for_all (fun c -> c.ok) v.checks
@@ -81,9 +85,12 @@ let run ?(sources = 8) ?(seed = 1) ?(down_edge = fun _ -> false)
   let n = Graph.n g in
   let w = witness in
   let live v = not w.crashed.(v) in
-  let live_count = ref 0 in
+  let live_count = ref 0 and rejoined_count = ref 0 in
   for v = 0 to n - 1 do
-    if live v then incr live_count
+    if live v then begin
+      incr live_count;
+      if w.rejoined.(v) then incr rejoined_count
+    end
   done;
   (* A check accumulates its first few violations into the detail. *)
   let violations = ref 0 and examples = ref [] in
@@ -272,6 +279,7 @@ let run ?(sources = 8) ?(seed = 1) ?(down_edge = fun _ -> false)
       size_ratio =
         float_of_int size /. Bounds.skeleton_size ~n:plan.Plan.n ~d:plan.Plan.d;
       components = !ncomp;
+      rejoined = !rejoined_count;
     }
   in
   if Obs.Metrics.enabled metrics then
@@ -290,11 +298,13 @@ let run ?(sources = 8) ?(seed = 1) ?(down_edge = fun _ -> false)
 (* ------------------------------------------------------------------ *)
 
 let pp fmt v =
-  Format.fprintf fmt "certification: %s (%d live vertices, %d pairs, size ratio %.2f%s)"
+  Format.fprintf fmt
+    "certification: %s (%d live vertices, %d pairs, size ratio %.2f%s%s)"
     (if ok v then "PASS" else "FAIL")
     v.live v.pairs v.size_ratio
     (if v.components > 1 then Printf.sprintf ", %d components" v.components
-     else "");
+     else "")
+    (if v.rejoined > 0 then Printf.sprintf ", %d rejoined" v.rejoined else "");
   List.iter
     (fun c ->
       Format.fprintf fmt "@.  [%s] %s: %s" (if c.ok then "ok" else "FAIL") c.name
@@ -314,6 +324,7 @@ let pp_json fmt v =
   Buffer.add_string b
     (Printf.sprintf
        "], \"live\": %d, \"pairs\": %d, \"max_stretch\": %.4f, \"stretch_bound\": \
-        %.4f, \"size_ratio\": %.4f, \"components\": %d}"
-       v.live v.pairs v.max_stretch v.stretch_bound v.size_ratio v.components);
+        %.4f, \"size_ratio\": %.4f, \"components\": %d, \"rejoined\": %d}"
+       v.live v.pairs v.max_stretch v.stretch_bound v.size_ratio v.components
+       v.rejoined);
   Format.pp_print_string fmt (Buffer.contents b)

@@ -44,7 +44,11 @@ type witness = {
   kept_all : bool array;
       (** the vertex kept {e all} incident edges: the paper's abort
           rule, or orphan crash recovery *)
-  crashed : bool array;  (** crash-stopped during the run *)
+  crashed : bool array;  (** crash-stopped during the run, never revived *)
+  rejoined : bool array;
+      (** crashed, restarted, and reintegrated by the repair pass: the
+          vertex is audited like any live vertex (its [crashed] flag is
+          false) and counted in the verdict's [rejoined] *)
   max_abort_q : int;  (** largest [4 s_i ln n] threshold of the plan *)
 }
 
@@ -58,6 +62,7 @@ type verdict = {
   stretch_bound : float;  (** Theorem 2's bound for the plan's n, D, eps *)
   size_ratio : float;  (** measured size / Lemma 6 expectation (reported) *)
   components : int;  (** components of the surviving graph *)
+  rejoined : int;  (** audited vertices that crashed and rejoined *)
 }
 
 val ok : verdict -> bool

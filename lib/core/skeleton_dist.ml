@@ -25,6 +25,7 @@ type repair_report = {
   keep_all_fallbacks : int;
   repair_rounds : int;
   components : int;
+  rejoined : int;  (** restarted nodes reintegrated by this pass *)
 }
 
 let no_repair =
@@ -36,6 +37,7 @@ let no_repair =
     keep_all_fallbacks = 0;
     repair_rounds = 0;
     components = 1;
+    rejoined = 0;
   }
 
 let pp_outcome ppf = function
@@ -235,6 +237,10 @@ let build_with ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled)
   let contributed = Array.make n 0 in
   let calls_alive = Array.make n 0 in
   let kept_all = Array.make n false in
+  (* Orphans detach their hook label (see [do_orphan]); the repair
+     pass uses this to root them so the wave can reattach the
+     fragment instead of leaving it on the keep-all rung. *)
+  let orphan_detached = Array.make n false in
   let det = Recovery.Detector.create ~n in
   let ckpt = Recovery.Checkpoints.create ~n () in
   let orphans = ref 0 in
@@ -249,13 +255,25 @@ let build_with ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled)
     ref (fun () ->
         { Sim.rounds = 0; messages = 0; words = 0; max_message_words = 0 })
   in
-  (* [crashed_now v]: has the fault plan crash-stopped [v] by the
-     current round?  Used only to freeze a crashed node's execution
-     (the engine already silences its wire) — never to inform a live
-     node's decisions, which see crashes exclusively through the
-     failure detector. *)
+  (* [crashed_now v]: is the fault plan holding [v] down at the current
+     round?  This is the ENGINE's view — false again once a scheduled
+     restart lands, so a reborn node's transport pumps and its probes
+     ack.  Used only to freeze a down node's execution (the engine
+     already silences its wire) — never to inform a live node's
+     decisions, which see crashes exclusively through the failure
+     detector.  [proto_dead v] is the PROTOCOL's view: a node that ever
+     crashed stays out of the call machinery forever (its in-call state
+     died with it); its reborn incarnation re-enters through the repair
+     pass only.  Without restarts the two coincide, so crash-stop runs
+     are untouched. *)
+  let crash_round = Array.make n max_int in
+  List.iter
+    (fun (r, v) -> if r < crash_round.(v) then crash_round.(v) <- r)
+    (Fault.crash_schedule faults);
   let crashed_now v = Fault.crashed faults ~round:(!round_now ()) v in
-  let is_live nd = nd.alive && (not nd.orphaned) && not (crashed_now nd.id) in
+  let proto_dead v = !round_now () >= crash_round.(v) in
+  let is_live nd = nd.alive && (not nd.orphaned) && not (proto_dead nd.id) in
+  let restarting = Fault.has_restarts faults in
   (* Churn-aware views of the topology (identity without churn): is an
      edge currently up, and is a vertex present — joined and not
      crash-stopped?  The repair pass decides exclusively through these,
@@ -430,6 +448,14 @@ let build_with ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled)
           nd.cl_center <- cl;
           nd.cl_fu <- fu
       | None -> ());
+      (* The hook label is stale the moment the path to the root is
+         gone: a concurrent decision wave may already have flipped the
+         parent on the far side to point at us, and keeping our old
+         upward hook would close a cycle in the witness forest.  Detach
+         — the keep-all below preserves connectivity and stretch, and
+         the node re-enters as its own fragment root if repair runs. *)
+      set_p2 nd (-1);
+      orphan_detached.(nd.id) <- true;
       kept_all.(nd.id) <- true;
       Hashtbl.iter
         (fun w e ->
@@ -559,6 +585,16 @@ let build_with ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled)
   let center_best = Array.make n (Hashtbl.create 0) in
 
   let dispatch ~dst ~src m =
+    (* Crash-recovery: the first protocol message delivered from a
+       reborn incarnation (repair traffic, typically) retracts the
+       transport suspicion its predecessor earned by dying — the
+       detector learns to unsuspect.  An announced death stays
+       announced; the reborn node re-enters through repair regardless. *)
+    if
+      restarting
+      && Recovery.Detector.is_suspected det src
+      && Fault.incarnation faults ~round:(!round_now ()) src > 0
+    then Recovery.Detector.unsuspect det src;
     let nd = nodes.(dst) in
     match m with
     | Exchange { cl; fu } ->
@@ -1154,8 +1190,12 @@ let build_with ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled)
      paper's keep-all abort; a live graph that is itself disconnected
      is reported as partitioned, never as a failure. *)
   let run_repair ~fast_forward () =
-    (* Let every scheduled churn event land before assessing damage. *)
-    fast_forward (Fault.last_churn_round faults);
+    (* Let every scheduled churn event and restart land before
+       assessing damage. *)
+    fast_forward
+      (Stdlib.max
+         (Fault.last_churn_round faults)
+         (Fault.last_restart_round faults));
     record_phase "churn-forward";
     let live v = present_now v in
     let edge_up e = !edge_up_now e in
@@ -1183,12 +1223,37 @@ let build_with ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled)
         roots := v :: !roots
       end
     done;
+    (* An orphan detached its hook when it aborted; if the protocol
+       never re-hooked it, root it here so the wave reattaches the
+       fragment rather than leaving it on the keep-all rung. *)
+    for v = 0 to n - 1 do
+      if live v && orphan_detached.(v) && parent.(v) < 0 then
+        roots := v :: !roots
+    done;
     (* A joiner nobody ever heard from is a singleton fragment. *)
     List.iter
       (fun (_, v) ->
         if live v && parent.(v) < 0 && Recovery.Detector.is_suspected det v
         then roots := v :: !roots)
       (Fault.join_schedule faults);
+    (* A reborn node re-enters through this pass.  If its pre-crash
+       hook survives (parent live, edge up, edge still in the spanner)
+       its subtree is still attached and nothing moves; a dead parent
+       or down hook edge was already rooted by the sweep above.  What
+       remains is the node that crashed before ever hooking, or whose
+       hook edge fell out of the spanner while it was down: it roots
+       its own fragment, like a never-integrated joiner. *)
+    let rejoined = ref 0 in
+    List.iter
+      (fun (r, v) ->
+        if r <= !round_now () && live v then begin
+          incr rejoined;
+          if parent.(v) >= 0 && not (Edge_set.mem spanner parent_edge.(v))
+          then rp_set_parent nodes.(v) (-1);
+          if parent.(v) < 0 then roots := v :: !roots
+        end)
+      (Fault.restart_schedule faults);
+    let rejoined = !rejoined in
     let roots = ref (List.sort_uniq compare !roots) in
     (* 3. Dead non-hook edges were kept for stretch across clusters;
        each live endpoint substitutes its cheapest usable non-spanner
@@ -1424,8 +1489,10 @@ let build_with ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled)
     let outcome =
       if ncomp > 1 then Partitioned ncomp
       else if !rp_keep_alls > 0 then Degraded
-      else if dead_spanner_edges = 0 && !rehooked = 0 && !rp_replaced = 0 then
-        Intact
+      else if
+        dead_spanner_edges = 0 && !rehooked = 0 && !rp_replaced = 0
+        && rejoined = 0
+      then Intact
       else Patched
     in
     repair_ref :=
@@ -1437,6 +1504,7 @@ let build_with ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled)
         keep_all_fallbacks = !rp_keep_alls;
         repair_rounds = !round_now () - start_round;
         components = ncomp;
+        rejoined;
       };
     let down = ref [] in
     for e = Graph.m g - 1 downto 0 do
@@ -1494,12 +1562,73 @@ let build_with ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled)
     let inboxes : (int * R.message) list array = Array.make n [] in
     let suspects_seen = Array.make n 0 in
     emit_ref := (fun ~src ~dst m -> outbox.(src) <- (dst, m) :: outbox.(src));
+    (* Crash-recovery: when a node's restart round arrives, revive it.
+       The reborn node is engine-live but protocol-dead ([proto_dead]):
+       its transport pumps and its probes ack, but it rejoins the
+       output only through the repair pass.  Reviving means amnesia —
+       fresh ARQ state on BOTH sides of every incident link (the
+       reborn node must not consume its predecessor's acks, nor have
+       its restarted sequence numbers swallowed as duplicates), the
+       phase-boundary checkpoint restored, and every neighbor that had
+       not yet written the node off forced to do so now: the crash
+       severed their sessions, and the abandonment that would have
+       ripened into a suspicion died with the reset. *)
+    let pending_revives = ref (Fault.restart_schedule faults) in
+    let revive ~round v =
+      inboxes.(v) <- [];
+      outbox.(v) <- [];
+      states.(v) <- fst (R.init g v);
+      suspects_seen.(v) <- 0;
+      let nd = nodes.(v) in
+      (match Recovery.Checkpoints.restore ckpt v with
+      | Some (cl, fu) ->
+          nd.cl_center <- cl;
+          nd.cl_fu <- fu
+      | None -> ());
+      nd.alive <- false;
+      nd.orphaned <- false;
+      nd.is_dying <- false;
+      nd.p1_children <- [];
+      nd.p2_children <- [];
+      Hashtbl.reset nd.nb_dead;
+      nd.nb_cl <- Hashtbl.create 4;
+      nd.ex_waiting <- Hashtbl.create 4;
+      nd.deciding <- false;
+      nd.cv_waiting <- Hashtbl.create 4;
+      nd.report_sent <- false;
+      nd.best <- None;
+      nd.best_peer <- -1;
+      nd.best_from <- -1;
+      nd.wave_done <- false;
+      nd.die_queue <- Queue.create ();
+      nd.die_sent <- Hashtbl.create 4;
+      nd.die_waiting <- Hashtbl.create 4;
+      nd.die_done_sent <- false;
+      nd.fin_queue <- Queue.create ();
+      nd.fin_src_done <- false;
+      nd.fin_done_sent <- false;
+      nd.fin_aborting <- false;
+      Graph.iter_neighbors g v (fun w _ ->
+          R.reset_peer states.(w) ~round v;
+          suspects_seen.(w) <- List.length (R.suspected states.(w));
+          if (not (proto_dead w)) && not (Hashtbl.mem nodes.(w).nb_dead v)
+          then on_suspect ~by:w v)
+    in
     pump_ref :=
       (fun () ->
         ignore
           (Sim.step net (fun ~dst ~src m ->
                inboxes.(dst) <- (src, m) :: inboxes.(dst)));
         let round = Sim.round net in
+        (if restarting then
+           match !pending_revives with
+           | (r, _) :: _ when r <= round ->
+               let landed, rest =
+                 List.partition (fun (r, _) -> r <= round) !pending_revives
+               in
+               pending_revives := rest;
+               List.iter (fun (_, v) -> revive ~round v) landed
+           | _ -> ());
         for v = 0 to n - 1 do
           let inbox = List.rev inboxes.(v) in
           inboxes.(v) <- [];
@@ -1547,7 +1676,7 @@ let build_with ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled)
         R.link_idle states.(v) w
         && not (List.exists (fun (d, _) -> d = w) outbox.(v)));
     run_plan ();
-    if dynamic then
+    if dynamic || restarting then
       run_repair
         ~fast_forward:(fun target ->
           while Sim.round net < target do
@@ -1597,6 +1726,18 @@ let build_with ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled)
            && parent.(v) < 0 && not kept_all.(v))
       then crashed.(v) <- true)
     (Fault.join_schedule faults);
+  (* A restart that landed puts the node back among the audited: the
+     repair pass reintegrated it (rehooked, attached, or keep-all), so
+     Certify holds it to the same subset/forest/contribution/stretch
+     obligations as any live vertex — and counts it as rejoined. *)
+  let rejoined = Array.make n false in
+  List.iter
+    (fun (round, v) ->
+      if round <= stats.Sim.rounds then begin
+        crashed.(v) <- false;
+        rejoined.(v) <- true
+      end)
+    (Fault.restart_schedule faults);
   let witness =
     {
       Certify.parent;
@@ -1605,6 +1746,7 @@ let build_with ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled)
       calls_alive;
       kept_all;
       crashed;
+      rejoined;
       max_abort_q =
         Array.fold_left
           (fun acc (c : Plan.call) -> Stdlib.max acc c.Plan.abort_q)

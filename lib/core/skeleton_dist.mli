@@ -72,8 +72,8 @@ type repair_outcome = Intact | Patched | Degraded | Partitioned of int
 
 val pp_outcome : Format.formatter -> repair_outcome -> unit
 
-(** What the incremental repair pass did after the last churn event
-    ([no_repair]-equal on a churn-free run). *)
+(** What the incremental repair pass did after the last churn event or
+    restart ([no_repair]-equal on a churn- and restart-free run). *)
 type repair_report = {
   outcome : repair_outcome;
   dead_spanner_edges : int;  (** spanner edges swept because down *)
@@ -82,6 +82,10 @@ type repair_report = {
   keep_all_fallbacks : int;  (** fragments degraded to keep-all *)
   repair_rounds : int;  (** engine rounds spent repairing *)
   components : int;  (** live-graph components after churn *)
+  rejoined : int;
+      (** restarted nodes reintegrated by this pass — rehooked,
+          still attached, or degraded to keep-all; each is audited by
+          {!Certify.run} like any live vertex *)
 }
 
 val no_repair : repair_report
@@ -160,7 +164,19 @@ val build_with :
     last churn event after the schedule completes and executes the
     incremental repair pass (see {!repair_report}); down links during
     the run look like loss to the ARQ and ripen into suspicions if
-    they stay down past the retry horizon.  [phase_round_limit] bounds
+    they stay down past the retry horizon.
+
+    With a restart-carrying fault plan (crash-recovery), a node whose
+    restart round arrives is revived with a fresh incarnation: its ARQ
+    sessions are reset on both sides of every incident link, its
+    exchange-boundary checkpoint is restored, and every neighbor that
+    had not yet written it off is forced to now (the crash severed
+    their sessions, so the abandonment that would have ripened into a
+    suspicion died with the reset).  The reborn node is engine-live
+    but stays out of the call machinery; the repair pass reintegrates
+    it — re-hooked, still attached, or keep-all — and reports it in
+    [rejoined].  The failure detector retracts its suspicion on the
+    first message delivered from the new incarnation.  [phase_round_limit] bounds
     the rounds any one phase may spend (default [10_000 + 500 n]).
 
     @raise Stuck if a phase cannot complete and probing the awaited

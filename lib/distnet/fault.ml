@@ -10,6 +10,7 @@ type spec = {
   delay : float;
   max_delay : int;
   crashes : (int * int) list;
+  restarts : (int * int) list;
   churn : churn_event list;
   drop_profile : (int * float) list;
 }
@@ -21,6 +22,7 @@ let default_spec =
     delay = 0.;
     max_delay = 1;
     crashes = [];
+    restarts = [];
     churn = [];
     drop_profile = [];
   }
@@ -84,11 +86,13 @@ type t =
       spec : spec;
       profile : (int * float) array;  (* sorted drop_profile, for search *)
       crashed_at : (int, int) Hashtbl.t;
+      restarted_at : (int, int) Hashtbl.t;
       dyn : dynamics;
     }
   | Scripted of {
       script : script;
       crashed_at : (int, int) Hashtbl.t;
+      restarted_at : (int, int) Hashtbl.t;
       dyn : dynamics;
     }
 
@@ -104,6 +108,44 @@ let crash_table crashes =
       | _ -> Hashtbl.replace tbl v r)
     crashes;
   tbl
+
+let restart_table restarts =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun (v, r) -> Hashtbl.replace tbl v r) restarts;
+  tbl
+
+(* Restart rejections follow the churn discipline: every error names
+   the offending event's index in the listed plan and the field at
+   fault.  A restart is only meaningful for a node that crashed, and
+   only strictly after its crash round — the node must have been down
+   for at least one round for the incarnation to change. *)
+let validate_restarts ?graph ~crashed_at restarts =
+  let seen = Hashtbl.create 8 in
+  List.iteri
+    (fun i (v, r) ->
+      let reject fmt =
+        Printf.ksprintf
+          (fun detail ->
+            invalid_arg
+              (Printf.sprintf "Fault.make: restart event #%d: %s" i detail))
+          fmt
+      in
+      (match graph with
+      | Some g when v < 0 || v >= Graphlib.Graph.n g ->
+          reject "node references vertex %d outside this %d-vertex graph" v
+            (Graphlib.Graph.n g)
+      | _ -> if v < 0 then reject "node references vertex %d" v);
+      (match Hashtbl.find_opt crashed_at v with
+      | None ->
+          reject "node %d has no crash entry (only crashed nodes can restart)"
+            v
+      | Some rc ->
+          if r <= rc then
+            reject "restart round %d not after node %d's crash round %d" r v
+              rc);
+      if Hashtbl.mem seen v then reject "duplicate restart entry for node %d" v;
+      Hashtbl.replace seen v ())
+    restarts
 
 (* Every churn rejection names the offending event — its index in the
    listed plan, its constructor, and the field at fault — so a plan
@@ -229,18 +271,22 @@ let make ~seed ?graph spec =
     spec.crashes;
   validate_churn ?graph spec.churn;
   validate_drop_profile spec.drop_profile;
+  let crashed_at = crash_table spec.crashes in
+  validate_restarts ?graph ~crashed_at spec.restarts;
   Random
     {
       rng = Util.Prng.create ~seed;
       spec;
       profile = Array.of_list spec.drop_profile;
-      crashed_at = crash_table spec.crashes;
+      crashed_at;
+      restarted_at = restart_table spec.restarts;
       dyn = dynamics_of_churn spec.churn;
     }
 
 let scripted events =
   let fates = Hashtbl.create 256 in
   let crashes = ref [] in
+  let restarts = ref [] in
   let rev_churn = ref [] in
   let merge key f =
     let dup, delay =
@@ -262,6 +308,7 @@ let scripted events =
       | Trace.Dup -> merge key `Dup
       | Trace.Delay k -> merge key (`Delay k)
       | Trace.Crash -> crashes := (e.Trace.src, e.Trace.round) :: !crashes
+      | Trace.Restart -> restarts := (e.Trace.src, e.Trace.round) :: !restarts
       | Trace.Edge_down ->
           rev_churn :=
             Edge_down { round = e.Trace.round; u = e.Trace.src; v = e.Trace.dst }
@@ -284,6 +331,7 @@ let scripted events =
     {
       script = { fates };
       crashed_at = crash_table !crashes;
+      restarted_at = restart_table !restarts;
       dyn = dynamics_of_churn (List.rev !rev_churn);
     }
 
@@ -337,11 +385,36 @@ let crashed_table = function
   | None_ -> None
   | Random { crashed_at; _ } | Scripted { crashed_at; _ } -> Some crashed_at
 
+let restarted_table = function
+  | None_ -> None
+  | Random { restarted_at; _ } | Scripted { restarted_at; _ } ->
+      Some restarted_at
+
+(* Crash-recovery: a node is down on the half-open interval
+   [crash_round, restart_round); without a restart entry the crash is
+   permanent (crash-stop, the pre-existing semantics). *)
 let crashed t ~round v =
   match crashed_table t with
   | None -> false
   | Some tbl -> (
-      match Hashtbl.find_opt tbl v with Some r -> round >= r | None -> false)
+      match Hashtbl.find_opt tbl v with
+      | None -> false
+      | Some rc ->
+          round >= rc
+          && (match restarted_table t with
+             | None -> true
+             | Some rt -> (
+                 match Hashtbl.find_opt rt v with
+                 | Some rr -> round < rr
+                 | None -> true)))
+
+let incarnation t ~round v =
+  match restarted_table t with
+  | None -> 0
+  | Some rt -> (
+      match Hashtbl.find_opt rt v with
+      | Some rr when round >= rr -> 1
+      | _ -> 0)
 
 let crash_schedule t =
   match crashed_table t with
@@ -349,6 +422,23 @@ let crash_schedule t =
   | Some tbl ->
       Hashtbl.fold (fun v r acc -> (r, v) :: acc) tbl []
       |> List.sort compare
+
+let restart_schedule t =
+  match restarted_table t with
+  | None -> []
+  | Some tbl ->
+      Hashtbl.fold (fun v r acc -> (r, v) :: acc) tbl []
+      |> List.sort compare
+
+let has_restarts t =
+  match restarted_table t with
+  | None -> false
+  | Some tbl -> Hashtbl.length tbl > 0
+
+let last_restart_round t =
+  match restarted_table t with
+  | None -> 0
+  | Some tbl -> Hashtbl.fold (fun _ r acc -> max acc r) tbl 0
 
 let dynamics = function
   | None_ -> no_dynamics

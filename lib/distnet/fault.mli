@@ -10,10 +10,15 @@
     {!scripted} plan takes its decisions from a recorded {!Trace}
     instead, which is how replay reproduces a run bit-for-bit.
 
-    Crash-stop semantics: a node with crash round [r] participates
+    Crash-recovery semantics: a node with crash round [r] participates
     fully in rounds [< r]; from round [r] on it neither sends nor
     receives.  Messages it put on the wire in round [r - 1] are still
-    delivered (they had already left the node).
+    delivered (they had already left the node).  A node may additionally
+    carry a {e restart} entry [(v, r')] with [r' > r]: it comes back at
+    the start of round [r'] with a fresh {e incarnation number}, and the
+    engine discards any message sent by or addressed to the old
+    incarnation.  Without a restart entry the crash is permanent
+    (crash-stop, the pre-existing model).
 
     Churn semantics: the engine applies the scheduled actions of round
     [r] at the start of round [r], before any delivery of that round.
@@ -43,7 +48,11 @@ type spec = {
   dup : float;  (** probability a delivered message arrives twice *)
   delay : float;  (** probability a message is held back *)
   max_delay : int;  (** held-back messages wait uniform [1..max_delay] rounds *)
-  crashes : (int * int) list;  (** [(node, round)] crash-stop schedule *)
+  crashes : (int * int) list;  (** [(node, round)] crash schedule *)
+  restarts : (int * int) list;
+      (** [(node, round)] restart schedule: each node must also appear
+          in [crashes] with an earlier round, and comes back at the
+          start of its restart round with incarnation 1 *)
   churn : churn_event list;  (** topology changes, applied between rounds *)
   drop_profile : (int * float) list;
       (** piecewise-constant loss-rate schedule overriding [drop]:
@@ -79,21 +88,25 @@ val make : seed:int -> ?graph:Graphlib.Graph.t -> spec -> t
     crash entries, a churn event references a negative round or (given
     [graph]) a vertex or edge the graph does not have, a partition is
     empty or heals no later than it starts, a node has two join
-    entries or a join round [< 1], or a [drop_profile] segment has a
-    negative round, a rate outside [0,1], or a round not strictly
-    after its predecessor's.  Churn and profile rejections name the
+    entries or a join round [< 1], a restart names a node without a
+    crash entry, restarts no later than that node's crash round, has a
+    duplicate entry, or (given [graph]) references a vertex the graph
+    does not have, or a [drop_profile] segment has a negative round, a
+    rate outside [0,1], or a round not strictly after its
+    predecessor's.  Churn, restart, and profile rejections name the
     offending event/segment index and field. *)
 
 val scripted : Trace.event list -> t
 (** A plan that replays the decisions recorded in a trace: the fate of
     the message processed at [(round, src, dst)] is rebuilt from that
-    trace's [Drop Loss]/[Dup]/[Delay] events, the crash schedule from
-    its [Crash] events, and the churn plan from its
-    [Edge_down]/[Edge_up]/[Join] events (partition/heal markers are
-    informational: each partitioned link is also traced as its own
-    edge event).  Messages with no recorded fault event pass through
-    untouched, so replaying a trace on the same graph and protocol
-    reproduces the original run bit-for-bit. *)
+    trace's [Drop Loss]/[Dup]/[Delay] events, the crash and restart
+    schedules from its [Crash]/[Restart] events, and the churn plan
+    from its [Edge_down]/[Edge_up]/[Join] events (partition/heal
+    markers are informational: each partitioned link is also traced as
+    its own edge event; stale-incarnation drops are schedule-induced
+    and re-derived).  Messages with no recorded fault event pass
+    through untouched, so replaying a trace on the same graph and
+    protocol reproduces the original run bit-for-bit. *)
 
 val churn_of_trace : Trace.event list -> churn_event list
 (** The churn events a recorded trace contains
@@ -111,11 +124,31 @@ val fate : t -> round:int -> src:int -> dst:int -> fate
     exactly once per processed message, in deterministic order. *)
 
 val crashed : t -> round:int -> int -> bool
-(** [crashed t ~round v]: has [v] crash-stopped by [round]? *)
+(** [crashed t ~round v]: is [v] down at [round]?  True on the
+    half-open interval [crash_round, restart_round) — or from the crash
+    round on forever when the node has no restart entry. *)
+
+val incarnation : t -> round:int -> int -> int
+(** [incarnation t ~round v]: the incarnation of [v] current at
+    [round] — [0] before its restart round (including forever for
+    nodes that never restart), [1] from the restart round on. *)
 
 val crash_schedule : t -> (int * int) list
 (** [(round, node)] pairs sorted by round — the engine uses this to
     emit [Crash] trace events as the rounds are reached. *)
+
+val restart_schedule : t -> (int * int) list
+(** [(round, node)] pairs sorted by round — the engine uses this to
+    emit [Restart] trace events as the rounds are reached. *)
+
+val has_restarts : t -> bool
+(** Does the plan schedule any restart at all?  [false] keeps the
+    engine on the crash-stop fast path, byte-identical to before the
+    crash-recovery model existed. *)
+
+val last_restart_round : t -> int
+(** The latest scheduled restart round ([0] when none) — lets a driver
+    idle the engine forward until every reborn node is back. *)
 
 (** {1 Churn schedule}
 

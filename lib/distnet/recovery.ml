@@ -40,6 +40,18 @@ module Detector = struct
     | Up | Announced -> ());
     t.status.(v) <- Announced
 
+  (* Crash-recovery: hearing from a suspected node again means it
+     restarted — the suspicion belonged to its previous incarnation.
+     An announced death is NOT revoked: the node completed its duties
+     and left the algorithm; its reborn incarnation re-enters through
+     repair, not by resurrecting its old role. *)
+  let unsuspect t v =
+    match t.status.(v) with
+    | Suspected ->
+        t.status.(v) <- Up;
+        t.nsuspected <- t.nsuspected - 1
+    | Up | Announced -> ()
+
   let is_down t v = t.status.(v) <> Up
   let is_suspected t v = t.status.(v) = Suspected
 

@@ -59,6 +59,13 @@ module Detector : sig
   val note_death : t -> int -> unit
   (** Protocol-level: this node announced its own (clean) death. *)
 
+  val unsuspect : t -> int -> unit
+  (** Crash-recovery: a message from this node arrived after it was
+      suspected, so the suspicion belonged to a previous incarnation —
+      return it to [Up].  A node that announced its own death stays
+      [Announced]: its old role completed, and its reborn incarnation
+      re-enters through repair instead. *)
+
   val is_down : t -> int -> bool
   (** Suspected or announced dead — either way, no further message
       from this node will ever arrive. *)

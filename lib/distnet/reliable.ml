@@ -234,6 +234,35 @@ module Make (P : Sim.PROTOCOL) = struct
     enqueue st msgs;
     (st, flush st ~round:0)
 
+  (* Forget everything about one peer's sessions — both directions.
+     Called when the peer restarts with a fresh incarnation: its ARQ
+     state is gone, so our sequence numbers mean nothing to it (and its
+     pre-crash acks must never complete our new transmissions), and the
+     dedup table must not swallow the reborn peer's restarted sequence
+     numbers.  Also clears the peer from [abandoned]: the suspicion it
+     earned by dying belongs to the old incarnation.  Callers tracking
+     [suspected] deltas positionally must re-baseline after this. *)
+  let reset_peer st ~round w =
+    match Hashtbl.find_opt st.index w with
+    | None -> ()
+    | Some i ->
+        let p = st.peers.(i) in
+        (match p.inflight with
+        | Some _ ->
+            Obs.Span.drop !s_spans ~round ~reason:"session-reset" p.span
+        | None -> ());
+        p.span <- -1;
+        p.inflight <- None;
+        p.next_seq <- 0;
+        Queue.clear p.queue;
+        p.rto <- !current_config.initial_rto;
+        p.timer <- 0;
+        p.retries <- 0;
+        p.sent_round <- round;
+        p.pending_acks <- [];
+        Hashtbl.reset p.received;
+        st.abandoned <- List.filter (fun x -> x <> w) st.abandoned
+
   let receive g ~round v st inbox =
     let deliveries = ref [] in
     List.iter

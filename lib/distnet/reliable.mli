@@ -106,4 +106,17 @@ module Make (P : Sim.PROTOCOL) : sig
       independent per-message loss ate every copy is negligible — so
       this doubles as the failure detector that {!Recovery} and the
       fault-tolerant skeleton consume. *)
+
+  val reset_peer : state -> round:int -> int -> unit
+  (** [reset_peer st ~round w] forgets every ARQ session toward and
+      from neighbor [w]: the in-flight transmission (its span dropped
+      with reason ["session-reset"]), the send queue, sequence numbers
+      (back to 0), pending and remembered acks, the receive-side dedup
+      table, and [w]'s entry in {!suspected}.  Call it on both sides
+      of a link when one endpoint restarts with a fresh incarnation —
+      the reborn node must never consume its predecessor's acks, and
+      its restarted sequence numbers must not be swallowed as
+      duplicates.  Callers that consume {!suspected} as a positional
+      delta must re-baseline their cursor afterwards.  A [w] that is
+      not a neighbor is ignored. *)
 end

@@ -13,12 +13,17 @@ let pp_stats ppf s =
 
 (* [span] is the causal span opened at send time (-1 when span
    recording is off); a delayed or duplicated copy keeps the id of the
-   original transmission. *)
+   original transmission.  [inc_src]/[inc_dst] stamp the incarnations
+   of both endpoints as of the send round: delivery discards the
+   message if either endpoint has since moved to a new incarnation
+   (both are 0 under restart-free plans). *)
 type 'msg envelope = {
   src : int;
   dst : int;
   words : int;
   span : int;
+  inc_src : int;
+  inc_dst : int;
   payload : 'msg;
 }
 
@@ -45,13 +50,18 @@ type 'msg t = {
      which case no per-message liveness check runs — the static paths
      stay byte-identical to the seed engine. *)
   dynamic : bool;
+  (* [restarting] is false for restart-free plans, in which case no
+     incarnation is ever consulted and the stale-delivery check never
+     runs — crash-stop runs stay byte-identical to before. *)
+  restarting : bool;
   edge_alive : bool array;  (** per undirected edge *)
   mutable pending_churn : (int * Fault.action) list;
   (* Messages held back by a Delay fate, keyed by delivery round. *)
   delayed : (int, 'msg envelope list) Hashtbl.t;
   mutable delayed_count : int;
-  (* Crash events not yet emitted to the tracer, sorted by round. *)
+  (* Crash/restart events not yet emitted to the tracer, by round. *)
   mutable pending_crashes : (int * int) list;
+  mutable pending_restarts : (int * int) list;
   mutable epoch : int;
   mutable outbox : 'msg envelope list;
   mutable rounds : int;
@@ -136,11 +146,13 @@ let create ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled)
       faults;
       tracer;
       dynamic = Fault.has_churn faults;
+      restarting = Fault.has_restarts faults;
       edge_alive = Array.make (Stdlib.max 1 (Graph.m g)) true;
       pending_churn = Fault.churn_schedule faults;
       delayed = Hashtbl.create 16;
       delayed_count = 0;
       pending_crashes = Fault.crash_schedule faults;
+      pending_restarts = Fault.restart_schedule faults;
       epoch = 0;
       outbox = [];
       rounds = 0;
@@ -222,7 +234,13 @@ let send t ~src ~dst ~words payload =
           Obs.Metrics.add c words
         end;
         let span = Obs.Span.message t.spans ~round:t.rounds ~src ~dst ~words in
-        t.outbox <- { src; dst; words; span; payload } :: t.outbox
+        let inc_src, inc_dst =
+          if t.restarting then
+            ( Fault.incarnation t.faults ~round:t.rounds src,
+              Fault.incarnation t.faults ~round:t.rounds dst )
+          else (0, 0)
+        in
+        t.outbox <- { src; dst; words; span; inc_src; inc_dst; payload } :: t.outbox
       end
 
 let quiescent t = t.outbox = [] && t.delayed_count = 0
@@ -257,6 +275,16 @@ let step t deliver =
     | rest -> t.pending_crashes <- rest
   in
   crashes t.pending_crashes;
+  if t.restarting then begin
+    let rec restarts = function
+      | (r, v) :: rest when r <= round ->
+          trace t ~round:r Trace.Restart ~src:v ~dst:(-1)
+            ~words:(Fault.incarnation t.faults ~round:r v);
+          restarts rest
+      | rest -> t.pending_restarts <- rest
+    in
+    restarts t.pending_restarts
+  end;
   if t.dynamic then apply_churn t ~round;
   let count = ref 0 in
   let delivered_w = ref 0 and dropped_w = ref 0 and held_w = ref 0 in
@@ -278,6 +306,22 @@ let step t deliver =
       trace t ~round (Trace.Drop Trace.Not_joined) ~src:e.src ~dst:e.dst
         ~words:e.words;
       Obs.Span.drop t.spans ~round ~reason:"not-joined" e.span
+    end
+    else if
+      t.restarting
+      && (Fault.incarnation t.faults ~round e.src <> e.inc_src
+         || Fault.incarnation t.faults ~round e.dst <> e.inc_dst)
+    then begin
+      (* The message crossed a crash/restart boundary in flight: it was
+         sent by, or addressed to, an incarnation that is no longer
+         current.  A reborn node must never consume its predecessor's
+         traffic (and nobody should hear a ghost), so the engine
+         discards it like a loss — but with its own reason, so replay
+         and audit can tell them apart. *)
+      dropped_w := !dropped_w + e.words;
+      trace t ~round (Trace.Drop Trace.Stale) ~src:e.src ~dst:e.dst
+        ~words:e.words;
+      Obs.Span.drop t.spans ~round ~reason:"stale-incarnation" e.span
     end
     else begin
       incr count;
@@ -441,7 +485,16 @@ module Run_active (P : ACTIVE_PROTOCOL) = struct
       in
       go 0
     in
-    while (not (quiescent t)) || any_active () || !pending_joins <> [] do
+    (* A scheduled restart must keep the run alive even while the node
+       is down and everything else is quiescent — the reborn node may
+       have timers to fire. *)
+    let last_restart = Fault.last_restart_round faults in
+    while
+      (not (quiescent t))
+      || any_active ()
+      || !pending_joins <> []
+      || !round < last_restart
+    do
       if !round >= max_rounds then budget_exhausted t "Sim.Run";
       incr round;
       Array.fill inboxes 0 n [];

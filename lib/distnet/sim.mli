@@ -19,11 +19,20 @@
 
     The engine can be driven over a faulty network: {!create}'s
     [?faults] plan ({!Fault.t}) injects message loss, duplication,
-    bounded delay, node crash-stops, and {e topology churn} (edges
+    bounded delay, node crashes — crash-stop, or {e crash-recovery}
+    when the plan schedules a restart — and {e topology churn} (edges
     down/up, partitions, late joins), and [?tracer] records every
     network event into a {!Trace.t} for audit and deterministic replay.
     Both default to off, in which case behavior is bit-identical to the
     fault-free engine.
+
+    Crash-recovery: a restarted node comes back with a fresh
+    incarnation number.  Every envelope is stamped with the incarnation
+    of both endpoints at send time, and delivery discards a message
+    whose sender or addressee has since changed incarnation (traced as
+    a [Drop Stale]) — a reborn node never consumes its predecessor's
+    traffic.  Plans without restarts never consult incarnations, so
+    crash-stop runs stay byte-identical to the crash-stop engine.
 
     Churn is applied between rounds: the scheduled actions of round [r]
     land at the start of round [r], before that round's deliveries.  A
@@ -190,12 +199,16 @@ module Run_active (P : ACTIVE_PROTOCOL) : sig
     Graphlib.Graph.t ->
     stats * P.state array
   (** Run the protocol to completion.  Under a fault plan, a node that
-      crash-stops at round [r] executes no [receive] from round [r]
-      on: its state is frozen as of round [r - 1].  A node with join
-      round [r] is initialized at round [r] (its [init] sends go out
-      that round); under churn the node programs stay oblivious — a
-      send over a down link is simply discarded, i.e. looks like loss.
-      A node whose join round never arrives ends in its initial state.
+      crashes at round [r] executes no [receive] from round [r]
+      on: its state is frozen as of round [r - 1].  If the plan
+      restarts it at round [r'], it resumes [receive] from [r'] with
+      that frozen state (protocols needing amnesia reset themselves);
+      the run is kept alive until every scheduled restart has landed.
+      A node with join round [r] is initialized at round [r] (its
+      [init] sends go out that round); under churn the node programs
+      stay oblivious — a send over a down link is simply discarded,
+      i.e. looks like loss.  A node whose join round never arrives ends
+      in its initial state.
       @raise Invalid_argument after [max_rounds] rounds (default
       [1_000_000]); the message reports the round and the statistics
       accumulated so far. *)

@@ -13,7 +13,7 @@ let diff_stats a b =
   |> field "messages" a.messages b.messages
   |> field "rounds" a.rounds b.rounds
 
-type reason = Loss | Src_crashed | Dst_crashed | Link_down | Not_joined
+type reason = Loss | Src_crashed | Dst_crashed | Link_down | Not_joined | Stale
 
 type kind =
   | Send
@@ -22,6 +22,7 @@ type kind =
   | Dup
   | Delay of int
   | Crash
+  | Restart
   | Edge_down
   | Edge_up
   | Partition
@@ -36,6 +37,7 @@ let reason_name = function
   | Dst_crashed -> "dst-crashed"
   | Link_down -> "link-down"
   | Not_joined -> "not-joined"
+  | Stale -> "stale-incarnation"
 
 let kind_name = function
   | Send -> "send"
@@ -44,6 +46,7 @@ let kind_name = function
   | Dup -> "dup"
   | Delay _ -> "delay"
   | Crash -> "crash"
+  | Restart -> "restart"
   | Edge_down -> "edge_down"
   | Edge_up -> "edge_up"
   | Partition -> "partition"
@@ -57,6 +60,9 @@ let pp_event ppf e =
   | Partition | Heal ->
       Format.fprintf ppf "r%d %s (%d links)" e.round (kind_name e.kind) e.words
   | Join -> Format.fprintf ppf "r%d join node %d" e.round e.src
+  | Restart ->
+      Format.fprintf ppf "r%d restart node %d (incarnation %d)" e.round e.src
+        e.words
   | _ -> (
       Format.fprintf ppf "r%d %s %d->%d (%d words)" e.round (kind_name e.kind)
         e.src e.dst e.words;
@@ -187,10 +193,12 @@ let parse_line ~file lineno line =
             | Some "dst-crashed" -> Drop Dst_crashed
             | Some "link-down" -> Drop Link_down
             | Some "not-joined" -> Drop Not_joined
+            | Some "stale-incarnation" -> Drop Stale
             | _ -> Drop Loss)
         | "dup" -> Dup
         | "delay" -> Delay (int "delay")
         | "crash" -> Crash
+        | "restart" -> Restart
         | "edge_down" -> Edge_down
         | "edge_up" -> Edge_up
         | "partition" -> Partition

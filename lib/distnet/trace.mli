@@ -24,9 +24,12 @@ val diff_stats : stats -> stats -> (string * int * int) list
     [(field, a-value, b-value)]; [[]] means the runs match. *)
 
 (** Why a message was dropped. Only [Loss] is a random decision; the
-    crash, link-state, and join variants are determined by their
-    schedules and are therefore not replayed from the script. *)
-type reason = Loss | Src_crashed | Dst_crashed | Link_down | Not_joined
+    crash, link-state, join, and incarnation variants are determined by
+    their schedules and are therefore not replayed from the script.
+    [Stale] marks a message sent by or addressed to a node incarnation
+    that is no longer (or not yet) current — it was in flight across a
+    crash/restart boundary. *)
+type reason = Loss | Src_crashed | Dst_crashed | Link_down | Not_joined | Stale
 
 type kind =
   | Send  (** a node handed a message to the network *)
@@ -35,6 +38,9 @@ type kind =
   | Dup  (** the network delivered a second copy *)
   | Delay of int  (** the message was held for that many rounds *)
   | Crash  (** the node [src] crash-stopped ([dst] is [-1]) *)
+  | Restart
+      (** the node [src] restarted this round with a fresh incarnation
+          ([dst] is [-1]; [words] carries the new incarnation number) *)
   | Edge_down  (** the link [src]-[dst] went down (churn) *)
   | Edge_up  (** the link [src]-[dst] came (back) up (churn) *)
   | Partition

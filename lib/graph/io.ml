@@ -2,14 +2,22 @@ let to_channel g oc =
   Printf.fprintf oc "%d %d\n" (Graph.n g) (Graph.m g);
   Graph.iter_edges g (fun _ u v -> Printf.fprintf oc "%d %d\n" u v)
 
+let to_buffer g b =
+  Buffer.add_string b (Printf.sprintf "%d %d\n" (Graph.n g) (Graph.m g));
+  Graph.iter_edges g (fun _ u v ->
+      Buffer.add_string b (Printf.sprintf "%d %d\n" u v))
+
 let write g path =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel g oc)
 
-let of_channel ic =
+(* The parser over any line source: skip blanks and '#' comments, read
+   the "[n] [m]" header, then m edge lines.  [next_line] raises
+   [End_of_file] when the source is dry. *)
+let parse next_line =
   let read_line () =
     let rec next () =
-      let line = String.trim (input_line ic) in
+      let line = String.trim (next_line ()) in
       if line = "" || line.[0] = '#' then next () else line
     in
     next ()
@@ -21,11 +29,30 @@ let of_channel ic =
       let b = Graph.Builder.create ~n in
       for _ = 1 to m do
         match String.split_on_char ' ' (read_line ()) with
-        | [ us; vs ] -> Graph.Builder.add_edge b (int_of_string us) (int_of_string vs)
+        | [ us; vs ] ->
+            Graph.Builder.add_edge b (int_of_string us) (int_of_string vs)
         | _ -> failwith "Io.read: malformed edge line"
       done;
       Graph.Builder.build b
   | _ -> failwith "Io.read: malformed header"
+
+let of_channel ic = parse (fun () -> input_line ic)
+
+let of_string s =
+  let pos = ref 0 in
+  let next_line () =
+    if !pos >= String.length s then raise End_of_file
+    else
+      let stop =
+        match String.index_from_opt s !pos '\n' with
+        | Some i -> i
+        | None -> String.length s
+      in
+      let line = String.sub s !pos (stop - !pos) in
+      pos := stop + 1;
+      line
+  in
+  parse next_line
 
 let read path =
   let ic = open_in path in

@@ -11,3 +11,11 @@ val read : string -> Graph.t
 
 val to_channel : Graph.t -> out_channel -> unit
 val of_channel : in_channel -> Graph.t
+
+val to_buffer : Graph.t -> Buffer.t -> unit
+(** Same bytes as {!to_channel} — for callers that need the
+    serialization in memory (e.g. to checksum it before writing). *)
+
+val of_string : string -> Graph.t
+(** Parse an in-memory edge list (same format and failures as
+    {!of_channel}). *)

@@ -141,10 +141,23 @@ let compile (spec : Spec.t) ~sample =
     | Spec.Iid r -> (r, [])
     | Spec.Bursty { ge; horizon } -> (0., Dsl.ge_profile rng ge ~horizon)
   in
-  let crashes =
+  let crashes, restarts =
     match spec.Spec.storm with
-    | None -> []
-    | Some st -> storm_crashes rng g st
+    | None -> ([], [])
+    | Some st ->
+        let crashes = storm_crashes rng g st in
+        (* Crash-recovery: each crashed node draws its downtime right
+           after the crash draw, keeping the stream layout of
+           crash-stop specs untouched (no [down] = no extra draws). *)
+        let restarts =
+          match st.Spec.down with
+          | None -> []
+          | Some dist ->
+              List.map
+                (fun (v, r) -> (v, r + Stdlib.max 1 (Dsl.draw_int rng dist)))
+                crashes
+        in
+        (crashes, restarts)
   in
   let churn =
     match spec.Spec.churn with
@@ -171,6 +184,7 @@ let compile (spec : Spec.t) ~sample =
         delay = spec.Spec.delay;
         max_delay = spec.Spec.max_delay;
         crashes;
+        restarts;
         churn;
         drop_profile;
       };
@@ -210,6 +224,9 @@ let to_string plan =
   List.iter
     (fun (v, r) -> line "crash %d@%d" v r)
     f.Distnet.Fault.crashes;
+  List.iter
+    (fun (v, r) -> line "restart %d@%d" v r)
+    f.Distnet.Fault.restarts;
   List.iter
     (fun ev ->
       match ev with
@@ -256,6 +273,7 @@ let parse text =
       }
   in
   let crashes = ref [] in
+  let restarts = ref [] in
   let churn = ref [] in
   let seen_graph = ref false in
   let at_round what s =
@@ -409,6 +427,15 @@ let parse text =
                         in
                         crashes := (v, round) :: !crashes;
                         Ok ()
+                    | "restart", [ s ] ->
+                        let* v, round = at_round "restart" s in
+                        let* v =
+                          match int_of_string_opt v with
+                          | Some v -> Ok v
+                          | None -> Error (Printf.sprintf "bad restart %S" s)
+                        in
+                        restarts := (v, round) :: !restarts;
+                        Ok ()
                     | "down", [ s ] ->
                         let* head, round = at_round "down" s in
                         let* u, v = edge head in
@@ -464,6 +491,7 @@ let parse text =
         {
           p.fspec with
           crashes = List.rev !crashes;
+          restarts = List.rev !restarts;
           churn = List.rev !churn;
         };
     }

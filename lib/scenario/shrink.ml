@@ -7,6 +7,7 @@ type result = {
 let weight (plan : Compile.plan) =
   let f = plan.Compile.fspec in
   List.length f.Distnet.Fault.crashes
+  + List.length f.Distnet.Fault.restarts
   + List.length f.Distnet.Fault.churn
   + List.length f.Distnet.Fault.drop_profile
   + (if f.Distnet.Fault.drop > 0. then 1 else 0)
@@ -77,10 +78,23 @@ let shrink ?(max_evals = 200) ~fails plan =
     (fun p -> p.Compile.fspec.Distnet.Fault.churn)
     (fun p churn ->
       with_fspec p { p.Compile.fspec with Distnet.Fault.churn });
+  (* Restarts before crashes: dropping a restart demotes a recovery to
+     a plain crash-stop, the strictly simpler fault. *)
+  minimize_list
+    (fun p -> p.Compile.fspec.Distnet.Fault.restarts)
+    (fun p restarts ->
+      with_fspec p { p.Compile.fspec with Distnet.Fault.restarts });
+  (* Dropping a crash must drop its restart too, or the plan stops
+     validating (only crashed nodes can restart). *)
   minimize_list
     (fun p -> p.Compile.fspec.Distnet.Fault.crashes)
     (fun p crashes ->
-      with_fspec p { p.Compile.fspec with Distnet.Fault.crashes });
+      let restarts =
+        List.filter
+          (fun (v, _) -> List.mem_assoc v crashes)
+          p.Compile.fspec.Distnet.Fault.restarts
+      in
+      with_fspec p { p.Compile.fspec with Distnet.Fault.crashes; restarts });
   minimize_list
     (fun p -> p.Compile.fspec.Distnet.Fault.drop_profile)
     (fun p drop_profile ->

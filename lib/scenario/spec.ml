@@ -8,6 +8,7 @@ type storm = {
   spread : float;
   round_lo : int;
   round_hi : int;
+  down : Dsl.t option;
 }
 
 type churn = {
@@ -96,11 +97,14 @@ let validate s =
     | Some st ->
         let* () = rate "storm frac" st.frac in
         let* () = rate "storm spread" st.spread in
-        if st.round_lo < 1 || st.round_hi < st.round_lo then
-          Error
-            (Printf.sprintf "storm rounds %d..%d not a window within 1.."
-               st.round_lo st.round_hi)
-        else Ok ()
+        let* () =
+          if st.round_lo < 1 || st.round_hi < st.round_lo then
+            Error
+              (Printf.sprintf "storm rounds %d..%d not a window within 1.."
+                 st.round_lo st.round_hi)
+          else Ok ()
+        in
+        (match st.down with None -> Ok () | Some d -> dist "storm down" d)
   in
   let* () =
     match s.churn with
@@ -162,8 +166,11 @@ let to_string s =
   (match s.storm with
   | None -> ()
   | Some st ->
-      line "storm frac=%s spread=%s rounds=%d..%d" (fstr st.frac)
-        (fstr st.spread) st.round_lo st.round_hi);
+      line "storm frac=%s spread=%s rounds=%d..%d%s" (fstr st.frac)
+        (fstr st.spread) st.round_lo st.round_hi
+        (match st.down with
+        | None -> ""
+        | Some d -> " down=" ^ Dsl.to_string d));
   (match s.churn with
   | None -> ()
   | Some c ->
@@ -306,12 +313,25 @@ let parse text =
                                   | _ -> None)
                               | _ -> None)
                         in
+                        let* down =
+                          match str "down" with
+                          | None -> Ok None
+                          | Some _ ->
+                              let* d = dst "down" in
+                              Ok (Some d)
+                        in
                         spec :=
                           {
                             !spec with
                             storm =
                               Some
-                                { frac; spread; round_lo = lo; round_hi = hi };
+                                {
+                                  frac;
+                                  spread;
+                                  round_lo = lo;
+                                  round_hi = hi;
+                                  down;
+                                };
                           };
                         Ok ()
                     | "churn", _ ->
@@ -376,7 +396,9 @@ let crash_storm =
     default with
     name = "crash-storm";
     loss = Iid 0.02;
-    storm = Some { frac = 0.06; spread = 0.35; round_lo = 1; round_hi = 30 };
+    storm =
+      Some
+        { frac = 0.06; spread = 0.35; round_lo = 1; round_hi = 30; down = None };
   }
 
 let bursty_loss =
@@ -420,7 +442,9 @@ let mixed =
         };
     dup = 0.01;
     delay = 0.03;
-    storm = Some { frac = 0.04; spread = 0.3; round_lo = 5; round_hi = 35 };
+    storm =
+      Some
+        { frac = 0.04; spread = 0.3; round_lo = 5; round_hi = 35; down = None };
     churn =
       Some
         {
@@ -455,12 +479,33 @@ let tight_budget =
     budget_rounds = Some 100;
   }
 
+(* Crash-recovery storm: the crash-storm contagion under loss, but
+   every crashed node draws a downtime and restarts — the sweep then
+   exercises incarnation-safe delivery and rejoin repair on every
+   sample. *)
+let restart_storm =
+  {
+    default with
+    name = "restart-storm";
+    loss = Iid 0.02;
+    storm =
+      Some
+        {
+          frac = 0.06;
+          spread = 0.35;
+          round_lo = 1;
+          round_hi = 30;
+          down = Some (Dsl.Uniform { lo = 20.; hi = 120. });
+        };
+  }
+
 let builtins =
   [
     ("crash-storm", crash_storm);
     ("bursty-loss", bursty_loss);
     ("churn-heavy", churn_heavy);
     ("mixed", mixed);
+    ("restart-storm", restart_storm);
     ("tight-budget", tight_budget);
   ]
 

@@ -16,7 +16,10 @@
     - {b storm} — a correlated crash storm: seed crashes strike
       uniformly, then spread to graph neighbors with a contagion
       probability, modeling a regional outage rather than independent
-      node failures;
+      node failures.  With a [down] distribution the storm is
+      crash-{e recovery}: every crashed node draws a downtime and
+      restarts that many rounds after its crash, re-entering with a
+      fresh incarnation (see {!Distnet.Fault});
     - {b churn} — link flaps with a heavy-tailed inter-arrival gap
       and a Zipf skew toward high-degree links (the links that carry
       the most traffic fail the most), each flap healing after a drawn
@@ -38,6 +41,9 @@ type storm = {
   spread : float;  (** contagion probability per live neighbor *)
   round_lo : int;  (** seed crashes land uniformly in this window... *)
   round_hi : int;  (** ...spread crashes strike shortly after *)
+  down : Dsl.t option;
+      (** crash-recovery: rounds a crashed node stays down before
+          restarting (clamped to [>= 1]); [None] = crash-stop *)
 }
 
 type churn = {
@@ -94,9 +100,10 @@ val save : t -> string -> unit
     The four sweep staples plus a deliberately failing one. *)
 
 val builtins : (string * t) list
-(** [crash-storm], [bursty-loss], [churn-heavy], [mixed] — and
-    [tight-budget], whose round budget is set below what its churn
-    costs, so every sample FAILs over-budget and exercises the
-    shrinker end to end. *)
+(** [crash-storm], [bursty-loss], [churn-heavy], [mixed],
+    [restart-storm] (a crash-recovery storm under loss: every crashed
+    node restarts after a drawn downtime) — and [tight-budget], whose
+    round budget is set below what its churn costs, so every sample
+    FAILs over-budget and exercises the shrinker end to end. *)
 
 val builtin : string -> t option

@@ -37,6 +37,7 @@ type report = {
   max_stretch : float;
   stretch_bound : float;
   crashed : int;
+  rejoined : int;
   retransmissions : int;
   dead_letters : int;
 }
@@ -52,6 +53,7 @@ let empty_report plan failure =
     max_stretch = 0.;
     stretch_bound = 0.;
     crashed = 0;
+    rejoined = 0;
     retransmissions = 0;
     dead_letters = 0;
   }
@@ -77,15 +79,21 @@ let run_plan ?(metrics = Obs.Metrics.disabled) plan =
           | r -> (
               let stats = r.Spanner.Skeleton_dist.stats in
               let rc = r.Spanner.Skeleton_dist.recovery in
-              let churned = Distnet.Fault.has_churn faults in
+              (* The repair pass runs under churn or restarts; either
+                 way the surviving graph may be partitioned, so the
+                 audit needs a source per component. *)
+              let repaired =
+                Distnet.Fault.has_churn faults
+                || Distnet.Fault.has_restarts faults
+              in
               let down = Array.make (Stdlib.max 1 (Graph.m g)) false in
               List.iter
                 (fun e -> down.(e) <- true)
                 r.Spanner.Skeleton_dist.dead_edges;
               match
                 Spanner.Certify.run
-                  ~down_edge:(fun e -> churned && down.(e))
-                  ~per_component:churned ~metrics
+                  ~down_edge:(fun e -> repaired && down.(e))
+                  ~per_component:repaired ~metrics
                   ~plan:r.Spanner.Skeleton_dist.plan
                   ~witness:r.Spanner.Skeleton_dist.witness g
                   r.Spanner.Skeleton_dist.spanner
@@ -107,6 +115,7 @@ let run_plan ?(metrics = Obs.Metrics.disabled) plan =
                       max_stretch = verdict.Spanner.Certify.max_stretch;
                       stretch_bound = verdict.Spanner.Certify.stretch_bound;
                       crashed = rc.Spanner.Skeleton_dist.crashed;
+                      rejoined = verdict.Spanner.Certify.rejoined;
                       retransmissions =
                         rc.Spanner.Skeleton_dist.retransmissions;
                       dead_letters = rc.Spanner.Skeleton_dist.dead_letters;
@@ -202,6 +211,7 @@ let ingredients (plan : Compile.plan) =
       (f.Distnet.Fault.dup > 0., "dup");
       (f.Distnet.Fault.delay > 0., "delay");
       (f.Distnet.Fault.crashes <> [], "crash");
+      (f.Distnet.Fault.restarts <> [], "restart");
       (f.Distnet.Fault.churn <> [], "churn");
       (plan.Compile.budget_rounds <> None, "budget");
     ]

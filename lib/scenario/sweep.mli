@@ -44,6 +44,7 @@ type report = {
   max_stretch : float;  (** worst sampled stretch; [0.] if unchecked *)
   stretch_bound : float;
   crashed : int;  (** nodes crash-stopped by the plan *)
+  rejoined : int;  (** nodes that restarted and were reintegrated *)
   retransmissions : int;
   dead_letters : int;
 }

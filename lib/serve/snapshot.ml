@@ -58,22 +58,44 @@ let pp ppf t =
     t.generation (edges t) t.k (oracle_entries t)
     (if has_routing t then "on" else "off")
 
-(* Persistence: one header comment with the build parameters, then the
-   standard edge-list body.  Io skips '#' lines, so the body also reads
-   as a plain graph file. *)
+(* Persistence: one header comment with the build parameters plus a
+   checksum over the body, then the standard edge-list body.  Io skips
+   '#' lines, so the body also reads as a plain graph file.  The
+   checksum makes partial writes and bit-rot loud at load time; the
+   write itself goes through a temp file + rename so a crashed save
+   never leaves a half-written snapshot under the real name. *)
+
+let adler32 s =
+  let a = ref 1 and b = ref 0 in
+  String.iter
+    (fun c ->
+      a := (!a + Char.code c) mod 65521;
+      b := (!b + !a) mod 65521)
+    s;
+  (!b lsl 16) lor !a
 
 let save t path =
-  let oc = open_out path in
+  let body = Buffer.create 4096 in
+  Graphlib.Io.to_buffer t.graph body;
+  let body = Buffer.contents body in
+  let header =
+    Printf.sprintf "#snapshot gen=%d k=%d seed=%d routing=%d sum=0x%08x bytes=%d\n"
+      t.generation t.k t.seed
+      (if has_routing t then 1 else 0)
+      (adler32 body) (String.length body)
+  in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
   Fun.protect
-    ~finally:(fun () -> close_out oc)
+    ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
-      Printf.fprintf oc "#snapshot gen=%d k=%d seed=%d routing=%d\n"
-        t.generation t.k t.seed
-        (if has_routing t then 1 else 0);
-      Graphlib.Io.to_channel t.graph oc)
+      output_string oc header;
+      output_string oc body;
+      close_out oc);
+  Sys.rename tmp path
 
 let load ?generation path =
-  let ic = open_in path in
+  let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
@@ -112,7 +134,32 @@ let load ?generation path =
       in
       let gen = field "gen" and k = field "k" and seed = field "seed" in
       let routing = field "routing" <> 0 in
-      let g = Graphlib.Io.of_channel ic in
-      of_graph
-        ~generation:(Option.value ~default:gen generation)
-        ~k ~seed ~routing g)
+      let sum = field "sum" and bytes = field "bytes" in
+      let body =
+        let buf = Buffer.create (bytes + 1) in
+        (try
+           while true do
+             Buffer.add_channel buf ic 4096
+           done
+         with End_of_file -> ());
+        Buffer.contents buf
+      in
+      if String.length body < bytes then
+        failwith
+          (Printf.sprintf "%s: truncated snapshot: %d of %d body bytes" path
+             (String.length body) bytes)
+      else if String.length body > bytes then
+        failwith
+          (Printf.sprintf
+             "%s: snapshot body longer than declared: %d of %d body bytes"
+             path (String.length body) bytes)
+      else if adler32 body <> sum then
+        failwith
+          (Printf.sprintf
+             "%s: snapshot checksum mismatch: stored 0x%08x, computed 0x%08x"
+             path sum (adler32 body))
+      else
+        let g = Graphlib.Io.of_string body in
+        of_graph
+          ~generation:(Option.value ~default:gen generation)
+          ~k ~seed ~routing g)

@@ -76,11 +76,20 @@ val pp : Format.formatter -> t -> unit
     A snapshot file is the spanner edge list plus the build
     parameters; {!load} rebuilds the oracle tables deterministically
     from them (same seed, same tables), so a reloaded snapshot answers
-    every query identically to the saved one. *)
+    every query identically to the saved one.  The header carries an
+    Adler-32 checksum and byte count of the body, and {!save} writes
+    through a temp file renamed into place — a crashed writer never
+    leaves a half-written file under the snapshot's name, and a
+    truncated or bit-flipped file fails {!load} with a one-line error
+    naming what mismatched instead of silently serving a damaged
+    spanner. *)
 
 val save : t -> string -> unit
+(** Atomic: writes [path ^ ".tmp"], then renames over [path]. *)
 
 val load : ?generation:int -> string -> t
 (** [generation] overrides the stored one (a reloaded snapshot being
     republished under a new generation).  @raise Failure on a
-    malformed file. *)
+    malformed, truncated, or corrupted file — the message is one line,
+    prefixed with the path, naming the failed check (missing header
+    field, body shorter/longer than declared, checksum mismatch). *)

@@ -25,7 +25,7 @@ A cycle has girth 12 > 2k, so greedy k=2 keeps all 12 edges:
 The experiment registry rejects unknown ids:
 
   $ ../../bin/spanner_cli.exe experiment E99 2>&1 | head -1
-  unknown experiment E99 (have: E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13, E14, E15, E16, E17, E18, E19, E20, E21, E22, E23, E24, E25, E26)
+  unknown experiment E99 (have: E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13, E14, E15, E16, E17, E18, E19, E20, E21, E22, E23, E24, E25, E26, E27)
 
 E9 is pure computation and deterministic:
 
@@ -74,7 +74,7 @@ the output certifier — and the whole faulty run replays bit-for-bit:
   recovery: 3 crashed, 9 orphaned, 45 recovered edges, 290 checkpoints, 1681 retransmissions, 22 dead letters
   certification: PASS (69 live vertices, 544 pairs, size ratio 0.33)
     [ok] subset: 125 edges, all in G
-    [ok] forest: 58 hook edges, acyclic
+    [ok] forest: 49 hook edges, acyclic
     [ok] contribution: per-vertex cap respected (worst 0.83)
     [ok] stretch: 544 pairs, max stretch 6.00 <= 3159.00
   network: rounds=1722 messages=7217 words=14777 max_msg=5 words
@@ -118,7 +118,7 @@ with the dead edge excluded from the audit:
   graph: n=48, m=167, avg deg 6.96, max deg 13
   spanner: 53 edges, 0 aborts
   recovery: 0 crashed, 0 orphaned, 0 recovered edges, 189 checkpoints, 24 retransmissions, 2 dead letters
-  repair: patched (1 dead spanner edges, 1 rehooked, 0 replaced, 0 keep-all, 9 rounds, 1 components)
+  repair: patched (1 dead spanner edges, 1 rehooked, 0 replaced, 0 keep-all, 0 rejoined, 9 rounds, 1 components)
   certification: PASS (48 live vertices, 376 pairs, size ratio 0.21)
     [ok] subset: 53 edges, all in G
     [ok] forest: 46 hook edges, acyclic
@@ -147,8 +147,8 @@ A recorded trace carries the churn schedule, so --churn-trace re-applies
 the same topology changes and the repair pass reproduces itself:
 
   $ ../../bin/spanner_cli.exe simulate --algo skeleton --kind gnp -n 48 -p 0.15 --seed 5 --edge-drop 0-5@60 --trace churn.jsonl | grep repair
-  repair: patched (1 dead spanner edges, 1 rehooked, 0 replaced, 0 keep-all, 9 rounds, 1 components)
+  repair: patched (1 dead spanner edges, 1 rehooked, 0 replaced, 0 keep-all, 0 rejoined, 9 rounds, 1 components)
 
   $ ../../bin/spanner_cli.exe simulate --algo skeleton --kind gnp -n 48 -p 0.15 --seed 5 --churn-trace churn.jsonl | grep -E "churn plan|repair"
   churn plan: 1 events from churn.jsonl
-  repair: patched (1 dead spanner edges, 1 rehooked, 0 replaced, 0 keep-all, 9 rounds, 1 components)
+  repair: patched (1 dead spanner edges, 1 rehooked, 0 replaced, 0 keep-all, 0 rejoined, 9 rounds, 1 components)

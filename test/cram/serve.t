@@ -9,7 +9,7 @@ answers against BFS ground truth.  Latency/throughput lives on a single
   workload: 3000 queries (914 routes), seed 43
   snapshot: gen=0 edges=278 oracle k=2 entries=4559 routing=on
   churn landed: epoch 1, serving stale from gen 0
-  swap: published gen=1 edges=280 oracle k=2 entries=4665 routing=on (1 swap)
+  swap: published gen=1 edges=281 oracle k=2 entries=4668 routing=on (1 swap)
   served 3000 queries, 0 failed, 1000 stale
   generations: gen0=2000 (stale 1000) gen1=1000
   audit: 64 sampled answers vs BFS ground truth, 0 violations (max stretch 2.33, bound 3.0): PASS
@@ -29,7 +29,7 @@ A snapshot persists and serves again without the input graph:
   bounds: skeleton distortion <= 3536.33 (Theorem 2), oracle stretch <= 3
 
   $ head -1 snap.txt
-  #snapshot gen=0 k=2 seed=3 routing=1
+  #snapshot gen=0 k=2 seed=3 routing=1 sum=0x7b2db295 bytes=1095
 
   $ ../../bin/spanner_cli.exe serve --snapshot-in snap.txt --queries 200 | grep -v '^latency:'
   snapshot loaded from snap.txt

@@ -308,6 +308,7 @@ let test_trace_replay_reproduces_stats () =
       delay = 0.1;
       max_delay = 2;
       crashes = [ (7, 9) ];
+      restarts = [];
       churn = [];
       drop_profile = [];
     }
@@ -517,6 +518,66 @@ let test_recovery_detector () =
   checkb "notice supersedes suspicion" false (Detector.is_suspected d 1);
   checki "no suspects left" 0 (Detector.suspected_count d)
 
+let test_detector_unsuspect_after_message () =
+  (* Crash-recovery: a delivery from a suspected node proves the
+     suspicion belonged to its dead incarnation. *)
+  let open Distnet.Recovery in
+  let d = Detector.create ~n:3 in
+  Detector.suspect d 1;
+  checkb "down while suspected" true (Detector.is_down d 1);
+  Detector.unsuspect d 1;
+  checkb "message after suspicion clears it" false (Detector.is_down d 1);
+  checki "no suspects" 0 (Detector.suspected_count d);
+  Detector.unsuspect d 0;
+  checkb "unsuspecting an up node is a no-op" false (Detector.is_down d 0);
+  (* A death notice is never revoked: the old incarnation completed
+     its duties; the reborn one re-enters through repair. *)
+  Detector.note_death d 2;
+  Detector.unsuspect d 2;
+  checkb "announced stays down" true (Detector.is_down d 2);
+  checkb "announced is still not suspected" false (Detector.is_suspected d 2)
+
+let test_detector_flapping () =
+  (* Suspect/unsuspect cycles (a peer that keeps crashing and
+     restarting) must keep the count and the list consistent. *)
+  let open Distnet.Recovery in
+  let d = Detector.create ~n:2 in
+  for _ = 1 to 5 do
+    Detector.suspect d 1;
+    checki "one suspect while down" 1 (Detector.suspected_count d);
+    checkb "listed while down" true (Detector.suspected d = [ 1 ]);
+    Detector.unsuspect d 1;
+    checki "zero after rebirth" 0 (Detector.suspected_count d);
+    checkb "unlisted after rebirth" true (Detector.suspected d = [])
+  done;
+  Detector.suspect d 1;
+  Detector.suspect d 1;
+  checki "re-suspecting does not double count" 1 (Detector.suspected_count d);
+  Detector.unsuspect d 1;
+  Detector.unsuspect d 1;
+  checki "re-unsuspecting does not go negative" 0
+    (Detector.suspected_count d)
+
+let test_detector_across_phase_boundary () =
+  (* Suspicion is orthogonal to checkpointing: a phase boundary
+     (commit) or a recovery (restore) neither clears nor creates
+     suspicion, and a flap does not disturb the stored snapshot. *)
+  let open Distnet.Recovery in
+  let d = Detector.create ~n:3 in
+  let ck = Checkpoints.create ~n:3 () in
+  Detector.suspect d 1;
+  Checkpoints.commit ck ~phase:"exchange" 1 (4, 2);
+  checkb "commit keeps suspicion" true (Detector.is_suspected d 1);
+  Checkpoints.commit ck ~phase:"wave" 2 (9, 9);
+  checkb "another node's boundary is irrelevant" true
+    (Detector.is_suspected d 1);
+  ignore (Checkpoints.restore ck 1);
+  checkb "restore keeps suspicion" true (Detector.is_suspected d 1);
+  Detector.unsuspect d 1;
+  checkb "only a delivery clears it" false (Detector.is_suspected d 1);
+  checkb "snapshot survives the flap" true
+    (Checkpoints.restore ck 1 = Some (4, 2))
+
 let test_reliable_link_idle () =
   let module P = struct
     type state = unit
@@ -601,6 +662,104 @@ let test_fault_make_rejects_invalid_plans () =
     "Fault.make: drop_profile segment rounds must be strictly increasing \
      (round 5 after round 5)"
     { Fault.default_spec with Fault.drop_profile = [ (5, 0.1); (5, 0.2) ] }
+
+let test_restart_plan_validation () =
+  let g = Gen.path 4 in
+  let expect msg spec =
+    Alcotest.check_raises msg (Invalid_argument msg) (fun () ->
+        ignore (Fault.make ~seed:1 ~graph:g spec))
+  in
+  expect
+    "Fault.make: restart event #0: node 2 has no crash entry (only crashed \
+     nodes can restart)"
+    { Fault.default_spec with Fault.restarts = [ (2, 9) ] };
+  expect
+    "Fault.make: restart event #0: restart round 5 not after node 1's crash \
+     round 5"
+    {
+      Fault.default_spec with
+      Fault.crashes = [ (1, 5) ];
+      restarts = [ (1, 5) ];
+    };
+  expect
+    "Fault.make: restart event #1: duplicate restart entry for node 1"
+    {
+      Fault.default_spec with
+      Fault.crashes = [ (1, 5) ];
+      restarts = [ (1, 9); (1, 12) ];
+    };
+  expect
+    "Fault.make: restart event #0: node references vertex 99 outside this \
+     4-vertex graph"
+    { Fault.default_spec with Fault.restarts = [ (99, 9) ] }
+
+let test_restart_interval_semantics () =
+  (* A restarting node is down exactly on [crash, restart) and changes
+     incarnation at the restart round; a crash-stop node is down
+     forever at incarnation 0. *)
+  let f =
+    Fault.make ~seed:1
+      {
+        Fault.default_spec with
+        Fault.crashes = [ (2, 5); (3, 7) ];
+        restarts = [ (2, 9) ];
+      }
+  in
+  checkb "up before crash" false (Fault.crashed f ~round:4 2);
+  checkb "down at crash round" true (Fault.crashed f ~round:5 2);
+  checkb "down just before restart" true (Fault.crashed f ~round:8 2);
+  checkb "up again at restart round" false (Fault.crashed f ~round:9 2);
+  checkb "up forever after" false (Fault.crashed f ~round:500 2);
+  checki "incarnation 0 before restart" 0 (Fault.incarnation f ~round:8 2);
+  checki "incarnation 1 from restart on" 1 (Fault.incarnation f ~round:9 2);
+  checkb "crash-stop stays down" true (Fault.crashed f ~round:500 3);
+  checki "crash-stop stays incarnation 0" 0 (Fault.incarnation f ~round:500 3);
+  checkb "plan has restarts" true (Fault.has_restarts f);
+  checki "last restart round" 9 (Fault.last_restart_round f);
+  checkb "restart schedule sorted by round" true
+    (Fault.restart_schedule f = [ (9, 2) ]);
+  let crash_stop =
+    Fault.make ~seed:1 { Fault.default_spec with Fault.crashes = [ (2, 5) ] }
+  in
+  checkb "crash-stop plan has no restarts" false
+    (Fault.has_restarts crash_stop);
+  checki "no restart round" 0 (Fault.last_restart_round crash_stop)
+
+let test_trace_replay_with_restart () =
+  (* A run with a mid-flood crash + restart records Restart events;
+     replaying the trace (which re-derives stale-incarnation drops
+     from the schedule) reproduces the run bit-for-bit. *)
+  let r = Util.Prng.create ~seed:2 in
+  let g = Gen.connected_gnp r ~n:60 ~p:0.08 in
+  let spec =
+    {
+      Fault.drop = 0.15;
+      dup = 0.;
+      delay = 0.1;
+      max_delay = 2;
+      crashes = [ (7, 9) ];
+      restarts = [ (7, 40) ];
+      churn = [];
+      drop_profile = [];
+    }
+  in
+  let tracer = Trace.create () in
+  let st, reached =
+    Protocols.reliable_flood
+      ~faults:(Fault.make ~seed:5 spec)
+      ~tracer g ~root:0 ~payload_words:2
+  in
+  checkb "restart event traced" true
+    (List.exists
+       (fun e -> e.Trace.kind = Trace.Restart)
+       (Trace.events tracer));
+  let st', reached' =
+    Protocols.reliable_flood
+      ~faults:(Fault.scripted (Trace.events tracer))
+      g ~root:0 ~payload_words:2
+  in
+  Alcotest.check stats_testable "replay stats identical" st st';
+  checkb "replay reach identical" true (reached = reached')
 
 let test_churn_link_down_and_heal () =
   (* A down link refuses raw sends (structured error), reports itself
@@ -820,6 +979,11 @@ let suite =
         Alcotest.test_case "checkpoints commit/restore" `Quick
           test_recovery_checkpoints;
         Alcotest.test_case "detector precedence" `Quick test_recovery_detector;
+        Alcotest.test_case "detector unsuspect after message" `Quick
+          test_detector_unsuspect_after_message;
+        Alcotest.test_case "detector flapping" `Quick test_detector_flapping;
+        Alcotest.test_case "detector across phase boundary" `Quick
+          test_detector_across_phase_boundary;
         Alcotest.test_case "ARQ link idleness" `Quick test_reliable_link_idle;
       ] );
     ( "distnet.arq_config",
@@ -843,5 +1007,14 @@ let suite =
           test_churn_healed_partition_bfs_correct;
         Alcotest.test_case "late join flood reaches all" `Quick
           test_churn_late_join_flood_reaches_all;
+      ] );
+    ( "distnet.restart",
+      [
+        Alcotest.test_case "plan validation rejects nonsense" `Quick
+          test_restart_plan_validation;
+        Alcotest.test_case "down interval and incarnations" `Quick
+          test_restart_interval_semantics;
+        Alcotest.test_case "trace replay with restart" `Quick
+          test_trace_replay_with_restart;
       ] );
   ]

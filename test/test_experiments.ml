@@ -42,7 +42,7 @@ let test_king_torus_shape () =
   checki "diameter = side/2" 4 (Apsp.diameter g)
 
 let test_experiment_registry () =
-  checki "experiment count" 26 (List.length Experiments.Run.ids);
+  checki "experiment count" 27 (List.length Experiments.Run.ids);
   List.iter
     (fun id -> checkb (id ^ " resolvable") true (Experiments.Run.by_id id <> None))
     Experiments.Run.ids;

@@ -203,6 +203,23 @@ let test_plan_round_trip () =
       | Error m -> Alcotest.failf "%s plan did not reparse: %s" name m)
     Spec.builtins
 
+(* Restart plans are the newest event vocabulary in #plan v1: every
+   sampled restart-storm plan (which carries restart lines) must
+   round-trip byte-for-byte — parse back to the same value AND
+   reserialize to the same bytes. *)
+let prop_restart_plan_round_trip =
+  QCheck.Test.make ~name:"plan: restart plans round-trip byte-for-byte"
+    ~count:20
+    QCheck.(int_bound 19)
+    (fun sample ->
+      let spec = Option.get (Spec.builtin "restart-storm") in
+      let plan = Compile.compile spec ~sample in
+      QCheck.assume (plan.Compile.fspec.Fault.restarts <> []);
+      let text = Compile.to_string plan in
+      match Compile.parse text with
+      | Ok plan' -> plan = plan' && Compile.to_string plan' = text
+      | Error _ -> false)
+
 let test_plan_save_load () =
   let plan =
     Compile.compile (Option.get (Spec.builtin "mixed")) ~sample:3
@@ -249,6 +266,66 @@ let test_shrink_minimizes_structurally () =
   checkb "weight decreased" true
     (Shrink.weight r.Shrink.plan < Shrink.weight plan);
   checkb "evals counted" true (r.Shrink.evals > 0)
+
+let test_shrink_drops_restarts_and_reverifies () =
+  (* When the failure only needs a crash, every restart is pure weight:
+     the shrinker must demote crash-recovery to plain crash-stop, and
+     the shrunk reproducer must still validate (no restart may survive
+     the crash it belongs to) and round-trip as a plan file. *)
+  let spec = Option.get (Spec.builtin "restart-storm") in
+  let plan =
+    let rec find s =
+      if s > 19 then Alcotest.fail "no sample with >= 2 restarts in 0..19"
+      else
+        let p = Compile.compile spec ~sample:s in
+        if List.length p.Compile.fspec.Fault.restarts >= 2 then p
+        else find (s + 1)
+    in
+    find 0
+  in
+  let fails p = p.Compile.fspec.Fault.crashes <> [] in
+  let r = Shrink.shrink ~fails plan in
+  checkb "verified" true r.Shrink.verified;
+  checki "restarts all dropped" 0
+    (List.length r.Shrink.plan.Compile.fspec.Fault.restarts);
+  checki "one crash left" 1
+    (List.length r.Shrink.plan.Compile.fspec.Fault.crashes);
+  (* The shrunk plan is still a valid, buildable fault plan... *)
+  (match Compile.faults ~graph:(Compile.graph_of r.Shrink.plan) r.Shrink.plan with
+  | exception Invalid_argument m -> Alcotest.failf "shrunk plan invalid: %s" m
+  | f -> checkb "demoted to crash-stop" false (Fault.has_restarts f));
+  (* ... and still a durable #plan v1 artifact. *)
+  let text = Compile.to_string r.Shrink.plan in
+  match Compile.parse text with
+  | Ok plan' -> checkb "shrunk plan round-trips" true (plan' = r.Shrink.plan)
+  | Error m -> Alcotest.failf "shrunk plan did not reparse: %s" m
+
+let test_shrink_keeps_needed_restart () =
+  (* Dual of the test above: when the failure predicate *requires* a
+     restart, the shrinker may trim the herd but must keep one, and the
+     kept restart's crash entry must survive with it. *)
+  let spec = Option.get (Spec.builtin "restart-storm") in
+  let plan =
+    let rec find s =
+      if s > 19 then Alcotest.fail "no sample with >= 2 restarts in 0..19"
+      else
+        let p = Compile.compile spec ~sample:s in
+        if List.length p.Compile.fspec.Fault.restarts >= 2 then p
+        else find (s + 1)
+    in
+    find 0
+  in
+  let fails p = p.Compile.fspec.Fault.restarts <> [] in
+  let r = Shrink.shrink ~fails plan in
+  checkb "verified" true r.Shrink.verified;
+  checki "exactly one restart kept" 1
+    (List.length r.Shrink.plan.Compile.fspec.Fault.restarts);
+  let v, _ = List.hd r.Shrink.plan.Compile.fspec.Fault.restarts in
+  checkb "its crash entry kept too" true
+    (List.mem_assoc v r.Shrink.plan.Compile.fspec.Fault.crashes);
+  match Compile.faults ~graph:(Compile.graph_of r.Shrink.plan) r.Shrink.plan with
+  | exception Invalid_argument m -> Alcotest.failf "shrunk plan invalid: %s" m
+  | f -> checkb "still crash-recovery" true (Fault.has_restarts f)
 
 let test_shrink_respects_eval_budget () =
   let plan = churny_plan (Option.get (Spec.builtin "mixed")) ~at_least:2 in
@@ -320,12 +397,17 @@ let suite =
       [
         QCheck_alcotest.to_alcotest prop_compile_deterministic;
         Alcotest.test_case "plan round trip" `Quick test_plan_round_trip;
+        QCheck_alcotest.to_alcotest prop_restart_plan_round_trip;
         Alcotest.test_case "plan save/load" `Quick test_plan_save_load;
       ] );
     ( "scenario.shrink",
       [
         Alcotest.test_case "minimizes structurally" `Quick
           test_shrink_minimizes_structurally;
+        Alcotest.test_case "drops restarts and re-verifies" `Quick
+          test_shrink_drops_restarts_and_reverifies;
+        Alcotest.test_case "keeps a needed restart" `Quick
+          test_shrink_keeps_needed_restart;
         Alcotest.test_case "respects eval budget" `Quick
           test_shrink_respects_eval_budget;
       ] );

@@ -92,6 +92,69 @@ let test_snapshot_save_load () =
         done
       done)
 
+(* Corruption detection: the load path must refuse a truncated or
+   bit-flipped file with a structured one-line error, and a save must
+   never leave its temp file behind. *)
+
+let expect_load_failure name file pattern =
+  match Snapshot.load file with
+  | _ -> Alcotest.failf "%s: load accepted a damaged snapshot" name
+  | exception Failure msg ->
+      checkb
+        (Printf.sprintf "%s: error mentions %s (got %S)" name pattern msg)
+        true
+        (let plen = String.length pattern in
+         let rec scan i =
+           i + plen <= String.length msg
+           && (String.sub msg i plen = pattern || scan (i + 1))
+         in
+         scan 0);
+      checkb (name ^ ": error is one line") false (String.contains msg '\n')
+
+let with_saved_snapshot f =
+  let g = Gen.connected_gnp (rng ()) ~n:40 ~p:0.12 in
+  let snap = Snapshot.build ~k:2 ~seed:4 g (spanner_of g) in
+  let file = Filename.temp_file "snap" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      Snapshot.save snap file;
+      checkb "no temp file left behind" false (Sys.file_exists (file ^ ".tmp"));
+      f file)
+
+let test_snapshot_load_truncated () =
+  with_saved_snapshot (fun file ->
+      let full = In_channel.with_open_bin file In_channel.input_all in
+      (* Cut mid-body: keep the header and half the edge list. *)
+      let cut = String.length full - (String.length full / 3) in
+      Out_channel.with_open_bin file (fun oc ->
+          Out_channel.output_string oc (String.sub full 0 cut));
+      expect_load_failure "truncated" file "truncated snapshot")
+
+let test_snapshot_load_corrupted () =
+  with_saved_snapshot (fun file ->
+      let full = In_channel.with_open_bin file In_channel.input_all in
+      (* Flip one bit in a body byte (past the header line). *)
+      let body_at = String.index full '\n' + 1 in
+      let bytes = Bytes.of_string full in
+      Bytes.set bytes (body_at + 2)
+        (Char.chr (Char.code (Bytes.get bytes (body_at + 2)) lxor 1));
+      Out_channel.with_open_bin file (fun oc ->
+          Out_channel.output_bytes oc bytes);
+      expect_load_failure "corrupted" file "checksum mismatch")
+
+let test_snapshot_load_missing_checksum () =
+  with_saved_snapshot (fun file ->
+      (* An old-format header without sum=/bytes= must be rejected, not
+         silently trusted. *)
+      let full = In_channel.with_open_bin file In_channel.input_all in
+      let body_at = String.index full '\n' + 1 in
+      let body = String.sub full body_at (String.length full - body_at) in
+      Out_channel.with_open_bin file (fun oc ->
+          Out_channel.output_string oc "#snapshot gen=0 k=2 seed=4 routing=0\n";
+          Out_channel.output_string oc body);
+      expect_load_failure "no checksum" file "missing sum")
+
 (* ------------------------------------------------------------------ *)
 (* Workload *)
 
@@ -307,6 +370,12 @@ let suite =
         Alcotest.test_case "stretch vs BFS" `Quick test_snapshot_stretch_vs_bfs;
         Alcotest.test_case "deterministic" `Quick test_snapshot_deterministic;
         Alcotest.test_case "save/load round trip" `Quick test_snapshot_save_load;
+        Alcotest.test_case "load rejects truncation" `Quick
+          test_snapshot_load_truncated;
+        Alcotest.test_case "load rejects corruption" `Quick
+          test_snapshot_load_corrupted;
+        Alcotest.test_case "load rejects missing checksum" `Quick
+          test_snapshot_load_missing_checksum;
       ] );
     ( "serve.workload",
       [
