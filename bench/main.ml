@@ -13,7 +13,13 @@
            --baseline F    compare timings against a saved --json file
                            (or a repo BENCH_*.json); exit 1 on regression
            --tolerance X   relative slowdown allowed before a bench counts
-                           as regressed (default 0.25 = 25%) *)
+                           as regressed (default 0.25 = 25%)
+           --profile       attach the Obs.Prof sink per bench and print each
+                           bench's top allocation sites
+
+   Subcommand:  bench history [--current FILE] [--tolerance X]
+           read every checked-in BENCH_*.json (plus FILE, typically a fresh
+           --json capture) and print the per-bench perf trajectory. *)
 
 module Graph = Graphlib.Graph
 module Gen = Graphlib.Gen
@@ -26,8 +32,9 @@ let json = ref false
 let only = ref None
 let baseline = ref None
 let tolerance = ref 0.25
+let profile = ref false
 
-let parse_args () =
+let parse_args args =
   let rec go = function
     | [] -> ()
     | "--full" :: rest ->
@@ -55,11 +62,33 @@ let parse_args () =
     | "--tolerance" :: v :: rest ->
         tolerance := float_of_string v;
         go rest
+    | "--profile" :: rest ->
+        profile := true;
+        go rest
     | arg :: _ ->
         Printf.eprintf "unknown argument %s\n" arg;
         exit 2
   in
-  go (List.tl (Array.to_list Sys.argv))
+  go args
+
+(* Bench bodies may print (experiment drivers share code with the
+   tables); under --json their stray stdout would corrupt the JSON
+   artifact, so the whole measuring pass runs with stdout pointed at
+   /dev/null. *)
+let silence_stdout f =
+  flush stdout;
+  Format.pp_print_flush Format.std_formatter ();
+  let saved = Unix.dup Unix.stdout in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  Unix.dup2 devnull Unix.stdout;
+  Unix.close devnull;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Format.pp_print_flush Format.std_formatter ();
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved)
+    f
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel: one Test.make per experiment table. *)
@@ -71,7 +100,9 @@ let bench_tests () =
   let g_small = Gen.connected_gnp rng ~n:250 ~p:0.05 in
   let torus = Gen.king_torus ~width:20 ~height:20 in
   let gadget = Graphlib.Gadget.create ~tau:2 ~sigma:5 ~kappa:6 in
-  let t name f = (name, Test.make ~name (Staged.stage f)) in
+  (* Each entry keeps the raw thunk next to the Bechamel test: the GC
+     pass and --profile run the body directly, outside the timer. *)
+  let t name f = (name, f, Test.make ~name (Staged.stage f)) in
   (* The serving bench's snapshot and workload are built once, outside
      the timed region: the bench times the query hot path alone. *)
   let serve_snap =
@@ -285,6 +316,20 @@ let compare_baseline ~file timings =
   end
   else Format.fprintf ppf "  no regressions (%d bench(es) compared)@." !compared
 
+(* One extra, untimed execution of the bench body measuring GC cost:
+   minor/major words allocated and major collections.  Word counts are
+   exact (the runtime counts every allocation), so unlike ns_per_run
+   these columns are stable run to run on one build. *)
+let gc_measure f =
+  let mw0 = Gc.minor_words () in
+  let s0 = Gc.quick_stat () in
+  f ();
+  let s1 = Gc.quick_stat () in
+  let mw1 = Gc.minor_words () in
+  ( int_of_float (mw1 -. mw0),
+    int_of_float (s1.Gc.major_words -. s0.Gc.major_words),
+    s1.Gc.major_collections - s0.Gc.major_collections )
+
 let run_benches () =
   let open Bechamel in
   let instance = Toolkit.Instance.monotonic_clock in
@@ -293,21 +338,21 @@ let run_benches () =
     Format.printf "@.== Bechamel timings (monotonic clock, one bench per experiment)@.";
   (* --only Ei narrows the bench pass to that experiment's benches
      (names are "e<i>.<what>"). *)
-  let selected =
-    let all = bench_tests () in
-    match !only with
-    | None -> all
-    | Some id ->
-        let prefix = String.lowercase_ascii id ^ "." in
-        let plen = String.length prefix in
-        List.filter
-          (fun (name, _) ->
-            String.length name >= plen && String.sub name 0 plen = prefix)
-          all
-  in
-  let timings =
+  let measure () =
+    let selected =
+      let all = bench_tests () in
+      match !only with
+      | None -> all
+      | Some id ->
+          let prefix = String.lowercase_ascii id ^ "." in
+          let plen = String.length prefix in
+          List.filter
+            (fun (name, _, _) ->
+              String.length name >= plen && String.sub name 0 plen = prefix)
+            all
+    in
     List.concat_map
-      (fun (_, test) ->
+      (fun (_, f, test) ->
         let results =
           Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"" [ test ])
         in
@@ -315,6 +360,18 @@ let run_benches () =
           Analyze.all
             (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
             instance results
+        in
+        let gc = gc_measure f in
+
+        let prof_rows =
+          if not !profile then []
+          else begin
+            let sink = Obs.Prof.create () in
+            Obs.Prof.set_current sink;
+            f ();
+            Obs.Prof.set_current Obs.Prof.disabled;
+            Obs.Prof.rows sink
+          end
         in
         Hashtbl.fold
           (fun name result acc ->
@@ -325,11 +382,15 @@ let run_benches () =
               else name
             in
             match Analyze.OLS.estimates result with
-            | Some [ est ] -> (name, Some est) :: acc
-            | _ -> (name, None) :: acc)
+            | Some [ est ] -> (name, Some est, gc, prof_rows) :: acc
+            | _ -> (name, None, gc, prof_rows) :: acc)
           ols [])
       selected
   in
+  (* Under --json the measuring pass is silenced: bench bodies share
+     code with the experiment drivers and may print, and the artifact
+     must stay parseable JSON. *)
+  let timings = if !json then silence_stdout measure else measure () in
   (if !json then begin
      (* Machine-readable per-experiment timings: a header identifying
         the run (seed, quick/full mode) plus one object per bench,
@@ -338,28 +399,153 @@ let run_benches () =
        !seed (!seed + 41)
        (if !quick then "quick" else "full");
      List.iteri
-       (fun i (name, est) ->
+       (fun i (name, est, (minor, major, majors), _) ->
          let sep = if i = List.length timings - 1 then "" else "," in
-         match est with
-         | Some est ->
-             Format.printf {|  {"name": %S, "ns_per_run": %.1f}%s@.|} name est
-               sep
-         | None ->
-             Format.printf {|  {"name": %S, "ns_per_run": null}%s@.|} name sep)
+         let ns =
+           match est with
+           | Some est -> Printf.sprintf "%.1f" est
+           | None -> "null"
+         in
+         Format.printf
+           {|  {"name": %S, "ns_per_run": %s, "minor_words": %d, "major_words": %d, "majors": %d}%s@.|}
+           name ns minor major majors sep)
        timings;
      Format.printf "]}@."
    end
-   else
+   else begin
      List.iter
-       (fun (name, est) ->
+       (fun (name, est, (minor, major, majors), _) ->
          match est with
-         | Some est -> Format.printf "%-28s %12.0f ns/run@." name est
-         | None -> Format.printf "%-28s (no estimate)@." name)
-       timings);
-  timings
+         | Some est ->
+             Format.printf "%-28s %12.0f ns/run %12d minor %10d major %4d majors@."
+               name est minor major majors
+         | None ->
+             Format.printf "%-28s (no estimate) %12d minor %10d major %4d majors@."
+               name minor major majors)
+       timings;
+     if !profile then begin
+       Format.printf "@.== per-bench profiles (top allocation sites, self minor+major words)@.";
+       List.iter
+         (fun (name, _, _, rows) ->
+           let sites =
+             List.filter
+               (fun (r : Obs.Prof.row) -> r.Obs.Prof.kind = Obs.Prof.Region)
+               rows
+             |> List.sort (fun (a : Obs.Prof.row) (b : Obs.Prof.row) ->
+                    compare
+                      (b.Obs.Prof.self_minor_words + b.Obs.Prof.self_major_words)
+                      (a.Obs.Prof.self_minor_words + a.Obs.Prof.self_major_words))
+           in
+           match sites with
+           | [] -> Format.printf "%-28s (no regions hit)@." name
+           | _ ->
+               Format.printf "%-28s" name;
+               List.iteri
+                 (fun i (r : Obs.Prof.row) ->
+                   if i < 3 then
+                     Format.printf " %s=%d" r.Obs.Prof.name
+                       (r.Obs.Prof.self_minor_words + r.Obs.Prof.self_major_words))
+                 sites;
+               Format.printf "@.")
+         timings
+     end
+   end);
+  List.map (fun (name, est, _, _) -> (name, est)) timings
+
+(* ------------------------------------------------------------------ *)
+(* bench history: the per-bench perf trajectory over every checked-in
+   BENCH_*.json snapshot, plus (optionally) a fresh --json capture.
+   Columns appear in filename order — the snapshots are named after the
+   experiment generation that recorded them (e26, e27, ...), so
+   lexicographic order is chronological order. *)
+
+let history args =
+  let current = ref None in
+  let rec go = function
+    | [] -> ()
+    | "--current" :: file :: rest ->
+        current := Some file;
+        go rest
+    | "--tolerance" :: v :: rest ->
+        tolerance := float_of_string v;
+        go rest
+    | arg :: _ ->
+        Printf.eprintf "bench history: unknown argument %s\n" arg;
+        exit 2
+  in
+  go args;
+  let snapshots =
+    Sys.readdir "."
+    |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f > 11
+           && String.sub f 0 6 = "BENCH_"
+           && Filename.check_suffix f ".json")
+    |> List.sort compare
+  in
+  let label file = Filename.chop_suffix (Filename.basename file) ".json" in
+  let columns =
+    List.map (fun f -> (label f, parse_baseline f)) snapshots
+    @
+    match !current with
+    | Some f -> [ ("current", parse_baseline f) ]
+    | None -> []
+  in
+  if List.length columns < 1 then begin
+    Printf.eprintf
+      "bench history: no BENCH_*.json in the current directory (and no \
+       --current file)\n";
+    exit 2
+  end;
+  (* Row order: first appearance across columns, oldest column first,
+     so the table is stable as benches are added over time. *)
+  let names = ref [] in
+  List.iter
+    (fun (_, entries) ->
+      List.iter
+        (fun (name, _) ->
+          if not (List.mem name !names) then names := name :: !names)
+        entries)
+    columns;
+  let names = List.rev !names in
+  Format.printf "== bench history (%d snapshot(s), tolerance +%.0f%%)@."
+    (List.length columns)
+    (100. *. !tolerance);
+  Format.printf "%-30s" "bench";
+  List.iter (fun (l, _) -> Format.printf " %12s" l) columns;
+  Format.printf " %9s@." "delta";
+  List.iter
+    (fun name ->
+      Format.printf "%-30s" name;
+      (* Walk the columns, remembering the last two present values so
+         the delta column compares the newest snapshot to the one
+         before it. *)
+      let prev = ref None and last = ref None in
+      List.iter
+        (fun (_, entries) ->
+          match List.assoc_opt name entries with
+          | Some (Some v) ->
+              prev := !last;
+              last := Some v;
+              Format.printf " %12.0f" v
+          | _ -> Format.printf " %12s" "-")
+        columns;
+      (match (!prev, !last) with
+      | Some p, Some l when p > 0. ->
+          let delta = (l -. p) /. p in
+          Format.printf " %+8.1f%%%s" (100. *. delta)
+            (if delta > !tolerance then "  REGRESSED" else "")
+      | _ -> Format.printf " %9s" "-");
+      Format.printf "@.")
+    names
 
 let () =
-  parse_args ();
+  (match Array.to_list Sys.argv with
+  | _ :: "history" :: rest ->
+      history rest;
+      exit 0
+  | _ :: rest -> parse_args rest
+  | [] -> ());
   (* Validate --only up front, whatever passes run: an unknown id must
      fail loudly (exit 2), not silently bench nothing under --json. *)
   (match !only with

@@ -533,6 +533,16 @@ let simulate_cmd =
              to FILE as JSON lines, readable by report --critical-path / \
              --perfetto.")
   in
+  let profile_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile" ] ~docv:"FILE"
+          ~doc:
+            "Profile real machine cost (monotonic wall-clock and GC \
+             allocation counters per phase, region, and round) and write the \
+             rows to FILE as JSON lines, readable by report.")
+  in
   let audit_bounds =
     Arg.(
       value & flag
@@ -573,8 +583,8 @@ let simulate_cmd =
   let run kind n p seed input drop dup delay max_delay crash restart
       crash_frac crash_max_round edge_drop edge_up partition partition_round
       heal_round join churn_trace phase_limit certify mutate trace_file
-      replay_file metrics_file metrics_summary spans_file audit_bounds strict
-      protocol root arq_backoff =
+      replay_file metrics_file metrics_summary spans_file profile_file
+      audit_bounds strict protocol root arq_backoff =
     if arq_backoff <> Distnet.Reliable.default_config.Distnet.Reliable.backoff
     then begin
       try
@@ -698,6 +708,12 @@ let simulate_cmd =
     let spans =
       if spans_file <> None then Obs.Span.create () else Obs.Span.disabled
     in
+    (* And the profiler, installed as the ambient sink so the engine
+       and protocol hot paths pick it up without extra plumbing. *)
+    let prof =
+      if profile_file <> None then Obs.Prof.create () else Obs.Prof.disabled
+    in
+    Obs.Prof.set_current prof;
     let plan_ref = ref None in
     let spanner_edges_ref = ref None in
     let stats =
@@ -895,6 +911,22 @@ let simulate_cmd =
         Format.printf "spans written to %s (%d spans)@." file
           (Obs.Span.count spans)
     | None -> ());
+    (match profile_file with
+    | Some file ->
+        let meta =
+          Printf.sprintf
+            {|{"kind":"prof_meta","algo":"%s","n":%d,"arq":%d,"rounds":%d,"messages":%d,"words":%d,"max_message_words":%d}|}
+            protocol (Graph.n g)
+            (if Distnet.Fault.is_none faults then 0 else 1)
+            stats.Distnet.Sim.rounds stats.Distnet.Sim.messages
+            stats.Distnet.Sim.words stats.Distnet.Sim.max_message_words
+        in
+        Obs.Prof.save ~extra:[ meta ] prof file;
+        Format.printf "profile written to %s (%d rows, %d round samples)@."
+          file
+          (List.length (Obs.Prof.rows prof))
+          (List.length (Obs.Prof.round_samples prof))
+    | None -> ());
     if audit_bounds then begin
       match !plan_ref with
       | None ->
@@ -928,7 +960,7 @@ let simulate_cmd =
       $ edge_drop $ edge_up $ partition $ partition_round $ heal_round $ join
       $ churn_trace $ phase_limit $ certify $ mutate $ trace_file
       $ replay_file $ metrics_file $ metrics_summary $ spans_file
-      $ audit_bounds $ strict $ protocol $ root $ arq_backoff)
+      $ profile_file $ audit_bounds $ strict $ protocol $ root $ arq_backoff)
 
 (* ------------------------------------------------------------------ *)
 (* report *)
@@ -978,7 +1010,18 @@ let report_cmd =
       & info [ "perfetto" ] ~docv:"OUT"
           ~doc:
             "On a spans file: export Chrome trace-event JSON to $(docv), \
-             loadable in ui.perfetto.dev or chrome://tracing.")
+             loadable in ui.perfetto.dev or chrome://tracing.  When a \
+             profile file (simulate --profile) is also given, its per-round \
+             GC samples are merged in as counter tracks.")
+  in
+  let profile_flag =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Require profile files (simulate --profile): the per-phase and \
+             per-region machine-cost tables with top-$(b,--top) allocation \
+             sites.  Profile files are also auto-detected without the flag.")
   in
   let rec take k = function
     | x :: tl when k > 0 -> x :: take (k - 1) tl
@@ -1000,6 +1043,7 @@ let report_cmd =
               match Obs.Metrics.json_str line "kind" with
               | Some "metric" | Some "meta" -> `Metrics
               | Some "span" | Some "span_meta" -> `Spans
+              | Some "prof" | Some "prof_round" | Some "prof_meta" -> `Profile
               | _ -> `Trace)
         in
         go ())
@@ -1230,7 +1274,13 @@ let report_cmd =
               exit 1)
     end
   in
-  let report_spans ~top ~critical_path ~perfetto file =
+  let report_profile ~top file =
+    let rows, rounds = Obs.Prof.load file in
+    Format.printf "profile report: %s@." file;
+    Option.iter pp_meta_line (read_meta_kind "prof_meta" file);
+    Obs.Report.pp_profile_table ~top Format.std_formatter (rows, rounds)
+  in
+  let report_spans ~top ~critical_path ~perfetto ~counters file =
     let records = Obs.Span.load file in
     Format.printf "spans report: %s@." file;
     Option.iter pp_meta_line (read_meta_kind "span_meta" file);
@@ -1255,22 +1305,52 @@ let report_cmd =
       Obs.Causal.pp Format.std_formatter (Obs.Causal.analyze ~k:top records);
     match perfetto with
     | Some out ->
-        let n = Obs.Perfetto.export records out in
+        let n = Obs.Perfetto.export ~counters records out in
         Format.printf "perfetto trace written to %s (%d events)@." out n
     | None -> ()
   in
-  let run files top audit_bounds strict critical_path perfetto =
+  let run files top audit_bounds strict critical_path perfetto profile_flag =
+    let kinds =
+      List.map
+        (fun file ->
+          if not (Sys.file_exists file) then begin
+            Format.eprintf "spanner_cli: no such file %s@." file;
+            exit 1
+          end;
+          (file, file_kind file))
+        files
+    in
+    (* A profile file given alongside a spans file under --perfetto is
+       not reported on its own: its round samples become the counter
+       tracks of the merged export. *)
+    let merge_counters =
+      perfetto <> None && List.exists (fun (_, k) -> k = `Spans) kinds
+    in
+    let counters =
+      if not merge_counters then []
+      else
+        List.concat_map
+          (fun (file, k) ->
+            if k = `Profile then snd (Obs.Prof.load file) else [])
+          kinds
+    in
     List.iter
-      (fun file ->
-        if not (Sys.file_exists file) then begin
-          Format.eprintf "spanner_cli: no such file %s@." file;
-          exit 1
-        end;
-        let kind = file_kind file in
-        if (critical_path || perfetto <> None) && kind <> `Spans then begin
+      (fun (file, kind) ->
+        if
+          (critical_path || perfetto <> None)
+          && kind <> `Spans
+          && not (merge_counters && kind = `Profile)
+        then begin
           Format.eprintf
             "spanner_cli: report --critical-path/--perfetto need a spans \
              file (simulate --spans), but %s is not one@."
+            file;
+          exit 1
+        end;
+        if profile_flag && kind <> `Profile then begin
+          Format.eprintf
+            "spanner_cli: report --profile needs a profile file (simulate \
+             --profile), but %s is not one@."
             file;
           exit 1
         end;
@@ -1285,7 +1365,16 @@ let report_cmd =
                   file;
                 exit 1
               end;
-              report_spans ~top ~critical_path ~perfetto file
+              report_spans ~top ~critical_path ~perfetto ~counters file
+          | `Profile ->
+              if audit_bounds then begin
+                Format.eprintf
+                  "spanner_cli: report --audit-bounds needs a metrics file, \
+                   but %s is a profile@."
+                  file;
+                exit 1
+              end;
+              if not merge_counters then report_profile ~top file
           | `Trace ->
               if audit_bounds then begin
                 Format.eprintf
@@ -1301,10 +1390,10 @@ let report_cmd =
         | Failure msg ->
             Format.eprintf "spanner_cli: %s@." msg;
             exit 1
-        | Distnet.Trace.Parse_error _ as e ->
+        | (Distnet.Trace.Parse_error _ | Obs.Prof.Parse_error _) as e ->
             Format.eprintf "spanner_cli: %s@." (Printexc.to_string e);
             exit 1)
-      files
+      kinds
   in
   Cmd.v
     (Cmd.info "report"
@@ -1315,7 +1404,7 @@ let report_cmd =
           Perfetto export.")
     Term.(
       const run $ files $ top $ audit_bounds $ strict $ critical_path
-      $ perfetto)
+      $ perfetto $ profile_flag)
 
 (* ------------------------------------------------------------------ *)
 (* serve / query: the spanner as a live distance/route service *)
@@ -1802,6 +1891,16 @@ let sweep_cmd =
             "Replay one plan file (e.g. a shrunk reproducer) instead of \
              sweeping; exits 3 when the plan still FAILs.")
   in
+  let profile_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile" ] ~docv:"FILE"
+          ~doc:
+            "Record the sweep's aggregate allocation/time profile (all \
+             samples accumulate into one table) to FILE as JSON lines, as \
+             in simulate --profile.")
+  in
   let shrink_evals =
     Arg.(
       value
@@ -1823,8 +1922,8 @@ let sweep_cmd =
     | Scenario.Sweep.Failed f ->
         Format.fprintf ppf "FAIL (%s)" (Scenario.Sweep.failure_tag f)
   in
-  let run specs samples out_dir json_file metrics_file replay shrink_evals
-      arq_backoff =
+  let run specs samples out_dir json_file metrics_file replay profile_file
+      shrink_evals arq_backoff =
     if arq_backoff <> Distnet.Reliable.default_config.Distnet.Reliable.backoff
     then
       Distnet.Reliable.set_config
@@ -1868,6 +1967,10 @@ let sweep_cmd =
           if metrics_file <> None then Obs.Metrics.create ()
           else Obs.Metrics.disabled
         in
+        let prof =
+          if profile_file <> None then Obs.Prof.create () else Obs.Prof.disabled
+        in
+        Obs.Prof.set_current prof;
         let json_lines = ref [] in
         let unshrunk = ref 0 in
         List.iter
@@ -1929,6 +2032,19 @@ let sweep_cmd =
             Obs.Metrics.save reg file;
             Format.printf "metrics written to %s (%d samples)@." file
               (List.length (Obs.Metrics.snapshot reg)));
+        (match profile_file with
+        | None -> ()
+        | Some file ->
+            let meta =
+              Printf.sprintf
+                {|{"kind":"prof_meta","algo":"sweep:%s","samples":%d}|}
+                (String.concat "," names) samples
+            in
+            Obs.Prof.save ~extra:[ meta ] prof file;
+            Format.printf "profile written to %s (%d rows, %d round samples)@."
+              file
+              (List.length (Obs.Prof.rows prof))
+              (List.length (Obs.Prof.round_samples prof)));
         if !unshrunk > 0 then begin
           Format.eprintf
             "spanner_cli: %d failing scenario(s) could not be shrunk to a \
@@ -1946,7 +2062,7 @@ let sweep_cmd =
           replayable plan file.")
     Term.(
       const run $ specs $ samples $ out_dir $ json_file $ metrics_file
-      $ replay $ shrink_evals $ arq_backoff)
+      $ replay $ profile_file $ shrink_evals $ arq_backoff)
 
 (* ------------------------------------------------------------------ *)
 (* experiment *)

@@ -314,6 +314,9 @@ let build_with ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled)
      log nests call -> phase just like the paper's recursion. *)
   let current_call_span = ref (-1) in
   let record_phase name =
+    (* The profiler marks the same boundary, so its phase rows join the
+       metrics phase table by name — even when metrics are off. *)
+    Obs.Prof.phase (Obs.Prof.current ()) name;
     let metrics_on = Obs.Metrics.enabled metrics in
     let spans_on = Obs.Span.enabled spans in
     if metrics_on || spans_on then begin
@@ -584,6 +587,22 @@ let build_with ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled)
   (* The center's authoritative per-cluster minimum, rebuilt each call. *)
   let center_best = Array.make n (Hashtbl.create 0) in
 
+  (* Profiling category per message family: handler cost lands in one
+     region per protocol mechanism (exchange / convergecast / wave /
+     …), nested inside the engine's [sim_deliver] region. *)
+  let prof_region_of = function
+    | Exchange _ -> "skel_exchange"
+    | Report_none | Report _ -> "skel_convergecast"
+    | On_path _ | Off_path _ -> "skel_wave"
+    | P2_register | P2_unregister -> "skel_notify"
+    | Die_start | Die_up _ -> "skel_dying"
+    | Final_down _ | Abort -> "skel_final"
+    | Dead | Probe | Orphan -> "skel_death"
+    | Repair_id _ | Repair_ack _ | Repair_report _ | Repair_none
+    | Repair_on_path | Repair_keep_all ->
+        "skel_repair"
+  in
+
   let dispatch ~dst ~src m =
     (* Crash-recovery: the first protocol message delivered from a
        reborn incarnation (repair traffic, typically) retracts the
@@ -596,7 +615,9 @@ let build_with ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled)
       && Fault.incarnation faults ~round:(!round_now ()) src > 0
     then Recovery.Detector.unsuspect det src;
     let nd = nodes.(dst) in
-    match m with
+    let prof = Obs.Prof.current () in
+    Obs.Prof.enter prof (prof_region_of m);
+    (match m with
     | Exchange { cl; fu } ->
         if nd.alive && not nd.orphaned then begin
           Hashtbl.replace nd.nb_cl src (cl, fu);
@@ -720,7 +741,8 @@ let build_with ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled)
           rp_maybe_forward nd
         end
     | Repair_on_path -> if !repair_mode then rp_start_wave nd
-    | Repair_keep_all -> if !repair_mode then rp_do_keep_all nd
+    | Repair_keep_all -> if !repair_mode then rp_do_keep_all nd);
+    Obs.Prof.leave prof
   in
 
   (* ---------------- phase driver ---------------- *)
@@ -1677,12 +1699,13 @@ let build_with ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled)
         && not (List.exists (fun (d, _) -> d = w) outbox.(v)));
     run_plan ();
     if dynamic || restarting then
-      run_repair
-        ~fast_forward:(fun target ->
-          while Sim.round net < target do
-            !pump_ref ()
-          done)
-        ();
+      Obs.Prof.region (Obs.Prof.current ()) "skel_repair_drive" (fun () ->
+          run_repair
+            ~fast_forward:(fun target ->
+              while Sim.round net < target do
+                !pump_ref ()
+              done)
+            ());
     Array.iteri
       (fun v st ->
         if not (crashed_now v) then begin

@@ -169,6 +169,7 @@ module Make (P : Sim.PROTOCOL) = struct
             start_next ~owner:st.v ~round p
           end
           else begin
+            Obs.Prof.enter (Obs.Prof.current ()) "arq_retransmit";
             Obs.Metrics.incr !m_timer;
             p.retries <- p.retries + 1;
             let c = !current_config in
@@ -191,6 +192,7 @@ module Make (P : Sim.PROTOCOL) = struct
                  Obs.Span.Retransmit
                  ~name:(Printf.sprintf "seq-%d" seq)
                  ~start_round:round ~stop_round:round);
+            Obs.Prof.leave (Obs.Prof.current ());
             Some (seq, m)
           end
     in
@@ -199,11 +201,20 @@ module Make (P : Sim.PROTOCOL) = struct
     if data = None && acks = [] then None
     else Some (p.nbr, { acks; data })
 
+  (* The timer sweep: every peer's RTO ticks here, every round.  This
+     is the ARQ's per-round fixed cost, so it gets its own region (with
+     retransmissions attributed separately inside it). *)
   let flush st ~round =
-    Array.fold_left
-      (fun out p ->
-        match outgoing st ~round p with Some m -> m :: out | None -> out)
-      [] st.peers
+    let prof = Obs.Prof.current () in
+    Obs.Prof.enter prof "arq_timer_sweep";
+    let out =
+      Array.fold_left
+        (fun out p ->
+          match outgoing st ~round p with Some m -> m :: out | None -> out)
+        [] st.peers
+    in
+    Obs.Prof.leave prof;
+    out
 
   let init g v =
     let nbrs = Array.of_list (Graph.neighbors g v) in

@@ -84,6 +84,10 @@ type 'msg t = {
   (* Causal spans: one per transmission, opened at send and closed at
      delivery (or drop).  Defaults to the no-op sink. *)
   spans : Obs.Span.t;
+  (* Machine-cost profiling.  Captured from the ambient sink at
+     creation; the default is the no-op sink, so unprofiled runs pay
+     one tag check per region. *)
+  prof : Obs.Prof.t;
 }
 
 let key ~n src dst = (src * n) + dst
@@ -123,13 +127,15 @@ let apply_action t ~round = function
    deliveries: a message in flight over a link downed this round is
    dropped at delivery time. *)
 let apply_churn t ~round =
+  Obs.Prof.enter t.prof "sim_churn";
   let rec go = function
     | (r, act) :: rest when r <= round ->
         apply_action t ~round:r act;
         go rest
     | rest -> t.pending_churn <- rest
   in
-  go t.pending_churn
+  go t.pending_churn;
+  Obs.Prof.leave t.prof
 
 let create ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled)
     ?(spans = Obs.Span.disabled) g =
@@ -166,6 +172,7 @@ let create ?(faults = Fault.none) ?tracer ?(metrics = Obs.Metrics.disabled)
       link_load = Array.make (Stdlib.max 1 (2 * Graph.m g)) None;
       window_max = 0;
       spans;
+      prof = Obs.Prof.current ();
     }
   in
   (* Round-0 churn (e.g. an edge down from the start) must constrain
@@ -217,6 +224,7 @@ let send t ~src ~dst ~words payload =
                "Sim.send: round %d: %d already sent to %d this round" t.rounds
                src dst);
         t.last_sent.(slot) <- t.epoch;
+        Obs.Prof.enter t.prof "sim_send";
         trace t ~round:t.rounds Trace.Send ~src ~dst ~words;
         if Obs.Metrics.enabled t.metrics then begin
           let c =
@@ -240,7 +248,8 @@ let send t ~src ~dst ~words payload =
               Fault.incarnation t.faults ~round:t.rounds dst )
           else (0, 0)
         in
-        t.outbox <- { src; dst; words; span; inc_src; inc_dst; payload } :: t.outbox
+        t.outbox <- { src; dst; words; span; inc_src; inc_dst; payload } :: t.outbox;
+        Obs.Prof.leave t.prof
       end
 
 let quiescent t = t.outbox = [] && t.delayed_count = 0
@@ -339,6 +348,7 @@ let step t deliver =
       (e :: Option.value ~default:[] (Hashtbl.find_opt t.delayed until));
     t.delayed_count <- t.delayed_count + 1
   in
+  Obs.Prof.enter t.prof "sim_deliver";
   (* Held-back messages whose delay expires this round arrive first. *)
   (match Hashtbl.find_opt t.delayed round with
   | None -> ()
@@ -373,11 +383,13 @@ let step t deliver =
             if dup then deliver_now e
           end)
     batch;
+  Obs.Prof.leave t.prof;
   if Obs.Metrics.enabled t.metrics then begin
     Obs.Metrics.observe t.h_delivered !delivered_w;
     Obs.Metrics.observe t.h_dropped !dropped_w;
     Obs.Metrics.observe t.h_held !held_w
   end;
+  Obs.Prof.round_mark t.prof ~round;
   !count
 
 let stats t =

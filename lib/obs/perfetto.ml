@@ -50,7 +50,17 @@ let process_name pid name =
     {|{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":%S}}|}
     pid name
 
-let export records file =
+(* GC counter tracks live in their own process so Perfetto renders
+   them as graphs under the span timeline: heap size is an absolute
+   level, the other two are per-round activity. *)
+let counters_pid = 4
+
+let counter_event ~ts name value =
+  Printf.sprintf
+    {|{"ph":"C","pid":%d,"tid":0,"ts":%d,"name":%S,"args":{"value":%d}}|}
+    counters_pid ts name value
+
+let export ?(counters = []) records file =
   let tracks =
     [ (0, "phases"); (1, "messages"); (2, "clusters"); (3, "arq") ]
   in
@@ -61,6 +71,10 @@ let export records file =
         if pid = 0 || List.mem pid used then Some (process_name pid name)
         else None)
       tracks
+  in
+  let metas =
+    if counters = [] then metas
+    else metas @ [ process_name counters_pid "gc counters" ]
   in
   let oc = open_out file in
   Fun.protect
@@ -75,5 +89,12 @@ let export records file =
       in
       List.iter emit metas;
       List.iter (fun s -> emit (event s)) records;
+      List.iter
+        (fun (s : Prof.round_sample) ->
+          let ts = s.Prof.round * us_per_round in
+          emit (counter_event ~ts "heap_words" s.Prof.heap_words);
+          emit (counter_event ~ts "minor_words_per_round" s.Prof.r_minor_words);
+          emit (counter_event ~ts "minor_collections_per_round" s.Prof.r_minors))
+        counters;
       output_string oc "\n]}\n";
       !n)

@@ -7,8 +7,13 @@
     sending node for message spans, process 2 cluster lifetimes (one
     thread per center), process 3 ARQ exchanges and retransmission
     point-events.  Open spans (never delivered) are exported with zero
-    duration and their status in [args]. *)
+    duration and their status in [args].
 
-val export : Span.record list -> string -> int
+    When {!Prof} round samples are supplied, process 4 carries counter
+    tracks ([ph:"C"]: heap words, minor words and minor collections
+    per round) so machine cost lines up with the span timeline. *)
+
+val export : ?counters:Prof.round_sample list -> Span.record list -> string -> int
 (** [export records file] writes [{"traceEvents":[...]}] and returns
-    the number of events written (spans plus track-name metadata). *)
+    the number of events written (spans plus track-name metadata plus
+    counter samples). *)

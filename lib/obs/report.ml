@@ -179,6 +179,86 @@ let pp_serve_table ppf samples =
       Format.fprintf ppf "failed=%d swaps=%d@." (scalar "serve_failed")
         (scalar "serve_swaps")
 
+(* ------------------------------------------------------------------ *)
+(* Profile tables *)
+
+let ms ns = Printf.sprintf "%.2f" (float_of_int ns /. 1e6)
+
+let pp_profile_table ?(top = 3) ppf
+    ((rows : Prof.row list), (rounds : Prof.round_sample list)) =
+  let phases = List.filter (fun (r : Prof.row) -> r.Prof.kind = Prof.Phase) rows in
+  let regions = List.filter (fun (r : Prof.row) -> r.Prof.kind = Prof.Region) rows in
+  if rows = [] then Format.fprintf ppf "(no profile rows recorded)@."
+  else begin
+    if phases <> [] then begin
+      Format.fprintf ppf "%-22s %8s %10s %12s %12s %7s %7s@." "phase" "count"
+        "wall_ms" "minor_words" "major_words" "minors" "majors";
+      let tot = ref (0, 0., 0, 0, 0, 0) in
+      List.iter
+        (fun (r : Prof.row) ->
+          let c, w, mi, ma, mc, jc = !tot in
+          tot :=
+            ( c + r.Prof.count,
+              w +. float_of_int r.Prof.wall_ns,
+              mi + r.Prof.minor_words,
+              ma + r.Prof.major_words,
+              mc + r.Prof.minors,
+              jc + r.Prof.majors );
+          Format.fprintf ppf "%-22s %8d %10s %12d %12d %7d %7d@." r.Prof.name
+            r.Prof.count (ms r.Prof.wall_ns) r.Prof.minor_words
+            r.Prof.major_words r.Prof.minors r.Prof.majors)
+        phases;
+      let c, w, mi, ma, mc, jc = !tot in
+      Format.fprintf ppf "%-22s %8d %10s %12d %12d %7d %7d@." "total" c
+        (ms (int_of_float w)) mi ma mc jc
+    end;
+    if regions <> [] then begin
+      if phases <> [] then Format.fprintf ppf "@.";
+      Format.fprintf ppf "%-22s %8s %10s %10s %12s %12s %7s@." "region" "count"
+        "total_ms" "self_ms" "minor_words" "self_minor" "majors";
+      List.iter
+        (fun (r : Prof.row) ->
+          Format.fprintf ppf "%-22s %8d %10s %10s %12d %12d %7d@." r.Prof.name
+            r.Prof.count (ms r.Prof.wall_ns) (ms r.Prof.self_ns)
+            r.Prof.minor_words r.Prof.self_minor_words r.Prof.majors)
+        regions;
+      (* Top allocation sites: regions ranked by the words they
+         allocated themselves (minor + major, children excluded).  The
+         ranking is stable run to run — GC word counts are exact for a
+         deterministic program — unlike the wall-clock columns. *)
+      let sites =
+        List.sort
+          (fun (a : Prof.row) (b : Prof.row) ->
+            compare
+              (b.Prof.self_minor_words + b.Prof.self_major_words)
+              (a.Prof.self_minor_words + a.Prof.self_major_words))
+          regions
+      in
+      Format.fprintf ppf "@.top %d allocation sites (self minor+major words):@."
+        (Stdlib.min top (List.length sites));
+      List.iteri
+        (fun i (r : Prof.row) ->
+          if i < top then
+            Format.fprintf ppf "  %d. %-20s %12d words@." (i + 1) r.Prof.name
+              (r.Prof.self_minor_words + r.Prof.self_major_words))
+        sites
+    end;
+    match rounds with
+    | [] -> ()
+    | _ ->
+        let n = List.length rounds in
+        let last = List.nth rounds (n - 1) in
+        let peak =
+          List.fold_left
+            (fun acc (s : Prof.round_sample) ->
+              Stdlib.max acc s.Prof.r_minor_words)
+            0 rounds
+        in
+        Format.fprintf ppf
+          "@.%d round samples, final heap %d words, peak %d minor words/round@."
+          n last.Prof.heap_words peak
+  end
+
 let pp_summary ppf samples =
   List.iter
     (fun (s : Metrics.sample) ->

@@ -57,3 +57,16 @@ val pp_summary : Format.formatter -> Metrics.sample list -> unit
 val hist_percentile : Metrics.hist_snapshot -> float -> float
 (** Exact when raw samples are present; bucket upper bound otherwise;
     [nan] when empty. *)
+
+(** {1 Profile tables} *)
+
+val pp_profile_table :
+  ?top:int ->
+  Format.formatter ->
+  Prof.row list * Prof.round_sample list ->
+  unit
+(** Phase table (joins {!pp_phase_table} by phase name), region table
+    with self/total columns, top-[top] (default 3) allocation sites
+    ranked by self minor+major words, and a round-sample summary line.
+    Row names and order are deterministic; the measured values are
+    machine-dependent (word counts exact, wall-clock advisory). *)

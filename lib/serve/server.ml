@@ -92,6 +92,10 @@ let run ?(first = 0) ?count t queries =
   let latency = Array.make count 0. in
   let failed = ref 0 and stale_count = ref 0 in
   let tally : (int, int ref * int ref) Hashtbl.t = Hashtbl.create 4 in
+  (* One region per batch, not per query — a per-query enter/leave
+     would dwarf the nanosecond-scale lookups it measures. *)
+  let prof = Obs.Prof.current () in
+  Obs.Prof.enter prof "serve_answer";
   let batch_start = Monotonic_clock.now () in
   for i = 0 to count - 1 do
     let q = queries.(first + i) in
@@ -127,6 +131,7 @@ let run ?(first = 0) ?count t queries =
     if stale then incr stale_r else incr fresh_r
   done;
   let batch_stop = Monotonic_clock.now () in
+  Obs.Prof.leave prof;
   Array.sort compare latency;
   let by_generation =
     Hashtbl.fold (fun g (f, s) acc -> (g, !f, !s) :: acc) tally []

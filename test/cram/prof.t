@@ -1,0 +1,138 @@
+The profiling surface: --profile samples GC counters and the monotonic
+clock at phase/round/region boundaries and writes a JSONL profile.
+The flag must not change the run: stdout minus the trailing "profile
+written" line is byte-identical to a flag-free run.
+
+  $ ../../bin/spanner_cli.exe simulate --algo skeleton --kind gnp -n 48 -p 0.2 --seed 3 > base.out
+  $ cat base.out
+  graph: n=48, m=231, avg deg 9.62, max deg 17
+  spanner: 70 edges, 0 aborts
+  network: rounds=35 messages=2461 words=4293 max_msg=3 words
+  $ ../../bin/spanner_cli.exe simulate --algo skeleton --kind gnp -n 48 -p 0.2 --seed 3 --profile p.jsonl > prof.out
+  $ grep -v '^profile written' prof.out | diff - base.out
+  $ tail -1 prof.out
+  profile written to p.jsonl (17 rows, 35 round samples)
+
+The profile file leads with a meta header (all fields deterministic),
+then one row per phase/region and one sample per round.  The row set
+and the word counts are deterministic; only the wall-clock fields are
+machine-dependent.
+
+  $ head -1 p.jsonl
+  {"kind":"prof_meta","algo":"skeleton","n":48,"arq":0,"rounds":35,"messages":2461,"words":4293,"max_message_words":3}
+  $ grep -c '"kind":"prof",' p.jsonl
+  17
+  $ grep -c '"kind":"prof_round"' p.jsonl
+  35
+
+report recognizes a profile file and renders the phase table, the
+region self/total table, and the top allocation sites.  Numbers and
+alignment are machine-dependent, the structure is not:
+
+  $ ../../bin/spanner_cli.exe report p.jsonl --profile | sed 's/[0-9][0-9]*/N/g; s/  */ /g; s/ *$//'
+  profile report: p.jsonl
+   run: algo=skeleton n=N arq=N rounds=N messages=N words=N max_message_words=N
+  phase count wall_ms minor_words major_words minors majors
+  exchange N N.N N N N N
+  convergecast N N.N N N N N
+  wave N N.N N N N N
+  notify N N.N N N N N
+  dying N N.N N N N N
+  final N N.N N N N N
+  death-notices N N.N N N N N
+  post N N.N N N N N
+  total N N.N N N N N
+  
+  region count total_ms self_ms minor_words self_minor majors
+  sim_send N N.N N.N N N N
+  sim_deliver N N.N N.N N N N
+  skel_exchange N N.N N.N N N N
+  skel_notify N N.N N.N N N N
+  skel_death N N.N N.N N N N
+  skel_convergecast N N.N N.N N N N
+  skel_wave N N.N N.N N N N
+  skel_dying N N.N N.N N N N
+  skel_final N N.N N.N N N N
+  
+  top N allocation sites (self minor+major words):
+   N. sim_deliver N words
+   N. sim_send N words
+   N. skel_exchange N words
+   N. skel_death N words
+   N. skel_convergecast N words
+  
+  N round samples, final heap N words, peak N minor words/round
+
+Asking for a profile report of a trace is an error:
+
+  $ ../../bin/spanner_cli.exe simulate --algo skeleton --kind gnp -n 48 -p 0.2 --seed 3 --trace t.jsonl > /dev/null
+  $ ../../bin/spanner_cli.exe report t.jsonl --profile
+  spanner_cli: report --profile needs a profile file (simulate --profile), but t.jsonl is not one
+  [1]
+
+Handing report a spans file and a profile file together with
+--perfetto merges GC counter tracks (35 rounds x 3 counters) into the
+Chrome trace under a dedicated "gc counters" process:
+
+  $ ../../bin/spanner_cli.exe simulate --algo skeleton --kind gnp -n 48 -p 0.2 --seed 3 --spans s.jsonl --profile p2.jsonl | tail -1
+  profile written to p2.jsonl (17 rows, 35 round samples)
+  $ ../../bin/spanner_cli.exe report s.jsonl p2.jsonl --perfetto tr.json
+  spans report: s.jsonl
+    run: algo=skeleton n=48 arq=0 rounds=35 messages=2461 words=4293 max_message_words=3
+    2548 spans: 2461 messages (2461 delivered, 0 dropped), 33 phases, 5 calls, 49 clusters, 0 arq, 0 retransmissions
+  perfetto trace written to tr.json (2657 events)
+  $ grep -c '"ph":"C"' tr.json
+  105
+  $ grep -c '"gc counters"' tr.json
+  1
+
+bench --json always emits parseable JSON (the bechamel progress chatter
+is silenced) and carries the GC counters next to each timing:
+
+  $ ../../bench/main.exe --json --only e9 | sed 's/[0-9][0-9]*/N/g'
+  {"seed": N, "workload_seed": N, "mode": "quick", "timings": [
+    {"name": "eN.contribution_dp", "ns_per_run": N.N, "minor_words": N, "major_words": N, "majors": N}
+  ]}
+
+bench --profile names each bench's top allocation sites:
+
+  $ ../../bench/main.exe --bench-only --only e9 --profile | sed 's/[0-9][0-9]*/N/g; s/  */ /g; s/ *$//'
+  
+  == Bechamel timings (monotonic clock, one bench per experiment)
+  eN.contribution_dp N ns/run N minor N major N majors
+  
+  == per-bench profiles (top allocation sites, self minor+major words)
+  eN.contribution_dp (no regions hit)
+
+bench history reads every checked-in BENCH_*.json snapshot plus an
+optional current run and renders the per-bench trajectory, flagging
+regressions beyond the tolerance:
+
+  $ cat > BENCH_a.json <<'EOF'
+  > {"timings": [
+  >   {"name": "e1.skeleton_dist", "ns_per_run": 8000000.0, "minor_words": 900000, "major_words": 300000, "majors": 1},
+  >   {"name": "e9.contribution_dp", "ns_per_run": 100000.0, "minor_words": 6000, "major_words": 0, "majors": 0}
+  > ]}
+  > EOF
+  $ cat > BENCH_b.json <<'EOF'
+  > {"timings": [
+  >   {"name": "e1.skeleton_dist", "ns_per_run": 9500000.0, "minor_words": 910000, "major_words": 300000, "majors": 1},
+  >   {"name": "e2.fresh_bench", "ns_per_run": 5000.0, "minor_words": 100, "major_words": 0, "majors": 0}
+  > ]}
+  > EOF
+  $ ../../bench/main.exe history
+  == bench history (2 snapshot(s), tolerance +25%)
+  bench                               BENCH_a      BENCH_b     delta
+  e1.skeleton_dist                    8000000      9500000    +18.8%
+  e9.contribution_dp                   100000            -         -
+  e2.fresh_bench                            -         5000         -
+  $ ../../bench/main.exe history --tolerance 0.1
+  == bench history (2 snapshot(s), tolerance +10%)
+  bench                               BENCH_a      BENCH_b     delta
+  e1.skeleton_dist                    8000000      9500000    +18.8%  REGRESSED
+  e9.contribution_dp                   100000            -         -
+  e2.fresh_bench                            -         5000         -
+  $ rm BENCH_a.json BENCH_b.json
+  $ ../../bench/main.exe history
+  bench history: no BENCH_*.json in the current directory (and no --current file)
+  [2]
